@@ -1,0 +1,127 @@
+"""Ablations: algorithm scaling in m and r, and the benefit-cache design.
+
+The paper's complexity analysis says r-greedy is O(k·m^r) and inner-level
+greedy O(k²·m²).  These benches measure the real growth on cubes of
+increasing dimension, plus the DESIGN.md ablation comparing the compiled
+(numpy, incremental per-query best costs) benefit evaluation against a
+naive per-candidate recomputation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FIT_STRICT, InnerLevelGreedy, RGreedy
+from repro.core.benefit import BenefitEngine
+from repro.core.qvgraph import QueryViewGraph
+from repro.cube.schema import CubeSchema, Dimension
+from repro.estimation.sizes import analytical_lattice
+
+
+def cube_engine(n_dims: int) -> BenefitEngine:
+    cards = [4 + 2 * i for i in range(n_dims)]
+    schema = CubeSchema(
+        [Dimension(chr(ord("a") + i), c) for i, c in enumerate(cards)]
+    )
+    lattice = analytical_lattice(schema, 0.1 * schema.dense_cells)
+    return BenefitEngine(QueryViewGraph.from_cube(lattice))
+
+
+def budget_of(engine: BenefitEngine) -> float:
+    top_space = float(engine.spaces[engine.view_ids()].max())
+    return top_space + 0.25 * (float(engine.spaces.sum()) - top_space)
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {n: cube_engine(n) for n in (3, 4, 5)}
+
+
+@pytest.mark.parametrize("n_dims", [3, 4, 5])
+@pytest.mark.parametrize("r", [1, 2])
+def test_bench_rgreedy_scaling(benchmark, engines, n_dims, r):
+    engine = engines[n_dims]
+    result = benchmark.pedantic(
+        RGreedy(r, fit=FIT_STRICT).run,
+        args=(engine, budget_of(engine)),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.benefit > 0
+
+
+@pytest.mark.parametrize("n_dims", [3, 4])
+def test_bench_inner_level_scaling(benchmark, engines, n_dims):
+    engine = engines[n_dims]
+    result = benchmark.pedantic(
+        InnerLevelGreedy(fit=FIT_STRICT).run,
+        args=(engine, budget_of(engine)),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.benefit > 0
+
+
+def test_bench_engine_compilation(benchmark):
+    result = benchmark.pedantic(cube_engine, args=(5,), rounds=2, iterations=1)
+    assert result.n_queries == 3**5
+
+
+class TestBenefitCacheAblation:
+    """DESIGN.md ablation: incremental best-cost state vs naive recompute."""
+
+    @staticmethod
+    def naive_tau(engine: BenefitEngine, selected_ids) -> float:
+        """Recompute τ from scratch for a selection (the design we avoid)."""
+        best = engine.defaults.copy()
+        for sid in selected_ids:
+            best = np.minimum(best, engine.cost[sid])
+        return float(engine.frequencies @ best)
+
+    def test_cached_equals_naive(self, engines):
+        engine = engines[4]
+        engine.reset()
+        ids = [int(i) for i in engine.view_ids()[:6]]
+        engine.commit(ids)
+        assert engine.tau() == pytest.approx(self.naive_tau(engine, ids))
+        engine.reset()
+
+    @staticmethod
+    def _grown_state(engine):
+        """A mid-run state: a selection of ~24 structures already made."""
+        engine.reset()
+        committed = []
+        for view_id in engine.view_ids()[:8]:
+            committed.append(int(view_id))
+            committed.extend(int(i) for i in engine.index_ids_of(int(view_id))[:2])
+        engine.commit(committed)
+        candidates = [
+            sid for sid in range(engine.n_structures) if sid not in set(committed)
+        ][:40]
+        return committed, candidates
+
+    def test_bench_cached_stage_evaluation(self, benchmark, engines):
+        """Incremental design: candidate benefit = one row vs stored best."""
+        engine = engines[4]
+        committed, candidates = self._grown_state(engine)
+
+        def cached():
+            return sum(engine.benefit_of([s]) for s in candidates)
+
+        total = benchmark(cached)
+        assert total >= 0
+        engine.reset()
+
+    def test_bench_naive_stage_evaluation(self, benchmark, engines):
+        """Ablated design: recompute τ(M ∪ {s}) from scratch per candidate."""
+        engine = engines[4]
+        committed, candidates = self._grown_state(engine)
+        base = self.naive_tau(engine, committed)
+
+        def naive():
+            return sum(
+                base - self.naive_tau(engine, committed + [s]) for s in candidates
+            )
+
+        total = benchmark(naive)
+        assert total >= 0
+        engine.reset()

@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the B+tree primitives.
+
+The index substrate's operations, timed in isolation: insert-heavy
+construction vs bulk load, point search, prefix scans of varying
+selectivity, and delete-heavy churn.  Assertions pin correctness so a
+performance "fix" that breaks semantics fails loudly.
+"""
+
+import pytest
+
+from repro.engine.btree import BPlusTree
+
+N = 20_000
+
+
+def make_entries(n=N):
+    # two-attribute keys: 200 prefixes x (n // 200) suffixes
+    width = max(1, n // 200)
+    return [((i // width, i % width), i) for i in range(n)]
+
+
+@pytest.fixture(scope="module")
+def loaded_tree():
+    return BPlusTree.bulk_load(make_entries(), order=32)
+
+
+def test_bench_insert_build(benchmark):
+    entries = make_entries(4_000)
+
+    def build():
+        tree = BPlusTree(order=32)
+        for key, value in entries:
+            tree.insert(key, value)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert len(tree) == 4_000
+
+
+def test_bench_bulk_load(benchmark):
+    entries = make_entries()
+    tree = benchmark(BPlusTree.bulk_load, entries, 32)
+    assert len(tree) == N
+
+
+def test_bench_point_search(benchmark, loaded_tree):
+    def probe():
+        hits = 0
+        for i in range(0, N, 97):
+            width = max(1, N // 200)
+            if loaded_tree.search((i // width, i % width)) is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark(probe)
+    assert hits > 0
+
+
+@pytest.mark.parametrize("prefix", [0, 100, 199])
+def test_bench_prefix_scan(benchmark, loaded_tree, prefix):
+    result = benchmark(lambda: sum(1 for __ in loaded_tree.prefix_scan((prefix,))))
+    assert result == N // 200
+
+
+def test_bench_delete_churn(benchmark):
+    entries = make_entries(4_000)
+
+    def churn():
+        tree = BPlusTree.bulk_load(entries, order=8)
+        for key, __ in entries[::2]:
+            tree.delete(key)
+        return tree
+
+    tree = benchmark.pedantic(churn, rounds=3, iterations=1)
+    assert len(tree) == 2_000

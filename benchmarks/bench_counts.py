@@ -1,0 +1,42 @@
+"""E7 / Section 3.5: structure-count combinatorics.
+
+Regenerates the 2^n / 3^n / ~e·n! table and times the enumeration of the
+full structure universe for a 6-dimensional cube (the paper's largest).
+"""
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.index import count_fat_indexes, enumerate_fat_indexes
+from repro.core.query import enumerate_slice_queries
+from repro.core.view import View
+from repro.experiments.counts import format_counts, run_counts
+
+
+def test_counts_table():
+    rows = run_counts(max_dims=8)
+    print()
+    print(format_counts(rows))
+    by_n = {row.n_dims: row for row in rows}
+    assert by_n[3].views == 8 and by_n[3].queries == 27 and by_n[3].fat_indexes == 15
+    assert by_n[6].queries == 729
+    assert by_n[6].fat_indexes == 1956
+
+
+DIMS6 = tuple("abcdef")
+
+
+def enumerate_universe():
+    queries = list(enumerate_slice_queries(DIMS6))
+    indexes = []
+    for r in range(len(DIMS6) + 1):
+        for combo in combinations(DIMS6, r):
+            indexes.extend(enumerate_fat_indexes(View(combo)))
+    return queries, indexes
+
+
+def test_bench_enumerate_dim6_universe(benchmark):
+    queries, indexes = benchmark(enumerate_universe)
+    assert len(queries) == 3**6
+    assert len(indexes) == count_fat_indexes(6)

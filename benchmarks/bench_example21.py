@@ -1,0 +1,49 @@
+"""E2 / Example 2.1: two-step vs one-step on TPC-D (the Section 2 table).
+
+Paper: two-step (equal split) averages 1.18M rows/query; one-step
+1-greedy averages 0.74M — "almost 40 percent" better, with ~3/4 of the
+space going to indexes.  Asserts the shape and times the selections.
+"""
+
+import pytest
+
+from repro.algorithms import FIT_PAPER, FIT_STRICT, RGreedy, TwoStep
+from repro.datasets.tpcd import TPCD_SPACE_BUDGET
+from repro.experiments.example21 import (
+    PAPER_ONE_STEP_AVG,
+    PAPER_TWO_STEP_AVG,
+    SEED,
+    format_example21,
+    run_example21,
+)
+
+
+def test_example21_table(capsys):
+    result = run_example21()
+    print()
+    print(format_example21(result))
+    assert result.two_step_avg == pytest.approx(PAPER_TWO_STEP_AVG, rel=0.01)
+    assert result.one_step_avg == pytest.approx(PAPER_ONE_STEP_AVG, rel=0.10)
+    assert result.improvement == pytest.approx(0.40, abs=0.05)
+    assert result.index_space_fraction("1-greedy") == pytest.approx(0.75, abs=0.1)
+
+
+def test_bench_two_step(benchmark, tpcd_engine):
+    result = benchmark(
+        TwoStep(0.5, fit=FIT_STRICT).run, tpcd_engine, TPCD_SPACE_BUDGET, SEED
+    )
+    assert result.average_query_cost == pytest.approx(1.18e6, rel=0.01)
+
+
+def test_bench_one_step_1greedy(benchmark, tpcd_engine):
+    result = benchmark(
+        RGreedy(1, fit=FIT_PAPER).run, tpcd_engine, TPCD_SPACE_BUDGET, SEED
+    )
+    assert result.average_query_cost < 0.75e6
+
+
+def test_bench_one_step_2greedy(benchmark, tpcd_engine):
+    result = benchmark(
+        RGreedy(2, fit=FIT_PAPER).run, tpcd_engine, TPCD_SPACE_BUDGET, SEED
+    )
+    assert result.average_query_cost < 0.75e6

@@ -1,0 +1,70 @@
+"""Benches for the extension experiments (E15–E17).
+
+Each regenerates its table with shape assertions and times one run, so
+the extension experiments get the same bench coverage as the paper's own
+tables.
+"""
+
+import pytest
+
+from repro.experiments.load_tradeoff import format_load_tradeoff, run_load_tradeoff
+from repro.experiments.robustness import format_robustness, run_robustness
+from repro.experiments.skew_sensitivity import (
+    format_skew_sensitivity,
+    run_skew_sensitivity,
+)
+
+
+def test_load_tradeoff_table():
+    rows = run_load_tradeoff()
+    print()
+    print(format_load_tradeoff(rows))
+    costs = [row.avg_query_cost for row in rows]
+    assert costs == sorted(costs, reverse=True)  # monotone in budget
+    # the plateau: last two budgets identical query cost
+    assert costs[-1] == pytest.approx(costs[-2])
+
+
+def test_bench_load_tradeoff(benchmark):
+    rows = benchmark.pedantic(
+        run_load_tradeoff, kwargs={"budgets": (13e6, 25e6, 31e6)},
+        rounds=2, iterations=1,
+    )
+    assert len(rows) == 3
+
+
+def test_skew_sensitivity_table():
+    rows = run_skew_sensitivity()
+    print()
+    print(format_skew_sensitivity(rows))
+    for row in rows:
+        assert row.uniform_ratio == pytest.approx(1.0, abs=1e-9)
+    assert rows[-1].weighted_ratio > rows[0].weighted_ratio
+
+
+def test_bench_skew_sensitivity(benchmark):
+    rows = benchmark.pedantic(
+        run_skew_sensitivity,
+        kwargs={"exponents": (0.0, 1.0), "n_rows": 2_000},
+        rounds=2,
+        iterations=1,
+    )
+    assert len(rows) == 2
+
+
+def test_robustness_table():
+    rows = run_robustness(cardinalities=(12, 10, 8), n_drifts=2)
+    print()
+    print(format_robustness(rows))
+    for row in rows:
+        assert 0.0 <= row.regret_ratio <= 1.0 + 1e-9
+
+
+def test_bench_robustness(benchmark):
+    rows = benchmark.pedantic(
+        run_robustness,
+        kwargs={"cardinalities": (10, 8), "n_drifts": 1},
+        rounds=2,
+        iterations=1,
+    )
+    assert rows

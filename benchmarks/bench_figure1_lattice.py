@@ -1,0 +1,41 @@
+"""E1 / Figure 1: the TPC-D lattice and its query-view graph.
+
+Regenerates the Figure 1 artifacts (view sizes, query/index counts, the
+~80M-row full-materialization total) and times graph construction — the
+preprocessing cost every algorithm pays once.
+"""
+
+import pytest
+
+from repro.core.qvgraph import QueryViewGraph
+from repro.core.view import View
+from repro.datasets.tpcd import TPCD_VIEW_ROWS, tpcd_lattice
+from repro.estimation.index_sizes import total_materialization_size
+
+FIGURE1_SIZES = {
+    "psc": 6e6, "pc": 6e6, "sc": 6e6, "ps": 0.8e6,
+    "p": 0.2e6, "c": 0.1e6, "s": 0.01e6, "none": 1,
+}
+
+
+def test_figure1_sizes(tpcd_lat):
+    for label, size in FIGURE1_SIZES.items():
+        view = next(v for v in tpcd_lat.views() if tpcd_lat.label(v) == label)
+        assert tpcd_lat.size(view) == size
+
+
+def test_figure1_80m_total(tpcd_lat):
+    assert total_materialization_size(tpcd_lat) == pytest.approx(81e6, rel=0.02)
+
+
+def test_bench_lattice_construction(benchmark):
+    lattice = benchmark(tpcd_lattice)
+    assert len(lattice) == 8
+
+
+def test_bench_graph_construction(benchmark, tpcd_lat):
+    graph = benchmark(QueryViewGraph.from_cube, tpcd_lat)
+    assert graph.n_queries == 27
+    assert len(graph.indexes) == 15
+    # Figure 1 labels the ps subcube with its 2 fat indexes and 4 queries
+    assert set(graph.indexes_of("ps")) == {"I_ps(ps)", "I_sp(ps)"}

@@ -1,0 +1,45 @@
+"""E3+E4 / Figure 2 and Examples 5.1/5.2: the r-greedy family traces.
+
+Regenerates the benefit ladder (1-greedy 46, 2-greedy 194, inner-level
+330, optimal 300/400) and times each algorithm on the instance.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    FIT_PAPER,
+    BranchAndBoundOptimal,
+    InnerLevelGreedy,
+    RGreedy,
+)
+from repro.datasets.paper_figure2 import FIGURE2_SPACE, PAPER_ANCHORS
+from repro.experiments.example51 import format_example51, run_example51
+
+
+def test_example51_table():
+    result = run_example51()
+    print()
+    print(format_example51(result))
+    assert result.anchor_deltas() == {
+        "1-greedy": 0.0,
+        "2-greedy": 0.0,
+        "optimal(7)": 0.0,
+        "inner-level": 0.0,
+        "optimal(9)": 0.0,
+    }
+
+
+@pytest.mark.parametrize("r,expected", [(1, 46), (2, 194), (3, 250), (4, 250)])
+def test_bench_r_greedy(benchmark, fig2_engine, r, expected):
+    result = benchmark(RGreedy(r, fit=FIT_PAPER).run, fig2_engine, FIGURE2_SPACE)
+    assert result.benefit == expected
+
+
+def test_bench_inner_level(benchmark, fig2_engine):
+    result = benchmark(InnerLevelGreedy(fit=FIT_PAPER).run, fig2_engine, FIGURE2_SPACE)
+    assert result.benefit == PAPER_ANCHORS["inner-level"]
+
+
+def test_bench_optimal(benchmark, fig2_engine):
+    result = benchmark(BranchAndBoundOptimal().run, fig2_engine, FIGURE2_SPACE)
+    assert result.benefit == PAPER_ANCHORS["optimal(7)"]

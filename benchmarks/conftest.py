@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table/figure of the paper (see
+the per-experiment index in DESIGN.md) and times the code that produces
+it.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Absolute timings are environment-specific; the assertions pin the
+paper-shape results (who wins, by what factor) so regressions surface as
+failures, not as silently different tables.
+"""
+
+import pytest
+
+from repro.core.benefit import BenefitEngine
+from repro.datasets.paper_figure2 import figure2_graph
+from repro.datasets.tpcd import tpcd_graph, tpcd_lattice
+
+
+@pytest.fixture(scope="session")
+def tpcd_lat():
+    return tpcd_lattice()
+
+
+@pytest.fixture(scope="session")
+def tpcd_engine():
+    return BenefitEngine(tpcd_graph())
+
+
+@pytest.fixture(scope="session")
+def fig2_engine():
+    return BenefitEngine(figure2_graph())

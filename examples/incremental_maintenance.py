@@ -1,0 +1,83 @@
+"""Incremental maintenance: keeping a selection fresh as facts arrive.
+
+The space budget of Example 2.1 is equivalently a *load time* budget —
+every materialized structure must be refreshed when the warehouse loads
+new facts.  This example materializes a selection, streams three delta
+batches through :func:`repro.engine.apply_delta`, verifies the views stay
+exactly consistent with a from-scratch recomputation, and reports the
+measured maintenance cost (rows touched) next to the analytical estimate.
+
+Run:  python examples/incremental_maintenance.py
+"""
+
+import numpy as np
+
+from repro import CubeSchema, Dimension, InnerLevelGreedy, QueryViewGraph
+from repro.core.lattice import CubeLattice
+from repro.core.view import View
+from repro.cube.generator import generate_fact_table
+from repro.engine import Catalog, apply_delta, estimate_refresh_cost, materialize_view
+from repro.estimation.sizes import exact_sizes_from_rows
+
+
+def main():
+    schema = CubeSchema([Dimension("store", 40), Dimension("item", 120),
+                         Dimension("week", 52)])
+    fact = generate_fact_table(schema, 8_000, rng=4, skew={"item": 0.6})
+    lattice = CubeLattice.from_estimator(
+        schema, exact_sizes_from_rows(schema, fact.columns)
+    )
+    graph = QueryViewGraph.from_cube(lattice)
+    top = lattice.label(lattice.top)
+    budget = lattice.size(lattice.top) + 0.25 * (
+        graph.total_space() - lattice.size(lattice.top)
+    )
+    selection = InnerLevelGreedy(fit="strict").run(graph, budget, seed=(top,))
+    print(f"selection: {', '.join(selection.selected)}\n")
+
+    catalog = Catalog(fact)
+    for name in selection.selected:
+        struct = graph.structure(name)
+        if struct.is_view:
+            catalog.materialize(struct.payload)
+    for name in selection.selected:
+        struct = graph.structure(name)
+        if struct.is_index:
+            catalog.build_index(struct.payload)
+    print(f"materialized: {catalog}")
+
+    view_rows = {
+        **{str(v): catalog.view_table(v).n_rows for v in catalog.views()},
+        **{str(i): catalog.view_table(i.view).n_rows for i in catalog.indexes()},
+    }
+    membership = {
+        **{str(v): False for v in catalog.views()},
+        **{str(i): True for i in catalog.indexes()},
+    }
+
+    rng = np.random.default_rng(10)
+    for batch in range(1, 4):
+        delta = generate_fact_table(schema, 500, rng=int(rng.integers(1e6)))
+        estimate = estimate_refresh_cost(view_rows, membership, delta.n_rows)
+        report = apply_delta(catalog, delta.columns, delta.measures)
+        print(f"\nbatch {batch}: {report.delta_rows} new facts")
+        print(f"  views refreshed: {len(report.views_refreshed)}, "
+              f"indexes rebuilt: {len(report.indexes_rebuilt)}")
+        print(f"  rows touched: {report.total_rows_touched:,} "
+              f"(analytical estimate: {estimate:,.0f})")
+
+        # consistency check against recomputation from scratch
+        worst = 0.0
+        for view in catalog.views():
+            recomputed = dict(materialize_view(catalog.fact, view).iter_rows())
+            incremental = dict(catalog.view_table(view).iter_rows())
+            assert recomputed.keys() == incremental.keys()
+            for key, value in recomputed.items():
+                worst = max(worst, abs(incremental[key] - value))
+        print(f"  max deviation vs full recompute: {worst:.2e}")
+
+    print("\nincremental refresh stayed exactly consistent across all batches.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Synthetic cube study: how close is greedy to optimal? (Section 6)
+
+Builds a 4-dimensional cube with the analytical [HRU96] size model, runs
+the whole algorithm family across a range of space budgets, and prints the
+benefit each algorithm achieves as a fraction of the best known solution —
+the experiment behind the paper's claim that low-r greedy is near-optimal
+in practice.
+
+Run:  python examples/synthetic_cube_study.py
+"""
+
+from repro import (
+    BranchAndBoundOptimal,
+    CubeSchema,
+    Dimension,
+    HRUGreedy,
+    InnerLevelGreedy,
+    QueryViewGraph,
+    RGreedy,
+    analytical_lattice,
+)
+from repro.algorithms import SearchBudgetExceeded
+from repro.core.benefit import BenefitEngine
+from repro.experiments.reporting import ascii_table
+
+
+def main():
+    schema = CubeSchema(
+        [Dimension("a", 12), Dimension("b", 10), Dimension("c", 8), Dimension("d", 6)]
+    )
+    raw_rows = 0.2 * schema.dense_cells
+    lattice = analytical_lattice(schema, raw_rows)
+    graph = QueryViewGraph.from_cube(lattice)
+    engine = BenefitEngine(graph)
+    top = lattice.label(lattice.top)
+    top_space = lattice.size(lattice.top)
+    print(f"cube: {schema}")
+    print(f"raw rows: {raw_rows:.0f}; graph: {graph}\n")
+
+    algorithms = {
+        "HRU (no indexes)": HRUGreedy(),
+        "1-greedy": RGreedy(1),
+        "2-greedy": RGreedy(2),
+        "3-greedy": RGreedy(3),
+        "inner-level": InnerLevelGreedy(fit="strict"),
+    }
+
+    rows = []
+    for fraction in (0.1, 0.25, 0.5):
+        budget = top_space + fraction * (graph.total_space() - top_space)
+        benefits = {
+            name: algo.run(engine, budget, seed=(top,)).benefit
+            for name, algo in algorithms.items()
+        }
+        try:
+            opt = BranchAndBoundOptimal(node_limit=2_000_000).run(
+                engine, budget, seed=(top,)
+            )
+            reference, ref_kind = opt.benefit, "exact"
+        except SearchBudgetExceeded:
+            reference, ref_kind = max(benefits.values()), "best-found"
+        rows.append(
+            [f"{fraction:.0%}"]
+            + [f"{benefits[name] / reference:.3f}" for name in algorithms]
+            + [ref_kind]
+        )
+
+    print(
+        ascii_table(
+            ["space", *algorithms.keys(), "reference"],
+            rows,
+            title="benefit as a fraction of the best known solution",
+        )
+    )
+    print("\nNote the HRU column: ignoring indexes leaves substantial benefit "
+          "on the table — the paper's core argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""repro — a reproduction of "Index Selection for OLAP" (ICDE 1997).
+
+Gupta, Harinarayan, Rajaraman, and Ullman showed that OLAP summary tables
+(subcubes of the data cube) and the B-tree indexes on them should be
+selected *together* under a single space budget, and gave a family of
+provably near-optimal greedy algorithms for doing so.  This package
+implements the full system: the cube/lattice/query/index model, the linear
+cost model, the query-view-graph formalization, the r-greedy and
+inner-level greedy algorithms with the two-step and [HRU96] baselines and
+an exact optimal solver, size-estimation machinery, a synthetic cube
+generator, and a mini-ROLAP execution engine that validates the cost model
+by actually running queries.
+
+Quickstart::
+
+    from repro import RGreedy, tpcd_graph, TPCD_SPACE_BUDGET
+
+    result = RGreedy(r=1).run(tpcd_graph(), TPCD_SPACE_BUDGET)
+    print(result.table())
+"""
+
+from repro.algorithms import (
+    FIT_PAPER,
+    FIT_STRICT,
+    BranchAndBoundOptimal,
+    HRUGreedy,
+    InnerLevelGreedy,
+    RGreedy,
+    TwoStep,
+    exhaustive_optimal,
+    inner_level_guarantee,
+    r_greedy_guarantee,
+)
+from repro.algorithms import LocalSearchRefiner
+from repro.core import (
+    BenefitEngine,
+    CubeLattice,
+    HierarchicalCube,
+    Hierarchy,
+    Index,
+    Level,
+    LinearCostModel,
+    QueryViewGraph,
+    SelectionResult,
+    SliceQuery,
+    View,
+    hierarchical_lattice_graph,
+)
+from repro.cube import CubeSchema, Dimension, generate_fact_table, uniform_workload
+from repro.datasets import (
+    FIGURE2_SPACE,
+    TPCD_SPACE_BUDGET,
+    figure2_graph,
+    tpcd_graph,
+    tpcd_lattice,
+    tpcd_schema,
+)
+from repro.analysis import compare, explain
+from repro.estimation import analytical_lattice, correlated_lattice, expected_distinct
+from repro.sql import parse_query, run_sql
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenefitEngine",
+    "BranchAndBoundOptimal",
+    "CubeLattice",
+    "CubeSchema",
+    "Dimension",
+    "FIGURE2_SPACE",
+    "FIT_PAPER",
+    "FIT_STRICT",
+    "HRUGreedy",
+    "HierarchicalCube",
+    "Hierarchy",
+    "Index",
+    "InnerLevelGreedy",
+    "Level",
+    "LinearCostModel",
+    "LocalSearchRefiner",
+    "QueryViewGraph",
+    "RGreedy",
+    "SelectionResult",
+    "SliceQuery",
+    "TPCD_SPACE_BUDGET",
+    "TwoStep",
+    "View",
+    "analytical_lattice",
+    "compare",
+    "correlated_lattice",
+    "expected_distinct",
+    "explain",
+    "exhaustive_optimal",
+    "figure2_graph",
+    "generate_fact_table",
+    "hierarchical_lattice_graph",
+    "inner_level_guarantee",
+    "parse_query",
+    "run_sql",
+    "r_greedy_guarantee",
+    "tpcd_graph",
+    "tpcd_lattice",
+    "tpcd_schema",
+    "uniform_workload",
+    "__version__",
+]

@@ -1,0 +1,94 @@
+"""Common machinery for selection algorithms.
+
+All algorithms consume a :class:`~repro.core.qvgraph.QueryViewGraph` (or a
+pre-compiled :class:`~repro.core.benefit.BenefitEngine`, which avoids paying
+compilation repeatedly in parameter sweeps) and a space budget ``S``, and
+produce a :class:`~repro.core.selection.SelectionResult`.
+
+Two space-fit policies are supported, selected by the ``fit`` parameter:
+
+``"paper"``
+    The paper's semantics: keep picking while the space already used is
+    below ``S``.  The final pick may overshoot; Theorem 5.1 bounds the
+    overshoot by ``r − 1`` structures for r-greedy (unit spaces) and
+    Theorem 5.2 by ``2·S`` total for inner-level greedy.
+
+``"strict"``
+    Practical semantics: only candidate sets that fit in the remaining
+    budget are considered; the selection never exceeds ``S``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Union
+
+from repro.core.benefit import BenefitEngine
+from repro.core.qvgraph import QueryViewGraph
+from repro.core.selection import SelectionResult
+
+GraphLike = Union[QueryViewGraph, BenefitEngine]
+
+FIT_PAPER = "paper"
+FIT_STRICT = "strict"
+_FITS = (FIT_PAPER, FIT_STRICT)
+
+#: Tolerance used in floating-point space-fit comparisons.
+SPACE_EPS = 1e-9
+
+
+def as_engine(graph: GraphLike) -> BenefitEngine:
+    """Return a freshly reset engine for the graph (or the engine itself)."""
+    if isinstance(graph, BenefitEngine):
+        graph.reset()
+        return graph
+    if isinstance(graph, QueryViewGraph):
+        return BenefitEngine(graph)
+    raise TypeError(
+        f"expected QueryViewGraph or BenefitEngine, got {type(graph).__name__}"
+    )
+
+
+def check_fit(fit: str) -> str:
+    if fit not in _FITS:
+        raise ValueError(f"fit must be one of {_FITS}, got {fit!r}")
+    return fit
+
+
+def check_space(space: float) -> float:
+    if space <= 0:
+        raise ValueError(f"space budget must be positive, got {space}")
+    return float(space)
+
+
+def apply_seed(engine: BenefitEngine, seed) -> list:
+    """Commit the seed structures (by name) and return their ids.
+
+    The *seed* is the set of structures materialized unconditionally
+    before the algorithm runs — the paper's Example 2.1 (following
+    [HRU96]) always materializes the top view ``psc``, since the data
+    cube's base table cannot be computed from anything else.  Seed space
+    counts against the budget.
+    """
+    ids = [engine.structure_id(name) for name in seed]
+    if ids:
+        engine.commit(ids)
+    return ids
+
+
+class SelectionAlgorithm(abc.ABC):
+    """Base class: a named algorithm mapping (graph, space) → selection."""
+
+    #: Human-readable algorithm name; subclasses override.
+    name: str = "selection"
+
+    @abc.abstractmethod
+    def run(self, graph: GraphLike, space: float, seed=()) -> SelectionResult:
+        """Select structures within (about) ``space`` units of space.
+
+        ``seed`` names structures committed up front (e.g. the top view);
+        their space counts against the budget.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

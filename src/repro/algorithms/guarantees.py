@@ -1,0 +1,88 @@
+"""Performance-guarantee formulas (Theorems 5.1 and 5.2, Figure 3).
+
+The r-greedy algorithm is guaranteed at least ``1 − e^{−(r−1)/r}`` of the
+optimal benefit achievable in the space it used (unit-space structures):
+
+* r = 1 → 0       (1-greedy can be arbitrarily bad)
+* r = 2 → 0.393
+* r = 3 → 0.487
+* r = 4 → 0.528   (the "knee" of Figure 3)
+* r → ∞ → 1 − 1/e ≈ 0.632
+
+The inner-level greedy algorithm is guaranteed ``1 − e^{−0.63} ≈ 0.467``
+using at most twice the given space — between 2-greedy and 3-greedy, at
+roughly 2-greedy's running time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+#: The [HRU96] greedy constant: the inner greedy under a space constraint
+#: achieves at least a 0.63 fraction, which feeds Theorem 5.2.
+HRU_CONSTANT = 0.63
+
+
+def r_greedy_guarantee(r: int) -> float:
+    """Worst-case benefit fraction of r-greedy vs optimal (Theorem 5.1).
+
+    ``1 − e^{−(r−1)/r}``; tight — the paper exhibits matching instances.
+
+    >>> r_greedy_guarantee(1)
+    0.0
+    >>> round(r_greedy_guarantee(2), 2)
+    0.39
+    """
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+    return 1.0 - math.exp(-(r - 1) / r)
+
+
+def r_greedy_limit() -> float:
+    """The r → ∞ limit of the r-greedy guarantee: ``1 − 1/e``."""
+    return 1.0 - math.exp(-1.0)
+
+
+def inner_level_guarantee() -> float:
+    """Worst-case benefit fraction of inner-level greedy (Theorem 5.2).
+
+    ``1 − e^{−0.63} ≈ 0.467`` — between the 2-greedy and 3-greedy bounds.
+    """
+    return 1.0 - math.exp(-HRU_CONSTANT)
+
+
+def r_greedy_space_bound(space: float, r: int) -> float:
+    """Maximum space used by r-greedy with unit structures: ``S + r − 1``."""
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+    return space + r - 1
+
+
+def inner_level_space_bound(space: float) -> float:
+    """Maximum space used by inner-level greedy: ``2·S`` (Theorem 5.2)."""
+    return 2.0 * space
+
+
+def guarantee_curve(r_values: Iterable[int]) -> List[Tuple[int, float]]:
+    """The Figure 3 series: ``(r, guarantee)`` pairs.
+
+    >>> dict(guarantee_curve([1, 2]))[1]
+    0.0
+    """
+    return [(r, r_greedy_guarantee(r)) for r in r_values]
+
+
+def knee_of_curve(r_values: Iterable[int], threshold: float = 0.025) -> int:
+    """Smallest r after which the guarantee increment drops below
+    ``threshold`` — the paper reads the knee off Figure 3 at r = 4."""
+    r_values = sorted(set(r_values))
+    if len(r_values) < 2:
+        raise ValueError("need at least two r values")
+    previous = r_greedy_guarantee(r_values[0])
+    for r in r_values[1:]:
+        current = r_greedy_guarantee(r)
+        if current - previous < threshold:
+            return r - 1
+        previous = current
+    return r_values[-1]

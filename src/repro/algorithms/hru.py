@@ -1,0 +1,92 @@
+"""The plain greedy view-selection algorithm of [HRU96] (no indexes).
+
+This is the algorithm the paper builds on: pick, one at a time, the view
+with the maximum benefit per unit space with respect to the current
+selection, until the space budget is exhausted.  Indexes are ignored
+entirely — index edges in the graph play no role.
+
+It is used on its own as a baseline, and as the first step of the
+:class:`~repro.algorithms.two_step.TwoStep` strategy the paper argues
+against.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import (
+    FIT_STRICT,
+    SPACE_EPS,
+    GraphLike,
+    SelectionAlgorithm,
+    apply_seed,
+    as_engine,
+    check_fit,
+    check_space,
+)
+from repro.core.selection import SelectionResult, Stage, make_result
+
+
+class HRUGreedy(SelectionAlgorithm):
+    """Greedy selection over views only ([HRU96])."""
+
+    name = "HRU greedy (views only)"
+
+    def __init__(self, fit: str = FIT_STRICT):
+        self.fit = check_fit(fit)
+
+    def run(self, graph: GraphLike, space: float, seed=()) -> SelectionResult:
+        space = check_space(space)
+        engine = as_engine(graph)
+        stages = []
+        picked_order = []
+        strict = self.fit == FIT_STRICT
+        seed_ids = apply_seed(engine, seed)
+        if seed_ids:
+            names = tuple(engine.name_of(i) for i in seed_ids)
+            picked_order.extend(names)
+            stages.append(
+                Stage(
+                    structures=names,
+                    benefit=engine.absolute_benefit(seed_ids),
+                    space=engine.space_of(seed_ids),
+                    tau_after=engine.tau(),
+                )
+            )
+
+        while engine.space_used() < space - SPACE_EPS:
+            space_left = space - engine.space_used()
+            view_ids = engine.view_ids()
+            benefits = engine.single_benefits(view_ids)
+            best_id = None
+            best_benefit = 0.0
+            best_space = 0.0
+            best_ratio = 0.0
+            for pos, view_id in enumerate(view_ids):
+                view_id = int(view_id)
+                if engine.is_selected(view_id):
+                    continue
+                view_space = float(engine.spaces[view_id])
+                if strict and view_space > space_left + SPACE_EPS:
+                    continue
+                benefit = float(benefits[pos])
+                if benefit <= 0.0:
+                    continue
+                ratio = benefit / view_space
+                if best_id is None or ratio > best_ratio * (1 + 1e-12):
+                    best_id = view_id
+                    best_benefit = benefit
+                    best_space = view_space
+                    best_ratio = ratio
+            if best_id is None:
+                break
+            engine.commit([best_id])
+            name = engine.name_of(best_id)
+            picked_order.append(name)
+            stages.append(
+                Stage(
+                    structures=(name,),
+                    benefit=best_benefit,
+                    space=best_space,
+                    tau_after=engine.tau(),
+                )
+            )
+        return make_result(self.name, engine, stages, space, picked_order)

@@ -1,0 +1,244 @@
+"""Exact optimal selection, for the Section 6 comparisons.
+
+The selection problem is NP-complete (reduction from Set-Cover), so exact
+solutions are only for small instances — exactly how the paper uses them:
+to measure how close the greedy family lands on cubes of low dimension.
+
+Two solvers are provided:
+
+* :class:`BranchAndBoundOptimal` — depth-first include/exclude search over
+  the structures with two admissible pruning bounds (a fractional-knapsack
+  bound over per-structure standalone benefits, and a take-everything
+  suffix bound).  Exact, raises :class:`SearchBudgetExceeded` if the node
+  budget runs out.
+* :func:`exhaustive_optimal` — brute force over all admissible subsets;
+  only for tiny graphs, used to cross-check the branch and bound in tests.
+
+Both enforce the structural constraint that an index can only be selected
+together with (or after) its view, and the strict space constraint
+``S(M) <= S``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import (
+    SPACE_EPS,
+    GraphLike,
+    SelectionAlgorithm,
+    apply_seed,
+    as_engine,
+    check_space,
+)
+from repro.core.benefit import BenefitEngine
+from repro.core.selection import SelectionResult, make_result
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """Raised when branch and bound exceeds its node budget.
+
+    The instance is too large for exact search — shrink it or raise
+    ``node_limit``.
+    """
+
+
+class BranchAndBoundOptimal(SelectionAlgorithm):
+    """Exact optimal selection by branch and bound.
+
+    Parameters
+    ----------
+    node_limit:
+        Maximum number of search nodes to expand before giving up with
+        :class:`SearchBudgetExceeded`.  The default handles cube graphs of
+        dimension 3 (and unit-space instances like Figure 2) comfortably.
+    """
+
+    name = "optimal"
+
+    def __init__(self, node_limit: int = 5_000_000):
+        if node_limit < 1:
+            raise ValueError("node_limit must be positive")
+        self.node_limit = int(node_limit)
+
+    def run(self, graph: GraphLike, space: float, seed=()) -> SelectionResult:
+        space = check_space(space)
+        engine = as_engine(graph)
+        seed_ids = apply_seed(engine, seed)
+        seed_space = engine.space_of(seed_ids)
+        if seed_space > space + SPACE_EPS:
+            raise ValueError(
+                f"seed occupies {seed_space} > budget {space}"
+            )
+        root_vec = engine.best_costs  # defaults with the seed applied
+        order = [sid for sid in self._structure_order(engine)
+                 if sid not in set(seed_ids)]
+        n = len(order)
+
+        # standalone benefit upper bounds vs the root state (valid for any
+        # deeper state: per-query best costs only shrink).
+        freq = engine.frequencies
+        standalone = np.array(
+            [
+                float(freq @ (root_vec - np.minimum(root_vec, engine.cost[sid])))
+                for sid in order
+            ]
+        )
+        spaces = np.array([float(engine.spaces[sid]) for sid in order])
+
+        # suffix take-everything bound: min cost over structures at
+        # positions >= t (shape (n+1, Q)); row n is all-inf.
+        suffix_min = np.full((n + 1, engine.n_queries), np.inf)
+        for t in range(n - 1, -1, -1):
+            suffix_min[t] = np.minimum(suffix_min[t + 1], engine.cost[order[t]])
+
+        # density-sorted ranks for the fractional knapsack bound
+        density_rank = sorted(
+            range(n),
+            key=lambda t: -(standalone[t] / spaces[t] if spaces[t] else 0.0),
+        )
+
+        best_benefit = -1.0
+        best_set: Tuple[int, ...] = ()
+        nodes = 0
+
+        def knapsack_bound(t: int, space_left: float) -> float:
+            bound = 0.0
+            remaining = space_left
+            for rank in density_rank:
+                if rank < t or remaining <= 0:
+                    continue
+                take = min(1.0, remaining / spaces[rank]) if spaces[rank] else 1.0
+                bound += take * standalone[rank]
+                remaining -= take * spaces[rank]
+                if remaining <= 0:
+                    break
+            return bound
+
+        def dfs(t: int, chosen: list, best_vec: np.ndarray, benefit: float,
+                space_left: float) -> None:
+            nonlocal best_benefit, best_set, nodes
+            nodes += 1
+            if nodes > self.node_limit:
+                raise SearchBudgetExceeded(
+                    f"branch and bound exceeded {self.node_limit} nodes"
+                )
+            if benefit > best_benefit:
+                best_benefit = benefit
+                best_set = tuple(chosen)
+            if t >= n:
+                return
+            # bounds
+            take_all = float(freq @ (best_vec - np.minimum(best_vec, suffix_min[t])))
+            if benefit + take_all <= best_benefit + 1e-12:
+                return
+            if benefit + knapsack_bound(t, space_left) <= best_benefit + 1e-12:
+                return
+
+            sid = order[t]
+            s_space = spaces[t]
+            is_view = bool(engine.is_view[sid])
+            owner = int(engine.view_id_of[sid])
+            owner_chosen = is_view or owner in chosen_set or owner in seed_set
+
+            # branch 1: include (if it fits and is admissible)
+            if owner_chosen and s_space <= space_left + SPACE_EPS:
+                new_vec = np.minimum(best_vec, engine.cost[sid])
+                gain = float(freq @ (best_vec - new_vec))
+                # including a zero-gain index is pointless; a zero-gain view
+                # may still unlock indexes, so only prune indexes this way.
+                if gain > 0.0 or is_view:
+                    chosen.append(sid)
+                    chosen_set.add(sid)
+                    dfs(t + 1, chosen, new_vec, benefit + gain,
+                        space_left - s_space)
+                    chosen_set.discard(sid)
+                    chosen.pop()
+
+            # branch 2: exclude
+            dfs(t + 1, chosen, best_vec, benefit, space_left)
+
+        chosen_set: set = set()
+        seed_set = set(seed_ids)
+        dfs(0, [], root_vec.copy(), 0.0, space - seed_space)
+
+        engine.reset()
+        # commit views before their indexes (order[] groups views first
+        # within each view group, and best_set preserves order[] order).
+        engine.commit(list(seed_ids) + list(best_set))
+        picked = [engine.name_of(sid) for sid in seed_ids] + [
+            engine.name_of(sid) for sid in best_set
+        ]
+        return make_result(self.name, engine, (), space, picked)
+
+    @staticmethod
+    def _structure_order(engine: BenefitEngine) -> List[int]:
+        """Structures grouped per view (view first, then its indexes),
+        groups ordered by total standalone-benefit density (descending) so
+        good solutions are found early."""
+        defaults = engine.defaults
+        freq = engine.frequencies
+
+        def standalone(sid: int) -> float:
+            return float(
+                freq @ (defaults - np.minimum(defaults, engine.cost[sid]))
+            )
+
+        groups = []
+        for view_id in engine.view_ids():
+            view_id = int(view_id)
+            members = [view_id] + [int(i) for i in engine.index_ids_of(view_id)]
+            members_sorted = [view_id] + sorted(
+                members[1:], key=lambda sid: -standalone(sid)
+            )
+            total_benefit = sum(standalone(sid) for sid in members)
+            total_space = sum(float(engine.spaces[sid]) for sid in members)
+            density = total_benefit / total_space if total_space else 0.0
+            groups.append((density, members_sorted))
+        groups.sort(key=lambda pair: -pair[0])
+        return [sid for __, members in groups for sid in members]
+
+
+def exhaustive_optimal(
+    graph: GraphLike,
+    space: float,
+    max_structures: int = 22,
+    seed=(),
+) -> SelectionResult:
+    """Brute-force optimal selection (for testing the branch and bound).
+
+    Enumerates every subset of structures, filters admissible ones that
+    fit in ``space``, and returns the best.  Refuses graphs with more than
+    ``max_structures`` structures.
+    """
+    space = check_space(space)
+    engine = as_engine(graph)
+    n = engine.n_structures
+    if n > max_structures:
+        raise ValueError(
+            f"exhaustive search limited to {max_structures} structures, got {n}"
+        )
+    seed_ids = apply_seed(engine, seed)
+    seed_space = engine.space_of(seed_ids)
+    free_ids = [sid for sid in range(n) if sid not in set(seed_ids)]
+    best_benefit = -1.0
+    best_subset: Tuple[int, ...] = ()
+    for size in range(0, len(free_ids) + 1):
+        for subset in combinations(free_ids, size):
+            if seed_space + engine.space_of(subset) > space + SPACE_EPS:
+                continue
+            if not engine.is_admissible(subset):
+                continue
+            benefit = engine.benefit_of(subset)
+            if benefit > best_benefit:
+                best_benefit = benefit
+                best_subset = subset
+    engine.reset()
+    engine.commit(list(seed_ids) + list(best_subset))
+    picked = [engine.name_of(sid) for sid in seed_ids] + [
+        engine.name_of(sid) for sid in best_subset
+    ]
+    return make_result("optimal (exhaustive)", engine, (), space, picked)

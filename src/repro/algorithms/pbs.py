@@ -1,0 +1,93 @@
+"""PBS — the pick-by-size heuristic of [HRU96].
+
+[HRU96] complements its greedy with a near-trivial heuristic: materialize
+views in increasing order of size until the space runs out.  Under the
+"size-restricted" condition (view sizes drop quickly down the lattice)
+PBS matches the greedy's guarantee at almost no computational cost, which
+made it the practical default in early ROLAP tools.
+
+We include it as a baseline: on the paper's instances PBS does well on
+views but — like every views-only strategy — cannot see the benefit that
+lives in indexes, so the one-step algorithms beat it whenever indexes
+matter.  ``include_indexes=True`` extends the same size-ordered rule to
+index structures (a view's indexes follow it immediately, since they tie
+in size), giving the cheapest possible one-step straw man.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import (
+    FIT_STRICT,
+    SPACE_EPS,
+    GraphLike,
+    SelectionAlgorithm,
+    apply_seed,
+    as_engine,
+    check_fit,
+    check_space,
+)
+from repro.core.selection import SelectionResult, Stage, make_result
+
+
+class PickBySmallest(SelectionAlgorithm):
+    """Materialize structures smallest-first until the space runs out."""
+
+    def __init__(self, fit: str = FIT_STRICT, include_indexes: bool = False):
+        self.fit = check_fit(fit)
+        self.include_indexes = bool(include_indexes)
+        self.name = "PBS" + (" (with indexes)" if self.include_indexes else "")
+
+    def run(self, graph: GraphLike, space: float, seed=()) -> SelectionResult:
+        space = check_space(space)
+        engine = as_engine(graph)
+        stages = []
+        picked_order = []
+        seed_ids = apply_seed(engine, seed)
+        if seed_ids:
+            names = tuple(engine.name_of(i) for i in seed_ids)
+            picked_order.extend(names)
+            stages.append(
+                Stage(
+                    structures=names,
+                    benefit=engine.absolute_benefit(seed_ids),
+                    space=engine.space_of(seed_ids),
+                    tau_after=engine.tau(),
+                )
+            )
+
+        candidates = []
+        for view_id in engine.view_ids():
+            view_id = int(view_id)
+            candidates.append((float(engine.spaces[view_id]), 0, view_id))
+            if self.include_indexes:
+                for rank, idx in enumerate(engine.index_ids_of(view_id), start=1):
+                    idx = int(idx)
+                    candidates.append((float(engine.spaces[idx]), rank, idx))
+        # smallest first; a view precedes its indexes (rank 0 < 1..), and
+        # ties break on id for determinism
+        candidates.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+
+        strict = self.fit == FIT_STRICT
+        for s_space, __rank, sid in candidates:
+            if sid in engine.selected_ids:
+                continue
+            if engine.space_used() >= space - SPACE_EPS:
+                break
+            if strict and engine.space_used() + s_space > space + SPACE_EPS:
+                continue
+            if not engine.is_view[sid] and not engine.is_selected(
+                int(engine.view_id_of[sid])
+            ):
+                continue  # size order skipped the view (didn't fit)
+            benefit = engine.commit([sid])
+            name = engine.name_of(sid)
+            picked_order.append(name)
+            stages.append(
+                Stage(
+                    structures=(name,),
+                    benefit=benefit,
+                    space=s_space,
+                    tau_after=engine.tau(),
+                )
+            )
+        return make_result(self.name, engine, stages, space, picked_order)

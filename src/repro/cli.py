@@ -1,0 +1,217 @@
+"""Command-line advisor: what should this cube precompute?
+
+Usage::
+
+    python -m repro advise --lattice cube.json --space 25e6 \\
+        --algorithm inner --output selection.json
+    python -m repro tpcd                     # the paper's Example 2.1 demo
+    python -m repro experiments [names...]   # regenerate paper tables
+
+``cube.json`` is the lattice document of :mod:`repro.io`: dimensions and
+either exact per-view row counts or a raw row count for analytical
+sizing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.algorithms import (
+    FIT_PAPER,
+    FIT_STRICT,
+    HRUGreedy,
+    InnerLevelGreedy,
+    RGreedy,
+    TwoStep,
+)
+from repro.core.qvgraph import QueryViewGraph
+from repro.io import (
+    graph_from_dict,
+    hierarchical_cube_from_dict,
+    is_graph_document,
+    is_hierarchical_document,
+    lattice_from_dict,
+    save_selection,
+)
+
+ALGORITHMS = {
+    "1greedy": lambda fit: RGreedy(1, fit=fit),
+    "2greedy": lambda fit: RGreedy(2, fit=fit),
+    "3greedy": lambda fit: RGreedy(3, fit=fit),
+    "inner": lambda fit: InnerLevelGreedy(fit=fit),
+    "two-step": lambda fit: TwoStep(0.5, fit=fit),
+    "hru": lambda fit: HRUGreedy(fit=fit),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Index Selection for OLAP (ICDE 1997) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    advise = sub.add_parser(
+        "advise", help="select views and indexes for a cube under a space budget"
+    )
+    advise.add_argument(
+        "--lattice", required=True, help="lattice JSON document (see repro.io)"
+    )
+    advise.add_argument(
+        "--space", required=True, type=float, help="space budget in rows"
+    )
+    advise.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="inner",
+        help="selection algorithm (default: inner-level greedy)",
+    )
+    advise.add_argument(
+        "--fit",
+        choices=(FIT_STRICT, FIT_PAPER),
+        default=FIT_STRICT,
+        help="space-fit policy (default: strict — never exceed the budget)",
+    )
+    advise.add_argument(
+        "--no-seed-top",
+        action="store_true",
+        help="do not force-materialize the top view (default: seed it, "
+        "since the base data cannot be computed from anything else)",
+    )
+    advise.add_argument(
+        "--index-universe",
+        choices=("fat", "all", "none"),
+        default="fat",
+        help="candidate indexes per view (default: fat only, per §4.2.2)",
+    )
+    advise.add_argument("--output", help="write the selection as JSON here")
+
+    explain = sub.add_parser(
+        "explain", help="explain a saved selection: per-query plans and value"
+    )
+    explain.add_argument("--lattice", required=True, help="lattice JSON document")
+    explain.add_argument(
+        "--selection", required=True, help="selection JSON (from advise --output)"
+    )
+    explain.add_argument(
+        "--index-universe", choices=("fat", "all", "none"), default="fat"
+    )
+
+    tpcd = sub.add_parser("tpcd", help="run the paper's Example 2.1 demo")
+    tpcd.add_argument(
+        "--space", type=float, default=None, help="override the 25M-row budget"
+    )
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument("names", nargs="*", help="subset of experiments")
+    return parser
+
+
+def _load_graph(path: str, index_universe: str):
+    """Load a cube document (flat or hierarchical) and compile its graph.
+
+    Returns ``(graph, top_name, top_rows)``.
+    """
+    import json
+
+    with open(path) as f:
+        document = json.load(f)
+    if is_graph_document(document):
+        graph = graph_from_dict(document)
+        # a raw graph has no distinguished top view; no automatic seed
+        return graph, None, 0.0
+    if is_hierarchical_document(document):
+        from repro.core.hierarchy import hierarchical_lattice_graph
+
+        cube = hierarchical_cube_from_dict(document)
+        cap = document.get("max_fat_indexes_per_view")
+        graph = hierarchical_lattice_graph(cube, max_fat_indexes_per_view=cap)
+        return graph, cube.label(cube.top()), cube.size(cube.top())
+    lattice = lattice_from_dict(document)
+    graph = QueryViewGraph.from_cube(lattice, index_universe=index_universe)
+    return graph, lattice.label(lattice.top), lattice.size(lattice.top)
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    """Run a selection algorithm on the cube document and report it."""
+    graph, top_name, top_rows = _load_graph(args.lattice, args.index_universe)
+    seed = () if (args.no_seed_top or top_name is None) else (top_name,)
+    if seed and top_rows > args.space:
+        print(
+            f"error: the top view needs {top_rows:g} rows, "
+            f"more than the {args.space:g}-row budget "
+            "(pass --no-seed-top to skip it)",
+            file=sys.stderr,
+        )
+        return 2
+    algorithm = ALGORITHMS[args.algorithm](args.fit)
+    result = algorithm.run(graph, args.space, seed=seed)
+    print(result.table())
+    print()
+    print(
+        f"average query cost: {result.average_query_cost:g} rows "
+        f"(no precomputation: {result.initial_tau / result.total_frequency:g})"
+    )
+    if args.output:
+        save_selection(result, args.output)
+        print(f"selection written to {args.output}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Explain a saved selection against its cube document."""
+    import json
+
+    from repro.analysis import explain
+
+    graph, __, __rows = _load_graph(args.lattice, args.index_universe)
+    with open(args.selection) as f:
+        document = json.load(f)
+    selected = document.get("selected")
+    if not isinstance(selected, list):
+        print("error: selection document has no 'selected' list", file=sys.stderr)
+        return 2
+    explanation = explain(graph, selected)
+    print(explanation.table())
+    print()
+    print(
+        f"benefit {explanation.benefit:g}; coverage {explanation.coverage():.0%}; "
+        f"{len(explanation.raw_fallback_queries)} queries still on raw data"
+    )
+    return 0
+
+
+def cmd_tpcd(args: argparse.Namespace) -> int:
+    """Print the Example 2.1 comparison table."""
+    from repro.datasets.tpcd import TPCD_SPACE_BUDGET
+    from repro.experiments.example21 import format_example21, run_example21
+
+    space = args.space if args.space is not None else TPCD_SPACE_BUDGET
+    print(format_example21(run_example21(space=space)))
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """Delegate to the experiment registry."""
+    from repro.experiments.__main__ import main as experiments_main
+
+    return experiments_main(args.names)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point: parse arguments and dispatch to the subcommand."""
+    args = build_parser().parse_args(argv)
+    if args.command == "advise":
+        return cmd_advise(args)
+    if args.command == "explain":
+        return cmd_explain(args)
+    if args.command == "tpcd":
+        return cmd_tpcd(args)
+    if args.command == "experiments":
+        return cmd_experiments(args)
+    raise AssertionError(f"unhandled command {args.command!r}")

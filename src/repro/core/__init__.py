@@ -1,0 +1,62 @@
+"""Core model: views, lattice, queries, indexes, costs, benefit machinery."""
+
+from repro.core.benefit import BenefitEngine
+from repro.core.costmodel import LinearCostModel
+from repro.core.hierarchy import (
+    ALL,
+    HierarchicalCube,
+    HierarchicalView,
+    Hierarchy,
+    Level,
+    hierarchical_lattice_graph,
+)
+from repro.core.index import (
+    Index,
+    count_all_indexes,
+    count_fat_indexes,
+    enumerate_all_indexes,
+    enumerate_fat_indexes,
+    prune_prefix_dominated,
+)
+from repro.core.lattice import CubeLattice
+from repro.core.lattice_draw import draw_hasse, draw_lattice
+from repro.core.query import (
+    SliceQuery,
+    count_slice_queries,
+    enumerate_slice_queries,
+    queries_for_view,
+)
+from repro.core.qvgraph import QuerySpec, QueryViewGraph, Structure
+from repro.core.selection import SelectionResult, Stage
+from repro.core.view import View, parse_view
+
+__all__ = [
+    "ALL",
+    "BenefitEngine",
+    "CubeLattice",
+    "HierarchicalCube",
+    "HierarchicalView",
+    "Hierarchy",
+    "Level",
+    "hierarchical_lattice_graph",
+    "Index",
+    "LinearCostModel",
+    "QuerySpec",
+    "QueryViewGraph",
+    "SelectionResult",
+    "SliceQuery",
+    "Stage",
+    "Structure",
+    "View",
+    "count_all_indexes",
+    "count_fat_indexes",
+    "count_slice_queries",
+    "draw_hasse",
+    "draw_lattice",
+    "enumerate_all_indexes",
+    "enumerate_fat_indexes",
+    "enumerate_slice_queries",
+    "parse_view",
+    "prune_prefix_dominated",
+    "queries_for_view",
+]

@@ -1,0 +1,261 @@
+"""Benefit evaluation for sets of structures (Section 5.2 of the paper).
+
+Given a query-view graph ``G`` and a set ``M`` of materialized structures,
+the total query cost is
+
+    τ(G, M) = Σ_i f_i · min(T_i, min over usable (view, index) in M of t)
+
+and the *benefit* of a candidate set ``C`` w.r.t. ``M`` is
+``B(C, M) = τ(G, M) − τ(G, M ∪ C)``.  Every selection algorithm in
+:mod:`repro.algorithms` evaluates thousands of such benefits, so this
+module compiles the graph to dense numpy arrays once and keeps the current
+per-query best cost as state, making a benefit evaluation a single
+vectorized pass.
+
+An index is *usable* only when its owning view is materialized; the engine
+exposes :meth:`BenefitEngine.is_admissible` so algorithms can enforce the
+rule, and raises on attempts to commit an index without its view.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.qvgraph import QueryViewGraph
+
+INF = float("inf")
+
+
+class BenefitEngine:
+    """Compiled, stateful benefit evaluator over a query-view graph.
+
+    The engine assigns every structure an integer id (``0..m-1``) and every
+    query an integer id (``0..q-1``).  ``cost[s, q]`` is the cost of
+    answering query ``q`` via structure ``s`` (``inf`` when there is no
+    edge).  State is the vector of current best per-query costs given the
+    committed selection, initialized to the default costs ``T_i``.
+    """
+
+    def __init__(self, graph: QueryViewGraph):
+        self.graph = graph
+        self.query_names = [q.name for q in graph.queries]
+        self.structure_names = [s.name for s in graph.structures]
+        self._query_id = {name: i for i, name in enumerate(self.query_names)}
+        self._structure_id = {name: i for i, name in enumerate(self.structure_names)}
+
+        n_q = len(self.query_names)
+        n_s = len(self.structure_names)
+        self.defaults = np.array(
+            [q.default_cost for q in graph.queries], dtype=np.float64
+        )
+        self.frequencies = np.array(
+            [q.frequency for q in graph.queries], dtype=np.float64
+        )
+        self.spaces = np.array([s.space for s in graph.structures], dtype=np.float64)
+        self.is_view = np.array([s.is_view for s in graph.structures], dtype=bool)
+        self.view_id_of = np.array(
+            [self._structure_id[s.view_name] for s in graph.structures], dtype=np.int64
+        )
+        self.cost = np.full((n_s, n_q), INF, dtype=np.float64)
+        for q_name, s_name, cost in graph.edges():
+            self.cost[self._structure_id[s_name], self._query_id[q_name]] = cost
+
+        self._indexes_of = {
+            self._structure_id[v.name]: np.array(
+                [self._structure_id[i] for i in graph.indexes_of(v.name)],
+                dtype=np.int64,
+            )
+            for v in graph.views
+        }
+        self.reset()
+
+    # ------------------------------------------------------------------ ids
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.query_names)
+
+    @property
+    def n_structures(self) -> int:
+        return len(self.structure_names)
+
+    def structure_id(self, name: str) -> int:
+        return self._structure_id[name]
+
+    def query_id(self, name: str) -> int:
+        return self._query_id[name]
+
+    def name_of(self, structure_id: int) -> str:
+        return self.structure_names[structure_id]
+
+    def space_of(self, ids: Iterable[int]) -> float:
+        ids = np.fromiter(ids, dtype=np.int64)
+        return float(self.spaces[ids].sum()) if ids.size else 0.0
+
+    def view_ids(self) -> np.ndarray:
+        """Ids of all view structures."""
+        return np.flatnonzero(self.is_view)
+
+    def index_ids_of(self, view_id: int) -> np.ndarray:
+        """Ids of the indexes owned by the given view."""
+        if not self.is_view[view_id]:
+            raise ValueError(f"structure {self.name_of(view_id)} is not a view")
+        return self._indexes_of[view_id]
+
+    # ---------------------------------------------------------------- state
+
+    def reset(self) -> None:
+        """Forget the committed selection; best costs return to defaults."""
+        self._best = self.defaults.copy()
+        self._selected: set = set()
+
+    @property
+    def selected_ids(self) -> frozenset:
+        return frozenset(self._selected)
+
+    @property
+    def selected_names(self) -> list:
+        return [self.structure_names[i] for i in sorted(self._selected)]
+
+    @property
+    def best_costs(self) -> np.ndarray:
+        """Current per-query best cost (a copy; safe to mutate)."""
+        return self._best.copy()
+
+    def space_used(self) -> float:
+        return self.space_of(self._selected)
+
+    def tau(self) -> float:
+        """Current total (frequency-weighted) query cost τ(G, M)."""
+        return float(self.frequencies @ self._best)
+
+    def average_query_cost(self) -> float:
+        """τ divided by the total query frequency."""
+        total_freq = float(self.frequencies.sum())
+        if total_freq == 0:
+            return 0.0
+        return self.tau() / total_freq
+
+    def is_selected(self, structure_id: int) -> bool:
+        return structure_id in self._selected
+
+    # -------------------------------------------------------------- benefit
+
+    def _as_id_array(self, ids: Iterable[int]) -> np.ndarray:
+        arr = np.fromiter(ids, dtype=np.int64)
+        return arr
+
+    def min_cost_over(self, ids: Iterable[int]) -> np.ndarray:
+        """Per-query minimum edge cost over the given structures
+        (``inf`` where none of them answers a query)."""
+        arr = self._as_id_array(ids)
+        if arr.size == 0:
+            return np.full(self.n_queries, INF)
+        return self.cost[arr].min(axis=0)
+
+    def is_admissible(self, ids: Iterable[int]) -> bool:
+        """True iff every index in ``ids`` has its view in ``ids`` or in
+        the committed selection."""
+        id_set = set(ids)
+        for sid in id_set:
+            if not self.is_view[sid]:
+                owner = int(self.view_id_of[sid])
+                if owner not in id_set and owner not in self._selected:
+                    return False
+        return True
+
+    def single_benefits(self, ids=None) -> np.ndarray:
+        """Benefit of each structure *alone* w.r.t. the committed selection.
+
+        Vectorized over structures: one matrix pass instead of a Python
+        loop — the hot path of every greedy stage.  ``ids`` restricts the
+        computation to the given structure ids (array-like); ``None``
+        evaluates all structures.  Missing edges (``inf`` cost) contribute
+        zero, as they must.
+        """
+        rows = self.cost if ids is None else self.cost[np.asarray(ids, dtype=np.int64)]
+        gains = self._best - rows  # -inf where no edge
+        np.maximum(gains, 0.0, out=gains)
+        return gains @ self.frequencies
+
+    def benefit_of(self, ids: Iterable[int]) -> float:
+        """Benefit of the candidate set w.r.t. the committed selection.
+
+        The caller is responsible for admissibility (use
+        :meth:`is_admissible`); the value returned is the τ reduction if
+        the whole set were committed now.
+        """
+        arr = self._as_id_array(ids)
+        if arr.size == 0:
+            return 0.0
+        candidate = self.cost[arr].min(axis=0)
+        improved = np.minimum(self._best, candidate)
+        return float(self.frequencies @ (self._best - improved))
+
+    def benefit_per_space(self, ids: Iterable[int]) -> float:
+        """Benefit per unit space of the candidate set w.r.t. selection."""
+        ids = list(ids)
+        space = self.space_of(ids)
+        if space <= 0:
+            raise ValueError("candidate set must occupy positive space")
+        return self.benefit_of(ids) / space
+
+    def commit(self, ids: Iterable[int]) -> float:
+        """Materialize the structures; returns the realized benefit.
+
+        Raises ``ValueError`` if an index would be committed without its
+        owning view (either previously selected or in the same call).
+        """
+        ids = list(ids)
+        if not self.is_admissible(ids):
+            raise ValueError(
+                "cannot commit an index before its view: "
+                + ", ".join(self.name_of(i) for i in ids)
+            )
+        arr = self._as_id_array(ids)
+        if arr.size == 0:
+            return 0.0
+        candidate = self.cost[arr].min(axis=0)
+        improved = np.minimum(self._best, candidate)
+        benefit = float(self.frequencies @ (self._best - improved))
+        self._best = improved
+        self._selected.update(int(i) for i in arr)
+        return benefit
+
+    # ---------------------------------------------- snapshots (backtracking)
+
+    def snapshot(self) -> tuple:
+        """Capture current state; pass to :meth:`restore` to roll back."""
+        return self._best.copy(), set(self._selected)
+
+    def restore(self, snapshot: tuple) -> None:
+        best, selected = snapshot
+        self._best = best.copy()
+        self._selected = set(selected)
+
+    # ------------------------------------------------------------- reporting
+
+    def absolute_benefit(self, ids: Iterable[int]) -> float:
+        """Benefit of the set w.r.t. the *empty* selection, B(C, ∅),
+        leaving the engine state untouched."""
+        arr = self._as_id_array(ids)
+        if arr.size == 0:
+            return 0.0
+        candidate = self.cost[arr].min(axis=0)
+        improved = np.minimum(self.defaults, candidate)
+        return float(self.frequencies @ (self.defaults - improved))
+
+    def max_achievable_benefit(self) -> float:
+        """Benefit of materializing everything — an upper bound for any
+        selection (computed against default costs)."""
+        improved = np.minimum(self.defaults, self.cost.min(axis=0))
+        return float(self.frequencies @ (self.defaults - improved))
+
+    def __repr__(self) -> str:
+        return (
+            f"BenefitEngine(structures={self.n_structures}, "
+            f"queries={self.n_queries}, selected={len(self._selected)}, "
+            f"tau={self.tau():g})"
+        )

@@ -1,0 +1,368 @@
+"""Dimension hierarchies — the [HRU96] generalization of the lattice.
+
+The paper's model (Section 3) treats each dimension as flat: it is either
+present in a view or aggregated away.  Real OLAP dimensions carry
+hierarchies — ``day → month → year → ALL``, ``customer → nation → ALL`` —
+and [HRU96] shows the same lattice framework applies: a view chooses one
+level per dimension, and view ``A`` is computable from view ``B`` iff, on
+every dimension, ``A``'s level is equal to or *coarser* than ``B``'s.
+The flat cube is the special case of two-level hierarchies
+(``attribute → ALL``).
+
+This module provides the hierarchical model and a bridge to the rest of
+the system: :func:`hierarchical_lattice_graph` enumerates the product
+lattice, sizes every view with the analytical model, generates the slice
+queries and fat indexes for each view's level attributes, and emits a
+standard :class:`~repro.core.qvgraph.QueryViewGraph` — so every selection
+algorithm in :mod:`repro.algorithms` works on hierarchical cubes
+unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations, permutations, product
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.qvgraph import QueryViewGraph
+from repro.estimation.sizes import expected_distinct
+
+#: Level index meaning "aggregated over this dimension entirely".
+ALL = -1
+
+
+@dataclass(frozen=True)
+class Level:
+    """One level of a dimension hierarchy.
+
+    Attributes
+    ----------
+    name:
+        Level attribute name, e.g. ``"day"`` or ``"month"``.
+    cardinality:
+        Number of distinct values at this level.
+    """
+
+    name: str
+    cardinality: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("level name must be non-empty")
+        if self.cardinality < 1:
+            raise ValueError(
+                f"level {self.name!r} must have cardinality >= 1, "
+                f"got {self.cardinality}"
+            )
+
+
+class Hierarchy:
+    """A dimension with a chain of levels, finest first.
+
+    ``Hierarchy("time", [Level("day", 365), Level("month", 12),
+    Level("year", 1)])`` orders day → month → year; every hierarchy
+    implicitly ends in ALL (the dimension aggregated away).  Cardinality
+    must be nonincreasing from fine to coarse.
+    """
+
+    def __init__(self, name: str, levels: Sequence[Level]):
+        if not name:
+            raise ValueError("hierarchy name must be non-empty")
+        if not levels:
+            raise ValueError(f"hierarchy {name!r} needs at least one level")
+        names = [lvl.name for lvl in levels]
+        if len(set(names)) != len(names):
+            raise ValueError(f"hierarchy {name!r} has duplicate level names")
+        for fine, coarse in zip(levels, levels[1:]):
+            if coarse.cardinality > fine.cardinality:
+                raise ValueError(
+                    f"hierarchy {name!r}: level {coarse.name!r} is coarser than "
+                    f"{fine.name!r} but has higher cardinality"
+                )
+        self.name = name
+        self.levels = tuple(levels)
+
+    @classmethod
+    def flat(cls, name: str, cardinality: int) -> "Hierarchy":
+        """A flat dimension: a single level named after the dimension."""
+        return cls(name, [Level(name, cardinality)])
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    def level(self, index: int) -> Level:
+        if index == ALL:
+            raise ValueError("ALL has no Level object")
+        return self.levels[index]
+
+    def level_index(self, level_name: str) -> int:
+        for i, lvl in enumerate(self.levels):
+            if lvl.name == level_name:
+                return i
+        raise KeyError(f"hierarchy {self.name!r} has no level {level_name!r}")
+
+    def coarsens(self, coarse: int, fine: int) -> bool:
+        """True iff level ``coarse`` is computable from level ``fine``.
+
+        ALL is computable from every level; otherwise coarser means a
+        larger index in the chain (or equal).
+        """
+        if coarse == ALL:
+            return True
+        if fine == ALL:
+            return False
+        return coarse >= fine
+
+    def __repr__(self) -> str:
+        chain = " → ".join(f"{l.name}({l.cardinality})" for l in self.levels)
+        return f"Hierarchy({self.name}: {chain} → ALL)"
+
+
+class HierarchicalView:
+    """A view of a hierarchical cube: one level index per dimension.
+
+    ``levels[i]`` is the level of dimension ``i`` (``ALL`` = aggregated
+    away).  Immutable and hashable.
+    """
+
+    __slots__ = ("levels", "_hash")
+
+    def __init__(self, levels: Sequence[int]):
+        self.levels = tuple(int(l) for l in levels)
+        self._hash = hash(self.levels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HierarchicalView):
+            return NotImplemented
+        return self.levels == other.levels
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"HierarchicalView{self.levels}"
+
+
+class HierarchicalCube:
+    """An n-dimensional cube whose dimensions carry hierarchies.
+
+    Parameters
+    ----------
+    hierarchies:
+        One :class:`Hierarchy` per dimension.
+    raw_rows:
+        Number of raw fact rows (sizes every view analytically via the
+        expected-distinct model, like Section 6's cube generation).
+
+    >>> cube = HierarchicalCube(
+    ...     [Hierarchy("c", [Level("cust", 100), Level("nation", 10)]),
+    ...      Hierarchy.flat("p", 50)],
+    ...     raw_rows=2_000)
+    >>> len(list(cube.views()))           # (2+1) * (1+1)
+    6
+    """
+
+    def __init__(self, hierarchies: Sequence[Hierarchy], raw_rows: float):
+        if not hierarchies:
+            raise ValueError("need at least one dimension")
+        names = [h.name for h in hierarchies]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dimension names: {names}")
+        level_names: List[str] = []
+        for h in hierarchies:
+            level_names.extend(lvl.name for lvl in h.levels)
+        if len(set(level_names)) != len(level_names):
+            raise ValueError(f"level names must be globally unique: {level_names}")
+        if raw_rows < 1:
+            raise ValueError("raw_rows must be >= 1")
+        self.hierarchies = tuple(hierarchies)
+        self.raw_rows = float(raw_rows)
+
+    @property
+    def n_dims(self) -> int:
+        return len(self.hierarchies)
+
+    # ----------------------------------------------------------- views
+
+    def top(self) -> HierarchicalView:
+        """The finest view: level 0 on every dimension (the raw data)."""
+        return HierarchicalView([0] * self.n_dims)
+
+    def views(self) -> Iterator[HierarchicalView]:
+        """All ``prod(n_levels_i + 1)`` views of the product lattice."""
+        choices = [
+            list(range(h.n_levels)) + [ALL] for h in self.hierarchies
+        ]
+        for combo in product(*choices):
+            yield HierarchicalView(combo)
+
+    def n_views(self) -> int:
+        return math.prod(h.n_levels + 1 for h in self.hierarchies)
+
+    def computable(self, target: HierarchicalView, source: HierarchicalView) -> bool:
+        """True iff ``target`` can be computed from ``source``: on every
+        dimension, the target level is equal or coarser."""
+        return all(
+            h.coarsens(t, s)
+            for h, t, s in zip(self.hierarchies, target.levels, source.levels)
+        )
+
+    def ancestors(self, view: HierarchicalView) -> List[HierarchicalView]:
+        """Views this view is computable from (including itself)."""
+        return [v for v in self.views() if self.computable(view, v)]
+
+    # ---------------------------------------------------------- labels
+
+    def label(self, view: HierarchicalView) -> str:
+        """Readable label: the level names, ``none`` for the all-ALL view."""
+        parts = [
+            self.hierarchies[i].level(l).name
+            for i, l in enumerate(view.levels)
+            if l != ALL
+        ]
+        return ",".join(parts) if parts else "none"
+
+    def attrs(self, view: HierarchicalView) -> Tuple[str, ...]:
+        """The view's level-attribute names, in dimension order."""
+        return tuple(
+            self.hierarchies[i].level(l).name
+            for i, l in enumerate(view.levels)
+            if l != ALL
+        )
+
+    # ----------------------------------------------------------- sizes
+
+    def cells(self, view: HierarchicalView) -> float:
+        """Dense cell count: product of the chosen levels' cardinalities."""
+        return math.prod(
+            self.hierarchies[i].level(l).cardinality
+            for i, l in enumerate(view.levels)
+            if l != ALL
+        )
+
+    def size(self, view: HierarchicalView) -> float:
+        """Analytical row count (expected distinct cells hit by the raw
+        rows), clamped to at least 1."""
+        return max(1.0, expected_distinct(self.cells(view), self.raw_rows))
+
+    def attr_cardinality(self, level_name: str) -> int:
+        for h in self.hierarchies:
+            for lvl in h.levels:
+                if lvl.name == level_name:
+                    return lvl.cardinality
+        raise KeyError(f"unknown level attribute {level_name!r}")
+
+    def prefix_rows(self, attrs: Sequence[str]) -> float:
+        """Rows of the (virtual) view grouping by the given level attrs —
+        the ``|E|`` of the cost formula for hierarchical indexes."""
+        if not attrs:
+            return 1.0
+        cells = math.prod(self.attr_cardinality(a) for a in attrs)
+        return max(1.0, expected_distinct(cells, self.raw_rows))
+
+    def __repr__(self) -> str:
+        dims = ", ".join(repr(h) for h in self.hierarchies)
+        return f"HierarchicalCube([{dims}], raw_rows={self.raw_rows:g})"
+
+
+def hierarchical_queries(
+    cube: HierarchicalCube, view: HierarchicalView
+) -> Iterator[Tuple[Tuple[str, ...], Tuple[str, ...]]]:
+    """The ``2^r`` slice queries associated with a view: every subset of
+    its level attributes may be the selection part.  Yields
+    ``(groupby_attrs, selection_attrs)`` tuples."""
+    attrs = cube.attrs(view)
+    for k in range(len(attrs) + 1):
+        for sel in combinations(attrs, k):
+            groupby = tuple(a for a in attrs if a not in sel)
+            yield groupby, sel
+
+
+def hierarchical_lattice_graph(
+    cube: HierarchicalCube,
+    max_fat_indexes_per_view: Optional[int] = None,
+) -> QueryViewGraph:
+    """Compile a hierarchical cube into a standard query-view graph.
+
+    * one view structure per lattice point, sized analytically;
+    * the ``2^r`` slice queries of every view, associated with it;
+    * fat indexes (permutations of each view's level attributes), capped
+      at ``max_fat_indexes_per_view`` if given (hierarchies multiply the
+      lattice quickly; the cap keeps dense hierarchies tractable and is
+      reported honestly via the graph's structure count);
+    * linear-cost-model edges: a query is answerable by every view from
+      which its own view is computable **at the same or finer levels on
+      the mentioned dimensions**, at cost ``|V| / |prefix|``.
+
+    The default cost of every query is the raw-data size (the top view's
+    rows), matching the flat construction.
+    """
+    graph = QueryViewGraph()
+    views = list(cube.views())
+    top_rows = cube.size(cube.top())
+
+    # queries: every (view, groupby, selection) triple, named canonically
+    query_names: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], str] = {}
+    query_home: Dict[str, HierarchicalView] = {}
+    for view in views:
+        for groupby, selection in hierarchical_queries(cube, view):
+            key = (groupby, selection)
+            if key in query_names:
+                continue
+            name = f"γ({','.join(groupby)})σ({','.join(selection)})"
+            query_names[key] = name
+            query_home[name] = view
+            graph.add_query(name, default_cost=top_rows, payload=key)
+
+    # Answerability rule: a view answers a query iff it carries every
+    # mentioned attribute at exactly that level (selecting or grouping on
+    # `month` needs a view materialized at the month level — a day-level
+    # view cannot seek month values without the hierarchy encoding), and
+    # the query's home view is computable from it.  This is the
+    # conservative choice [HRU96] makes when associating queries with
+    # lattice points.
+    for view in views:
+        view_label = cube.label(view)
+        view_rows = cube.size(view)
+        graph.add_view(view_label, space=view_rows, payload=view)
+
+        attrs = cube.attrs(view)
+        answerable = []
+        for (groupby, selection), q_name in query_names.items():
+            mentioned = tuple(groupby) + tuple(selection)
+            if not cube.computable(query_home[q_name], view):
+                continue
+            if not all(a in attrs for a in mentioned):
+                continue
+            answerable.append((q_name, selection))
+            graph.add_edge(q_name, view_label, cost=view_rows)
+
+        if not attrs:
+            continue
+        index_perms = permutations(attrs)
+        count = 0
+        for perm in index_perms:
+            if (
+                max_fat_indexes_per_view is not None
+                and count >= max_fat_indexes_per_view
+            ):
+                break
+            count += 1
+            joined = ",".join(perm)
+            idx_name = f"I[{joined}]({view_label})"
+            graph.add_index(view_label, idx_name, payload=perm)
+            for q_name, selection in answerable:
+                prefix: List[str] = []
+                for attr in perm:
+                    if attr in selection:
+                        prefix.append(attr)
+                    else:
+                        break
+                if not prefix:
+                    continue
+                cost = max(1.0, view_rows / cube.prefix_rows(prefix))
+                if cost < view_rows:
+                    graph.add_edge(q_name, idx_name, cost)
+    return graph

@@ -1,0 +1,70 @@
+"""ASCII rendering of view lattices — Figure 1 in a terminal.
+
+``draw_lattice`` lays each dimensionality level on its own line, centred,
+with sizes attached — the shape of the paper's Figure 1.  ``draw_hasse``
+additionally prints the parent→child edges as an indented adjacency
+listing (readable for any dimension where the picture itself would not
+be).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.lattice import CubeLattice
+from repro.core.view import View
+
+
+def _format_rows(rows: float) -> str:
+    if rows >= 1_000_000:
+        return f"{rows / 1_000_000:g}M"
+    if rows >= 1_000:
+        return f"{rows / 1_000:g}k"
+    return f"{rows:g}"
+
+
+def draw_lattice(
+    lattice: CubeLattice,
+    annotate: Optional[Callable[[View], str]] = None,
+    width: Optional[int] = None,
+) -> str:
+    """Render the lattice level by level, top view first.
+
+    ``annotate`` overrides the per-view annotation (default: the row
+    count).  ``width`` fixes the centring width (default: widest level).
+
+    >>> from repro.datasets.tpcd import tpcd_lattice
+    >>> print(draw_lattice(tpcd_lattice()).splitlines()[0].strip())
+    psc=6M
+    """
+    if annotate is None:
+        def annotate(view: View) -> str:
+            return _format_rows(lattice.size(view))
+
+    level_lines: List[str] = []
+    for r in range(lattice.n_dims, -1, -1):
+        cells = [
+            f"{lattice.label(view)}={annotate(view)}"
+            for view in lattice.level(r)
+        ]
+        level_lines.append("   ".join(cells))
+    target = width if width is not None else max(len(line) for line in level_lines)
+    return "\n".join(line.center(target).rstrip() for line in level_lines)
+
+
+def draw_hasse(lattice: CubeLattice) -> str:
+    """Adjacency listing of the Hasse diagram: each view and its children.
+
+    >>> from repro.datasets.tpcd import tpcd_lattice
+    >>> print(draw_hasse(tpcd_lattice()).splitlines()[0])
+    psc (6M rows)
+    """
+    lines: List[str] = []
+    for r in range(lattice.n_dims, -1, -1):
+        for view in lattice.level(r):
+            lines.append(
+                f"{lattice.label(view)} ({_format_rows(lattice.size(view))} rows)"
+            )
+            for child in lattice.children(view):
+                lines.append(f"  └─ {lattice.label(child)}")
+    return "\n".join(lines)

@@ -1,0 +1,316 @@
+"""The query-view bipartite multigraph of Section 5.1.
+
+This is the abstraction the selection algorithms actually run on.  It is
+deliberately independent of data cubes: nodes are *queries* (with a default
+cost ``T_i`` and an optional frequency) and *views* (with a space cost and a
+set of *indexes*, each with its own space cost).  An edge ``(q, v)`` labeled
+``(k, t)`` says query ``q`` can be answered using view ``v`` with its
+``k``-th index at cost ``t``; ``k = 0`` (here: ``index=None``) means using
+the plain view.
+
+Graphs come from two places:
+
+* hand construction (e.g. the paper's Figure 2 instance, arbitrary unit
+  tests) via :meth:`QueryViewGraph.add_query` / ``add_view`` / ``add_index``
+  / ``add_edge``; or
+* a data cube, via :meth:`QueryViewGraph.from_cube`, which enumerates slice
+  queries, fat indexes, and linear-cost-model edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.core.costmodel import LinearCostModel
+from repro.core.index import enumerate_all_indexes, enumerate_fat_indexes
+from repro.core.lattice import CubeLattice
+from repro.core.query import SliceQuery, enumerate_slice_queries
+
+VIEW_KIND = "view"
+INDEX_KIND = "index"
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A query node: name, default (raw-data) cost, and frequency weight."""
+
+    name: str
+    default_cost: float
+    frequency: float = 1.0
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.default_cost < 0:
+            raise ValueError(f"query {self.name!r}: default cost must be >= 0")
+        if self.frequency < 0:
+            raise ValueError(f"query {self.name!r}: frequency must be >= 0")
+
+
+@dataclass(frozen=True)
+class Structure:
+    """A view or an index — the unit of materialization ("structure").
+
+    For an index, ``view_name`` is the owning view's structure name; for a
+    view it is its own name.
+    """
+
+    name: str
+    kind: str
+    space: float
+    view_name: str
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (VIEW_KIND, INDEX_KIND):
+            raise ValueError(f"bad structure kind {self.kind!r}")
+        if self.space <= 0:
+            raise ValueError(f"structure {self.name!r}: space must be > 0")
+
+    @property
+    def is_view(self) -> bool:
+        return self.kind == VIEW_KIND
+
+    @property
+    def is_index(self) -> bool:
+        return self.kind == INDEX_KIND
+
+
+class QueryViewGraph:
+    """A mutable query-view graph; compile with
+    :class:`repro.core.benefit.BenefitEngine` to run algorithms on it."""
+
+    def __init__(self) -> None:
+        self._queries: Dict[str, QuerySpec] = {}
+        self._structures: Dict[str, Structure] = {}
+        self._view_indexes: Dict[str, list] = {}
+        # (query_name, structure_name) -> min cost over parallel edges
+        self._edges: Dict[Tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------ building
+
+    def add_query(
+        self,
+        name: str,
+        default_cost: float,
+        frequency: float = 1.0,
+        payload: Any = None,
+    ) -> QuerySpec:
+        """Add a query node.  Names must be unique among queries."""
+        if name in self._queries:
+            raise ValueError(f"duplicate query name {name!r}")
+        spec = QuerySpec(name, default_cost, frequency, payload)
+        self._queries[name] = spec
+        return spec
+
+    def add_view(self, name: str, space: float, payload: Any = None) -> Structure:
+        """Add a view structure.  Names must be unique among structures."""
+        if name in self._structures:
+            raise ValueError(f"duplicate structure name {name!r}")
+        spec = Structure(name, VIEW_KIND, space, name, payload)
+        self._structures[name] = spec
+        self._view_indexes[name] = []
+        return spec
+
+    def add_index(
+        self,
+        view_name: str,
+        name: str,
+        space: Optional[float] = None,
+        payload: Any = None,
+    ) -> Structure:
+        """Add an index on an existing view.
+
+        ``space`` defaults to the owning view's space, per the paper's
+        index-size model (Section 4.2.2).
+        """
+        if name in self._structures:
+            raise ValueError(f"duplicate structure name {name!r}")
+        view = self._structures.get(view_name)
+        if view is None or not view.is_view:
+            raise ValueError(f"unknown view {view_name!r} for index {name!r}")
+        spec = Structure(
+            name, INDEX_KIND, view.space if space is None else space, view_name, payload
+        )
+        self._structures[name] = spec
+        self._view_indexes[view_name].append(name)
+        return spec
+
+    def add_edge(
+        self,
+        query_name: str,
+        structure_name: str,
+        cost: float,
+    ) -> None:
+        """Record that the query can be answered via the structure at
+        ``cost`` rows.  For an index structure, the edge implicitly
+        requires the owning view to be materialized too.
+
+        Parallel edges keep only the minimum cost.
+        """
+        if query_name not in self._queries:
+            raise ValueError(f"unknown query {query_name!r}")
+        if structure_name not in self._structures:
+            raise ValueError(f"unknown structure {structure_name!r}")
+        if cost < 0:
+            raise ValueError("edge cost must be >= 0")
+        key = (query_name, structure_name)
+        prev = self._edges.get(key)
+        if prev is None or cost < prev:
+            self._edges[key] = cost
+
+    # ------------------------------------------------------------ reading
+
+    @property
+    def queries(self) -> list:
+        return list(self._queries.values())
+
+    @property
+    def structures(self) -> list:
+        return list(self._structures.values())
+
+    @property
+    def views(self) -> list:
+        return [s for s in self._structures.values() if s.is_view]
+
+    @property
+    def indexes(self) -> list:
+        return [s for s in self._structures.values() if s.is_index]
+
+    def query(self, name: str) -> QuerySpec:
+        return self._queries[name]
+
+    def structure(self, name: str) -> Structure:
+        return self._structures[name]
+
+    def indexes_of(self, view_name: str) -> list:
+        """Names of the indexes registered on a view."""
+        return list(self._view_indexes[view_name])
+
+    def edges(self) -> Iterable:
+        """Yield ``(query_name, structure_name, cost)`` triples."""
+        for (q, s), cost in self._edges.items():
+            yield q, s, cost
+
+    def edge_cost(self, query_name: str, structure_name: str) -> Optional[float]:
+        """Cost of the edge, or ``None`` if absent."""
+        return self._edges.get((query_name, structure_name))
+
+    @property
+    def n_queries(self) -> int:
+        return len(self._queries)
+
+    @property
+    def n_structures(self) -> int:
+        return len(self._structures)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._edges)
+
+    def total_space(self) -> float:
+        """Space needed to materialize every structure."""
+        return sum(s.space for s in self._structures.values())
+
+    def total_default_cost(self) -> float:
+        """Frequency-weighted cost of answering everything from raw data."""
+        return sum(q.frequency * q.default_cost for q in self._queries.values())
+
+    def validate(self) -> None:
+        """Check invariants: index edges never cost more than the owning
+        view's scan edge would allow to be useful, every index has an owner,
+        edge endpoints exist.  Raises ``ValueError`` on violation."""
+        for (q, s), cost in self._edges.items():
+            if q not in self._queries:
+                raise ValueError(f"edge references unknown query {q!r}")
+            if s not in self._structures:
+                raise ValueError(f"edge references unknown structure {s!r}")
+            if cost < 0:
+                raise ValueError(f"edge ({q}, {s}) has negative cost")
+        for name, struct in self._structures.items():
+            if struct.is_index and struct.view_name not in self._structures:
+                raise ValueError(f"index {name!r} has unknown view {struct.view_name!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryViewGraph(queries={self.n_queries}, views={len(self.views)}, "
+            f"indexes={len(self.indexes)}, edges={self.n_edges})"
+        )
+
+    # ------------------------------------------------------------ from cube
+
+    @classmethod
+    def from_cube(
+        cls,
+        lattice: CubeLattice,
+        queries: Optional[Sequence[SliceQuery]] = None,
+        frequencies: Optional[Mapping[SliceQuery, float]] = None,
+        cost_model: Optional[LinearCostModel] = None,
+        index_universe: str = "fat",
+        skip_useless_index_edges: bool = True,
+    ) -> "QueryViewGraph":
+        """Build the query-view graph of a data cube.
+
+        Parameters
+        ----------
+        lattice:
+            The cube's view lattice with sizes.
+        queries:
+            The query population; defaults to all ``3^n`` slice queries.
+        frequencies:
+            Optional per-query weights (default: equiprobable, weight 1).
+        cost_model:
+            Defaults to :class:`LinearCostModel` over ``lattice`` with the
+            top view as the raw data.
+        index_universe:
+            ``"fat"`` (default) enumerates only fat indexes per the
+            pruning argument of Section 4.2.2; ``"all"`` enumerates every
+            ordering of every non-empty attribute subset (for the pruning
+            ablation); ``"none"`` adds no indexes (the [HRU96] setting).
+        skip_useless_index_edges:
+            When True (default), index edges that do not beat the plain
+            view scan are omitted — they can never influence a selection.
+        """
+        if cost_model is None:
+            cost_model = LinearCostModel(lattice)
+        if queries is None:
+            queries = list(enumerate_slice_queries(lattice.schema.names))
+        frequencies = dict(frequencies or {})
+
+        if index_universe == "fat":
+            index_enum = enumerate_fat_indexes
+        elif index_universe == "all":
+            index_enum = enumerate_all_indexes
+        elif index_universe == "none":
+            def index_enum(view):  # noqa: D401 - tiny local stub
+                return iter(())
+        else:
+            raise ValueError(
+                f"index_universe must be 'fat', 'all' or 'none', got {index_universe!r}"
+            )
+
+        graph = cls()
+        for query in queries:
+            graph.add_query(
+                str(query),
+                default_cost=cost_model.default_cost(query),
+                frequency=frequencies.get(query, 1.0),
+                payload=query,
+            )
+
+        for view in lattice.views():
+            view_name = lattice.label(view)
+            graph.add_view(view_name, space=lattice.size(view), payload=view)
+            answerable = [q for q in queries if q.answerable_by(view)]
+            for query in answerable:
+                graph.add_edge(str(query), view_name, cost_model.cost(query, view))
+            for index in index_enum(view):
+                index_name = lattice.index_label(index)
+                graph.add_index(view_name, index_name, payload=index)
+                view_rows = lattice.size(view)
+                for query in answerable:
+                    cost = cost_model.cost(query, view, index)
+                    if skip_useless_index_edges and cost >= view_rows:
+                        continue
+                    graph.add_edge(str(query), index_name, cost)
+        return graph

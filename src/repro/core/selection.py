@@ -1,0 +1,114 @@
+"""Selection results: what an algorithm picked, stage by stage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One stage of a greedy algorithm: the set it picked and its value."""
+
+    structures: tuple
+    benefit: float
+    space: float
+    tau_after: float
+
+    @property
+    def benefit_per_space(self) -> float:
+        return self.benefit / self.space if self.space else 0.0
+
+    def __str__(self) -> str:
+        names = ", ".join(self.structures)
+        return (
+            f"{{{names}}}: benefit {self.benefit:g} over space {self.space:g} "
+            f"({self.benefit_per_space:g}/unit)"
+        )
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """The outcome of running a selection algorithm on a query-view graph.
+
+    Attributes
+    ----------
+    algorithm:
+        Human-readable algorithm name (e.g. ``"2-greedy"``).
+    selected:
+        Structure names in the order they were picked.
+    stages:
+        Per-stage record (empty for non-staged algorithms like optimal).
+    space_budget:
+        The space constraint ``S`` the algorithm was given.
+    space_used:
+        Total space of the selection (may exceed ``S`` for the paper-mode
+        algorithms, bounded by their theorems).
+    initial_tau:
+        τ(G, ∅) — total cost with no materialization.
+    tau:
+        τ(G, M) — total cost with the selection materialized.
+    total_frequency:
+        Sum of query frequencies (for average-cost reporting).
+    """
+
+    algorithm: str
+    selected: tuple
+    stages: tuple
+    space_budget: float
+    space_used: float
+    initial_tau: float
+    tau: float
+    total_frequency: float
+
+    @property
+    def benefit(self) -> float:
+        """Absolute benefit of the selection: τ(G, ∅) − τ(G, M)."""
+        return self.initial_tau - self.tau
+
+    @property
+    def average_query_cost(self) -> float:
+        """τ divided by total query frequency (rows per query)."""
+        if self.total_frequency == 0:
+            return 0.0
+        return self.tau / self.total_frequency
+
+    def __contains__(self, structure_name: str) -> bool:
+        return structure_name in self.selected
+
+    def summary(self) -> str:
+        """One-line summary suitable for experiment tables."""
+        return (
+            f"{self.algorithm}: {len(self.selected)} structures, "
+            f"space {self.space_used:g}/{self.space_budget:g}, "
+            f"benefit {self.benefit:g}, avg query cost {self.average_query_cost:g}"
+        )
+
+    def table(self) -> str:
+        """Multi-line human-readable report of the selection stages."""
+        lines = [self.summary()]
+        for i, stage in enumerate(self.stages, start=1):
+            lines.append(f"  stage {i}: {stage}")
+        if not self.stages:
+            lines.append("  selected: " + (", ".join(self.selected) or "(nothing)"))
+        return "\n".join(lines)
+
+
+def make_result(
+    algorithm: str,
+    engine,
+    stages: Sequence[Stage],
+    space_budget: float,
+    picked_order: Sequence[str],
+) -> SelectionResult:
+    """Assemble a :class:`SelectionResult` from a finished engine state."""
+    return SelectionResult(
+        algorithm=algorithm,
+        selected=tuple(picked_order),
+        stages=tuple(stages),
+        space_budget=space_budget,
+        space_used=engine.space_used(),
+        initial_tau=float(engine.frequencies @ engine.defaults),
+        tau=engine.tau(),
+        total_frequency=float(engine.frequencies.sum()),
+    )

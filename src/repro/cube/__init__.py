@@ -1,0 +1,28 @@
+"""Cube schemas, synthetic data generation, and query workloads."""
+
+from repro.cube.generator import (
+    draw_dimension,
+    generate_fact_table,
+    sparsity_of,
+    zipf_probabilities,
+)
+from repro.cube.schema import CubeSchema, Dimension
+from repro.cube.workload import (
+    normalize_frequencies,
+    sampled_workload,
+    uniform_workload,
+    zipf_frequencies,
+)
+
+__all__ = [
+    "CubeSchema",
+    "Dimension",
+    "draw_dimension",
+    "generate_fact_table",
+    "normalize_frequencies",
+    "sampled_workload",
+    "sparsity_of",
+    "uniform_workload",
+    "zipf_frequencies",
+    "zipf_probabilities",
+]

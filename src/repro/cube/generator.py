@@ -1,0 +1,136 @@
+"""Synthetic fact-table generation for the Section 6 experiments.
+
+The paper generates cubes "using the analytical model in [HRU96]" while
+varying the cardinality of each dimension, the sparsity of the cube, and
+the query frequencies.  This module produces *actual* fact tables with the
+same knobs so that both the analytical size model and the execution engine
+can be exercised:
+
+* per-dimension **cardinality** — from the schema;
+* **sparsity** — the ratio of raw rows to the dense cell count;
+* **skew** — per-dimension Zipf exponents (0 = uniform);
+* **correlation** — a dimension may be functionally fanned out from
+  another (e.g. TPC-D's "each part is supplied by ~4 suppliers"), which is
+  what makes real view sizes deviate from the independence model.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cube.schema import CubeSchema
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.engine.table import FactTable
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _as_rng(rng: RngLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def zipf_probabilities(cardinality: int, exponent: float) -> np.ndarray:
+    """Rank-frequency probabilities ``p_i ∝ 1/i^exponent`` (0 = uniform)."""
+    if cardinality < 1:
+        raise ValueError("cardinality must be >= 1")
+    if exponent < 0:
+        raise ValueError("exponent must be >= 0")
+    ranks = np.arange(1, cardinality + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def draw_dimension(
+    cardinality: int,
+    n_rows: int,
+    rng: np.random.Generator,
+    exponent: float = 0.0,
+) -> np.ndarray:
+    """Draw ``n_rows`` values of a dimension with optional Zipf skew."""
+    if exponent == 0.0:
+        return rng.integers(0, cardinality, size=n_rows, dtype=np.int64)
+    probs = zipf_probabilities(cardinality, exponent)
+    return rng.choice(cardinality, size=n_rows, p=probs).astype(np.int64)
+
+
+def generate_fact_table(
+    schema: CubeSchema,
+    n_rows: int,
+    rng: RngLike = None,
+    skew: Optional[Mapping[str, float]] = None,
+    correlated: Optional[Mapping[str, Tuple[str, int]]] = None,
+    extra_measures: Sequence[str] = (),
+) -> "FactTable":
+    """Generate a synthetic fact table.
+
+    Parameters
+    ----------
+    schema:
+        Dimension names and cardinalities.
+    n_rows:
+        Number of fact rows (choose ``sparsity * schema.dense_cells``).
+    rng:
+        Seed, generator, or ``None`` for nondeterministic.
+    skew:
+        Optional per-dimension Zipf exponents; missing dimensions are
+        uniform.
+    correlated:
+        Optional ``{child: (parent, fanout)}`` functional-style
+        correlations: each child value is one of ``fanout`` values
+        deterministically derived from the row's parent value.  The parent
+        must not itself be correlated.
+    extra_measures:
+        Optional names of additional measure columns to generate (uniform
+        ``[0, 100)`` like the primary measure).
+
+    >>> schema = CubeSchema.from_cardinalities({"a": 100, "b": 50})
+    >>> fact = generate_fact_table(schema, 1000, rng=0)
+    >>> fact.n_rows
+    1000
+    """
+    from repro.engine.table import FactTable
+
+    if n_rows < 1:
+        raise ValueError(f"n_rows must be >= 1, got {n_rows}")
+    rng = _as_rng(rng)
+    skew = dict(skew or {})
+    correlated = dict(correlated or {})
+
+    for child, (parent, fanout) in correlated.items():
+        if child not in schema or parent not in schema:
+            raise KeyError(f"correlation {child!r}->{parent!r}: unknown dimension")
+        if parent in correlated:
+            raise ValueError(f"correlation parent {parent!r} is itself correlated")
+        if fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {fanout}")
+
+    columns = {}
+    for dim in schema:
+        if dim.name in correlated:
+            continue
+        columns[dim.name] = draw_dimension(
+            dim.cardinality, n_rows, rng, skew.get(dim.name, 0.0)
+        )
+    for child, (parent, fanout) in correlated.items():
+        card = schema.cardinality(child)
+        parent_values = columns[parent]
+        choice = rng.integers(0, fanout, size=n_rows, dtype=np.int64)
+        # deterministic "hash" of (parent value, choice) into the child's
+        # domain — a fixed affine map keeps the fanout exact per parent.
+        columns[child] = (parent_values * np.int64(2654435761) + choice) % card
+
+    measures = rng.uniform(0.0, 100.0, size=n_rows)
+    extras = {
+        name: rng.uniform(0.0, 100.0, size=n_rows) for name in extra_measures
+    }
+    return FactTable(schema, columns, measures, extra_measures=extras)
+
+
+def sparsity_of(schema: CubeSchema, n_rows: int) -> float:
+    """The paper's sparsity: raw rows over the dense cell count."""
+    return n_rows / schema.dense_cells

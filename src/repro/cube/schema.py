@@ -1,0 +1,149 @@
+"""Data-cube schemas: dimensions, cardinalities, and the measure attribute.
+
+A :class:`CubeSchema` describes the raw fact table of a data cube: an
+ordered list of :class:`Dimension` objects (each with a domain cardinality)
+plus the name of the measure being aggregated (``sales`` in the paper's
+TPC-D example).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.view import View
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One dimension of the cube.
+
+    Attributes
+    ----------
+    name:
+        Attribute name, e.g. ``"part"`` or its abbreviation ``"p"``.
+    cardinality:
+        Number of distinct values in the dimension's domain.
+    """
+
+    name: str
+    cardinality: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("dimension name must be non-empty")
+        if self.cardinality < 1:
+            raise ValueError(
+                f"dimension {self.name!r} must have cardinality >= 1, "
+                f"got {self.cardinality}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.cardinality})"
+
+
+class CubeSchema:
+    """An ordered collection of dimensions plus a measure name.
+
+    >>> schema = CubeSchema([Dimension("p", 200_000), Dimension("s", 10_000)])
+    >>> schema.names
+    ('p', 's')
+    >>> schema.cardinality("p")
+    200000
+    >>> schema.dense_cells
+    2000000000
+    """
+
+    def __init__(
+        self,
+        dimensions: Sequence[Dimension],
+        measure: str = "sales",
+    ):
+        if not dimensions:
+            raise ValueError("a cube needs at least one dimension")
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dimension names: {names}")
+        if measure in names:
+            raise ValueError(f"measure {measure!r} collides with a dimension name")
+        self._dimensions = tuple(dimensions)
+        self._by_name = {d.name: d for d in dimensions}
+        self.measure = measure
+
+    @classmethod
+    def from_cardinalities(
+        cls, cardinalities: Mapping[str, int], measure: str = "sales"
+    ) -> "CubeSchema":
+        """Build a schema from a ``{name: cardinality}`` mapping.
+
+        Iteration order of the mapping fixes the dimension order.
+        """
+        dims = [Dimension(name, card) for name, card in cardinalities.items()]
+        return cls(dims, measure=measure)
+
+    @property
+    def dimensions(self) -> tuple:
+        return self._dimensions
+
+    @property
+    def names(self) -> tuple:
+        """Dimension names in schema order."""
+        return tuple(d.name for d in self._dimensions)
+
+    @property
+    def n_dims(self) -> int:
+        return len(self._dimensions)
+
+    def __len__(self) -> int:
+        return len(self._dimensions)
+
+    def __iter__(self) -> Iterator[Dimension]:
+        return iter(self._dimensions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def dimension(self, name: str) -> Dimension:
+        """Look up a dimension by name; raises ``KeyError`` if unknown."""
+        return self._by_name[name]
+
+    def cardinality(self, name: str) -> int:
+        return self._by_name[name].cardinality
+
+    @property
+    def dense_cells(self) -> int:
+        """Product of all dimension cardinalities (the dense cube size)."""
+        return math.prod(d.cardinality for d in self._dimensions)
+
+    def cells_of(self, view: View | Iterable[str]) -> int:
+        """Product of cardinalities of the given attribute set.
+
+        This is the number of cells in the (dense) subcube for that view,
+        which upper-bounds the number of rows in the materialized view.
+        """
+        attrs = view.attrs if isinstance(view, View) else frozenset(view)
+        unknown = attrs - set(self.names)
+        if unknown:
+            raise KeyError(f"unknown dimensions: {sorted(unknown)}")
+        return math.prod(self._by_name[a].cardinality for a in attrs)
+
+    def top_view(self) -> View:
+        """The view grouping by every dimension (the raw-data subcube)."""
+        return View(self.names)
+
+    def view(self, *names: str) -> View:
+        """Build a view over the given dimensions, validating names."""
+        unknown = set(names) - set(self.names)
+        if unknown:
+            raise KeyError(f"unknown dimensions: {sorted(unknown)}")
+        return View(names)
+
+    def sort_attrs(self, attrs: Iterable[str]) -> tuple:
+        """Return ``attrs`` ordered by schema dimension order."""
+        order = {name: i for i, name in enumerate(self.names)}
+        return tuple(sorted(attrs, key=lambda a: order[a]))
+
+    def __repr__(self) -> str:
+        dims = ", ".join(str(d) for d in self._dimensions)
+        return f"CubeSchema([{dims}], measure={self.measure!r})"

@@ -1,0 +1,33 @@
+"""Reference instances: the TPC-D running example and Figure 2."""
+
+from repro.datasets.paper_figure2 import (
+    FIGURE2_SPACE,
+    PAPER_ANCHORS,
+    PAPER_INCONSISTENT,
+    figure2_graph,
+)
+from repro.datasets.tpcd import (
+    TPCD_CARDINALITIES,
+    TPCD_RAW_ROWS,
+    TPCD_SPACE_BUDGET,
+    TPCD_VIEW_ROWS,
+    tpcd_fact_table,
+    tpcd_graph,
+    tpcd_lattice,
+    tpcd_schema,
+)
+
+__all__ = [
+    "FIGURE2_SPACE",
+    "PAPER_ANCHORS",
+    "PAPER_INCONSISTENT",
+    "TPCD_CARDINALITIES",
+    "TPCD_RAW_ROWS",
+    "TPCD_SPACE_BUDGET",
+    "TPCD_VIEW_ROWS",
+    "figure2_graph",
+    "tpcd_fact_table",
+    "tpcd_graph",
+    "tpcd_lattice",
+    "tpcd_schema",
+]

@@ -1,0 +1,113 @@
+"""Adversarial instances: how bad can greedy get?
+
+Two instance families back the paper's worst-case statements:
+
+* :func:`one_greedy_trap` — "the performance guarantee of the 1-greedy is
+  0; it is possible to construct examples where the ratio of the benefit
+  of the 1-greedy choice to that of the optimal choice is arbitrarily
+  small" (Section 6).  The family has a decoy view whose immediate
+  benefit narrowly beats every other view, while the real value sits in
+  the indexes of a zero-benefit view that 1-greedy therefore never
+  unlocks.  As ``n_indexes`` grows, 1-greedy/optimal → 0.
+
+* :func:`r_greedy_stress` — a generalization that hides value behind
+  bundles *wider* than ``r`` (a view whose indexes each contribute only
+  when the view plus many siblings are present cannot be built this way —
+  benefits are subadditive — so instead the family dilutes each bundle's
+  density below a decoy's, stressing r-greedy toward its bound without
+  reaching it exactly; the paper states matching instances exist but does
+  not print one).
+
+Both are ordinary :class:`~repro.core.qvgraph.QueryViewGraph` instances;
+tests drive 1-greedy/2-greedy/optimal over the families and check the
+ratio trends.
+"""
+
+from __future__ import annotations
+
+from repro.core.qvgraph import QueryViewGraph
+
+
+def one_greedy_trap(n_indexes: int, index_value: float = 10.0) -> QueryViewGraph:
+    """The 1-greedy trap with ``n_indexes`` hidden-value indexes.
+
+    Structures (all unit space):
+
+    * ``decoy`` — a view with immediate benefit ``index_value + 1``;
+    * ``trap`` — a view with zero immediate benefit and ``n_indexes``
+      indexes, each worth ``index_value`` once the view is selected.
+
+    With space ``n_indexes + 1``:
+
+    * optimal selects ``trap`` + all its indexes:
+      benefit ``n_indexes * index_value``;
+    * 1-greedy selects ``decoy`` first (the only positive-benefit
+      structure), then nothing else has positive benefit — indexes are
+      locked behind the unselected ``trap``: benefit ``index_value + 1``.
+
+    The ratio ``(index_value + 1) / (n_indexes * index_value)`` vanishes
+    as ``n_indexes`` grows.
+    """
+    if n_indexes < 1:
+        raise ValueError("n_indexes must be >= 1")
+    if index_value <= 0:
+        raise ValueError("index_value must be positive")
+    g = QueryViewGraph()
+    g.add_view("decoy", space=1.0)
+    g.add_query("q:decoy", default_cost=index_value + 2.0)
+    g.add_edge("q:decoy", "decoy", cost=1.0)
+
+    g.add_view("trap", space=1.0)
+    for i in range(1, n_indexes + 1):
+        idx = f"trap-idx-{i}"
+        g.add_index("trap", idx, space=1.0)
+        q = f"q:trap-{i}"
+        g.add_query(q, default_cost=index_value + 1.0)
+        g.add_edge(q, idx, cost=1.0)
+    g.validate()
+    return g
+
+
+def trap_space(n_indexes: int) -> float:
+    """The budget under which the trap's ratio statement holds."""
+    return float(n_indexes + 1)
+
+
+def r_greedy_stress(r: int, n_bundles: int = 4, scale: float = 100.0) -> QueryViewGraph:
+    """A family that stresses r-greedy below 1 for a given ``r``.
+
+    Each *bundle* is a view with ``r + 1`` indexes of equal per-index
+    value; a single decoy pair (view + one index) has density just above
+    any ``r``-subset of a bundle, so r-greedy opens with the decoy and
+    pays an opportunity cost the optimum avoids.  The construction keeps
+    r-greedy's ratio visibly below 1 while never violating Theorem 5.1's
+    bound — both facts are asserted in the tests.
+    """
+    if r < 1:
+        raise ValueError("r must be >= 1")
+    if n_bundles < 1:
+        raise ValueError("n_bundles must be >= 1")
+    g = QueryViewGraph()
+
+    # decoy: per-unit density inside the window
+    #   ((r−1)/r · v,  (r+1)/(r+2) · v)
+    # — above the best r-subset of a bundle (so r-greedy opens with it)
+    # but below a *full* bundle (so the optimum skips it).
+    bundle_index_value = scale
+    decoy_value = bundle_index_value * ((r - 1) / r + (r + 1) / (r + 2))
+    g.add_view("decoy", space=1.0)
+    g.add_index("decoy", "decoy-idx", space=1.0)
+    g.add_query("q:decoy", default_cost=decoy_value + 1.0)
+    g.add_edge("q:decoy", "decoy-idx", cost=1.0)
+
+    for b in range(1, n_bundles + 1):
+        view = f"B{b}"
+        g.add_view(view, space=1.0)
+        for i in range(1, r + 2):
+            idx = f"B{b}-idx-{i}"
+            g.add_index(view, idx, space=1.0)
+            q = f"q:B{b}-{i}"
+            g.add_query(q, default_cost=bundle_index_value + 1.0)
+            g.add_edge(q, idx, cost=1.0)
+    g.validate()
+    return g

@@ -1,0 +1,116 @@
+"""The Figure 2 instance of Examples 5.1 and 5.2 — reconstructed.
+
+The paper illustrates the r-greedy family on a hand-built query-view graph
+with five unit-space views and unit-space indexes, space budget ``S = 7``.
+The published scan of the example is partly garbled and internally
+inconsistent (see DESIGN.md §5), so this module ships a *reconstruction*
+that reproduces every self-consistent anchor of the printed traces
+exactly:
+
+* absolute view benefits ``(V1..V5) = (0, 0, 6, 5, 7)``;
+* 1-greedy selects ``{V5, I5,1..I5,4, V3, V4}``, absolute benefit **46**;
+* 2-/3-greedy first pick ``{V1, I1,1}`` with benefit **90** (45/unit);
+* 2-greedy then picks ``{V4, I4,1}`` (benefit 41, 20.5/unit, narrowly
+  beating the ``{V2, I2,i}`` pairs at 20/unit) and finishes with V4's
+  other indexes (21 each): total **194**;
+* the 7-unit optimum is V2 with six of its indexes, benefit **300**;
+* inner-level greedy picks ``{V1, I1,1}`` then V2 with six indexes
+  (incremental benefit 240 = 34.3/unit): total **330** on 9 units;
+* the 9-unit optimum is V2 with all eight indexes, benefit **400**.
+
+Structure of the instance (all structures cost 1 unit of space):
+
+=====  =======  ==========================================================
+view   indexes  benefit sources (queries; reduction via the structure)
+=====  =======  ==========================================================
+V1     1        one private query worth 10 via (V1, I1,1), plus 10 on each
+                of V2's eight shared queries
+V2     8        per index i: one shared query worth 10 (also covered by
+                (V1, I1,1)) and one private query worth 40
+V3     4        one query worth 6 via the view; one worth 4 per index
+V4     4        one query worth 5 via the view; 36 via I4,1; 21 via each
+                of I4,2..I4,4
+V5     4        one query worth 7 via the view; one worth 7 per index
+=====  =======  ==========================================================
+"""
+
+from __future__ import annotations
+
+from repro.core.qvgraph import QueryViewGraph
+
+#: The space budget used throughout Example 5.1.
+FIGURE2_SPACE = 7
+
+#: Anchor values recoverable from the paper's printed traces.
+PAPER_ANCHORS = {
+    "1-greedy": 46,
+    "2-greedy": 194,
+    "first-pick": 90,
+    "optimal(7)": 300,
+    "inner-level": 330,
+    "optimal(9)": 400,
+}
+
+#: Values the paper prints that are *not* reproducible from any instance
+#: consistent with its other numbers (see DESIGN.md §5); our reconstruction
+#: yields 250 for 3-greedy.
+PAPER_INCONSISTENT = {"3-greedy": 226}
+
+
+def figure2_graph() -> QueryViewGraph:
+    """Build the reconstructed Figure 2 query-view graph."""
+    g = QueryViewGraph()
+
+    # views, all unit space
+    for v in range(1, 6):
+        g.add_view(f"V{v}", space=1.0)
+
+    index_counts = {1: 1, 2: 8, 3: 4, 4: 4, 5: 4}
+    for v, count in index_counts.items():
+        for i in range(1, count + 1):
+            g.add_index(f"V{v}", f"I{v},{i}", space=1.0)
+
+    # V1: worthless alone; its single index is worth 90 in total.
+    g.add_query("q:V1-own", default_cost=11)
+    g.add_edge("q:V1-own", "I1,1", cost=1)
+
+    # V2: worthless alone; each index pair is worth 50 absolute
+    # (10 shared with (V1, I1,1) + 40 private).
+    for i in range(1, 9):
+        shared = f"q:V2-shared-{i}"
+        g.add_query(shared, default_cost=11)
+        g.add_edge(shared, "I1,1", cost=1)
+        g.add_edge(shared, f"I2,{i}", cost=1)
+
+        private = f"q:V2-own-{i}"
+        g.add_query(private, default_cost=41)
+        g.add_edge(private, f"I2,{i}", cost=1)
+
+    # V3: 6 via the view, 4 per index.
+    g.add_query("q:V3-own", default_cost=7)
+    g.add_edge("q:V3-own", "V3", cost=1)
+    for i in range(1, 5):
+        name = f"q:V3-idx-{i}"
+        g.add_query(name, default_cost=5)
+        g.add_edge(name, f"I3,{i}", cost=1)
+
+    # V4: 5 via the view, 36 via I4,1, 21 via each later index.
+    g.add_query("q:V4-own", default_cost=6)
+    g.add_edge("q:V4-own", "V4", cost=1)
+    g.add_query("q:V4-idx-1", default_cost=37)
+    g.add_edge("q:V4-idx-1", "I4,1", cost=1)
+    for i in range(2, 5):
+        name = f"q:V4-idx-{i}"
+        g.add_query(name, default_cost=22)
+        g.add_edge(name, f"I4,{i}", cost=1)
+
+    # V5: 7 via the view, 7 per index.
+    g.add_query("q:V5-own", default_cost=8)
+    g.add_edge("q:V5-own", "V5", cost=1)
+    for i in range(1, 5):
+        name = f"q:V5-idx-{i}"
+        g.add_query(name, default_cost=8)
+        g.add_edge(name, f"I5,{i}", cost=1)
+
+    g.validate()
+    return g

@@ -1,0 +1,105 @@
+"""The paper's TPC-D running example (Section 2, Figure 1).
+
+TPC-D models a business warehouse with dimensions *part* (p), *supplier*
+(s), and *customer* (c) and measure *sales*.  Figure 1 gives the row count
+of every subcube:
+
+    psc = 6M   pc = 6M    sc = 6M    ps = 0.8M
+    p = 0.2M   c = 0.1M   s = 0.01M  none = 1
+
+(Only ``ps`` deviates from the independence estimate, because in TPC-D
+each part is supplied by about four suppliers — 0.2M parts × 4 ≈ 0.8M.)
+
+Materializing all views and fat indexes needs "around 80M rows"; Example
+2.1 gives the selection algorithms 25M rows of space.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.lattice import CubeLattice
+from repro.core.qvgraph import QueryViewGraph
+from repro.core.view import View
+from repro.cube.generator import generate_fact_table
+from repro.cube.schema import CubeSchema, Dimension
+from repro.engine.table import FactTable
+
+#: Dimension cardinalities of the scaled-down TPC-D schema the paper uses.
+TPCD_CARDINALITIES = {"p": 200_000, "s": 10_000, "c": 100_000}
+
+#: Raw fact rows (the ``psc`` subcube size).
+TPCD_RAW_ROWS = 6_000_000
+
+#: Figure 1: rows of every subcube.
+TPCD_VIEW_ROWS: Mapping[View, float] = {
+    View.of("p", "s", "c"): 6_000_000,
+    View.of("p", "c"): 6_000_000,
+    View.of("s", "c"): 6_000_000,
+    View.of("p", "s"): 800_000,
+    View.of("p"): 200_000,
+    View.of("c"): 100_000,
+    View.of("s"): 10_000,
+    View.none(): 1,
+}
+
+#: Example 2.1's space budget, in rows.
+TPCD_SPACE_BUDGET = 25_000_000
+
+#: TPC-D correlation: each part is supplied by about this many suppliers.
+TPCD_SUPPLIERS_PER_PART = 4
+
+
+def tpcd_schema() -> CubeSchema:
+    """The 3-dimensional TPC-D schema (p, s, c; measure ``sales``)."""
+    return CubeSchema(
+        [Dimension(name, card) for name, card in TPCD_CARDINALITIES.items()],
+        measure="sales",
+    )
+
+
+def tpcd_lattice() -> CubeLattice:
+    """The Figure 1 lattice with the paper's exact view sizes."""
+    return CubeLattice(tpcd_schema(), TPCD_VIEW_ROWS)
+
+
+def tpcd_graph(
+    frequencies: Optional[Mapping] = None,
+    index_universe: str = "fat",
+) -> QueryViewGraph:
+    """The full TPC-D query-view graph: 27 slice queries, 8 views, and all
+    fat indexes, with linear-cost-model edges.
+
+    ``frequencies`` optionally weights the queries (default equiprobable).
+    """
+    return QueryViewGraph.from_cube(
+        tpcd_lattice(),
+        frequencies=frequencies,
+        index_universe=index_universe,
+    )
+
+
+def tpcd_fact_table(scale: float = 0.001, rng=0) -> FactTable:
+    """A scaled-down synthetic TPC-D fact table for engine runs.
+
+    ``scale`` shrinks every cardinality and the row count by the same
+    factor, preserving the relative shape (including the part→supplier
+    fanout of ~4 that makes ``ps`` small).  The default produces a
+    6 000-row cube that materializes in milliseconds.
+    """
+    if not 0 < scale <= 1:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    schema = CubeSchema(
+        [
+            Dimension(name, max(2, round(card * scale)))
+            for name, card in TPCD_CARDINALITIES.items()
+        ],
+        measure="sales",
+    )
+    n_rows = max(10, round(TPCD_RAW_ROWS * scale))
+    return generate_fact_table(
+        schema,
+        n_rows,
+        rng=rng,
+        correlated={"s": ("p", TPCD_SUPPLIERS_PER_PART)},
+    )

@@ -1,0 +1,115 @@
+"""The engine catalog: which views and indexes are materialized.
+
+A :class:`Catalog` owns the physical structures — :class:`ViewTable`\\ s
+and B+tree indexes — and reports their sizes in rows, matching the space
+accounting the selection algorithms use (index size = view size, Section
+4.2.2; the B+tree's leaf-entry count makes that literal here).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.core.index import Index
+from repro.core.view import View
+from repro.engine.btree import BPlusTree
+from repro.engine.table import FactTable, ViewTable
+from repro.engine.materialize import materialize_view
+
+
+class Catalog:
+    """Materialized views and indexes, with row-count space accounting."""
+
+    def __init__(self, fact: FactTable):
+        self.fact = fact
+        self._views: Dict[View, ViewTable] = {}
+        self._indexes: Dict[Index, BPlusTree] = {}
+
+    # ----------------------------------------------------------------- add
+
+    def materialize(self, view: View, agg: str = "sum") -> ViewTable:
+        """Materialize a view from the raw data (idempotent)."""
+        if view in self._views:
+            return self._views[view]
+        table = materialize_view(self.fact, view, agg)
+        self._views[view] = table
+        return table
+
+    def add_view(self, table: ViewTable) -> None:
+        """Register an externally computed view table."""
+        self._views[table.view] = table
+
+    def build_index(self, index: Index, order: int = 32) -> BPlusTree:
+        """Build a B+tree for the index (its view must be materialized).
+
+        The tree key is the index's search-key attribute values, suffixed
+        with the row id so duplicate key prefixes stay unique; the value
+        is the aggregated measure of the row.
+        """
+        if index in self._indexes:
+            return self._indexes[index]
+        table = self._views.get(index.view)
+        if table is None:
+            raise ValueError(
+                f"cannot index {index}: view {index.view} is not materialized"
+            )
+        key_cols = [table.key_columns[a] for a in index.key]
+        entries = sorted(
+            (
+                tuple(int(col[row]) for col in key_cols) + (row,),
+                (row, float(table.values[row])),
+            )
+            for row in range(table.n_rows)
+        )
+        tree = BPlusTree.bulk_load(entries, order=order)
+        self._indexes[index] = tree
+        return tree
+
+    # -------------------------------------------------------------- lookup
+
+    def has_view(self, view: View) -> bool:
+        return view in self._views
+
+    def has_index(self, index: Index) -> bool:
+        return index in self._indexes
+
+    def view_table(self, view: View) -> ViewTable:
+        return self._views[view]
+
+    def drop_index(self, index: Index) -> None:
+        """Forget a built index (e.g. before a rebuild)."""
+        self._indexes.pop(index, None)
+
+    def index_tree(self, index: Index) -> BPlusTree:
+        return self._indexes[index]
+
+    def views(self) -> Iterator[View]:
+        return iter(self._views)
+
+    def indexes(self) -> Iterator[Index]:
+        return iter(self._indexes)
+
+    def indexes_on(self, view: View) -> list:
+        return [idx for idx in self._indexes if idx.view == view]
+
+    # ---------------------------------------------------------------- size
+
+    def view_rows(self, view: View) -> int:
+        return self._views[view].n_rows
+
+    def index_rows(self, index: Index) -> int:
+        """Leaf entries of the index — equals the view's rows, the paper's
+        index-size model made physical."""
+        return len(self._indexes[index])
+
+    def total_rows(self) -> int:
+        """Total space used, in rows (views + index leaf entries)."""
+        views = sum(t.n_rows for t in self._views.values())
+        indexes = sum(len(t) for t in self._indexes.values())
+        return views + indexes
+
+    def __repr__(self) -> str:
+        return (
+            f"Catalog(views={len(self._views)}, indexes={len(self._indexes)}, "
+            f"rows={self.total_rows()})"
+        )

@@ -1,0 +1,108 @@
+"""OLAP navigation: drill-down, roll-up, slice, and dice.
+
+The interactive operations an analyst performs on a cube, expressed as
+transformations on :class:`~repro.core.query.SliceQuery` and executed
+through the engine's planner.  Each helper returns the executor's
+:class:`~repro.engine.executor.QueryResult`, so the rows-processed
+accounting (and therefore the value of the selected views/indexes) is
+visible at every navigation step.
+
+* **drill down** — add a dimension to the group-by (finer grain);
+* **roll up** — remove a group-by dimension (coarser grain);
+* **slice** — fix one more dimension to a value (moves it into the
+  selection);
+* **dice** — replace the bound value of an already-sliced dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.core.query import SliceQuery
+from repro.engine.executor import Executor, QueryResult
+
+
+class NavigationError(ValueError):
+    """Raised when a navigation step is not applicable."""
+
+
+def _check_dim(executor: Executor, dim: str) -> None:
+    if dim not in executor.catalog.fact.schema.names:
+        raise NavigationError(f"unknown dimension {dim!r}")
+
+
+def drill_down(
+    executor: Executor,
+    query: SliceQuery,
+    values: Mapping[str, int],
+    dim: str,
+) -> Tuple[SliceQuery, QueryResult]:
+    """Add ``dim`` to the group-by and execute the refined query."""
+    _check_dim(executor, dim)
+    if dim in query.groupby:
+        raise NavigationError(f"{dim!r} is already a group-by dimension")
+    if dim in query.selection:
+        raise NavigationError(
+            f"{dim!r} is sliced; un-slice it first (roll_up the selection)"
+        )
+    refined = SliceQuery(
+        groupby=query.groupby | {dim}, selection=query.selection
+    )
+    return refined, executor.execute(refined, values)
+
+
+def roll_up(
+    executor: Executor,
+    query: SliceQuery,
+    values: Mapping[str, int],
+    dim: str,
+) -> Tuple[SliceQuery, QueryResult]:
+    """Remove ``dim`` from the group-by (or drop its slice) and execute."""
+    _check_dim(executor, dim)
+    if dim in query.groupby:
+        coarser = SliceQuery(
+            groupby=query.groupby - {dim}, selection=query.selection
+        )
+        return coarser, executor.execute(coarser, values)
+    if dim in query.selection:
+        remaining = {a: v for a, v in values.items() if a != dim}
+        coarser = SliceQuery(
+            groupby=query.groupby, selection=query.selection - {dim}
+        )
+        return coarser, executor.execute(coarser, remaining)
+    raise NavigationError(f"{dim!r} does not appear in the query")
+
+
+def slice_(
+    executor: Executor,
+    query: SliceQuery,
+    values: Mapping[str, int],
+    dim: str,
+    value: int,
+) -> Tuple[SliceQuery, QueryResult]:
+    """Fix ``dim = value``: move the dimension into the selection."""
+    _check_dim(executor, dim)
+    if dim in query.selection:
+        raise NavigationError(f"{dim!r} is already sliced; use dice()")
+    sliced = SliceQuery(
+        groupby=query.groupby - {dim}, selection=query.selection | {dim}
+    )
+    bound: Dict[str, int] = dict(values)
+    bound[dim] = int(value)
+    return sliced, executor.execute(sliced, bound)
+
+
+def dice(
+    executor: Executor,
+    query: SliceQuery,
+    values: Mapping[str, int],
+    dim: str,
+    value: int,
+) -> Tuple[SliceQuery, QueryResult]:
+    """Rebind an already-sliced dimension to a different value."""
+    _check_dim(executor, dim)
+    if dim not in query.selection:
+        raise NavigationError(f"{dim!r} is not sliced; use slice_()")
+    bound = dict(values)
+    bound[dim] = int(value)
+    return query, executor.execute(query, bound)

@@ -1,0 +1,49 @@
+"""View- and index-size estimation (Section 4.2)."""
+
+from repro.estimation.correlated import (
+    correlated_lattice,
+    correlated_view_size,
+    effective_cells,
+)
+from repro.estimation.index_sizes import (
+    btree_leaf_count,
+    index_size,
+    total_materialization_size,
+    view_with_all_fat_indexes_size,
+)
+from repro.estimation.sampling import (
+    frequency_profile,
+    gee_estimator,
+    goodman_jackknife,
+    sample_view_size,
+    scale_up_estimator,
+)
+from repro.estimation.sizes import (
+    analytical_lattice,
+    analytical_view_size,
+    exact_sizes_from_rows,
+    expected_distinct,
+    min_model,
+    sparsity_to_rows,
+)
+
+__all__ = [
+    "analytical_lattice",
+    "analytical_view_size",
+    "btree_leaf_count",
+    "correlated_lattice",
+    "correlated_view_size",
+    "effective_cells",
+    "exact_sizes_from_rows",
+    "expected_distinct",
+    "frequency_profile",
+    "gee_estimator",
+    "goodman_jackknife",
+    "index_size",
+    "min_model",
+    "sample_view_size",
+    "scale_up_estimator",
+    "sparsity_to_rows",
+    "total_materialization_size",
+    "view_with_all_fat_indexes_size",
+]

@@ -1,0 +1,144 @@
+"""Sampling-based distinct-value estimation (Section 4.2.1, [HNS95]).
+
+When attribute independence cannot be assumed, the paper suggests sampling
+the raw data (or the top view) and estimating each view's size — the
+number of distinct group-by combinations — from the sample.  The original
+reference [HNS95] surveys several estimators; we implement three classic
+ones that work from a uniform row sample:
+
+* :func:`scale_up_estimator` — naive linear scale-up of the sample's
+  distinct count (biased low for high-cardinality attributes);
+* :func:`goodman_jackknife` — the first-order jackknife
+  ``D̂ = d + (1 − q) · f1 / q`` with sampling fraction ``q``;
+* :func:`gee_estimator` — the Guaranteed-Error Estimator
+  ``D̂ = sqrt(1/q) · f1 + Σ_{i>=2} f_i``.
+
+All take the sample's *frequency profile*: ``f[i]`` = number of distinct
+values appearing exactly ``i`` times in the sample.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+def frequency_profile(sample_keys: Iterable) -> Dict[int, int]:
+    """Frequency-of-frequencies of the sample.
+
+    ``profile[i]`` is the number of distinct keys occurring exactly ``i``
+    times.  Keys may be any hashables (attribute-combination tuples).
+
+    >>> frequency_profile(["a", "a", "b"])
+    {1: 1, 2: 1}
+    """
+    counts: Dict = {}
+    for key in sample_keys:
+        counts[key] = counts.get(key, 0) + 1
+    profile: Dict[int, int] = {}
+    for count in counts.values():
+        profile[count] = profile.get(count, 0) + 1
+    return dict(sorted(profile.items()))
+
+
+def _validate(profile: Dict[int, int], sample_rows: int, total_rows: int) -> Tuple[int, int]:
+    if total_rows <= 0:
+        raise ValueError("total_rows must be positive")
+    if sample_rows <= 0:
+        raise ValueError("sample_rows must be positive")
+    if sample_rows > total_rows:
+        raise ValueError("sample cannot be larger than the relation")
+    observed = sum(i * f for i, f in profile.items())
+    if observed != sample_rows:
+        raise ValueError(
+            f"profile accounts for {observed} rows, expected {sample_rows}"
+        )
+    d = sum(profile.values())
+    f1 = profile.get(1, 0)
+    return d, f1
+
+
+def scale_up_estimator(
+    profile: Dict[int, int], sample_rows: int, total_rows: int
+) -> float:
+    """Naive estimator: scale the sample's distinct count by ``1/q``,
+    capped by the obvious bounds ``d <= D̂ <= total_rows``.
+
+    Overestimates heavily when values repeat; kept as the strawman the
+    better estimators are compared against.
+    """
+    d, __ = _validate(profile, sample_rows, total_rows)
+    q = sample_rows / total_rows
+    return float(min(total_rows, max(d, d / q)))
+
+
+def goodman_jackknife(
+    profile: Dict[int, int], sample_rows: int, total_rows: int
+) -> float:
+    """First-order jackknife: ``D̂ = d + (1 − q)·f1 / q``.
+
+    Unbiased to first order for uniform sampling fraction ``q``; clipped
+    to the feasible range ``[d, total_rows]``.
+    """
+    d, f1 = _validate(profile, sample_rows, total_rows)
+    q = sample_rows / total_rows
+    estimate = d + (1.0 - q) * f1 / q
+    return float(min(total_rows, max(d, estimate)))
+
+
+def gee_estimator(
+    profile: Dict[int, int], sample_rows: int, total_rows: int
+) -> float:
+    """Guaranteed-Error Estimator: ``D̂ = sqrt(1/q)·f1 + Σ_{i>=2} f_i``.
+
+    Has a matching ratio-error guarantee of ``sqrt(1/q)`` (Charikar et
+    al.); clipped to ``[d, total_rows]``.
+    """
+    d, f1 = _validate(profile, sample_rows, total_rows)
+    q = sample_rows / total_rows
+    tail = sum(f for i, f in profile.items() if i >= 2)
+    estimate = math.sqrt(1.0 / q) * f1 + tail
+    return float(min(total_rows, max(d, estimate)))
+
+
+def sample_view_size(
+    columns: Dict[str, np.ndarray],
+    attrs: Sequence[str],
+    sample_rows: int,
+    rng: np.random.Generator,
+    estimator: str = "gee",
+) -> float:
+    """Estimate a view's size by sampling a fact table's columns.
+
+    Parameters
+    ----------
+    columns:
+        ``{attribute: integer array}`` — all arrays the same length (the
+        raw row count).
+    attrs:
+        The view's group-by attributes; empty means the 1-row view.
+    sample_rows:
+        Uniform sample size (without replacement).
+    rng:
+        Numpy random generator (caller controls seeding).
+    estimator:
+        ``"scale"``, ``"jackknife"`` or ``"gee"``.
+    """
+    if not attrs:
+        return 1.0
+    total_rows = len(next(iter(columns.values())))
+    sample_rows = min(sample_rows, total_rows)
+    picks = rng.choice(total_rows, size=sample_rows, replace=False)
+    keys = list(zip(*(np.asarray(columns[a])[picks] for a in attrs)))
+    profile = frequency_profile(keys)
+    if estimator == "scale":
+        return scale_up_estimator(profile, sample_rows, total_rows)
+    if estimator == "jackknife":
+        return goodman_jackknife(profile, sample_rows, total_rows)
+    if estimator == "gee":
+        return gee_estimator(profile, sample_rows, total_rows)
+    raise ValueError(
+        f"estimator must be 'scale', 'jackknife' or 'gee', got {estimator!r}"
+    )

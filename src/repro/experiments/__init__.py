@@ -1,0 +1,37 @@
+"""Experiment drivers — one module per paper table/figure (see DESIGN.md).
+
+Run everything with ``python -m repro.experiments``.
+"""
+
+from repro.experiments import (
+    baselines,
+    counts,
+    engine_validation,
+    example21,
+    example51,
+    figure3,
+    guarantee_verification,
+    load_tradeoff,
+    robustness,
+    skew_sensitivity,
+    section6,
+    split_sweep,
+)
+from repro.experiments.reporting import ascii_series, ascii_table
+
+__all__ = [
+    "ascii_series",
+    "ascii_table",
+    "baselines",
+    "counts",
+    "engine_validation",
+    "example21",
+    "example51",
+    "figure3",
+    "guarantee_verification",
+    "load_tradeoff",
+    "robustness",
+    "skew_sensitivity",
+    "section6",
+    "split_sweep",
+]

@@ -1,0 +1,59 @@
+"""Run every paper experiment and print the tables.
+
+Usage::
+
+    python -m repro.experiments            # everything
+    python -m repro.experiments figure3    # one experiment by name
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    baselines,
+    counts,
+    engine_validation,
+    example21,
+    example51,
+    figure3,
+    guarantee_verification,
+    load_tradeoff,
+    robustness,
+    skew_sensitivity,
+    section6,
+    split_sweep,
+)
+
+EXPERIMENTS = {
+    "baselines": baselines.main,
+    "counts": counts.main,
+    "example21": example21.main,
+    "example51": example51.main,
+    "figure3": figure3.main,
+    "section6": section6.main,
+    "split_sweep": split_sweep.main,
+    "engine_validation": engine_validation.main,
+    "guarantee_verification": guarantee_verification.main,
+    "robustness": robustness.main,
+    "load_tradeoff": load_tradeoff.main,
+    "skew_sensitivity": skew_sensitivity.main,
+}
+
+
+def main(argv) -> int:
+    names = argv or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}")
+        return 2
+    for i, name in enumerate(names):
+        if i:
+            print()
+        print(f"=== {name} " + "=" * max(0, 60 - len(name)))
+        EXPERIMENTS[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,106 @@
+"""Examples 5.1 and 5.2: the r-greedy family on the Figure 2 instance.
+
+Runs 1-/2-/3-/4-greedy, inner-level greedy, and the exact optimum on the
+reconstructed Figure 2 query-view graph (see
+:mod:`repro.datasets.paper_figure2` and DESIGN.md §5) and compares against
+the anchors printed in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.algorithms import (
+    FIT_PAPER,
+    BranchAndBoundOptimal,
+    InnerLevelGreedy,
+    RGreedy,
+)
+from repro.core.benefit import BenefitEngine
+from repro.core.selection import SelectionResult
+from repro.datasets.paper_figure2 import (
+    FIGURE2_SPACE,
+    PAPER_ANCHORS,
+    PAPER_INCONSISTENT,
+    figure2_graph,
+)
+from repro.experiments.reporting import ascii_table
+
+
+@dataclass
+class Example51Result:
+    """Benefits of every algorithm on the Figure 2 instance."""
+
+    results: Dict[str, SelectionResult]
+
+    def benefit(self, name: str) -> float:
+        return self.results[name].benefit
+
+    def anchor_deltas(self) -> Dict[str, float]:
+        """Measured − paper for every self-consistent anchor."""
+        mapping = {
+            "1-greedy": "1-greedy",
+            "2-greedy": "2-greedy",
+            "optimal(7)": "optimal(7)",
+            "inner-level": "inner-level",
+            "optimal(9)": "optimal(9)",
+        }
+        return {
+            paper_key: self.benefit(result_key) - PAPER_ANCHORS[paper_key]
+            for paper_key, result_key in mapping.items()
+        }
+
+
+def run_example51(max_r: int = 4) -> Example51Result:
+    """Run the full Example 5.1/5.2 suite."""
+    graph = figure2_graph()
+    engine = BenefitEngine(graph)
+    results: Dict[str, SelectionResult] = {}
+    for r in range(1, max_r + 1):
+        results[f"{r}-greedy"] = RGreedy(r, fit=FIT_PAPER).run(engine, FIGURE2_SPACE)
+    results["inner-level"] = InnerLevelGreedy(fit=FIT_PAPER).run(engine, FIGURE2_SPACE)
+    results["optimal(7)"] = BranchAndBoundOptimal().run(engine, FIGURE2_SPACE)
+    results["optimal(9)"] = BranchAndBoundOptimal().run(engine, 9)
+    return Example51Result(results=results)
+
+
+def format_example51(result: Example51Result) -> str:
+    rows = []
+    paper_values = dict(PAPER_ANCHORS)
+    paper_values.update(PAPER_INCONSISTENT)
+    for name, res in result.results.items():
+        paper = paper_values.get(name)
+        note = ""
+        if name in PAPER_INCONSISTENT:
+            note = "paper value not self-consistent (DESIGN.md §5)"
+        rows.append(
+            [
+                name,
+                res.benefit,
+                res.space_used,
+                paper if paper is not None else "-",
+                note,
+            ]
+        )
+    table = ascii_table(
+        ["algorithm", "benefit", "space used", "paper", "note"],
+        rows,
+        title=f"Examples 5.1/5.2 — Figure 2 instance, S = {FIGURE2_SPACE}",
+    )
+    first_pick = result.results["2-greedy"].stages[0]
+    footer = (
+        f"\nfirst 2-greedy pick: {{{', '.join(first_pick.structures)}}} "
+        f"benefit {first_pick.benefit:g} (paper: 90)"
+    )
+    return table + footer
+
+
+def main() -> Example51Result:
+    result = run_example51()
+    print(format_example51(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

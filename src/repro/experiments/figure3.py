@@ -1,0 +1,80 @@
+"""Figure 3: performance guarantee of r-greedy as a function of r.
+
+Regenerates the curve ``1 − e^{−(r−1)/r}`` the paper plots, the
+inner-level greedy's 0.467 reference line, and the "knee at r = 4"
+reading.  Also verifies the printed values (0, 0.39, 0.49, 0.53 → 0.63).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.algorithms.guarantees import (
+    guarantee_curve,
+    inner_level_guarantee,
+    knee_of_curve,
+    r_greedy_guarantee,
+    r_greedy_limit,
+)
+from repro.experiments.reporting import ascii_series, ascii_table
+
+#: Guarantee values as printed in the paper (Section 6).
+PAPER_GUARANTEES = {1: 0.0, 2: 0.39, 3: 0.49, 4: 0.53}
+PAPER_LIMIT = 0.63
+PAPER_INNER_LEVEL = 0.467
+PAPER_KNEE = 4
+
+
+@dataclass
+class Figure3Result:
+    curve: List[Tuple[int, float]]
+    inner_level: float
+    limit: float
+    knee: int
+
+    def as_dict(self) -> Dict[int, float]:
+        return dict(self.curve)
+
+
+def run_figure3(max_r: int = 16) -> Figure3Result:
+    rs = list(range(1, max_r + 1))
+    return Figure3Result(
+        curve=guarantee_curve(rs),
+        inner_level=inner_level_guarantee(),
+        limit=r_greedy_limit(),
+        knee=knee_of_curve(rs),
+    )
+
+
+def format_figure3(result: Figure3Result) -> str:
+    rows = []
+    for r, g in result.curve:
+        paper = PAPER_GUARANTEES.get(r, "-")
+        rows.append([r, round(g, 3), paper])
+    table = ascii_table(
+        ["r", "guarantee", "paper"],
+        rows,
+        title="Figure 3 — r-greedy performance guarantee vs r",
+    )
+    rs = [r for r, __ in result.curve]
+    gs = [g for __, g in result.curve]
+    plot = ascii_series(rs, gs, label="\nguarantee (bar ∝ value):")
+    footer = (
+        f"\nlimit (r→∞): {result.limit:.3f} (paper: {PAPER_LIMIT})"
+        f"\ninner-level greedy: {result.inner_level:.3f} "
+        f"(paper: {PAPER_INNER_LEVEL}; between 2-greedy "
+        f"{r_greedy_guarantee(2):.2f} and 3-greedy {r_greedy_guarantee(3):.2f})"
+        f"\nknee of the curve: r = {result.knee} (paper: {PAPER_KNEE})"
+    )
+    return table + "\n" + plot + footer
+
+
+def main() -> Figure3Result:
+    result = run_figure3()
+    print(format_figure3(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

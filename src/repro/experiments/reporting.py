@@ -1,0 +1,72 @@
+"""Plain-text reporting helpers for the experiment drivers.
+
+Every experiment prints the same rows/series the paper reports, as ASCII
+tables — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_number(value, digits: int = 4) -> str:
+    """Compact human formatting: millions as ``x.xxM``, else ``%g``."""
+    if isinstance(value, str):
+        return value
+    if value is None:
+        return "-"
+    if isinstance(value, float) and value != value:  # NaN
+        return "-"
+    magnitude = abs(value)
+    if magnitude >= 1_000_000:
+        return f"{value / 1_000_000:.{max(0, digits - 2)}g}M"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Render rows as a boxed ASCII table.
+
+    >>> print(ascii_table(["a", "b"], [[1, 2]]))
+    a | b
+    --+--
+    1 | 2
+    """
+    rendered: List[List[str]] = [
+        [format_number(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 50,
+    label: str = "",
+) -> str:
+    """A crude horizontal-bar rendering of a series (for Figure 3)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    top = max(ys) if ys else 1.0
+    top = top or 1.0
+    lines = [label] if label else []
+    for x, y in zip(xs, ys):
+        bar = "#" * int(round(width * y / top))
+        lines.append(f"{x:>6} | {bar} {y:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Ablation E10: sweeping the two-step space split on TPC-D.
+
+The paper observes that the one-step 1-greedy ends up devoting about
+three-quarters of the space to indexes, and that "it is difficult to
+determine this fraction a priori".  This ablation makes that concrete:
+run the two-step strategy for every split fraction and compare with the
+one-step result.  The best split recovers the one-step quality — but its
+location depends on the instance, which is the paper's argument for
+integrating the steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.algorithms import FIT_PAPER, FIT_STRICT, RGreedy, TwoStep
+from repro.core.benefit import BenefitEngine
+from repro.datasets.tpcd import TPCD_SPACE_BUDGET, tpcd_graph
+from repro.experiments.example21 import SEED
+from repro.experiments.reporting import ascii_table
+
+DEFAULT_FRACTIONS = (0.1, 0.2, 0.25, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@dataclass
+class SplitSweepResult:
+    by_fraction: Dict[float, float]  # view fraction -> avg query cost
+    one_step_avg: float
+
+    @property
+    def best_fraction(self) -> float:
+        return min(self.by_fraction, key=self.by_fraction.get)
+
+
+def run_split_sweep(
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    space: float = TPCD_SPACE_BUDGET,
+) -> SplitSweepResult:
+    graph = tpcd_graph()
+    engine = BenefitEngine(graph)
+    by_fraction = {}
+    for fraction in fractions:
+        res = TwoStep(fraction, fit=FIT_STRICT).run(engine, space, seed=SEED)
+        by_fraction[fraction] = res.average_query_cost
+    one = RGreedy(1, fit=FIT_PAPER).run(engine, space, seed=SEED)
+    return SplitSweepResult(by_fraction=by_fraction, one_step_avg=one.average_query_cost)
+
+
+def format_split_sweep(result: SplitSweepResult) -> str:
+    rows = [
+        [f"{fraction:.0%} views / {1 - fraction:.0%} indexes", avg,
+         f"{avg / result.one_step_avg:.2f}x"]
+        for fraction, avg in sorted(result.by_fraction.items())
+    ]
+    rows.append(["one-step 1-greedy", result.one_step_avg, "1.00x"])
+    table = ascii_table(
+        ["split", "avg query cost (rows)", "vs one-step"],
+        rows,
+        title="E10 — two-step split sweep on TPC-D (S = 25M rows)",
+    )
+    footer = (
+        f"\nbest split: {result.best_fraction:.0%} views "
+        f"(the paper's 'three-quarters to indexes' observation)"
+    )
+    return table + footer
+
+
+def main() -> SplitSweepResult:
+    result = run_split_sweep()
+    print(format_split_sweep(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

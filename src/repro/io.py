@@ -1,0 +1,234 @@
+"""JSON persistence for cubes, lattices, and selections.
+
+A deployed advisor needs its inputs (schema + sizes) and outputs
+(selections) to survive a process; this module defines a small, stable
+JSON format for both.
+
+Lattice document::
+
+    {
+      "dimensions": {"p": 200000, "s": 10000, "c": 100000},
+      "measure": "sales",
+      "raw_rows": 6000000,                  # for analytical sizing, or:
+      "view_rows": {"psc": 6000000, "ps": 800000, ...}   # exact sizes
+    }
+
+View labels use the lattice's schema-ordered compact form (``ps``,
+``none``); multi-character dimension names join with commas.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.lattice import CubeLattice
+from repro.core.selection import SelectionResult
+from repro.core.view import parse_view
+from repro.cube.schema import CubeSchema, Dimension
+from repro.estimation.sizes import analytical_lattice
+
+PathLike = Union[str, Path]
+
+
+def lattice_to_dict(lattice: CubeLattice) -> Dict:
+    """Serialize a lattice with exact view sizes."""
+    return {
+        "dimensions": {
+            d.name: d.cardinality for d in lattice.schema.dimensions
+        },
+        "measure": lattice.schema.measure,
+        "view_rows": {
+            lattice.label(view): lattice.size(view) for view in lattice.views()
+        },
+    }
+
+
+def lattice_from_dict(document: Dict) -> CubeLattice:
+    """Build a lattice from a JSON document.
+
+    With ``view_rows`` the sizes are taken verbatim (every view must be
+    present); otherwise ``raw_rows`` sizes the lattice analytically.
+    """
+    dimensions = document.get("dimensions")
+    if not dimensions:
+        raise ValueError("document needs a non-empty 'dimensions' mapping")
+    schema = CubeSchema(
+        [Dimension(name, int(card)) for name, card in dimensions.items()],
+        measure=document.get("measure", "sales"),
+    )
+    view_rows = document.get("view_rows")
+    if view_rows is not None:
+        sizes = {}
+        for label, rows in view_rows.items():
+            view = parse_view(label)
+            unknown = view.attrs - set(schema.names)
+            if unknown:
+                raise ValueError(
+                    f"view {label!r} references unknown dimensions {sorted(unknown)}"
+                )
+            sizes[view] = float(rows)
+        return CubeLattice(schema, sizes)
+    raw_rows = document.get("raw_rows")
+    if raw_rows is None:
+        raise ValueError("document needs 'view_rows' or 'raw_rows'")
+    return analytical_lattice(schema, float(raw_rows))
+
+
+def load_lattice(path: PathLike) -> CubeLattice:
+    """Read a lattice document from a JSON file."""
+    with open(path) as f:
+        return lattice_from_dict(json.load(f))
+
+
+def save_lattice(lattice: CubeLattice, path: PathLike) -> None:
+    """Write a lattice document to a JSON file."""
+    with open(path, "w") as f:
+        # note: no sort_keys — the dimension order in the document IS the
+        # schema order, which view labels depend on.
+        json.dump(lattice_to_dict(lattice), f, indent=2)
+        f.write("\n")
+
+
+def hierarchical_cube_from_dict(document: Dict):
+    """Build a :class:`~repro.core.hierarchy.HierarchicalCube` from JSON.
+
+    Document format::
+
+        {
+          "hierarchies": {
+            "time": [["day", 365], ["month", 12], ["year", 1]],
+            "p": [["p", 100]]
+          },
+          "raw_rows": 50000
+        }
+
+    Levels are listed finest first; a single-level list is a flat
+    dimension.
+    """
+    from repro.core.hierarchy import HierarchicalCube, Hierarchy, Level
+
+    hierarchies = document.get("hierarchies")
+    if not hierarchies:
+        raise ValueError("document needs a non-empty 'hierarchies' mapping")
+    raw_rows = document.get("raw_rows")
+    if raw_rows is None:
+        raise ValueError("document needs 'raw_rows'")
+    built = []
+    for name, levels in hierarchies.items():
+        if not levels:
+            raise ValueError(f"hierarchy {name!r} has no levels")
+        built.append(
+            Hierarchy(name, [Level(str(n), int(c)) for n, c in levels])
+        )
+    return HierarchicalCube(built, raw_rows=float(raw_rows))
+
+
+def is_hierarchical_document(document: Dict) -> bool:
+    """True when the document describes a hierarchical cube."""
+    return "hierarchies" in document
+
+
+def is_graph_document(document: Dict) -> bool:
+    """True when the document is a raw query-view graph (Section 5.1)."""
+    return "queries" in document and "views" in document
+
+
+def graph_to_dict(graph) -> Dict:
+    """Serialize a :class:`~repro.core.qvgraph.QueryViewGraph`.
+
+    Payloads are not serialized (they are derivable for cube graphs and
+    absent for hand-built ones).
+    """
+    return {
+        "queries": [
+            {
+                "name": q.name,
+                "default_cost": q.default_cost,
+                "frequency": q.frequency,
+            }
+            for q in graph.queries
+        ],
+        "views": [
+            {
+                "name": v.name,
+                "space": v.space,
+                "indexes": [
+                    {"name": i, "space": graph.structure(i).space}
+                    for i in graph.indexes_of(v.name)
+                ],
+            }
+            for v in graph.views
+        ],
+        "edges": [
+            {"query": q, "structure": s, "cost": cost}
+            for q, s, cost in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(document: Dict):
+    """Rebuild a query-view graph from :func:`graph_to_dict` output.
+
+    Also accepts hand-written documents — the format doubles as the
+    CLI's input for arbitrary (non-cube) instances like Figure 2.
+    """
+    from repro.core.qvgraph import QueryViewGraph
+
+    if not is_graph_document(document):
+        raise ValueError("document needs 'queries' and 'views' lists")
+    graph = QueryViewGraph()
+    for q in document["queries"]:
+        graph.add_query(
+            q["name"],
+            default_cost=float(q["default_cost"]),
+            frequency=float(q.get("frequency", 1.0)),
+        )
+    for v in document["views"]:
+        graph.add_view(v["name"], space=float(v["space"]))
+        for idx in v.get("indexes", []):
+            graph.add_index(
+                v["name"],
+                idx["name"],
+                space=float(idx["space"]) if "space" in idx else None,
+            )
+    for edge in document.get("edges", []):
+        graph.add_edge(edge["query"], edge["structure"], float(edge["cost"]))
+    graph.validate()
+    return graph
+
+
+def selection_to_dict(result: SelectionResult) -> Dict:
+    """Serialize a selection result (structures, stages, headline stats)."""
+    return {
+        "algorithm": result.algorithm,
+        "space_budget": result.space_budget,
+        "space_used": result.space_used,
+        "initial_tau": result.initial_tau,
+        "tau": result.tau,
+        "benefit": result.benefit,
+        "average_query_cost": result.average_query_cost,
+        "selected": list(result.selected),
+        "stages": [
+            {
+                "structures": list(stage.structures),
+                "benefit": stage.benefit,
+                "space": stage.space,
+                "tau_after": stage.tau_after,
+            }
+            for stage in result.stages
+        ],
+    }
+
+
+def save_selection(result: SelectionResult, path: PathLike) -> None:
+    """Write a selection report to a JSON file."""
+    with open(path, "w") as f:
+        json.dump(selection_to_dict(result), f, indent=2)
+        f.write("\n")
+
+
+def round_trip_lattice(lattice: CubeLattice) -> CubeLattice:
+    """Serialize and re-parse (used by tests; exact sizes preserved)."""
+    return lattice_from_dict(lattice_to_dict(lattice))

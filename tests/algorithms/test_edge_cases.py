@@ -1,0 +1,178 @@
+"""Edge-case behaviour every algorithm must get right.
+
+Zero frequencies, ties, enormous and tiny magnitudes, single-query
+graphs, and selections that cannot improve anything.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    FIT_PAPER,
+    FIT_STRICT,
+    BranchAndBoundOptimal,
+    HRUGreedy,
+    InnerLevelGreedy,
+    RGreedy,
+    TwoStep,
+    exhaustive_optimal,
+)
+from repro.core.benefit import BenefitEngine
+from repro.core.qvgraph import QueryViewGraph
+
+ALL_ALGOS = [
+    RGreedy(1, fit=FIT_STRICT),
+    RGreedy(2, fit=FIT_STRICT),
+    InnerLevelGreedy(fit=FIT_STRICT),
+    HRUGreedy(),
+    TwoStep(0.5),
+    BranchAndBoundOptimal(),
+]
+
+
+def graph_with(queries, views, edges):
+    g = QueryViewGraph()
+    for name, cost, freq in queries:
+        g.add_query(name, cost, frequency=freq)
+    for name, space, indexes in views:
+        g.add_view(name, space)
+        for idx in indexes:
+            g.add_index(name, idx)
+    for q, s, c in edges:
+        g.add_edge(q, s, c)
+    return g
+
+
+class TestZeroFrequency:
+    @pytest.fixture
+    def graph(self):
+        return graph_with(
+            queries=[("hot", 100, 1.0), ("dead", 1000, 0.0)],
+            views=[("v_hot", 1, []), ("v_dead", 1, [])],
+            edges=[("hot", "v_hot", 1), ("dead", "v_dead", 1)],
+        )
+
+    @pytest.mark.parametrize("algo", ALL_ALGOS, ids=lambda a: a.name)
+    def test_zero_frequency_queries_ignored(self, graph, algo):
+        result = algo.run(graph, 1)
+        assert "v_dead" not in result.selected
+        if "two-step" not in algo.name:
+            assert result.benefit == 99.0
+
+    def test_tau_unaffected_by_dead_query_structures(self, graph):
+        engine = BenefitEngine(graph)
+        before = engine.tau()
+        engine.commit([engine.structure_id("v_dead")])
+        assert engine.tau() == before
+
+
+class TestExtremeMagnitudes:
+    def test_huge_costs_do_not_overflow(self):
+        g = graph_with(
+            queries=[("q", 1e15, 1.0)],
+            views=[("v", 1e12, [])],
+            edges=[("q", "v", 1e3)],
+        )
+        result = RGreedy(1).run(g, 2e12)
+        assert result.benefit == pytest.approx(1e15 - 1e3)
+
+    def test_tiny_spaces(self):
+        g = graph_with(
+            queries=[("q", 10, 1.0)],
+            views=[("v", 1e-9, [])],
+            edges=[("q", "v", 1)],
+        )
+        result = RGreedy(1).run(g, 1e-6)
+        assert result.selected == ("v",)
+
+    def test_fractional_frequencies(self):
+        g = graph_with(
+            queries=[("a", 100, 0.25), ("b", 100, 0.75)],
+            views=[("va", 1, []), ("vb", 1, [])],
+            edges=[("a", "va", 0), ("b", "vb", 0)],
+        )
+        result = RGreedy(1).run(g, 1)
+        # higher-weighted query wins the single slot
+        assert result.selected == ("vb",)
+        assert result.benefit == pytest.approx(75.0)
+
+
+class TestTies:
+    def test_tied_candidates_resolved_deterministically(self):
+        g = graph_with(
+            queries=[("q1", 10, 1.0), ("q2", 10, 1.0)],
+            views=[("v1", 1, []), ("v2", 1, [])],
+            edges=[("q1", "v1", 1), ("q2", "v2", 1)],
+        )
+        picks = {RGreedy(1).run(g, 1).selected for __ in range(5)}
+        assert len(picks) == 1  # same winner every time
+
+    def test_tie_breaks_toward_first_structure(self):
+        g = graph_with(
+            queries=[("q1", 10, 1.0), ("q2", 10, 1.0)],
+            views=[("v1", 1, []), ("v2", 1, [])],
+            edges=[("q1", "v1", 1), ("q2", "v2", 1)],
+        )
+        assert RGreedy(1).run(g, 1).selected == ("v1",)
+
+
+class TestEdgeCostEqualDefault:
+    def test_useless_edge_never_picked(self):
+        """An edge exactly at the default cost yields zero benefit."""
+        g = graph_with(
+            queries=[("q", 50, 1.0)],
+            views=[("v", 1, [])],
+            edges=[("q", "v", 50)],
+        )
+        for algo in (RGreedy(1), HRUGreedy(), InnerLevelGreedy(fit=FIT_STRICT)):
+            assert algo.run(g, 5).selected == ()
+
+    def test_edge_above_default_never_hurts(self):
+        g = graph_with(
+            queries=[("q", 50, 1.0)],
+            views=[("v", 1, [])],
+            edges=[("q", "v", 80)],  # worse than raw data
+        )
+        engine = BenefitEngine(g)
+        engine.commit([engine.structure_id("v")])
+        assert engine.tau() == 50.0  # min(T, t) keeps the default
+
+
+class TestSingleStructureSpaces:
+    def test_structure_exactly_filling_budget(self):
+        g = graph_with(
+            queries=[("q", 10, 1.0)],
+            views=[("v", 7, [])],
+            edges=[("q", "v", 1)],
+        )
+        assert RGreedy(1).run(g, 7).selected == ("v",)
+
+    def test_structure_epsilon_over_budget_skipped(self):
+        g = graph_with(
+            queries=[("q", 10, 1.0)],
+            views=[("v", 7.001, [])],
+            edges=[("q", "v", 1)],
+        )
+        assert RGreedy(1).run(g, 7).selected == ()
+
+    def test_optimal_agrees_on_exact_fill(self):
+        g = graph_with(
+            queries=[("q", 10, 1.0)],
+            views=[("v", 7, [])],
+            edges=[("q", "v", 1)],
+        )
+        assert exhaustive_optimal(g, 7).selected == ["v"] or (
+            exhaustive_optimal(g, 7).selected == ("v",)
+        )
+
+
+class TestPaperFitOvershootBound:
+    def test_last_pick_overshoot_only(self):
+        """Paper fit may overshoot once, never repeatedly."""
+        g = graph_with(
+            queries=[(f"q{i}", 100, 1.0) for i in range(4)],
+            views=[(f"v{i}", 3, []) for i in range(4)],
+            edges=[(f"q{i}", f"v{i}", 1) for i in range(4)],
+        )
+        result = RGreedy(1, fit=FIT_PAPER).run(g, 7)
+        # picks while used < 7: v,v (6) then one more (9); stops
+        assert result.space_used == 9

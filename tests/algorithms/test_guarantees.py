@@ -1,0 +1,89 @@
+"""Tests for the Theorem 5.1/5.2 guarantee formulas (Figure 3)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.guarantees import (
+    guarantee_curve,
+    inner_level_guarantee,
+    inner_level_space_bound,
+    knee_of_curve,
+    r_greedy_guarantee,
+    r_greedy_limit,
+    r_greedy_space_bound,
+)
+
+
+class TestRGreedyGuarantee:
+    def test_1greedy_has_no_guarantee(self):
+        assert r_greedy_guarantee(1) == 0.0
+
+    @pytest.mark.parametrize(
+        "r,expected", [(2, 0.39), (3, 0.49), (4, 0.53)]
+    )
+    def test_paper_printed_values(self, r, expected):
+        assert r_greedy_guarantee(r) == pytest.approx(expected, abs=0.005)
+
+    def test_limit_is_one_minus_inverse_e(self):
+        assert r_greedy_limit() == pytest.approx(1 - 1 / math.e)
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            r_greedy_guarantee(0)
+
+    @given(st.integers(min_value=1, max_value=1000))
+    def test_monotone_increasing_in_r(self, r):
+        assert r_greedy_guarantee(r + 1) > r_greedy_guarantee(r)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_bounded_by_limit(self, r):
+        assert 0.0 <= r_greedy_guarantee(r) < r_greedy_limit()
+
+    def test_diminishing_increments(self):
+        increments = [
+            r_greedy_guarantee(r + 1) - r_greedy_guarantee(r) for r in range(1, 10)
+        ]
+        assert increments == sorted(increments, reverse=True)
+
+
+class TestInnerLevel:
+    def test_paper_value(self):
+        assert inner_level_guarantee() == pytest.approx(0.467, abs=0.001)
+
+    def test_between_2greedy_and_3greedy(self):
+        assert r_greedy_guarantee(2) < inner_level_guarantee() < r_greedy_guarantee(3)
+
+    def test_space_bound_is_2s(self):
+        assert inner_level_space_bound(7) == 14
+
+
+class TestSpaceBounds:
+    def test_r_greedy_space_bound(self):
+        assert r_greedy_space_bound(7, 3) == 9
+
+    def test_r_greedy_space_bound_1greedy_is_tight(self):
+        assert r_greedy_space_bound(7, 1) == 7
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            r_greedy_space_bound(7, 0)
+
+
+class TestCurve:
+    def test_curve_values(self):
+        curve = dict(guarantee_curve(range(1, 5)))
+        assert curve[1] == 0.0
+        assert curve[4] == pytest.approx(0.528, abs=0.001)
+
+    def test_knee_at_4(self):
+        assert knee_of_curve(range(1, 17)) == 4
+
+    def test_knee_needs_two_points(self):
+        with pytest.raises(ValueError):
+            knee_of_curve([3])
+
+    def test_knee_with_tight_threshold_moves_right(self):
+        assert knee_of_curve(range(1, 30), threshold=0.001) > 4

@@ -1,0 +1,47 @@
+"""Tests for the [HRU96] views-only greedy baseline."""
+
+import pytest
+
+from repro.algorithms import HRUGreedy, RGreedy
+from repro.core.qvgraph import QueryViewGraph
+
+
+class TestHRU:
+    def test_never_selects_indexes(self, tpcd_g):
+        result = HRUGreedy().run(tpcd_g, 25e6, seed=("psc",))
+        for name in result.selected:
+            assert tpcd_g.structure(name).is_view
+
+    def test_tpcd_view_selection(self, tpcd_g):
+        """With the paper's sizes, the beneficial views are the small
+        half of the lattice — pc/sc are as big as the raw data and add
+        nothing."""
+        result = HRUGreedy().run(tpcd_g, 25e6, seed=("psc",))
+        assert set(result.selected) == {"psc", "none", "s", "c", "p", "ps"}
+
+    def test_respects_budget(self, tpcd_g):
+        result = HRUGreedy().run(tpcd_g, 7e6, seed=("psc",))
+        assert result.space_used <= 7e6
+
+    def test_greedy_order_by_density(self, tpcd_g):
+        """Stage ratios are nonincreasing (a property of greedy + benefit
+        monotonicity)."""
+        result = HRUGreedy().run(tpcd_g, 25e6)
+        ratios = [s.benefit_per_space for s in result.stages]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_agrees_with_1greedy_when_no_indexes(self, tpcd_lat):
+        g = QueryViewGraph.from_cube(tpcd_lat, index_universe="none")
+        hru = HRUGreedy().run(g, 25e6, seed=("psc",))
+        one = RGreedy(1).run(g, 25e6, seed=("psc",))
+        assert hru.selected == one.selected
+        assert hru.benefit == one.benefit
+
+    def test_zero_benefit_views_not_picked(self, tpcd_g):
+        result = HRUGreedy().run(tpcd_g, 100e6, seed=("psc",))
+        assert "pc" not in result.selected
+        assert "sc" not in result.selected
+
+    def test_invalid_space(self, tpcd_g):
+        with pytest.raises(ValueError):
+            HRUGreedy().run(tpcd_g, -1)

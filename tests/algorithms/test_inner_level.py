@@ -1,0 +1,98 @@
+"""Tests for the inner-level greedy algorithm (Algorithm 5.2)."""
+
+import pytest
+
+from repro.algorithms import FIT_PAPER, FIT_STRICT, InnerLevelGreedy, RGreedy
+from repro.algorithms.inner_level import IG_PEAK, IG_SPACE
+from repro.core.qvgraph import QueryViewGraph
+from repro.datasets.paper_figure2 import FIGURE2_SPACE
+
+
+class TestConstruction:
+    def test_invalid_ig_rule(self):
+        with pytest.raises(ValueError):
+            InnerLevelGreedy(ig_rule="bogus")
+
+    def test_invalid_fit(self):
+        with pytest.raises(ValueError):
+            InnerLevelGreedy(fit="bogus")
+
+
+class TestPaperTrace:
+    def test_paper_example_52(self, fig2_g):
+        """Stage 1 picks {V1, I1,1}; stage 2 picks V2 + six indexes with
+        incremental benefit 240; total 330 on 9 units."""
+        result = InnerLevelGreedy(fit=FIT_PAPER).run(fig2_g, FIGURE2_SPACE)
+        assert result.benefit == 330
+        assert result.space_used == 9
+        assert result.stages[0].structures == ("V1", "I1,1")
+        assert result.stages[0].benefit == 90
+        assert result.stages[1].benefit == 240
+        assert len(result.stages[1].structures) == 7  # V2 + 6 indexes
+
+    def test_space_bound_theorem_52(self, fig2_g):
+        """Selection never exceeds 2·S (Theorem 5.2)."""
+        for s in (3, 5, 7, 9):
+            result = InnerLevelGreedy(fit=FIT_PAPER).run(fig2_g, s)
+            assert result.space_used <= 2 * s
+
+
+class TestIGRules:
+    def test_peak_rule_never_worse_ratio_first_stage(self, fig2_g):
+        space_rule = InnerLevelGreedy(ig_rule=IG_SPACE, fit=FIT_PAPER).run(
+            fig2_g, FIGURE2_SPACE
+        )
+        peak_rule = InnerLevelGreedy(ig_rule=IG_PEAK, fit=FIT_PAPER).run(
+            fig2_g, FIGURE2_SPACE
+        )
+        # both land the same quality on this instance
+        assert peak_rule.benefit >= 0.9 * space_rule.benefit
+
+    def test_strict_fit_respects_budget(self, tpcd_g):
+        result = InnerLevelGreedy(fit=FIT_STRICT).run(tpcd_g, 25e6, seed=("psc",))
+        assert result.space_used <= 25e6
+
+
+class TestMechanics:
+    def test_indexes_follow_views(self, fig2_g):
+        result = InnerLevelGreedy(fit=FIT_PAPER).run(fig2_g, FIGURE2_SPACE)
+        seen = set()
+        for name in result.selected:
+            struct = fig2_g.structure(name)
+            if struct.is_index:
+                assert struct.view_name in seen
+            seen.add(name)
+
+    def test_stage_benefits_sum(self, fig2_g):
+        result = InnerLevelGreedy(fit=FIT_PAPER).run(fig2_g, FIGURE2_SPACE)
+        assert sum(s.benefit for s in result.stages) == pytest.approx(result.benefit)
+
+    def test_phase2_single_index_pick(self):
+        """After a view is in, a hot single index must win a later stage."""
+        g = QueryViewGraph()
+        g.add_view("v", 1)
+        g.add_index("v", "i1")
+        g.add_index("v", "i2")
+        g.add_query("qv", 100)
+        g.add_query("q1", 50)
+        g.add_query("q2", 50)
+        g.add_edge("qv", "v", 1)
+        g.add_edge("q1", "i1", 1)
+        g.add_edge("q2", "i2", 1)
+        result = InnerLevelGreedy(fit=FIT_PAPER).run(g, 3)
+        assert set(result.selected) == {"v", "i1", "i2"}
+        assert result.benefit == 99 + 49 + 49
+
+    def test_beats_1greedy_on_figure2(self, fig2_g):
+        one = RGreedy(1, fit=FIT_PAPER).run(fig2_g, FIGURE2_SPACE)
+        inner = InnerLevelGreedy(fit=FIT_PAPER).run(fig2_g, FIGURE2_SPACE)
+        assert inner.benefit > one.benefit
+
+    def test_deterministic(self, tpcd_g):
+        a = InnerLevelGreedy(fit=FIT_STRICT).run(tpcd_g, 20e6, seed=("psc",))
+        b = InnerLevelGreedy(fit=FIT_STRICT).run(tpcd_g, 20e6, seed=("psc",))
+        assert a.selected == b.selected
+
+    def test_seed_stage_recorded(self, tpcd_g):
+        result = InnerLevelGreedy(fit=FIT_STRICT).run(tpcd_g, 25e6, seed=("psc",))
+        assert result.stages[0].structures == ("psc",)

@@ -1,0 +1,128 @@
+"""Tests for the local-search refiner extension."""
+
+import pytest
+
+from repro.algorithms import FIT_PAPER, FIT_STRICT, BranchAndBoundOptimal, RGreedy
+from repro.algorithms.local_search import LocalSearchRefiner
+from repro.core.benefit import BenefitEngine
+from repro.datasets.paper_figure2 import FIGURE2_SPACE
+
+
+class TestValidation:
+    def test_max_rounds_positive(self):
+        with pytest.raises(ValueError):
+            LocalSearchRefiner(max_rounds=0)
+
+    def test_rejects_inadmissible_input(self, fig2_g):
+        with pytest.raises(ValueError, match="not admissible"):
+            LocalSearchRefiner().refine(fig2_g, 7, ["I2,1"])
+
+    def test_rejects_overfull_input(self, fig2_g):
+        names = [s.name for s in fig2_g.views] + fig2_g.indexes_of("V2")
+        with pytest.raises(ValueError, match="exceeds"):
+            LocalSearchRefiner().refine(fig2_g, 3, names)
+
+    def test_protected_must_be_selected(self, fig2_g):
+        with pytest.raises(ValueError, match="protected"):
+            LocalSearchRefiner().refine(fig2_g, 7, ["V5"], protected=["V1"])
+
+
+class TestRefinement:
+    def test_repairs_1greedy_on_figure2(self, fig2_g):
+        """The headline: local search escapes the 1-greedy trap (46) and
+        reaches the neighbourhood of the optimum (300)."""
+        engine = BenefitEngine(fig2_g)
+        greedy = RGreedy(1, fit=FIT_PAPER).run(engine, FIGURE2_SPACE)
+        assert greedy.benefit == 46
+        refined = LocalSearchRefiner().refine(
+            engine, FIGURE2_SPACE, greedy.selected
+        )
+        assert refined.benefit >= 194
+        assert refined.space_used <= FIGURE2_SPACE
+
+    def test_never_hurts(self, fig2_g):
+        engine = BenefitEngine(fig2_g)
+        for r in (1, 2, 3):
+            greedy = RGreedy(r, fit=FIT_STRICT).run(engine, FIGURE2_SPACE)
+            refined = LocalSearchRefiner().refine(
+                engine, FIGURE2_SPACE, greedy.selected
+            )
+            assert refined.benefit >= greedy.benefit - 1e-9
+
+    def test_never_exceeds_optimum(self, fig2_g):
+        engine = BenefitEngine(fig2_g)
+        greedy = RGreedy(1, fit=FIT_STRICT).run(engine, FIGURE2_SPACE)
+        refined = LocalSearchRefiner().refine(engine, FIGURE2_SPACE, greedy.selected)
+        optimal = BranchAndBoundOptimal().run(engine, FIGURE2_SPACE)
+        assert refined.benefit <= optimal.benefit + 1e-9
+
+    def test_respects_budget(self, fig2_g):
+        engine = BenefitEngine(fig2_g)
+        greedy = RGreedy(1, fit=FIT_STRICT).run(engine, 5)
+        refined = LocalSearchRefiner().refine(engine, 5, greedy.selected)
+        assert refined.space_used <= 5 + 1e-9
+
+    def test_admissible_output(self, fig2_g):
+        engine = BenefitEngine(fig2_g)
+        greedy = RGreedy(1, fit=FIT_STRICT).run(engine, FIGURE2_SPACE)
+        refined = LocalSearchRefiner().refine(engine, FIGURE2_SPACE, greedy.selected)
+        views = {n for n in refined.selected if fig2_g.structure(n).is_view}
+        for name in refined.selected:
+            struct = fig2_g.structure(name)
+            if struct.is_index:
+                assert struct.view_name in views
+
+    def test_protected_structures_survive(self, tpcd_g):
+        engine = BenefitEngine(tpcd_g)
+        greedy = RGreedy(1, fit=FIT_STRICT).run(engine, 25e6, seed=("psc",))
+        refined = LocalSearchRefiner().refine(
+            engine, 25e6, greedy.selected, protected=["psc"]
+        )
+        assert "psc" in refined.selected
+        assert refined.benefit >= greedy.benefit - 1e-9
+
+    def test_empty_selection_grows_greedily(self, fig2_g):
+        refined = LocalSearchRefiner().refine(fig2_g, FIGURE2_SPACE, [])
+        assert refined.benefit > 0
+
+    def test_terminates_with_single_round(self, fig2_g):
+        engine = BenefitEngine(fig2_g)
+        greedy = RGreedy(1, fit=FIT_STRICT).run(engine, FIGURE2_SPACE)
+        refined = LocalSearchRefiner(max_rounds=1).refine(
+            engine, FIGURE2_SPACE, greedy.selected
+        )
+        assert refined.benefit >= greedy.benefit - 1e-9
+
+    def test_moves_recorded_in_stages(self, fig2_g):
+        engine = BenefitEngine(fig2_g)
+        greedy = RGreedy(1, fit=FIT_PAPER).run(engine, FIGURE2_SPACE)
+        refined = LocalSearchRefiner().refine(engine, FIGURE2_SPACE, greedy.selected)
+        assert refined.stages  # at least one improving move on this instance
+        for stage in refined.stages:
+            assert stage.structures[0].startswith(("+", "swap"))
+
+
+class TestLocalOptimality:
+    def test_output_is_add_stable(self, fig2_g):
+        """After refinement, no single admissible addition that fits can
+        still improve — the definition of the add-move fixed point."""
+        from repro.core.benefit import BenefitEngine
+
+        engine = BenefitEngine(fig2_g)
+        greedy = RGreedy(1, fit=FIT_STRICT).run(engine, FIGURE2_SPACE)
+        refined = LocalSearchRefiner().refine(
+            engine, FIGURE2_SPACE, greedy.selected
+        )
+        engine.reset()
+        ids = [engine.structure_id(n) for n in refined.selected]
+        views_first = sorted(ids, key=lambda i: not engine.is_view[i])
+        engine.commit(views_first)
+        space_left = FIGURE2_SPACE - engine.space_used()
+        for sid in range(engine.n_structures):
+            if sid in set(ids):
+                continue
+            if float(engine.spaces[sid]) > space_left + 1e-9:
+                continue
+            if not engine.is_view[sid] and int(engine.view_id_of[sid]) not in set(ids):
+                continue
+            assert engine.benefit_of([sid]) <= 1e-9, engine.name_of(sid)

@@ -1,0 +1,92 @@
+"""Tests for maintenance-aware selection (the [G97] objective)."""
+
+import pytest
+
+from repro.algorithms import FIT_STRICT, RGreedy
+from repro.algorithms.maintenance_aware import (
+    MaintenanceAwareGreedy,
+    structure_update_costs,
+)
+from repro.core.benefit import BenefitEngine
+from repro.datasets.paper_figure2 import FIGURE2_SPACE
+
+
+class TestUpdateCosts:
+    def test_view_costs_delta_plus_view(self, tpcd_g):
+        engine = BenefitEngine(tpcd_g)
+        costs = structure_update_costs(engine, delta_rows=1000)
+        ps = engine.structure_id("ps")
+        assert costs[ps] == 1000 + 800_000
+
+    def test_index_costs_owner_view(self, tpcd_g):
+        engine = BenefitEngine(tpcd_g)
+        costs = structure_update_costs(engine, delta_rows=1000)
+        idx = engine.structure_id("I_sp(ps)")
+        assert costs[idx] == 800_000
+
+    def test_negative_delta_rejected(self, tpcd_g):
+        engine = BenefitEngine(tpcd_g)
+        with pytest.raises(ValueError):
+            structure_update_costs(engine, -1)
+
+
+class TestMaintenanceAwareGreedy:
+    def test_lambda_zero_matches_plain_greedy_quality(self, fig2_g):
+        """With no update pressure the penalized greedy is plain greedy."""
+        plain = RGreedy(2, fit=FIT_STRICT).run(fig2_g, FIGURE2_SPACE)
+        aware = MaintenanceAwareGreedy(update_weight=0.0).run(
+            fig2_g, FIGURE2_SPACE
+        )
+        assert aware.benefit == pytest.approx(plain.benefit)
+        assert aware.selected == plain.selected
+
+    def test_update_pressure_shrinks_selection(self, tpcd_g):
+        """As λ grows, hot-to-maintain structures (the 6M-row psc indexes)
+        drop out before the cheap small-view structures."""
+        light = MaintenanceAwareGreedy(update_weight=0.0).run(
+            tpcd_g, 25e6, seed=("psc",)
+        )
+        heavy = MaintenanceAwareGreedy(update_weight=5.0).run(
+            tpcd_g, 25e6, seed=("psc",)
+        )
+        assert len(heavy.selected) <= len(light.selected)
+        psc_indexes_light = sum(1 for n in light.selected if "(psc)" in n)
+        psc_indexes_heavy = sum(1 for n in heavy.selected if "(psc)" in n)
+        assert psc_indexes_heavy <= psc_indexes_light
+
+    def test_extreme_pressure_selects_nothing_beyond_seed(self, tpcd_g):
+        result = MaintenanceAwareGreedy(update_weight=1e9).run(
+            tpcd_g, 25e6, seed=("psc",)
+        )
+        assert result.selected == ("psc",)
+
+    def test_query_benefit_monotone_in_lambda(self, tpcd_g):
+        """Raw query benefit can only drop as update pressure rises."""
+        benefits = [
+            MaintenanceAwareGreedy(update_weight=w)
+            .run(tpcd_g, 25e6, seed=("psc",))
+            .benefit
+            for w in (0.0, 0.5, 2.0, 10.0)
+        ]
+        assert benefits == sorted(benefits, reverse=True)
+
+    def test_respects_budget(self, tpcd_g):
+        result = MaintenanceAwareGreedy(update_weight=0.1).run(
+            tpcd_g, 25e6, seed=("psc",)
+        )
+        assert result.space_used <= 25e6
+
+    def test_admissible_output(self, fig2_g):
+        result = MaintenanceAwareGreedy(update_weight=0.2).run(fig2_g, 7)
+        engine = BenefitEngine(fig2_g)
+        ids = [engine.structure_id(n) for n in result.selected]
+        assert engine.is_admissible(ids)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaintenanceAwareGreedy(update_weight=-1)
+        with pytest.raises(ValueError):
+            MaintenanceAwareGreedy(delta_rows=-1)
+
+    def test_name_mentions_lambda(self):
+        assert "λ=0.5" in MaintenanceAwareGreedy(update_weight=0.5).name

@@ -1,0 +1,102 @@
+"""Tests for the exact optimal solvers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import BranchAndBoundOptimal, SearchBudgetExceeded, exhaustive_optimal
+from repro.core.benefit import BenefitEngine
+from repro.core.qvgraph import QueryViewGraph
+
+from tests.conftest import unit_graph_strategy
+
+
+def small_graph() -> QueryViewGraph:
+    g = QueryViewGraph()
+    g.add_view("v1", 2)
+    g.add_index("v1", "i1", space=1)
+    g.add_view("v2", 1)
+    g.add_query("q1", 100)
+    g.add_query("q2", 30)
+    g.add_edge("q1", "i1", 1)
+    g.add_edge("q1", "v1", 60)
+    g.add_edge("q2", "v2", 5)
+    return g
+
+
+class TestBranchAndBound:
+    def test_tiny_instance(self):
+        result = BranchAndBoundOptimal().run(small_graph(), 4)
+        assert set(result.selected) == {"v1", "i1", "v2"}
+        assert result.benefit == 99 + 25
+
+    def test_space_constraint_binds(self):
+        result = BranchAndBoundOptimal().run(small_graph(), 3)
+        assert set(result.selected) == {"v1", "i1"}
+        assert result.benefit == 99
+
+    def test_index_never_without_view(self):
+        result = BranchAndBoundOptimal().run(small_graph(), 1)
+        # only v2 fits meaningfully: i1 alone is inadmissible
+        assert set(result.selected) == {"v2"}
+
+    def test_zero_space_raises(self):
+        with pytest.raises(ValueError):
+            BranchAndBoundOptimal().run(small_graph(), 0)
+
+    def test_node_limit_raises(self, fig2_g):
+        with pytest.raises(SearchBudgetExceeded):
+            BranchAndBoundOptimal(node_limit=3).run(fig2_g, 7)
+
+    def test_figure2_optima(self, fig2_g):
+        assert BranchAndBoundOptimal().run(fig2_g, 7).benefit == 300
+        assert BranchAndBoundOptimal().run(fig2_g, 9).benefit == 400
+
+    def test_seed_forced_into_solution(self, fig2_g):
+        result = BranchAndBoundOptimal().run(fig2_g, 7, seed=("V5",))
+        assert "V5" in result.selected
+        # V5 (benefit 7) wastes a unit vs the V2 bundle: optimum drops by 50
+        assert result.benefit == 7 + 250
+
+    def test_seed_exceeding_budget_raises(self, fig2_g):
+        with pytest.raises(ValueError, match="seed"):
+            BranchAndBoundOptimal().run(fig2_g, 0.5, seed=("V1",))
+
+    def test_monotone_in_space(self, fig2_g):
+        benefits = [
+            BranchAndBoundOptimal().run(fig2_g, s).benefit for s in (2, 4, 6, 8)
+        ]
+        assert benefits == sorted(benefits)
+
+
+class TestExhaustive:
+    def test_matches_branch_and_bound_on_small_graph(self):
+        g = small_graph()
+        for space in (1, 2, 3, 4):
+            bb = BranchAndBoundOptimal().run(g, space)
+            ex = exhaustive_optimal(g, space)
+            assert bb.benefit == pytest.approx(ex.benefit)
+
+    def test_refuses_large_graphs(self, fig2_g):
+        with pytest.raises(ValueError, match="limited"):
+            exhaustive_optimal(fig2_g, 7, max_structures=10)
+
+    @settings(max_examples=40, deadline=None)
+    @given(unit_graph_strategy(), st.integers(min_value=1, max_value=6))
+    def test_branch_and_bound_agrees_with_exhaustive(self, graph, space):
+        """The headline correctness property of the B&B pruning bounds."""
+        engine = BenefitEngine(graph)
+        bb = BranchAndBoundOptimal().run(engine, space)
+        ex = exhaustive_optimal(engine, space)
+        assert bb.benefit == pytest.approx(ex.benefit)
+
+    @settings(max_examples=25, deadline=None)
+    @given(unit_graph_strategy(), st.integers(min_value=1, max_value=6))
+    def test_optimal_dominates_greedy(self, graph, space):
+        from repro.algorithms import FIT_STRICT, RGreedy
+
+        engine = BenefitEngine(graph)
+        opt = exhaustive_optimal(engine, space)
+        for r in (1, 2):
+            greedy = RGreedy(r, fit=FIT_STRICT).run(engine, space)
+            assert greedy.benefit <= opt.benefit + 1e-9

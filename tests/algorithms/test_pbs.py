@@ -1,0 +1,65 @@
+"""Tests for the PBS (pick-by-size) baseline of [HRU96]."""
+
+import pytest
+
+from repro.algorithms import FIT_PAPER, HRUGreedy, RGreedy
+from repro.algorithms.pbs import PickBySmallest
+from repro.core.benefit import BenefitEngine
+
+
+class TestPBS:
+    def test_views_picked_smallest_first(self, tpcd_g):
+        result = PickBySmallest().run(tpcd_g, 25e6, seed=("psc",))
+        picked = [n for n in result.selected if n != "psc"]
+        sizes = [tpcd_g.structure(n).space for n in picked]
+        assert sizes == sorted(sizes)
+
+    def test_views_only_by_default(self, tpcd_g):
+        result = PickBySmallest().run(tpcd_g, 25e6, seed=("psc",))
+        for name in result.selected:
+            assert tpcd_g.structure(name).is_view
+
+    def test_respects_budget(self, tpcd_g):
+        result = PickBySmallest().run(tpcd_g, 10e6, seed=("psc",))
+        assert result.space_used <= 10e6
+
+    def test_with_indexes_fills_more_space(self, tpcd_g):
+        plain = PickBySmallest().run(tpcd_g, 25e6, seed=("psc",))
+        with_idx = PickBySmallest(include_indexes=True).run(
+            tpcd_g, 25e6, seed=("psc",)
+        )
+        assert with_idx.space_used >= plain.space_used
+        assert with_idx.benefit >= plain.benefit
+
+    def test_indexes_never_precede_views(self, tpcd_g):
+        result = PickBySmallest(include_indexes=True).run(
+            tpcd_g, 25e6, seed=("psc",)
+        )
+        seen = set()
+        for name in result.selected:
+            struct = tpcd_g.structure(name)
+            if struct.is_index:
+                assert struct.view_name in seen
+            seen.add(name)
+
+    def test_matches_hru_on_tpcd_views(self, tpcd_g):
+        """On the TPC-D sizes the small half of the lattice is exactly
+        what the benefit-greedy picks too — PBS's raison d'être."""
+        pbs = PickBySmallest().run(tpcd_g, 25e6, seed=("psc",))
+        hru = HRUGreedy().run(tpcd_g, 25e6, seed=("psc",))
+        # PBS additionally space-fills with the zero-benefit pc/sc views
+        assert set(hru.selected) <= set(pbs.selected)
+        assert pbs.benefit == pytest.approx(hru.benefit)
+
+    def test_one_step_greedy_beats_pbs_when_indexes_matter(self, fig2_g):
+        """PBS is size-blind to value: on Figure 2 every structure has
+        unit size, so PBS picks arbitrarily and loses to 2-greedy."""
+        engine = BenefitEngine(fig2_g)
+        pbs = PickBySmallest(include_indexes=True).run(engine, 7)
+        greedy = RGreedy(2, fit=FIT_PAPER).run(engine, 7)
+        assert greedy.benefit > pbs.benefit
+
+    def test_deterministic(self, tpcd_g):
+        a = PickBySmallest(include_indexes=True).run(tpcd_g, 20e6, seed=("psc",))
+        b = PickBySmallest(include_indexes=True).run(tpcd_g, 20e6, seed=("psc",))
+        assert a.selected == b.selected

@@ -1,0 +1,145 @@
+"""Tests for the r-greedy algorithm (Algorithm 5.1)."""
+
+import pytest
+
+from repro.algorithms import FIT_PAPER, FIT_STRICT, RGreedy
+from repro.core.benefit import BenefitEngine
+from repro.core.qvgraph import QueryViewGraph
+from repro.datasets.paper_figure2 import FIGURE2_SPACE
+
+
+def chain_graph() -> QueryViewGraph:
+    """One view whose value lives entirely in its two indexes."""
+    g = QueryViewGraph()
+    g.add_view("v", 2)
+    g.add_index("v", "i1")
+    g.add_index("v", "i2")
+    g.add_view("w", 1)
+    g.add_query("qa", 100)
+    g.add_query("qb", 100)
+    g.add_query("qc", 10)
+    g.add_edge("qa", "i1", 1)
+    g.add_edge("qb", "i2", 1)
+    g.add_edge("qc", "w", 1)
+    return g
+
+
+class TestConstruction:
+    def test_r_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RGreedy(0)
+
+    def test_invalid_fit_rejected(self):
+        with pytest.raises(ValueError):
+            RGreedy(1, fit="loose")
+
+    def test_name_reflects_r(self):
+        assert RGreedy(3).name == "3-greedy"
+
+    def test_invalid_space_rejected(self):
+        with pytest.raises(ValueError):
+            RGreedy(1).run(chain_graph(), 0)
+
+
+class TestOneGreedyPathology:
+    """The Section 1 failure mode: 1-greedy never unlocks index-only value."""
+
+    def test_1greedy_misses_view_with_index_only_value(self):
+        result = RGreedy(1).run(chain_graph(), 4)
+        assert "v" not in result.selected
+        assert result.selected == ("w",)
+        assert result.benefit == 9
+
+    def test_2greedy_unlocks_it(self):
+        result = RGreedy(2).run(chain_graph(), 7)
+        assert "v" in result.selected and "i1" in result.selected
+        assert result.benefit == 99 + 99 + 9  # {v,i1}, then i2, then w
+
+
+class TestMechanics:
+    def test_view_committed_before_its_indexes(self, fig2_g):
+        result = RGreedy(2, fit=FIT_PAPER).run(fig2_g, FIGURE2_SPACE)
+        seen = set()
+        for name in result.selected:
+            struct = fig2_g.structure(name)
+            if struct.is_index:
+                assert struct.view_name in seen
+            seen.add(name)
+
+    def test_stage_benefits_sum_to_total(self, fig2_g):
+        result = RGreedy(2, fit=FIT_PAPER).run(fig2_g, FIGURE2_SPACE)
+        assert sum(s.benefit for s in result.stages) == pytest.approx(result.benefit)
+
+    def test_stage_tau_monotone_decreasing(self, fig2_g):
+        result = RGreedy(3, fit=FIT_PAPER).run(fig2_g, FIGURE2_SPACE)
+        taus = [s.tau_after for s in result.stages]
+        assert taus == sorted(taus, reverse=True)
+
+    def test_strict_fit_respects_budget(self, tpcd_g):
+        result = RGreedy(1, fit=FIT_STRICT).run(tpcd_g, 25e6, seed=("psc",))
+        assert result.space_used <= 25e6
+
+    def test_paper_fit_overshoot_bounded_unit_spaces(self, fig2_g):
+        for r in (1, 2, 3):
+            result = RGreedy(r, fit=FIT_PAPER).run(fig2_g, FIGURE2_SPACE)
+            assert result.space_used <= FIGURE2_SPACE + r - 1
+
+    def test_no_duplicate_picks(self, fig2_g):
+        result = RGreedy(3, fit=FIT_PAPER).run(fig2_g, FIGURE2_SPACE)
+        assert len(set(result.selected)) == len(result.selected)
+
+    def test_stops_when_no_benefit_left(self):
+        g = QueryViewGraph()
+        g.add_view("v", 1)
+        g.add_query("q", 10)
+        g.add_edge("q", "v", 1)
+        result = RGreedy(1).run(g, 100)
+        assert result.selected == ("v",)  # nothing else worth picking
+
+    def test_engine_reuse_resets_state(self, fig2_g):
+        engine = BenefitEngine(fig2_g)
+        first = RGreedy(1, fit=FIT_PAPER).run(engine, FIGURE2_SPACE)
+        second = RGreedy(1, fit=FIT_PAPER).run(engine, FIGURE2_SPACE)
+        assert first.selected == second.selected
+        assert first.benefit == second.benefit
+
+    def test_deterministic_across_runs(self, tpcd_g):
+        a = RGreedy(2).run(tpcd_g, 20e6, seed=("psc",))
+        b = RGreedy(2).run(tpcd_g, 20e6, seed=("psc",))
+        assert a.selected == b.selected
+
+
+class TestSeed:
+    def test_seed_counted_in_space(self, tpcd_g):
+        result = RGreedy(1).run(tpcd_g, 25e6, seed=("psc",))
+        assert result.selected[0] == "psc"
+        assert result.space_used >= 6e6
+
+    def test_seed_recorded_as_stage(self, tpcd_g):
+        result = RGreedy(1).run(tpcd_g, 25e6, seed=("psc",))
+        assert result.stages[0].structures == ("psc",)
+
+    def test_unknown_seed_raises(self, tpcd_g):
+        with pytest.raises(KeyError):
+            RGreedy(1).run(tpcd_g, 25e6, seed=("nope",))
+
+    def test_seed_unlocks_indexes_for_1greedy(self):
+        result = RGreedy(1).run(chain_graph(), 6, seed=("v",))
+        assert "i1" in result.selected and "i2" in result.selected
+
+
+class TestMonotoneInR:
+    """Larger r never hurts on these instances (not a theorem, but holds
+    on the paper's instances and is a useful regression check)."""
+
+    def test_figure2_benefits_nondecreasing_in_r(self, fig2_g):
+        benefits = [
+            RGreedy(r, fit=FIT_PAPER).run(fig2_g, FIGURE2_SPACE).benefit
+            for r in (1, 2, 3, 4)
+        ]
+        assert benefits == sorted(benefits)
+
+    def test_more_space_never_hurts(self, fig2_g):
+        b_small = RGreedy(2, fit=FIT_PAPER).run(fig2_g, 5).benefit
+        b_large = RGreedy(2, fit=FIT_PAPER).run(fig2_g, 9).benefit
+        assert b_large >= b_small

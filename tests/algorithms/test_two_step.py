@@ -1,0 +1,102 @@
+"""Tests for the two-step baseline (Section 2, [MS95])."""
+
+import pytest
+
+from repro.algorithms import FIT_PAPER, RGreedy, TwoStep
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.5, 2.0])
+    def test_fraction_must_be_strictly_inside_unit_interval(self, fraction):
+        with pytest.raises(ValueError):
+            TwoStep(fraction)
+
+    def test_name_mentions_split(self):
+        assert "50%" in TwoStep(0.5).name
+
+
+class TestTwoStepStructure:
+    def test_views_precede_indexes_in_pick_order(self, tpcd_g):
+        result = TwoStep(0.5).run(tpcd_g, 25e6, seed=("psc",))
+        kinds = [tpcd_g.structure(n).kind for n in result.selected]
+        first_index = kinds.index("index") if "index" in kinds else len(kinds)
+        assert all(k == "view" for k in kinds[:first_index])
+        assert all(k == "index" for k in kinds[first_index:])
+
+    def test_indexes_only_on_selected_views(self, tpcd_g):
+        result = TwoStep(0.5).run(tpcd_g, 25e6, seed=("psc",))
+        views = {n for n in result.selected if tpcd_g.structure(n).is_view}
+        for name in result.selected:
+            struct = tpcd_g.structure(name)
+            if struct.is_index:
+                assert struct.view_name in views
+
+    def test_view_share_respected(self, tpcd_g):
+        result = TwoStep(0.5).run(tpcd_g, 25e6, seed=("psc",))
+        view_space = sum(
+            tpcd_g.structure(n).space
+            for n in result.selected
+            if tpcd_g.structure(n).is_view
+        )
+        assert view_space <= 12.5e6
+
+    def test_index_share_respected(self, tpcd_g):
+        result = TwoStep(0.5).run(tpcd_g, 25e6, seed=("psc",))
+        index_space = sum(
+            tpcd_g.structure(n).space
+            for n in result.selected
+            if tpcd_g.structure(n).is_index
+        )
+        assert index_space <= 12.5e6
+
+    def test_paper_average_query_cost(self, tpcd_g):
+        """Example 2.1: the equal split lands at 1.18M rows per query."""
+        result = TwoStep(0.5).run(tpcd_g, 25e6, seed=("psc",))
+        assert result.average_query_cost == pytest.approx(1.18e6, rel=0.01)
+
+    def test_one_step_beats_two_step_on_tpcd(self, tpcd_g):
+        """The paper's headline: integrating the steps wins ~40%."""
+        two = TwoStep(0.5).run(tpcd_g, 25e6, seed=("psc",))
+        one = RGreedy(1, fit=FIT_PAPER).run(tpcd_g, 25e6, seed=("psc",))
+        improvement = 1 - one.average_query_cost / two.average_query_cost
+        assert 0.3 < improvement < 0.5
+
+    def test_extreme_splits_are_worse(self, tpcd_g):
+        balanced = TwoStep(0.5).run(tpcd_g, 25e6, seed=("psc",))
+        all_views = TwoStep(0.9).run(tpcd_g, 25e6, seed=("psc",))
+        assert all_views.average_query_cost >= balanced.average_query_cost
+
+    def test_deterministic(self, tpcd_g):
+        a = TwoStep(0.3).run(tpcd_g, 25e6, seed=("psc",))
+        b = TwoStep(0.3).run(tpcd_g, 25e6, seed=("psc",))
+        assert a.selected == b.selected
+
+
+class TestIndexBudgetModes:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="index_budget_mode"):
+            TwoStep(0.5, index_budget_mode="bogus")
+
+    def test_remaining_mode_uses_leftover_view_space(self, tpcd_g):
+        """The view step leaves ~5.4M of its 12.5M share unused; the
+        'remaining' variant lets the index step spend it — it fits a
+        third fat psc index and reaches the one-step plateau."""
+        fraction = TwoStep(0.5, index_budget_mode="fraction").run(
+            tpcd_g, 25e6, seed=("psc",)
+        )
+        remaining = TwoStep(0.5, index_budget_mode="remaining").run(
+            tpcd_g, 25e6, seed=("psc",)
+        )
+        assert remaining.benefit >= fraction.benefit
+        assert remaining.space_used <= 25e6
+
+    def test_remaining_mode_still_loses_to_bad_splits(self, tpcd_g):
+        """Smarter budgeting cannot rescue a view-heavy split: with 90%
+        of the budget spent on views there is nothing left to recover."""
+        from repro.algorithms import FIT_PAPER, RGreedy
+
+        bad_split = TwoStep(0.9, index_budget_mode="remaining").run(
+            tpcd_g, 25e6, seed=("psc",)
+        )
+        one_step = RGreedy(1, fit=FIT_PAPER).run(tpcd_g, 25e6, seed=("psc",))
+        assert bad_split.average_query_cost > one_step.average_query_cost

@@ -1,0 +1,87 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.lattice import CubeLattice
+from repro.core.qvgraph import QueryViewGraph
+from repro.core.view import View
+from repro.cube.schema import CubeSchema, Dimension
+from repro.datasets.paper_figure2 import figure2_graph
+from repro.datasets.tpcd import tpcd_graph, tpcd_lattice
+
+
+@pytest.fixture(scope="session")
+def tpcd_lat() -> CubeLattice:
+    return tpcd_lattice()
+
+
+@pytest.fixture(scope="session")
+def tpcd_g() -> QueryViewGraph:
+    return tpcd_graph()
+
+
+@pytest.fixture(scope="session")
+def fig2_g() -> QueryViewGraph:
+    return figure2_graph()
+
+
+@pytest.fixture
+def small_schema() -> CubeSchema:
+    return CubeSchema([Dimension("a", 10), Dimension("b", 20), Dimension("c", 5)])
+
+
+@pytest.fixture
+def small_lattice(small_schema) -> CubeLattice:
+    sizes = {
+        View.of("a", "b", "c"): 400,
+        View.of("a", "b"): 180,
+        View.of("a", "c"): 50,
+        View.of("b", "c"): 95,
+        View.of("a"): 10,
+        View.of("b"): 20,
+        View.of("c"): 5,
+        View.none(): 1,
+    }
+    return CubeLattice(small_schema, sizes)
+
+
+# --------------------------------------------------------------- hypothesis
+
+
+def random_unit_graph(draw) -> QueryViewGraph:
+    """Hypothesis builder: a random unit-space query-view graph.
+
+    Small enough for exhaustive optimal cross-checks: at most 4 views with
+    at most 3 indexes each, at most 10 queries.
+    """
+    n_views = draw(st.integers(min_value=1, max_value=4))
+    graph = QueryViewGraph()
+    structures = []
+    for v in range(n_views):
+        view_name = f"V{v}"
+        graph.add_view(view_name, space=1.0)
+        structures.append(view_name)
+        n_idx = draw(st.integers(min_value=0, max_value=3))
+        for i in range(n_idx):
+            idx_name = f"I{v},{i}"
+            graph.add_index(view_name, idx_name, space=1.0)
+            structures.append(idx_name)
+    n_queries = draw(st.integers(min_value=1, max_value=10))
+    for q in range(n_queries):
+        default = draw(st.integers(min_value=1, max_value=100))
+        graph.add_query(f"q{q}", default_cost=float(default))
+        # each query gets edges to a random subset of structures
+        for s in structures:
+            if draw(st.booleans()):
+                cost = draw(st.integers(min_value=0, max_value=default))
+                graph.add_edge(f"q{q}", s, float(cost))
+    return graph
+
+
+@st.composite
+def unit_graph_strategy(draw):
+    return random_unit_graph(draw)

@@ -1,0 +1,243 @@
+"""Tests for dimension hierarchies (the [HRU96] generalization)."""
+
+import math
+
+import pytest
+
+from repro.algorithms import FIT_STRICT, RGreedy
+from repro.core.hierarchy import (
+    ALL,
+    HierarchicalCube,
+    HierarchicalView,
+    Hierarchy,
+    Level,
+    hierarchical_lattice_graph,
+    hierarchical_queries,
+)
+
+
+@pytest.fixture
+def time_hierarchy():
+    return Hierarchy(
+        "time", [Level("day", 365), Level("month", 12), Level("year", 1)]
+    )
+
+
+@pytest.fixture
+def cube(time_hierarchy):
+    return HierarchicalCube(
+        [
+            time_hierarchy,
+            Hierarchy("cust", [Level("customer", 200), Level("nation", 20)]),
+            Hierarchy.flat("p", 50),
+        ],
+        raw_rows=20_000,
+    )
+
+
+class TestHierarchy:
+    def test_flat_helper(self):
+        h = Hierarchy.flat("p", 100)
+        assert h.n_levels == 1
+        assert h.levels[0].name == "p"
+
+    def test_cardinality_must_decrease(self):
+        with pytest.raises(ValueError, match="coarser"):
+            Hierarchy("t", [Level("month", 12), Level("day", 365)])
+
+    def test_equal_cardinality_allowed(self):
+        Hierarchy("t", [Level("a", 10), Level("b", 10)])  # no error
+
+    def test_duplicate_level_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Hierarchy("t", [Level("x", 10), Level("x", 5)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Hierarchy("t", [])
+
+    def test_level_index(self, time_hierarchy):
+        assert time_hierarchy.level_index("month") == 1
+        with pytest.raises(KeyError):
+            time_hierarchy.level_index("decade")
+
+    def test_coarsens(self, time_hierarchy):
+        assert time_hierarchy.coarsens(1, 0)  # month from day
+        assert time_hierarchy.coarsens(2, 0)  # year from day
+        assert time_hierarchy.coarsens(1, 1)  # month from month
+        assert not time_hierarchy.coarsens(0, 1)  # day from month: no
+        assert time_hierarchy.coarsens(ALL, 2)  # ALL from anything
+        assert not time_hierarchy.coarsens(0, ALL)
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            Level("", 10)
+        with pytest.raises(ValueError):
+            Level("x", 0)
+
+
+class TestHierarchicalCube:
+    def test_view_count_is_product_of_chain_lengths(self, cube):
+        assert cube.n_views() == 4 * 3 * 2
+        assert len(list(cube.views())) == 24
+
+    def test_flat_cube_matches_power_set(self):
+        flat = HierarchicalCube(
+            [Hierarchy.flat("a", 10), Hierarchy.flat("b", 20)], raw_rows=100
+        )
+        assert flat.n_views() == 4  # 2^2
+
+    def test_top_is_finest(self, cube):
+        top = cube.top()
+        assert top.levels == (0, 0, 0)
+        assert cube.label(top) == "day,customer,p"
+
+    def test_label_of_all_all(self, cube):
+        view = HierarchicalView([ALL, ALL, ALL])
+        assert cube.label(view) == "none"
+        assert cube.size(view) == 1.0
+
+    def test_computability_per_dimension(self, cube):
+        day_cust = HierarchicalView([0, 0, ALL])
+        month_nation = HierarchicalView([1, 1, ALL])
+        assert cube.computable(month_nation, day_cust)
+        assert not cube.computable(day_cust, month_nation)
+
+    def test_computability_is_partial_order(self, cube):
+        views = list(cube.views())
+        for a in views:
+            assert cube.computable(a, a)  # reflexive
+        for a in views[:8]:
+            for b in views[:8]:
+                for c in views[:8]:
+                    if cube.computable(a, b) and cube.computable(b, c):
+                        assert cube.computable(a, c)  # transitive
+
+    def test_sizes_monotone_along_computability(self, cube):
+        """A computable (coarser) view never has more rows."""
+        views = list(cube.views())
+        for a in views:
+            for b in views:
+                if cube.computable(a, b):
+                    assert cube.size(a) <= cube.size(b) + 1e-9
+
+    def test_cells(self, cube):
+        view = HierarchicalView([1, 1, ALL])  # month × nation
+        assert cube.cells(view) == 12 * 20
+
+    def test_top_size_bounded_by_raw_rows(self, cube):
+        assert cube.size(cube.top()) <= 20_000
+
+    def test_ancestors_include_top(self, cube):
+        view = HierarchicalView([2, ALL, ALL])  # year
+        ancestors = cube.ancestors(view)
+        assert cube.top() in ancestors
+        assert view in ancestors
+
+    def test_duplicate_dimension_names_rejected(self, time_hierarchy):
+        with pytest.raises(ValueError, match="duplicate"):
+            HierarchicalCube([time_hierarchy, time_hierarchy], raw_rows=10)
+
+    def test_global_level_name_uniqueness(self):
+        with pytest.raises(ValueError, match="unique"):
+            HierarchicalCube(
+                [Hierarchy.flat("a", 10),
+                 Hierarchy("b", [Level("a", 5)])],
+                raw_rows=10,
+            )
+
+
+class TestHierarchicalQueries:
+    def test_2_to_r_queries_per_view(self, cube):
+        view = HierarchicalView([1, 1, 0])  # month, nation, p
+        assert len(list(hierarchical_queries(cube, view))) == 8
+
+    def test_groupby_selection_partition_attrs(self, cube):
+        view = HierarchicalView([1, ALL, 0])
+        for groupby, selection in hierarchical_queries(cube, view):
+            assert set(groupby) | set(selection) == {"month", "p"}
+            assert set(groupby) & set(selection) == set()
+
+
+class TestGraphCompilation:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        cube = HierarchicalCube(
+            [
+                Hierarchy("t", [Level("day", 100), Level("month", 10)]),
+                Hierarchy.flat("p", 30),
+            ],
+            raw_rows=2_000,
+        )
+        return cube, hierarchical_lattice_graph(cube)
+
+    def test_view_count(self, graph):
+        cube, g = graph
+        assert len(g.views) == cube.n_views() == 6
+
+    def test_query_count(self, graph):
+        """Each view contributes the 2^r slice queries over exactly its
+        attrs; attribute sets are distinct across views, so no dedup."""
+        cube, g = graph
+        # (day,p):4  (month,p):4  (day):2  (month):2  (p):2  none:1
+        assert g.n_queries == 4 + 4 + 2 + 2 + 2 + 1
+
+    def test_fat_indexes_per_view(self, graph):
+        cube, g = graph
+        assert len(g.indexes_of("day,p")) == 2
+        assert len(g.indexes_of("day")) == 1
+        assert len(g.indexes_of("none")) == 0
+
+    def test_index_cap(self):
+        cube = HierarchicalCube(
+            [Hierarchy.flat("a", 10), Hierarchy.flat("b", 10),
+             Hierarchy.flat("c", 10)],
+            raw_rows=500,
+        )
+        g = hierarchical_lattice_graph(cube, max_fat_indexes_per_view=2)
+        assert len(g.indexes_of("a,b,c")) == 2
+
+    def test_coarser_views_answer_coarser_queries_only(self, graph):
+        cube, g = graph
+        # the month-level query is answerable by month,p but not by day,p
+        # (exact-level rule)
+        assert g.edge_cost("γ(month)σ()", "month,p") is not None
+        assert g.edge_cost("γ(month)σ()", "day,p") is None
+
+    def test_index_edges_beat_scans(self, graph):
+        cube, g = graph
+        for q, s, cost in g.edges():
+            struct = g.structure(s)
+            if struct.is_index:
+                scan = g.edge_cost(q, struct.view_name)
+                assert scan is not None and cost < scan
+
+    def test_selection_runs_end_to_end(self, graph):
+        cube, g = graph
+        top = cube.label(cube.top())
+        top_rows = cube.size(cube.top())
+        budget = top_rows + 0.3 * (g.total_space() - top_rows)
+        result = RGreedy(2, fit=FIT_STRICT).run(g, budget, seed=(top,))
+        assert result.benefit > 0
+        assert result.space_used <= budget
+
+    def test_flat_special_case_agrees_with_flat_construction(self):
+        """A hierarchy of 2-level chains (attr → ALL) is the flat cube;
+        the hierarchical compilation must produce the same structure
+        counts as QueryViewGraph.from_cube."""
+        from repro.core.qvgraph import QueryViewGraph
+        from repro.cube.schema import CubeSchema, Dimension
+        from repro.estimation.sizes import analytical_lattice
+
+        cube = HierarchicalCube(
+            [Hierarchy.flat("a", 12), Hierarchy.flat("b", 7)], raw_rows=60
+        )
+        hier_graph = hierarchical_lattice_graph(cube)
+
+        schema = CubeSchema([Dimension("a", 12), Dimension("b", 7)])
+        lattice = analytical_lattice(schema, 60)
+        flat_graph = QueryViewGraph.from_cube(lattice)
+
+        assert hier_graph.n_queries == flat_graph.n_queries
+        assert len(hier_graph.views) == len(flat_graph.views)
+        assert len(hier_graph.indexes) == len(flat_graph.indexes)

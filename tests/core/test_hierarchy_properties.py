@@ -1,0 +1,133 @@
+"""Property-based tests for random hierarchies.
+
+Random hierarchical cubes must always satisfy the lattice laws the
+algorithms rely on: the computability relation is a partial order, sizes
+are monotone along it, the compiled graph is structurally sound, and the
+all-flat special case agrees with the flat construction.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.benefit import BenefitEngine
+from repro.core.hierarchy import (
+    HierarchicalCube,
+    Hierarchy,
+    Level,
+    hierarchical_lattice_graph,
+)
+
+
+@st.composite
+def cubes(draw):
+    n_dims = draw(st.integers(min_value=1, max_value=3))
+    hierarchies = []
+    label = 0
+    for d in range(n_dims):
+        n_levels = draw(st.integers(min_value=1, max_value=3))
+        cards = sorted(
+            (
+                draw(st.integers(min_value=1, max_value=200))
+                for __ in range(n_levels)
+            ),
+            reverse=True,
+        )
+        levels = []
+        for card in cards:
+            levels.append(Level(f"l{label}", card))
+            label += 1
+        hierarchies.append(Hierarchy(f"d{d}", levels))
+    raw_rows = draw(st.integers(min_value=1, max_value=5_000))
+    return HierarchicalCube(hierarchies, raw_rows=raw_rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(cubes())
+def test_view_count_formula(cube):
+    views = list(cube.views())
+    assert len(views) == cube.n_views()
+    assert len(set(views)) == len(views)
+    assert math.prod(h.n_levels + 1 for h in cube.hierarchies) == len(views)
+
+
+@settings(max_examples=30, deadline=None)
+@given(cubes())
+def test_computability_partial_order(cube):
+    views = list(cube.views())
+    for a in views:
+        assert cube.computable(a, a)
+    # antisymmetry
+    for a in views:
+        for b in views:
+            if a != b:
+                assert not (cube.computable(a, b) and cube.computable(b, a))
+
+
+@settings(max_examples=30, deadline=None)
+@given(cubes())
+def test_top_computes_everything(cube):
+    top = cube.top()
+    for view in cube.views():
+        assert cube.computable(view, top)
+
+
+@settings(max_examples=30, deadline=None)
+@given(cubes())
+def test_sizes_monotone_along_computability(cube):
+    views = list(cube.views())
+    for a in views:
+        for b in views:
+            if cube.computable(a, b):
+                assert cube.size(a) <= cube.size(b) + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(cubes())
+def test_compiled_graph_is_sound(cube):
+    graph = hierarchical_lattice_graph(cube, max_fat_indexes_per_view=2)
+    graph.validate()
+    assert len(graph.views) == cube.n_views()
+    engine = BenefitEngine(graph)
+    # every index edge strictly beats its view's scan edge
+    for q, s, cost in graph.edges():
+        struct = graph.structure(s)
+        if struct.is_index:
+            scan = graph.edge_cost(q, struct.view_name)
+            assert scan is not None and cost < scan
+    # committing everything never increases tau
+    before = engine.tau()
+    engine.commit(range(engine.n_structures))
+    assert engine.tau() <= before + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(min_value=2, max_value=60), min_size=1, max_size=3),
+    st.integers(min_value=1, max_value=2_000),
+)
+def test_flat_cube_equivalence(cards, raw_rows):
+    """Single-level hierarchies == the flat construction, structurally."""
+    from repro.core.qvgraph import QueryViewGraph
+    from repro.cube.schema import CubeSchema, Dimension
+    from repro.estimation.sizes import analytical_lattice
+
+    names = [f"x{i}" for i in range(len(cards))]
+    cube = HierarchicalCube(
+        [Hierarchy.flat(n, c) for n, c in zip(names, cards)],
+        raw_rows=raw_rows,
+    )
+    hier_graph = hierarchical_lattice_graph(cube)
+
+    schema = CubeSchema([Dimension(n, c) for n, c in zip(names, cards)])
+    flat_graph = QueryViewGraph.from_cube(analytical_lattice(schema, raw_rows))
+
+    assert hier_graph.n_queries == flat_graph.n_queries
+    assert len(hier_graph.views) == len(flat_graph.views)
+    assert len(hier_graph.indexes) == len(flat_graph.indexes)
+    # total achievable benefit agrees (same sizes, same cost model)
+    a = BenefitEngine(hier_graph).max_achievable_benefit()
+    b = BenefitEngine(flat_graph).max_achievable_benefit()
+    assert a == pytest.approx(b, rel=1e-9)

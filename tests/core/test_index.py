@@ -1,0 +1,198 @@
+"""Tests for repro.core.index."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.index import (
+    Index,
+    count_all_indexes,
+    count_fat_indexes,
+    enumerate_all_indexes,
+    enumerate_fat_indexes,
+    prune_prefix_dominated,
+)
+from repro.core.query import SliceQuery
+from repro.core.view import View
+
+PS = View.of("p", "s")
+PSC = View.of("p", "s", "c")
+
+
+class TestIndexBasics:
+    def test_key_order_matters(self):
+        assert Index(PS, ("p", "s")) != Index(PS, ("s", "p"))
+
+    def test_key_must_be_in_view(self):
+        with pytest.raises(ValueError, match="not in view"):
+            Index(PS, ("p", "z"))
+
+    def test_key_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            Index(PS, ())
+
+    def test_duplicate_key_attrs_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Index(PS, ("p", "p"))
+
+    def test_is_fat(self):
+        assert Index(PS, ("s", "p")).is_fat
+        assert not Index(PSC, ("s", "p")).is_fat
+
+    def test_str(self):
+        assert str(Index(PS, ("s", "p"))) == "I_sp(ps)"
+
+    def test_hash_equality(self):
+        assert hash(Index(PS, ("p", "s"))) == hash(Index(PS, ("p", "s")))
+
+
+class TestUsablePrefix:
+    def test_full_selection_prefix(self):
+        idx = Index(PS, ("p", "s"))
+        q = SliceQuery(selection=["p", "s"])
+        assert idx.usable_prefix(q) == ("p", "s")
+
+    def test_partial_prefix(self):
+        idx = Index(PSC, ("s", "c", "p"))
+        q = SliceQuery(groupby=["p"], selection=["s"])
+        assert idx.usable_prefix(q) == ("s",)
+
+    def test_prefix_stops_at_first_non_selection_attr(self):
+        idx = Index(PSC, ("s", "p", "c"))
+        q = SliceQuery(groupby=["p"], selection=["s", "c"])
+        assert idx.usable_prefix(q) == ("s",)  # p breaks the prefix
+
+    def test_no_usable_prefix_when_leading_attr_not_selected(self):
+        idx = Index(PS, ("p", "s"))
+        q = SliceQuery(groupby=["p"], selection=["s"])
+        assert idx.usable_prefix(q) == ()
+
+    def test_subcube_query_never_uses_index(self):
+        idx = Index(PS, ("p", "s"))
+        q = SliceQuery(groupby=["p", "s"])
+        assert idx.usable_prefix(q) == ()
+        assert not idx.helps(q)
+
+    def test_helps_requires_answerability(self):
+        idx = Index(PS, ("p",))
+        q = SliceQuery(groupby=["c"], selection=["p"])  # needs c, not in ps
+        assert not idx.helps(q)
+
+    @given(
+        st.permutations(["a", "b", "c", "d"]),
+        st.sets(st.sampled_from("abcd")),
+    )
+    def test_prefix_is_longest_selection_prefix(self, key, selection):
+        view = View.of("a", "b", "c", "d")
+        groupby = set("abcd") - selection
+        idx = Index(view, tuple(key))
+        q = SliceQuery(groupby=groupby, selection=selection)
+        prefix = idx.usable_prefix(q)
+        # brute-force the definition
+        expected_len = 0
+        for attr in key:
+            if attr in selection:
+                expected_len += 1
+            else:
+                break
+        assert prefix == tuple(key[:expected_len])
+
+
+class TestEnumeration:
+    def test_fat_index_count_per_view(self):
+        assert len(list(enumerate_fat_indexes(PSC))) == 6
+
+    def test_empty_view_has_no_indexes(self):
+        assert list(enumerate_fat_indexes(View.none())) == []
+        assert list(enumerate_all_indexes(View.none())) == []
+
+    def test_all_indexes_count_per_view(self):
+        # 3 dims: 3 + 6 + 6 = 15 orderings of non-empty subsets
+        assert len(list(enumerate_all_indexes(PSC))) == 15
+
+    def test_fat_subset_of_all(self):
+        fat = set(enumerate_fat_indexes(PSC))
+        full = set(enumerate_all_indexes(PSC))
+        assert fat <= full
+
+    def test_enumeration_deterministic(self):
+        assert list(enumerate_fat_indexes(PSC)) == list(enumerate_fat_indexes(PSC))
+
+
+class TestPruning:
+    def test_proper_prefix_is_dominated(self):
+        short = Index(PSC, ("s",))
+        long = Index(PSC, ("s", "c", "p"))
+        kept = prune_prefix_dominated([short, long])
+        assert kept == [long]
+
+    def test_pruning_all_indexes_leaves_fat_ones(self):
+        kept = prune_prefix_dominated(enumerate_all_indexes(PSC))
+        assert set(kept) == set(enumerate_fat_indexes(PSC))
+
+    def test_incomparable_keys_both_kept(self):
+        a = Index(PSC, ("s", "p"))
+        b = Index(PSC, ("p", "s"))
+        assert set(prune_prefix_dominated([a, b])) == {a, b}
+
+    def test_different_views_never_dominate(self):
+        a = Index(PS, ("p",))
+        b = Index(PSC, ("p", "s", "c"))
+        assert set(prune_prefix_dominated([a, b])) == {a, b}
+
+    def test_is_prefix_of(self):
+        assert Index(PSC, ("s",)).is_prefix_of(Index(PSC, ("s", "c")))
+        assert not Index(PSC, ("c",)).is_prefix_of(Index(PSC, ("s", "c")))
+
+    def test_pruned_index_never_cheaper(self, tpcd_lat):
+        """The Section 4.2.2 argument: for every query, the fat extension
+        answers at most as expensively as the pruned prefix index."""
+        from repro.core.costmodel import LinearCostModel
+        from repro.core.query import enumerate_slice_queries
+
+        model = LinearCostModel(tpcd_lat)
+        view = View.of("p", "s", "c")
+        short = Index(view, ("s",))
+        long = Index(view, ("s", "c", "p"))
+        for q in enumerate_slice_queries(["p", "s", "c"]):
+            if not q.answerable_by(view):
+                continue
+            assert model.cost(q, view, long) <= model.cost(q, view, short)
+
+
+class TestCounts:
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_fat_count_matches_enumeration(self, n):
+        from itertools import combinations
+
+        dims = [chr(ord("a") + i) for i in range(n)]
+        total = 0
+        for r in range(n + 1):
+            for combo in combinations(dims, r):
+                total += len(list(enumerate_fat_indexes(View(combo))))
+        assert total == count_fat_indexes(n)
+
+    @pytest.mark.parametrize("n", range(1, 6))
+    def test_all_count_matches_enumeration(self, n):
+        from itertools import combinations
+
+        dims = [chr(ord("a") + i) for i in range(n)]
+        total = 0
+        for r in range(n + 1):
+            for combo in combinations(dims, r):
+                total += len(list(enumerate_all_indexes(View(combo))))
+        assert total == count_all_indexes(n)
+
+    def test_fat_count_approaches_e_times_factorial(self):
+        n = 10
+        assert count_fat_indexes(n) / math.factorial(n) == pytest.approx(
+            math.e, rel=1e-4
+        )
+
+    def test_negative_dims_raise(self):
+        with pytest.raises(ValueError):
+            count_fat_indexes(-1)
+        with pytest.raises(ValueError):
+            count_all_indexes(-1)

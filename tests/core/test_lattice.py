@@ -1,0 +1,139 @@
+"""Tests for repro.core.lattice."""
+
+import pytest
+
+from repro.core.lattice import CubeLattice
+from repro.core.view import View
+from repro.cube.schema import CubeSchema, Dimension
+
+
+@pytest.fixture
+def lattice(small_lattice):
+    return small_lattice
+
+
+class TestConstruction:
+    def test_has_2_to_n_views(self, lattice):
+        assert len(lattice) == 8
+
+    def test_missing_size_rejected(self, small_schema):
+        with pytest.raises(ValueError, match="missing"):
+            CubeLattice(small_schema, {View.none(): 1})
+
+    def test_nonpositive_size_rejected(self, small_schema):
+        sizes = {v: 10 for v in CubeLattice.from_estimator(small_schema, lambda v: 1)}
+        sizes[View.of("a")] = 0
+        with pytest.raises(ValueError, match="size"):
+            CubeLattice(small_schema, sizes)
+
+    def test_none_size_defaults_to_one(self, small_schema):
+        lattice = CubeLattice.from_estimator(small_schema, lambda v: 7 if v.attrs else 1)
+        assert lattice.size(View.none()) == 1
+
+    def test_from_estimator(self, small_schema):
+        lattice = CubeLattice.from_estimator(small_schema, lambda v: len(v) + 1)
+        assert lattice.size(View.of("a", "b")) == 3
+
+
+class TestTopology:
+    def test_top_and_bottom(self, lattice):
+        assert lattice.top == View.of("a", "b", "c")
+        assert lattice.bottom == View.none()
+
+    def test_views_sorted_by_dimensionality(self, lattice):
+        dims = [len(v) for v in lattice.views()]
+        assert dims == sorted(dims)
+
+    def test_ancestors_of_bottom_is_everything(self, lattice):
+        assert len(lattice.ancestors(View.none())) == 8
+
+    def test_ancestors_strict_excludes_self(self, lattice):
+        view = View.of("a")
+        assert view not in lattice.ancestors(view, strict=True)
+        assert view in lattice.ancestors(view)
+
+    def test_descendants_of_top_is_everything(self, lattice):
+        assert len(lattice.descendants(lattice.top)) == 8
+
+    def test_parents_have_one_more_attr(self, lattice):
+        parents = lattice.parents(View.of("a"))
+        assert sorted(str(p) for p in parents) == ["ab", "ac"]
+
+    def test_children_have_one_fewer_attr(self, lattice):
+        children = lattice.children(View.of("a", "b"))
+        assert sorted(str(c) for c in children) == ["a", "b"]
+
+    def test_parents_of_top_empty(self, lattice):
+        assert lattice.parents(lattice.top) == []
+
+    def test_children_of_bottom_empty(self, lattice):
+        assert lattice.children(View.none()) == []
+
+    def test_level_counts_are_binomial(self, lattice):
+        assert [len(lattice.level(r)) for r in range(4)] == [1, 3, 3, 1]
+
+    def test_level_out_of_range(self, lattice):
+        with pytest.raises(ValueError):
+            lattice.level(5)
+
+    def test_ancestor_descendant_duality(self, lattice):
+        for a in lattice.views():
+            for b in lattice.views():
+                assert (a in lattice.ancestors(b)) == (b in lattice.descendants(a))
+
+
+class TestSizes:
+    def test_size_lookup(self, lattice):
+        assert lattice.size(View.of("a")) == 10
+
+    def test_size_unknown_view_raises(self, lattice):
+        with pytest.raises(KeyError):
+            lattice.size(View.of("zz"))
+
+    def test_total_size(self, lattice):
+        assert lattice.total_size() == 400 + 180 + 50 + 95 + 10 + 20 + 5 + 1
+
+    def test_sizes_returns_copy(self, lattice):
+        sizes = lattice.sizes()
+        sizes[View.of("a")] = 999
+        assert lattice.size(View.of("a")) == 10
+
+
+class TestLabels:
+    def test_label_schema_order(self, tpcd_lat):
+        assert tpcd_lat.label(View.of("c", "s", "p")) == "psc"
+
+    def test_label_none(self, tpcd_lat):
+        assert tpcd_lat.label(View.none()) == "none"
+
+    def test_label_unknown_raises(self, tpcd_lat):
+        with pytest.raises(KeyError):
+            tpcd_lat.label(View.of("zz"))
+
+    def test_index_label(self, tpcd_lat):
+        from repro.core.index import Index
+
+        idx = Index(View.of("p", "s"), ("s", "p"))
+        assert tpcd_lat.index_label(idx) == "I_sp(ps)"
+
+    def test_multichar_label(self):
+        schema = CubeSchema([Dimension("part", 10), Dimension("cust", 10)])
+        lattice = CubeLattice.from_estimator(schema, lambda v: 5 if v.attrs else 1)
+        assert lattice.label(View.of("cust", "part")) == "part,cust"
+
+
+class TestNetworkx:
+    def test_hasse_diagram_shape(self, lattice):
+        graph = lattice.to_networkx()
+        assert graph.number_of_nodes() == 8
+        # each view has one edge per attribute
+        assert graph.number_of_edges() == sum(len(v) for v in lattice.views())
+
+    def test_node_rows_attribute(self, lattice):
+        graph = lattice.to_networkx()
+        assert graph.nodes[View.of("a")]["rows"] == 10
+
+    def test_dag_is_acyclic(self, lattice):
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(lattice.to_networkx())

@@ -1,0 +1,47 @@
+"""Tests for the ASCII lattice renderer."""
+
+import pytest
+
+from repro.core.lattice_draw import draw_hasse, draw_lattice
+from repro.core.view import View
+
+
+class TestDrawLattice:
+    def test_figure1_shape(self, tpcd_lat):
+        text = draw_lattice(tpcd_lat)
+        lines = text.splitlines()
+        assert len(lines) == 4  # levels 3..0
+        assert "psc=6M" in lines[0]
+        assert "none=1" in lines[-1]
+
+    def test_level_membership(self, tpcd_lat):
+        lines = draw_lattice(tpcd_lat).splitlines()
+        assert "ps=800k" in lines[1]
+        assert "s=10k" in lines[2]
+
+    def test_custom_annotation(self, tpcd_lat):
+        text = draw_lattice(tpcd_lat, annotate=lambda v: "X")
+        assert "psc=X" in text
+
+    def test_fixed_width_centres(self, tpcd_lat):
+        text = draw_lattice(tpcd_lat, width=100)
+        top = text.splitlines()[0]
+        assert top.startswith(" ")  # centred in the wide field
+
+    def test_small_lattice(self, small_lattice):
+        text = draw_lattice(small_lattice)
+        assert "abc=400" in text
+
+
+class TestDrawHasse:
+    def test_every_view_listed(self, tpcd_lat):
+        text = draw_hasse(tpcd_lat)
+        for view in tpcd_lat.views():
+            assert tpcd_lat.label(view) in text
+
+    def test_edges_match_children(self, tpcd_lat):
+        text = draw_hasse(tpcd_lat)
+        assert text.count("└─") == sum(len(v) for v in tpcd_lat.views())
+
+    def test_top_first(self, tpcd_lat):
+        assert draw_hasse(tpcd_lat).splitlines()[0].startswith("psc")

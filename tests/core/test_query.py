@@ -1,0 +1,117 @@
+"""Tests for repro.core.query."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.query import (
+    SliceQuery,
+    count_slice_queries,
+    enumerate_slice_queries,
+    queries_for_view,
+)
+from repro.core.view import View
+
+
+class TestSliceQuery:
+    def test_disjointness_enforced(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            SliceQuery(groupby=["a"], selection=["a"])
+
+    def test_view_is_union(self):
+        q = SliceQuery(groupby=["c"], selection=["p", "s"])
+        assert q.view == View.of("p", "s", "c")
+
+    def test_subcube_query(self):
+        q = SliceQuery(groupby=["a", "b"])
+        assert q.is_subcube_query
+        assert q.selection == frozenset()
+
+    def test_empty_query_is_grand_total(self):
+        q = SliceQuery()
+        assert q.view == View.none()
+        assert q.is_subcube_query
+
+    def test_answerable_by_superset_views(self):
+        q = SliceQuery(groupby=["a"], selection=["b"])
+        assert q.answerable_by(View.of("a", "b"))
+        assert q.answerable_by(View.of("a", "b", "c"))
+        assert not q.answerable_by(View.of("a"))
+
+    def test_equality_and_hash(self):
+        q1 = SliceQuery(groupby=["a"], selection=["b"])
+        q2 = SliceQuery(groupby=["a"], selection=["b"])
+        q3 = SliceQuery(groupby=["b"], selection=["a"])
+        assert q1 == q2 and hash(q1) == hash(q2)
+        assert q1 != q3
+
+    def test_str_format(self):
+        q = SliceQuery(groupby=["c"], selection=["p", "s"])
+        assert str(q) == "γ(c)σ(ps)"
+
+    def test_str_empty_parts(self):
+        assert str(SliceQuery()) == "γ()σ()"
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("n,expected", [(0, 1), (1, 3), (2, 9), (3, 27), (6, 729)])
+    def test_count_formula(self, n, expected):
+        assert count_slice_queries(n) == expected
+
+    def test_count_negative_raises(self):
+        with pytest.raises(ValueError):
+            count_slice_queries(-1)
+
+    @pytest.mark.parametrize("dims", [["a"], ["a", "b"], ["a", "b", "c"]])
+    def test_enumeration_matches_count(self, dims):
+        queries = list(enumerate_slice_queries(dims))
+        assert len(queries) == count_slice_queries(len(dims))
+
+    def test_enumeration_has_no_duplicates(self):
+        queries = list(enumerate_slice_queries(["a", "b", "c"]))
+        assert len(set(queries)) == len(queries)
+
+    def test_enumeration_rejects_duplicate_dims(self):
+        with pytest.raises(ValueError):
+            list(enumerate_slice_queries(["a", "a"]))
+
+    def test_every_attr_in_exactly_one_role(self):
+        for q in enumerate_slice_queries(["a", "b"]):
+            assert q.groupby & q.selection == frozenset()
+            assert q.groupby | q.selection <= {"a", "b"}
+
+    def test_enumeration_is_deterministic(self):
+        a = list(enumerate_slice_queries(["x", "y", "z"]))
+        b = list(enumerate_slice_queries(["x", "y", "z"]))
+        assert a == b
+
+
+class TestQueriesForView:
+    def test_r_dim_view_has_2_to_r_queries(self):
+        view = View.of("a", "b", "c")
+        assert len(list(queries_for_view(view))) == 8
+
+    def test_all_queries_use_exactly_view_attrs(self):
+        view = View.of("a", "b")
+        for q in queries_for_view(view):
+            assert q.attrs == view.attrs
+
+    def test_union_over_views_is_full_enumeration(self):
+        dims = ["a", "b", "c"]
+        from itertools import chain, combinations
+
+        views = [
+            View(c) for r in range(4) for c in combinations(dims, r)
+        ]
+        via_views = set(chain.from_iterable(queries_for_view(v) for v in views))
+        assert via_views == set(enumerate_slice_queries(dims))
+
+    @given(st.sets(st.sampled_from("abcde"), min_size=0, max_size=5))
+    def test_smallest_view_property(self, attrs):
+        view = View(attrs)
+        for q in queries_for_view(view):
+            assert q.answerable_by(view)
+            # no strictly smaller view answers it
+            for attr in attrs:
+                smaller = View(attrs - {attr})
+                assert not q.answerable_by(smaller)

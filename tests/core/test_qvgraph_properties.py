@@ -1,0 +1,92 @@
+"""Property-based tests for the cube → query-view-graph compilation.
+
+Random schemas and sparsities must always produce structurally sound
+graphs: correct node counts, a top-view edge for every query, index
+edges that strictly beat their view's scan, and space accounting that
+matches the lattice.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.benefit import BenefitEngine
+from repro.core.index import count_fat_indexes
+from repro.core.qvgraph import QueryViewGraph
+from repro.cube.schema import CubeSchema, Dimension
+from repro.estimation.sizes import analytical_lattice
+
+
+@st.composite
+def lattices(draw):
+    n_dims = draw(st.integers(min_value=1, max_value=3))
+    cards = [draw(st.integers(min_value=2, max_value=100)) for __ in range(n_dims)]
+    schema = CubeSchema(
+        [Dimension(f"d{i}", c) for i, c in enumerate(cards)]
+    )
+    dense = schema.dense_cells
+    raw_rows = draw(st.integers(min_value=1, max_value=max(1, dense)))
+    return analytical_lattice(schema, raw_rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(lattices())
+def test_node_counts(lattice):
+    graph = QueryViewGraph.from_cube(lattice)
+    n = lattice.n_dims
+    assert len(graph.views) == 2**n
+    assert graph.n_queries == 3**n
+    assert len(graph.indexes) == count_fat_indexes(n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(lattices())
+def test_every_query_answerable_by_top(lattice):
+    graph = QueryViewGraph.from_cube(lattice)
+    top = lattice.label(lattice.top)
+    for q in graph.queries:
+        assert graph.edge_cost(q.name, top) is not None
+        assert q.default_cost == lattice.size(lattice.top)
+
+
+@settings(max_examples=30, deadline=None)
+@given(lattices())
+def test_index_edges_strictly_beat_scans(lattice):
+    graph = QueryViewGraph.from_cube(lattice)
+    for q, s, cost in graph.edges():
+        struct = graph.structure(s)
+        if struct.is_index:
+            scan = graph.edge_cost(q, struct.view_name)
+            assert scan is not None
+            assert cost < scan
+
+
+@settings(max_examples=30, deadline=None)
+@given(lattices())
+def test_view_edge_cost_is_view_size(lattice):
+    graph = QueryViewGraph.from_cube(lattice)
+    for q, s, cost in graph.edges():
+        struct = graph.structure(s)
+        if struct.is_view:
+            assert cost == lattice.size(struct.payload)
+
+
+@settings(max_examples=30, deadline=None)
+@given(lattices())
+def test_space_matches_lattice(lattice):
+    graph = QueryViewGraph.from_cube(lattice)
+    for view in graph.views:
+        assert view.space == lattice.size(view.payload)
+        for idx_name in graph.indexes_of(view.name):
+            assert graph.structure(idx_name).space == view.space
+
+
+@settings(max_examples=20, deadline=None)
+@given(lattices())
+def test_max_achievable_benefit_bounded(lattice):
+    """Committing everything can at best bring every query to cost >= 1."""
+    graph = QueryViewGraph.from_cube(lattice)
+    engine = BenefitEngine(graph)
+    top_size = lattice.size(lattice.top)
+    upper = graph.n_queries * (top_size - 1)
+    assert 0 <= engine.max_achievable_benefit() <= upper + 1e-9

@@ -1,0 +1,70 @@
+"""Tests for repro.core.selection."""
+
+import pytest
+
+from repro.core.selection import SelectionResult, Stage
+
+
+def make_result(**overrides) -> SelectionResult:
+    defaults = dict(
+        algorithm="test",
+        selected=("v1", "i1"),
+        stages=(
+            Stage(structures=("v1",), benefit=50.0, space=2.0, tau_after=150.0),
+            Stage(structures=("i1",), benefit=30.0, space=1.0, tau_after=120.0),
+        ),
+        space_budget=5.0,
+        space_used=3.0,
+        initial_tau=200.0,
+        tau=120.0,
+        total_frequency=4.0,
+    )
+    defaults.update(overrides)
+    return SelectionResult(**defaults)
+
+
+class TestStage:
+    def test_benefit_per_space(self):
+        stage = Stage(structures=("v",), benefit=10.0, space=4.0, tau_after=0.0)
+        assert stage.benefit_per_space == 2.5
+
+    def test_zero_space_guard(self):
+        stage = Stage(structures=("v",), benefit=10.0, space=0.0, tau_after=0.0)
+        assert stage.benefit_per_space == 0.0
+
+    def test_str_mentions_structures(self):
+        stage = Stage(structures=("v", "i"), benefit=10.0, space=2.0, tau_after=0.0)
+        assert "v, i" in str(stage)
+
+
+class TestSelectionResult:
+    def test_benefit_is_tau_drop(self):
+        assert make_result().benefit == 80.0
+
+    def test_average_query_cost(self):
+        assert make_result().average_query_cost == 30.0
+
+    def test_average_with_zero_frequency(self):
+        assert make_result(total_frequency=0.0).average_query_cost == 0.0
+
+    def test_contains(self):
+        result = make_result()
+        assert "v1" in result
+        assert "zzz" not in result
+
+    def test_summary_mentions_algorithm_and_counts(self):
+        text = make_result().summary()
+        assert "test" in text
+        assert "2 structures" in text
+
+    def test_table_lists_stages(self):
+        text = make_result().table()
+        assert "stage 1" in text and "stage 2" in text
+
+    def test_table_without_stages_lists_selection(self):
+        text = make_result(stages=()).table()
+        assert "v1" in text
+
+    def test_stage_benefits_sum_to_total(self):
+        result = make_result()
+        assert sum(s.benefit for s in result.stages) == pytest.approx(result.benefit)

@@ -1,0 +1,143 @@
+"""Tests for the synthetic fact-table generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cube.generator import (
+    draw_dimension,
+    generate_fact_table,
+    sparsity_of,
+    zipf_probabilities,
+)
+from repro.cube.schema import CubeSchema, Dimension
+
+
+@pytest.fixture
+def schema():
+    return CubeSchema([Dimension("a", 50), Dimension("b", 30), Dimension("c", 10)])
+
+
+class TestZipf:
+    def test_uniform_when_exponent_zero(self):
+        probs = zipf_probabilities(4, 0.0)
+        assert np.allclose(probs, 0.25)
+
+    def test_probabilities_sum_to_one(self):
+        assert zipf_probabilities(100, 1.5).sum() == pytest.approx(1.0)
+
+    def test_rank_ordering(self):
+        probs = zipf_probabilities(10, 1.0)
+        assert all(probs[i] >= probs[i + 1] for i in range(9))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -1.0)
+
+
+class TestDrawDimension:
+    def test_values_in_domain(self):
+        rng = np.random.default_rng(0)
+        values = draw_dimension(10, 5000, rng)
+        assert values.min() >= 0 and values.max() < 10
+
+    def test_skew_concentrates_mass(self):
+        rng = np.random.default_rng(0)
+        uniform = draw_dimension(100, 10_000, rng, exponent=0.0)
+        skewed = draw_dimension(100, 10_000, rng, exponent=1.5)
+        top_u = np.bincount(uniform, minlength=100).max()
+        top_s = np.bincount(skewed, minlength=100).max()
+        assert top_s > 3 * top_u
+
+
+class TestGenerateFactTable:
+    def test_shape_and_domains(self, schema):
+        fact = generate_fact_table(schema, 1000, rng=0)
+        assert fact.n_rows == 1000
+        for name in schema.names:
+            col = fact.column(name)
+            assert col.min() >= 0 and col.max() < schema.cardinality(name)
+
+    def test_seeded_reproducibility(self, schema):
+        a = generate_fact_table(schema, 500, rng=42)
+        b = generate_fact_table(schema, 500, rng=42)
+        for name in schema.names:
+            assert np.array_equal(a.column(name), b.column(name))
+        assert np.array_equal(a.measures, b.measures)
+
+    def test_different_seeds_differ(self, schema):
+        a = generate_fact_table(schema, 500, rng=1)
+        b = generate_fact_table(schema, 500, rng=2)
+        assert not np.array_equal(a.column("a"), b.column("a"))
+
+    def test_invalid_rows(self, schema):
+        with pytest.raises(ValueError):
+            generate_fact_table(schema, 0)
+
+    def test_correlation_bounds_fanout(self, schema):
+        """Each parent value maps to at most `fanout` child values."""
+        fact = generate_fact_table(
+            schema, 5000, rng=0, correlated={"b": ("a", 3)}
+        )
+        a, b = fact.column("a"), fact.column("b")
+        for parent in np.unique(a):
+            children = np.unique(b[a == parent])
+            assert len(children) <= 3
+
+    def test_correlation_shrinks_pair_distinct_count(self, schema):
+        free = generate_fact_table(schema, 5000, rng=0)
+        tied = generate_fact_table(schema, 5000, rng=0, correlated={"b": ("a", 2)})
+        assert tied.distinct_count(["a", "b"]) < free.distinct_count(["a", "b"])
+
+    def test_correlation_validation(self, schema):
+        with pytest.raises(KeyError):
+            generate_fact_table(schema, 10, correlated={"z": ("a", 2)})
+        with pytest.raises(ValueError):
+            generate_fact_table(schema, 10, correlated={"b": ("a", 0)})
+
+    def test_chained_correlation_rejected(self, schema):
+        with pytest.raises(ValueError, match="itself correlated"):
+            generate_fact_table(
+                schema, 10, correlated={"b": ("a", 2), "c": ("b", 2)}
+            )
+
+    def test_skew_passes_through(self, schema):
+        fact = generate_fact_table(schema, 10_000, rng=0, skew={"a": 2.0})
+        counts = np.bincount(fact.column("a"), minlength=50)
+        assert counts.max() > 0.3 * 10_000  # rank-1 dominates under a=2
+
+    def test_measures_in_range(self, schema):
+        fact = generate_fact_table(schema, 1000, rng=0)
+        assert fact.measures.min() >= 0.0 and fact.measures.max() < 100.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_any_row_count_works(self, n_rows):
+        schema = CubeSchema.from_cardinalities({"x": 7, "y": 3})
+        fact = generate_fact_table(schema, n_rows, rng=0)
+        assert fact.n_rows == n_rows
+
+
+class TestSparsity:
+    def test_sparsity_of(self, schema):
+        assert sparsity_of(schema, 1500) == pytest.approx(1500 / 15000)
+
+
+class TestExtraMeasures:
+    def test_extra_measure_columns_generated(self):
+        schema = CubeSchema.from_cardinalities({"a": 10, "b": 5})
+        fact = generate_fact_table(
+            schema, 300, rng=0, extra_measures=("quantity", "discount")
+        )
+        assert fact.measure_names == ("sales", "quantity", "discount")
+        assert len(fact.measure_column("quantity")) == 300
+
+    def test_extras_differ_from_primary(self):
+        schema = CubeSchema.from_cardinalities({"a": 10})
+        fact = generate_fact_table(schema, 100, rng=0, extra_measures=("q",))
+        import numpy as np
+
+        assert not np.array_equal(fact.measures, fact.measure_column("q"))

@@ -1,0 +1,121 @@
+"""Tests for query-log generation and frequency estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import SliceQuery, enumerate_slice_queries
+from repro.cube.query_log import (
+    LogEntry,
+    estimate_frequencies,
+    generate_query_log,
+    hot_selection_values,
+)
+from repro.cube.schema import CubeSchema, Dimension
+
+
+@pytest.fixture
+def schema():
+    return CubeSchema([Dimension("a", 8), Dimension("b", 5)])
+
+
+class TestGenerateLog:
+    def test_entry_count(self, schema):
+        assert len(generate_query_log(schema, 100, rng=0)) == 100
+
+    def test_values_bound_for_every_selection_attr(self, schema):
+        for entry in generate_query_log(schema, 200, rng=0):
+            assert set(entry.bound_values) == set(entry.query.selection)
+
+    def test_values_in_domain(self, schema):
+        for entry in generate_query_log(schema, 200, rng=0):
+            for attr, value in entry.values:
+                assert 0 <= value < schema.cardinality(attr)
+
+    def test_seeded_reproducibility(self, schema):
+        a = generate_query_log(schema, 50, rng=3)
+        b = generate_query_log(schema, 50, rng=3)
+        assert a == b
+
+    def test_explicit_pattern_frequencies(self, schema):
+        only = SliceQuery(groupby=["a"], selection=["b"])
+        log = generate_query_log(
+            schema, 30, rng=0, pattern_frequencies={only: 1.0}
+        )
+        assert all(entry.query == only for entry in log)
+
+    def test_zero_weight_frequencies_rejected(self, schema):
+        only = SliceQuery(groupby=["a"])
+        with pytest.raises(ValueError, match="positive sum"):
+            generate_query_log(schema, 5, rng=0, pattern_frequencies={only: 0.0})
+
+    def test_n_entries_validation(self, schema):
+        with pytest.raises(ValueError):
+            generate_query_log(schema, 0)
+
+
+class TestEstimateFrequencies:
+    def test_sums_to_one(self, schema):
+        log = generate_query_log(schema, 500, rng=1)
+        freqs = estimate_frequencies(log)
+        assert sum(freqs.values()) == pytest.approx(1.0)
+
+    def test_recovers_planted_distribution(self, schema):
+        q1 = SliceQuery(groupby=["a"], selection=["b"])
+        q2 = SliceQuery(groupby=["b"], selection=["a"])
+        log = generate_query_log(
+            schema, 4000, rng=2, pattern_frequencies={q1: 0.75, q2: 0.25}
+        )
+        freqs = estimate_frequencies(log)
+        assert freqs[q1] == pytest.approx(0.75, abs=0.03)
+        assert freqs[q2] == pytest.approx(0.25, abs=0.03)
+
+    def test_smoothing_covers_universe(self, schema):
+        universe = list(enumerate_slice_queries(schema.names))
+        only = universe[0]
+        log = generate_query_log(
+            schema, 10, rng=0, pattern_frequencies={only: 1.0}
+        )
+        freqs = estimate_frequencies(log, smoothing=0.5, universe=universe)
+        assert set(freqs) == set(universe)
+        assert all(f > 0 for f in freqs.values())
+
+    def test_smoothing_requires_universe(self, schema):
+        log = generate_query_log(schema, 10, rng=0)
+        with pytest.raises(ValueError, match="universe"):
+            estimate_frequencies(log, smoothing=1.0)
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_frequencies([])
+
+    def test_feeds_into_selection(self, schema):
+        """Round trip: log → frequencies → graph → selection."""
+        from repro.algorithms import RGreedy
+        from repro.core.qvgraph import QueryViewGraph
+        from repro.estimation.sizes import analytical_lattice
+
+        log = generate_query_log(schema, 300, rng=5)
+        freqs = estimate_frequencies(log)
+        lattice = analytical_lattice(schema, 30)
+        graph = QueryViewGraph.from_cube(
+            lattice, queries=list(freqs), frequencies=freqs
+        )
+        result = RGreedy(2).run(graph, 60, seed=(lattice.label(lattice.top),))
+        assert result.benefit >= 0
+
+
+class TestHotValues:
+    def test_counts_ranked(self, schema):
+        entries = [
+            LogEntry(SliceQuery(selection=["a"]), (("a", v),))
+            for v in [1, 1, 1, 2, 2, 3]
+        ]
+        assert hot_selection_values(entries, "a", top_k=2) == [(1, 3), (2, 2)]
+
+    def test_missing_attr_empty(self, schema):
+        entries = [LogEntry(SliceQuery(selection=["a"]), (("a", 1),))]
+        assert hot_selection_values(entries, "b") == []
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError):
+            hot_selection_values([], "a", top_k=0)

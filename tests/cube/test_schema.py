@@ -1,0 +1,88 @@
+"""Tests for repro.cube.schema."""
+
+import pytest
+
+from repro.core.view import View
+from repro.cube.schema import CubeSchema, Dimension
+
+
+class TestDimension:
+    def test_valid(self):
+        d = Dimension("part", 100)
+        assert d.cardinality == 100
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Dimension("", 10)
+
+    def test_zero_cardinality_rejected(self):
+        with pytest.raises(ValueError):
+            Dimension("a", 0)
+
+    def test_str(self):
+        assert str(Dimension("a", 10)) == "a(10)"
+
+    def test_frozen(self):
+        d = Dimension("a", 10)
+        with pytest.raises(AttributeError):
+            d.cardinality = 20
+
+
+class TestCubeSchema:
+    def test_names_preserve_order(self):
+        schema = CubeSchema([Dimension("p", 1), Dimension("s", 2), Dimension("c", 3)])
+        assert schema.names == ("p", "s", "c")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CubeSchema([Dimension("a", 1), Dimension("a", 2)])
+
+    def test_measure_collision_rejected(self):
+        with pytest.raises(ValueError, match="collides"):
+            CubeSchema([Dimension("sales", 1)], measure="sales")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            CubeSchema([])
+
+    def test_from_cardinalities(self):
+        schema = CubeSchema.from_cardinalities({"a": 10, "b": 20})
+        assert schema.cardinality("a") == 10
+        assert schema.names == ("a", "b")
+
+    def test_dense_cells(self):
+        schema = CubeSchema.from_cardinalities({"a": 10, "b": 20})
+        assert schema.dense_cells == 200
+
+    def test_cells_of_view(self):
+        schema = CubeSchema.from_cardinalities({"a": 10, "b": 20, "c": 5})
+        assert schema.cells_of(View.of("a", "c")) == 50
+        assert schema.cells_of(View.none()) == 1
+
+    def test_cells_of_unknown_attr(self):
+        schema = CubeSchema.from_cardinalities({"a": 10})
+        with pytest.raises(KeyError):
+            schema.cells_of(["z"])
+
+    def test_top_view(self):
+        schema = CubeSchema.from_cardinalities({"a": 10, "b": 20})
+        assert schema.top_view() == View.of("a", "b")
+
+    def test_view_constructor_validates(self):
+        schema = CubeSchema.from_cardinalities({"a": 10})
+        with pytest.raises(KeyError):
+            schema.view("a", "z")
+
+    def test_sort_attrs_uses_schema_order(self):
+        schema = CubeSchema.from_cardinalities({"p": 1, "s": 1, "c": 1})
+        assert schema.sort_attrs({"c", "p"}) == ("p", "c")
+
+    def test_iteration_and_len(self):
+        schema = CubeSchema.from_cardinalities({"a": 10, "b": 20})
+        assert len(schema) == 2
+        assert [d.name for d in schema] == ["a", "b"]
+
+    def test_contains(self):
+        schema = CubeSchema.from_cardinalities({"a": 10})
+        assert "a" in schema
+        assert "z" not in schema

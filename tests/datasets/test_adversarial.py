@@ -1,0 +1,86 @@
+"""Tests for the adversarial instance families (Section 6's worst-case
+statements, made executable)."""
+
+import pytest
+
+from repro.algorithms import (
+    FIT_PAPER,
+    BranchAndBoundOptimal,
+    InnerLevelGreedy,
+    RGreedy,
+    r_greedy_guarantee,
+)
+from repro.datasets.adversarial import one_greedy_trap, r_greedy_stress, trap_space
+
+
+class TestOneGreedyTrap:
+    @pytest.mark.parametrize("n", [2, 5, 10, 25])
+    def test_1greedy_benefit_is_constant(self, n):
+        graph = one_greedy_trap(n)
+        result = RGreedy(1, fit=FIT_PAPER).run(graph, trap_space(n))
+        assert result.benefit == 11.0  # decoy only, for every n
+
+    @pytest.mark.parametrize("n", [2, 5, 10, 25])
+    def test_optimal_benefit_grows_linearly(self, n):
+        graph = one_greedy_trap(n)
+        optimal = BranchAndBoundOptimal().run(graph, trap_space(n))
+        # decoy (11) + trap with n−1 indexes (10 each) beats the pure trap
+        assert optimal.benefit == 10.0 * (n - 1) + 11.0
+
+    def test_ratio_vanishes(self):
+        """The Section 6 claim: the 1-greedy/optimal ratio is arbitrarily
+        small — strictly decreasing in the family parameter."""
+        ratios = []
+        for n in (2, 5, 10, 25, 50):
+            graph = one_greedy_trap(n)
+            greedy = RGreedy(1, fit=FIT_PAPER).run(graph, trap_space(n))
+            optimal = BranchAndBoundOptimal().run(graph, trap_space(n))
+            ratios.append(greedy.benefit / optimal.benefit)
+        assert ratios == sorted(ratios, reverse=True)
+        assert ratios[-1] < 0.03
+
+    @pytest.mark.parametrize("n", [2, 10])
+    def test_2greedy_escapes_the_trap(self, n):
+        graph = one_greedy_trap(n)
+        result = RGreedy(2, fit=FIT_PAPER).run(graph, trap_space(n))
+        assert "trap" in result.selected
+        assert result.benefit >= n * 10.0  # trap bundle fully harvested
+
+    @pytest.mark.parametrize("n", [2, 10])
+    def test_inner_level_escapes_the_trap(self, n):
+        graph = one_greedy_trap(n)
+        result = InnerLevelGreedy(fit=FIT_PAPER).run(graph, trap_space(n))
+        assert "trap" in result.selected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            one_greedy_trap(0)
+        with pytest.raises(ValueError):
+            one_greedy_trap(3, index_value=0)
+
+
+class TestRGreedyStress:
+    @pytest.mark.parametrize("r", [2, 3])
+    def test_r_greedy_below_optimal_but_above_bound(self, r):
+        graph = r_greedy_stress(r, n_bundles=3)
+        space = 2 * (r + 2)
+        greedy = RGreedy(r, fit=FIT_PAPER).run(graph, space)
+        optimal = BranchAndBoundOptimal().run(graph, space)
+        ratio = greedy.benefit / optimal.benefit
+        assert ratio < 1.0
+        # Theorem 5.1 must still hold at the space greedy actually used
+        optimal_at_used = BranchAndBoundOptimal().run(graph, greedy.space_used)
+        assert greedy.benefit >= r_greedy_guarantee(r) * optimal_at_used.benefit - 1e-9
+
+    def test_higher_r_does_better_on_stress_instance(self):
+        graph = r_greedy_stress(2, n_bundles=3)
+        space = 8
+        b2 = RGreedy(2, fit=FIT_PAPER).run(graph, space).benefit
+        b4 = RGreedy(4, fit=FIT_PAPER).run(graph, space).benefit
+        assert b4 >= b2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            r_greedy_stress(0)
+        with pytest.raises(ValueError):
+            r_greedy_stress(2, n_bundles=0)

@@ -1,0 +1,98 @@
+"""Tests for the reconstructed Figure 2 instance — every anchor of the
+paper's Examples 5.1/5.2 must reproduce exactly."""
+
+import pytest
+
+from repro.algorithms import (
+    FIT_PAPER,
+    BranchAndBoundOptimal,
+    InnerLevelGreedy,
+    RGreedy,
+)
+from repro.core.benefit import BenefitEngine
+from repro.datasets.paper_figure2 import FIGURE2_SPACE, PAPER_ANCHORS, figure2_graph
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return BenefitEngine(figure2_graph())
+
+
+class TestInstanceShape:
+    def test_five_views(self, fig2_g):
+        assert len(fig2_g.views) == 5
+
+    def test_index_counts(self, fig2_g):
+        expected = {"V1": 1, "V2": 8, "V3": 4, "V4": 4, "V5": 4}
+        for view, count in expected.items():
+            assert len(fig2_g.indexes_of(view)) == count
+
+    def test_all_unit_space(self, fig2_g):
+        assert {s.space for s in fig2_g.structures} == {1.0}
+
+    def test_absolute_view_benefits(self, engine):
+        """The paper: benefits of views in subscript order are 0,0,6,5,7."""
+        expected = {"V1": 0, "V2": 0, "V3": 6, "V4": 5, "V5": 7}
+        for name, benefit in expected.items():
+            assert engine.absolute_benefit([engine.structure_id(name)]) == benefit
+
+    def test_v1_pair_worth_90(self, engine):
+        ids = [engine.structure_id("V1"), engine.structure_id("I1,1")]
+        assert engine.absolute_benefit(ids) == 90
+
+    def test_v2_pairs_worth_50(self, engine):
+        for i in range(1, 9):
+            ids = [engine.structure_id("V2"), engine.structure_id(f"I2,{i}")]
+            assert engine.absolute_benefit(ids) == 50
+
+    def test_v2_bundle_worth_400(self, engine):
+        ids = [engine.structure_id("V2")] + [
+            engine.structure_id(f"I2,{i}") for i in range(1, 9)
+        ]
+        assert engine.absolute_benefit(ids) == 400
+
+
+class TestPaperAnchors:
+    def test_1greedy_46(self, engine):
+        result = RGreedy(1, fit=FIT_PAPER).run(engine, FIGURE2_SPACE)
+        assert result.benefit == PAPER_ANCHORS["1-greedy"]
+        assert result.selected == ("V5", "I5,1", "I5,2", "I5,3", "I5,4", "V3", "V4")
+
+    def test_2greedy_194_with_paper_trace(self, engine):
+        result = RGreedy(2, fit=FIT_PAPER).run(engine, FIGURE2_SPACE)
+        assert result.benefit == PAPER_ANCHORS["2-greedy"]
+        assert result.stages[0].structures == ("V1", "I1,1")
+        assert result.stages[0].benefit == PAPER_ANCHORS["first-pick"]
+        assert result.stages[1].structures == ("V4", "I4,1")
+        assert result.stages[1].benefit == 41
+
+    def test_3greedy_at_least_2greedy(self, engine):
+        two = RGreedy(2, fit=FIT_PAPER).run(engine, FIGURE2_SPACE)
+        three = RGreedy(3, fit=FIT_PAPER).run(engine, FIGURE2_SPACE)
+        assert three.benefit >= two.benefit
+        assert three.stages[0].structures == ("V1", "I1,1")
+
+    def test_optimal_7_is_300(self, engine):
+        result = BranchAndBoundOptimal().run(engine, 7)
+        assert result.benefit == PAPER_ANCHORS["optimal(7)"]
+        assert "V2" in result.selected
+        assert sum(1 for s in result.selected if s.startswith("I2")) == 6
+
+    def test_inner_level_330_on_9_units(self, engine):
+        result = InnerLevelGreedy(fit=FIT_PAPER).run(engine, FIGURE2_SPACE)
+        assert result.benefit == PAPER_ANCHORS["inner-level"]
+        assert result.space_used == 9
+
+    def test_optimal_9_is_400(self, engine):
+        result = BranchAndBoundOptimal().run(engine, 9)
+        assert result.benefit == PAPER_ANCHORS["optimal(9)"]
+        assert set(result.selected) == {"V2"} | {f"I2,{i}" for i in range(1, 9)}
+
+    def test_ordering_1greedy_far_below_everything(self, engine):
+        """The qualitative story of Example 5.1."""
+        one = RGreedy(1, fit=FIT_PAPER).run(engine, FIGURE2_SPACE).benefit
+        two = RGreedy(2, fit=FIT_PAPER).run(engine, FIGURE2_SPACE).benefit
+        three = RGreedy(3, fit=FIT_PAPER).run(engine, FIGURE2_SPACE).benefit
+        opt = BranchAndBoundOptimal().run(engine, FIGURE2_SPACE).benefit
+        assert one < 0.2 * opt
+        assert one < two <= three <= opt

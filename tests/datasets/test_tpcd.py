@@ -1,0 +1,95 @@
+"""Tests for the TPC-D running example (Figure 1)."""
+
+import pytest
+
+from repro.core.view import View
+from repro.datasets.tpcd import (
+    TPCD_CARDINALITIES,
+    TPCD_RAW_ROWS,
+    TPCD_VIEW_ROWS,
+    tpcd_fact_table,
+    tpcd_graph,
+    tpcd_lattice,
+    tpcd_schema,
+)
+
+
+class TestFigure1:
+    def test_schema_dimensions(self):
+        schema = tpcd_schema()
+        assert schema.names == ("p", "s", "c")
+        assert schema.cardinality("p") == 200_000
+
+    def test_all_eight_view_sizes(self, tpcd_lat):
+        expected = {
+            "psc": 6e6, "pc": 6e6, "sc": 6e6, "ps": 0.8e6,
+            "p": 0.2e6, "c": 0.1e6, "s": 0.01e6, "none": 1,
+        }
+        for view in tpcd_lat.views():
+            assert tpcd_lat.size(view) == expected[tpcd_lat.label(view)]
+
+    def test_top_is_raw_size(self, tpcd_lat):
+        assert tpcd_lat.size(tpcd_lat.top) == TPCD_RAW_ROWS
+
+    def test_ps_deviates_from_independence(self, tpcd_lat):
+        """ps = 0.8M, far below the ~6M the independence model predicts —
+        the part→supplier correlation the paper's Figure 1 reflects."""
+        from repro.estimation.sizes import expected_distinct
+
+        schema = tpcd_schema()
+        independent = expected_distinct(
+            schema.cells_of(View.of("p", "s")), TPCD_RAW_ROWS
+        )
+        assert tpcd_lat.size(View.of("p", "s")) < 0.2 * independent
+
+    def test_other_2d_views_match_independence(self, tpcd_lat):
+        from repro.estimation.sizes import expected_distinct
+
+        schema = tpcd_schema()
+        for attrs in (("p", "c"), ("s", "c")):
+            independent = expected_distinct(schema.cells_of(View(attrs)), TPCD_RAW_ROWS)
+            assert tpcd_lat.size(View(attrs)) == pytest.approx(independent, rel=0.02)
+
+
+class TestGraph:
+    def test_shape(self, tpcd_g):
+        assert tpcd_g.n_queries == 27
+        assert len(tpcd_g.views) == 8
+        assert len(tpcd_g.indexes) == 15
+
+    def test_frequencies_default_uniform(self, tpcd_g):
+        assert {q.frequency for q in tpcd_g.queries} == {1.0}
+
+    def test_index_universe_passthrough(self):
+        g = tpcd_graph(index_universe="none")
+        assert g.indexes == []
+
+
+class TestFactTable:
+    def test_scaled_generation(self):
+        fact = tpcd_fact_table(scale=0.001, rng=0)
+        assert fact.n_rows == 6000
+        assert fact.schema.cardinality("p") == 200
+
+    def test_supplier_fanout_preserved(self):
+        """Each part maps to at most 4 suppliers — the ps correlation."""
+        import numpy as np
+
+        fact = tpcd_fact_table(scale=0.002, rng=1)
+        p, s = fact.column("p"), fact.column("s")
+        fanouts = [
+            len(np.unique(s[p == part])) for part in np.unique(p)[:50]
+        ]
+        assert max(fanouts) <= 4
+
+    def test_ps_ratio_shape(self):
+        """|ps| / |p| ≈ 4 in the scaled data, matching 0.8M / 0.2M."""
+        fact = tpcd_fact_table(scale=0.002, rng=1)
+        ratio = fact.distinct_count(["p", "s"]) / fact.distinct_count(["p"])
+        assert 2.0 <= ratio <= 4.5
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            tpcd_fact_table(scale=0)
+        with pytest.raises(ValueError):
+            tpcd_fact_table(scale=2)

@@ -1,0 +1,130 @@
+"""Failure-injection tests: corrupted artifacts and misuse must fail
+loudly, never silently return wrong answers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.index import Index
+from repro.core.view import View
+from repro.cube.generator import generate_fact_table
+from repro.cube.schema import CubeSchema, Dimension
+from repro.engine.catalog import Catalog
+from repro.engine.storage import load_catalog, save_catalog
+
+
+@pytest.fixture
+def saved_catalog(tmp_path):
+    schema = CubeSchema([Dimension("a", 6), Dimension("b", 4)])
+    fact = generate_fact_table(schema, 100, rng=0)
+    catalog = Catalog(fact)
+    catalog.materialize(View.of("a"))
+    catalog.materialize(View.of("a", "b"))
+    catalog.build_index(Index(View.of("a", "b"), ("a", "b")))
+    save_catalog(catalog, tmp_path)
+    return catalog, tmp_path
+
+
+class TestStorageCorruption:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_catalog(tmp_path / "nowhere")
+
+    def test_truncated_manifest(self, saved_catalog):
+        __, path = saved_catalog
+        (path / "manifest.json").write_text("{ not json")
+        with pytest.raises(json.JSONDecodeError):
+            load_catalog(path)
+
+    def test_missing_view_file(self, saved_catalog):
+        __, path = saved_catalog
+        manifest = json.loads((path / "manifest.json").read_text())
+        (path / manifest["views"][0]["file"]).unlink()
+        with pytest.raises(FileNotFoundError):
+            load_catalog(path)
+
+    def test_missing_fact_file(self, saved_catalog):
+        __, path = saved_catalog
+        (path / "fact.npz").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_catalog(path)
+
+    def test_manifest_referencing_unknown_dimension(self, saved_catalog):
+        __, path = saved_catalog
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["views"].append({"attrs": ["zz"], "agg": "sum", "file": "view_zz.npz"})
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(FileNotFoundError):
+            load_catalog(path)
+
+    def test_index_on_unmaterialized_view_in_manifest(self, saved_catalog):
+        __, path = saved_catalog
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["indexes"].append({"view": ["b"], "key": ["b"]})
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="not materialized"):
+            load_catalog(path)
+
+    def test_corrupt_npz_payload(self, saved_catalog):
+        __, path = saved_catalog
+        (path / "fact.npz").write_bytes(b"garbage")
+        with pytest.raises(Exception):
+            load_catalog(path)
+
+
+class TestEngineMisuse:
+    def test_out_of_domain_delta_rejected_before_any_mutation(self):
+        from repro.engine.maintenance import apply_delta
+
+        schema = CubeSchema([Dimension("a", 6), Dimension("b", 4)])
+        catalog = Catalog(generate_fact_table(schema, 50, rng=0))
+        catalog.materialize(View.of("a"))
+        before_rows = catalog.fact.n_rows
+        before_view = list(catalog.view_table(View.of("a")).iter_rows())
+        with pytest.raises(ValueError):
+            apply_delta(
+                catalog,
+                {"a": np.array([99]), "b": np.array([0])},
+                np.array([1.0]),
+            )
+        # nothing changed
+        assert catalog.fact.n_rows == before_rows
+        assert list(catalog.view_table(View.of("a")).iter_rows()) == before_view
+
+    def test_mismatched_delta_lengths_rejected(self):
+        from repro.engine.maintenance import apply_delta
+
+        schema = CubeSchema([Dimension("a", 6), Dimension("b", 4)])
+        catalog = Catalog(generate_fact_table(schema, 50, rng=0))
+        with pytest.raises(ValueError, match="lengths"):
+            apply_delta(
+                catalog,
+                {"a": np.array([0, 1]), "b": np.array([0])},
+                np.array([1.0, 2.0]),
+            )
+
+    def test_executor_rejects_value_for_wrong_attr_silently_never(self):
+        """Values for attributes outside the selection are ignored by
+        design (the query defines the semantics), but missing required
+        values raise."""
+        from repro.core.query import SliceQuery
+        from repro.engine.executor import Executor
+
+        schema = CubeSchema([Dimension("a", 6), Dimension("b", 4)])
+        catalog = Catalog(generate_fact_table(schema, 50, rng=0))
+        catalog.materialize(View.of("a", "b"))
+        executor = Executor(catalog)
+        with pytest.raises(ValueError, match="missing selection values"):
+            executor.execute(SliceQuery(selection=("a",)), {"b": 0})
+
+    def test_graph_document_with_edge_to_missing_structure(self):
+        from repro.io import graph_from_dict
+
+        doc = {
+            "queries": [{"name": "q", "default_cost": 5}],
+            "views": [{"name": "v", "space": 1}],
+            "edges": [{"query": "q", "structure": "ghost", "cost": 1}],
+        }
+        with pytest.raises(ValueError, match="unknown structure"):
+            graph_from_dict(doc)

@@ -1,0 +1,221 @@
+"""Tests for multi-measure support across the engine stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import Index
+from repro.core.query import SliceQuery
+from repro.core.view import View
+from repro.cube.schema import CubeSchema, Dimension
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.engine.maintenance import apply_delta
+from repro.engine.materialize import materialize_view, rollup_view
+from repro.engine.storage import load_catalog, save_catalog
+from repro.engine.table import FactTable
+from repro.sql import SqlError, run_sql
+
+
+@pytest.fixture
+def schema():
+    return CubeSchema(
+        [Dimension("a", 6), Dimension("b", 4)], measure="sales"
+    )
+
+
+@pytest.fixture
+def fact(schema):
+    rng = np.random.default_rng(0)
+    n = 200
+    return FactTable(
+        schema,
+        {
+            "a": rng.integers(0, 6, size=n),
+            "b": rng.integers(0, 4, size=n),
+        },
+        rng.uniform(0, 100, size=n),
+        extra_measures={
+            "quantity": rng.integers(1, 10, size=n).astype(float),
+            "discount": rng.uniform(0, 1, size=n),
+        },
+    )
+
+
+class TestFactTable:
+    def test_measure_names(self, fact):
+        assert fact.measure_names == ("sales", "quantity", "discount")
+
+    def test_measure_column_lookup(self, fact):
+        assert fact.measure_column() is fact.measures
+        assert fact.measure_column("sales") is fact.measures
+        assert fact.measure_column("quantity") is fact.extra_measures["quantity"]
+
+    def test_unknown_measure(self, fact):
+        with pytest.raises(KeyError, match="unknown measure"):
+            fact.measure_column("profit")
+
+    def test_name_collisions_rejected(self, schema):
+        with pytest.raises(ValueError, match="collide"):
+            FactTable(
+                schema,
+                {"a": np.array([0]), "b": np.array([0])},
+                np.array([1.0]),
+                extra_measures={"sales": np.array([1.0])},
+            )
+        with pytest.raises(ValueError, match="collide"):
+            FactTable(
+                schema,
+                {"a": np.array([0]), "b": np.array([0])},
+                np.array([1.0]),
+                extra_measures={"a": np.array([1.0])},
+            )
+
+    def test_length_mismatch_rejected(self, schema):
+        with pytest.raises(ValueError, match="lengths"):
+            FactTable(
+                schema,
+                {"a": np.array([0]), "b": np.array([0])},
+                np.array([1.0]),
+                extra_measures={"q": np.array([1.0, 2.0])},
+            )
+
+
+class TestMaterialization:
+    def test_all_measures_aggregated_together(self, fact):
+        table = materialize_view(fact, View.of("a"))
+        assert set(table.extra_values) == {"quantity", "discount"}
+        for measure in ("sales", "quantity", "discount"):
+            column = fact.measure_column(measure)
+            expected = {}
+            for row in range(fact.n_rows):
+                key = (int(fact.column("a")[row]),)
+                expected[key] = expected.get(key, 0.0) + float(column[row])
+            got = table.values_for(measure)
+            for i, key in enumerate(
+                (int(v),) for v in table.key_columns["a"]
+            ):
+                assert got[i] == pytest.approx(expected[key])
+
+    def test_rollup_carries_extras(self, fact):
+        top = materialize_view(fact, View.of("a", "b"))
+        rolled = rollup_view(top, View.of("a"), schema=fact.schema)
+        direct = materialize_view(fact, View.of("a"))
+        for measure in ("quantity", "discount"):
+            assert np.allclose(
+                rolled.values_for(measure), direct.values_for(measure)
+            )
+
+    def test_values_for_unknown_measure(self, fact):
+        table = materialize_view(fact, View.of("a"))
+        with pytest.raises(KeyError, match="no measure"):
+            table.values_for("profit")
+
+
+class TestExecution:
+    @pytest.fixture
+    def executor(self, fact):
+        catalog = Catalog(fact)
+        catalog.materialize(View.of("a", "b"))
+        catalog.materialize(View.of("a"))
+        catalog.build_index(Index(View.of("a", "b"), ("b", "a")))
+        return Executor(catalog)
+
+    def test_execute_with_measure(self, executor, fact):
+        query = SliceQuery(groupby=("a",), selection=("b",))
+        result = executor.execute(query, {"b": 1}, measure="quantity")
+        mask = fact.column("b") == 1
+        expected = float(fact.extra_measures["quantity"][mask].sum())
+        assert sum(result.groups.values()) == pytest.approx(expected)
+
+    def test_index_path_respects_measure(self, executor, fact):
+        view = View.of("a", "b")
+        idx = Index(view, ("b", "a"))
+        query = SliceQuery(groupby=("a",), selection=("b",))
+        via_index = executor.execute(
+            query, {"b": 2}, plan=(view, idx), measure="discount"
+        )
+        via_scan = executor.execute(
+            query, {"b": 2}, plan=(view, None), measure="discount"
+        )
+        assert via_index.groups.keys() == via_scan.groups.keys()
+        for key in via_scan.groups:
+            assert via_index.groups[key] == pytest.approx(via_scan.groups[key])
+
+    def test_default_measure_unchanged(self, executor, fact):
+        query = SliceQuery(groupby=("a",))
+        result = executor.execute(query, {})
+        assert sum(result.groups.values()) == pytest.approx(
+            float(fact.measures.sum())
+        )
+
+
+class TestSql:
+    @pytest.fixture
+    def executor(self, fact):
+        catalog = Catalog(fact)
+        catalog.materialize(View.of("a"))
+        catalog.materialize(View.of("a", "b"))
+        return Executor(catalog)
+
+    def test_select_extra_measure(self, executor, fact):
+        result = run_sql(executor, "SELECT a, SUM(quantity) FROM cube GROUP BY a")
+        assert sum(result.groups.values()) == pytest.approx(
+            float(fact.extra_measures["quantity"].sum())
+        )
+
+    def test_select_primary_measure(self, executor, fact):
+        result = run_sql(executor, "SELECT a, SUM(sales) FROM cube GROUP BY a")
+        assert sum(result.groups.values()) == pytest.approx(
+            float(fact.measures.sum())
+        )
+
+    def test_unknown_measure_rejected(self, executor):
+        with pytest.raises(SqlError, match="unknown measure"):
+            run_sql(executor, "SELECT a, SUM(profit) FROM cube GROUP BY a")
+
+
+class TestMaintenanceAndStorage:
+    def test_delta_with_extras_refreshes_all_measures(self, fact):
+        catalog = Catalog(fact)
+        catalog.materialize(View.of("a"))
+        rng = np.random.default_rng(5)
+        n = 30
+        apply_delta(
+            catalog,
+            {"a": rng.integers(0, 6, size=n), "b": rng.integers(0, 4, size=n)},
+            rng.uniform(0, 100, size=n),
+            delta_extra_measures={
+                "quantity": rng.integers(1, 10, size=n).astype(float),
+                "discount": rng.uniform(0, 1, size=n),
+            },
+        )
+        recomputed = materialize_view(catalog.fact, View.of("a"))
+        table = catalog.view_table(View.of("a"))
+        for measure in ("sales", "quantity", "discount"):
+            assert np.allclose(
+                table.values_for(measure), recomputed.values_for(measure)
+            )
+
+    def test_delta_missing_extras_rejected(self, fact):
+        catalog = Catalog(fact)
+        with pytest.raises(ValueError, match="do not match"):
+            apply_delta(
+                catalog,
+                {"a": np.array([0]), "b": np.array([0])},
+                np.array([1.0]),
+            )
+
+    def test_storage_round_trip_with_extras(self, fact, tmp_path):
+        catalog = Catalog(fact)
+        catalog.materialize(View.of("a"))
+        catalog.materialize(View.of("a", "b"))
+        save_catalog(catalog, tmp_path)
+        loaded = load_catalog(tmp_path)
+        assert loaded.fact.measure_names == fact.measure_names
+        for view in catalog.views():
+            original = catalog.view_table(view)
+            restored = loaded.view_table(view)
+            for measure in fact.measure_names:
+                assert np.allclose(
+                    original.values_for(measure), restored.values_for(measure)
+                )

@@ -1,0 +1,125 @@
+"""Tests for OLAP navigation (drill-down / roll-up / slice / dice)."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import SliceQuery
+from repro.core.view import View
+from repro.cube.generator import generate_fact_table
+from repro.cube.schema import CubeSchema, Dimension
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.engine.navigate import NavigationError, dice, drill_down, roll_up, slice_
+
+
+@pytest.fixture(scope="module")
+def executor():
+    schema = CubeSchema([Dimension("a", 8), Dimension("b", 6), Dimension("c", 4)])
+    fact = generate_fact_table(schema, 900, rng=2)
+    catalog = Catalog(fact)
+    for attrs in ((), ("a",), ("b",), ("a", "b"), ("a", "b", "c")):
+        catalog.materialize(View(attrs))
+    return Executor(catalog)
+
+
+class TestDrillDown:
+    def test_adds_groupby_dimension(self, executor):
+        query = SliceQuery(groupby=("a",))
+        refined, result = drill_down(executor, query, {}, "b")
+        assert refined.groupby == {"a", "b"}
+        assert result.n_groups >= 1
+
+    def test_totals_preserved(self, executor):
+        """Drilling down redistributes but never changes the total."""
+        query = SliceQuery(groupby=("a",))
+        __, before = drill_down(executor, query, {}, "b")
+        coarse = executor.execute(query, {})
+        assert sum(before.groups.values()) == pytest.approx(
+            sum(coarse.groups.values())
+        )
+
+    def test_already_grouped_rejected(self, executor):
+        with pytest.raises(NavigationError, match="already"):
+            drill_down(executor, SliceQuery(groupby=("a",)), {}, "a")
+
+    def test_sliced_dim_rejected(self, executor):
+        query = SliceQuery(groupby=("b",), selection=("a",))
+        with pytest.raises(NavigationError, match="sliced"):
+            drill_down(executor, query, {"a": 1}, "a")
+
+    def test_unknown_dim_rejected(self, executor):
+        with pytest.raises(NavigationError, match="unknown"):
+            drill_down(executor, SliceQuery(), {}, "z")
+
+
+class TestRollUp:
+    def test_removes_groupby_dimension(self, executor):
+        query = SliceQuery(groupby=("a", "b"))
+        coarser, result = roll_up(executor, query, {}, "b")
+        assert coarser.groupby == {"a"}
+        fine = executor.execute(query, {})
+        assert sum(result.groups.values()) == pytest.approx(
+            sum(fine.groups.values())
+        )
+
+    def test_drops_slice(self, executor):
+        query = SliceQuery(groupby=("b",), selection=("a",))
+        coarser, result = roll_up(executor, query, {"a": 2}, "a")
+        assert coarser.selection == frozenset()
+        assert result.n_groups >= 1
+
+    def test_absent_dim_rejected(self, executor):
+        with pytest.raises(NavigationError, match="does not appear"):
+            roll_up(executor, SliceQuery(groupby=("a",)), {}, "c")
+
+
+class TestSliceDice:
+    def test_slice_moves_dim_to_selection(self, executor):
+        query = SliceQuery(groupby=("a", "b"))
+        sliced, result = slice_(executor, query, {}, "a", 3)
+        assert sliced.selection == {"a"}
+        assert sliced.groupby == {"b"}
+        # groups only contain rows with a == 3
+        fact = executor.catalog.fact
+        mask = fact.column("a") == 3
+        assert sum(result.groups.values()) == pytest.approx(
+            float(fact.measures[mask].sum())
+        )
+
+    def test_slice_twice_rejected(self, executor):
+        query = SliceQuery(groupby=("b",), selection=("a",))
+        with pytest.raises(NavigationError, match="already sliced"):
+            slice_(executor, query, {"a": 1}, "a", 2)
+
+    def test_dice_rebinds_value(self, executor):
+        query = SliceQuery(groupby=("b",), selection=("a",))
+        __, first = dice(executor, query, {"a": 1}, "a", 2)
+        fact = executor.catalog.fact
+        mask = fact.column("a") == 2
+        assert sum(first.groups.values()) == pytest.approx(
+            float(fact.measures[mask].sum())
+        )
+
+    def test_dice_requires_sliced_dim(self, executor):
+        with pytest.raises(NavigationError, match="not sliced"):
+            dice(executor, SliceQuery(groupby=("a",)), {}, "a", 1)
+
+
+class TestSession:
+    def test_analyst_walk(self, executor):
+        """A realistic session: total → by a → slice a → drill to b → dice."""
+        fact = executor.catalog.fact
+        query, values = SliceQuery(), {}
+        total = executor.execute(query, values)
+        assert total.groups[()] == pytest.approx(float(fact.measures.sum()))
+
+        query, __ = drill_down(executor, query, values, "a")
+        query, result = slice_(executor, query, values, "a", 0)
+        values = {"a": 0}
+        query, result = drill_down(executor, query, values, "b")
+        assert query == SliceQuery(groupby=("b",), selection=("a",))
+        query, result = dice(executor, query, values, "a", 1)
+        mask = fact.column("a") == 1
+        assert sum(result.groups.values()) == pytest.approx(
+            float(fact.measures[mask].sum())
+        )

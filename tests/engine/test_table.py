@@ -1,0 +1,100 @@
+"""Tests for FactTable and ViewTable."""
+
+import numpy as np
+import pytest
+
+from repro.core.view import View
+from repro.cube.schema import CubeSchema, Dimension
+from repro.engine.table import FactTable, ViewTable
+
+
+@pytest.fixture
+def schema():
+    return CubeSchema([Dimension("a", 5), Dimension("b", 3)])
+
+
+class TestFactTable:
+    def test_construction(self, schema):
+        fact = FactTable(
+            schema,
+            {"a": np.array([0, 1, 2]), "b": np.array([0, 1, 2])},
+            np.array([1.0, 2.0, 3.0]),
+        )
+        assert fact.n_rows == 3
+
+    def test_missing_column_rejected(self, schema):
+        with pytest.raises(ValueError, match="missing"):
+            FactTable(schema, {"a": np.array([0])}, np.array([1.0]))
+
+    def test_length_mismatch_rejected(self, schema):
+        with pytest.raises(ValueError, match="lengths"):
+            FactTable(
+                schema,
+                {"a": np.array([0, 1]), "b": np.array([0])},
+                np.array([1.0, 2.0]),
+            )
+
+    def test_out_of_domain_rejected(self, schema):
+        with pytest.raises(ValueError, match="outside"):
+            FactTable(
+                schema,
+                {"a": np.array([7]), "b": np.array([0])},
+                np.array([1.0]),
+            )
+
+    def test_negative_value_rejected(self, schema):
+        with pytest.raises(ValueError, match="outside"):
+            FactTable(
+                schema,
+                {"a": np.array([-1]), "b": np.array([0])},
+                np.array([1.0]),
+            )
+
+    def test_distinct_count(self, schema):
+        fact = FactTable(
+            schema,
+            {"a": np.array([0, 0, 1, 1]), "b": np.array([0, 0, 0, 1])},
+            np.zeros(4),
+        )
+        assert fact.distinct_count(["a"]) == 2
+        assert fact.distinct_count(["a", "b"]) == 3
+        assert fact.distinct_count([]) == 1
+
+
+class TestViewTable:
+    def test_construction_and_rows(self):
+        table = ViewTable(
+            View.of("a"),
+            ("a",),
+            {"a": np.array([0, 1, 2])},
+            np.array([1.0, 2.0, 3.0]),
+        )
+        assert table.n_rows == 3
+
+    def test_attrs_must_match_view(self):
+        with pytest.raises(ValueError, match="do not match"):
+            ViewTable(View.of("a"), ("b",), {"b": np.array([0])}, np.array([1.0]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths"):
+            ViewTable(
+                View.of("a"), ("a",), {"a": np.array([0, 1])}, np.array([1.0])
+            )
+
+    def test_row_key(self):
+        table = ViewTable(
+            View.of("a", "b"),
+            ("a", "b"),
+            {"a": np.array([3, 4]), "b": np.array([5, 6])},
+            np.array([1.0, 2.0]),
+        )
+        assert table.row_key(1, ("b", "a")) == (6, 4)
+
+    def test_iter_rows(self):
+        table = ViewTable(
+            View.of("a", "b"),
+            ("a", "b"),
+            {"a": np.array([1, 2]), "b": np.array([3, 4])},
+            np.array([10.0, 20.0]),
+        )
+        assert list(table.iter_rows()) == [((1, 3), 10.0), ((2, 4), 20.0)]

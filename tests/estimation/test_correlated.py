@@ -1,0 +1,131 @@
+"""Tests for the correlation-aware size model — including the derivation
+of the paper's Figure 1 sizes from first principles."""
+
+import pytest
+
+from repro.core.view import View
+from repro.cube.schema import CubeSchema, Dimension
+from repro.datasets.tpcd import (
+    TPCD_RAW_ROWS,
+    TPCD_SUPPLIERS_PER_PART,
+    TPCD_VIEW_ROWS,
+    tpcd_schema,
+)
+from repro.estimation.correlated import (
+    correlated_lattice,
+    correlated_view_size,
+    effective_cells,
+)
+from repro.estimation.sizes import analytical_lattice
+
+
+@pytest.fixture
+def schema():
+    return CubeSchema([Dimension("p", 100), Dimension("s", 40), Dimension("c", 60)])
+
+
+CORR = {"s": ("p", 4)}
+
+
+class TestEffectiveCells:
+    def test_child_with_parent_multiplies_by_fanout(self, schema):
+        assert effective_cells(schema, View.of("p", "s"), CORR) == 100 * 4
+
+    def test_child_alone_uses_reachable_domain(self, schema):
+        # min(40, 100*4) = 40: the whole child domain is reachable
+        assert effective_cells(schema, View.of("s"), CORR) == 40
+
+    def test_child_alone_clipped_by_parent_fanout(self):
+        schema = CubeSchema([Dimension("p", 5), Dimension("s", 100)])
+        assert effective_cells(schema, View.of("s"), {"s": ("p", 3)}) == 15
+
+    def test_uncorrelated_attrs_multiply(self, schema):
+        assert effective_cells(schema, View.of("p", "c"), CORR) == 6000
+
+    def test_fanout_capped_by_child_cardinality(self):
+        schema = CubeSchema([Dimension("p", 10), Dimension("s", 2)])
+        assert effective_cells(schema, View.of("p", "s"), {"s": ("p", 5)}) == 20
+
+    def test_validation(self, schema):
+        with pytest.raises(KeyError):
+            effective_cells(schema, View.of("p"), {"z": ("p", 2)})
+        with pytest.raises(ValueError, match="itself"):
+            effective_cells(schema, View.of("p"), {"p": ("p", 2)})
+        with pytest.raises(ValueError, match="fanout"):
+            effective_cells(schema, View.of("p"), {"s": ("p", 0)})
+        with pytest.raises(ValueError, match="itself correlated"):
+            effective_cells(
+                schema, View.of("p"), {"s": ("p", 2), "c": ("s", 2)}
+            )
+
+
+class TestFigure1Derivation:
+    """The headline: Figure 1 falls out of the model + one correlation."""
+
+    @pytest.fixture(scope="class")
+    def derived(self):
+        return correlated_lattice(
+            tpcd_schema(),
+            TPCD_RAW_ROWS,
+            {"s": ("p", TPCD_SUPPLIERS_PER_PART)},
+        )
+
+    @pytest.mark.parametrize(
+        "label,paper_rows",
+        [
+            ("psc", 6e6),
+            ("pc", 6e6),
+            ("sc", 6e6),
+            ("ps", 0.8e6),
+            ("p", 0.2e6),
+            ("s", 0.01e6),
+            ("c", 0.1e6),
+            ("none", 1),
+        ],
+    )
+    def test_every_figure1_size_derived(self, derived, label, paper_rows):
+        view = next(v for v in derived.views() if derived.label(v) == label)
+        assert derived.size(view) == pytest.approx(paper_rows, rel=0.02)
+
+    def test_independence_model_misses_ps(self):
+        """Without the correlation, ps comes out ~6M — the deviation the
+        correlated model exists to fix."""
+        plain = analytical_lattice(tpcd_schema(), TPCD_RAW_ROWS)
+        assert plain.size(View.of("p", "s")) > 5e6
+
+    def test_derived_matches_dataset_constants(self, derived):
+        for view, rows in TPCD_VIEW_ROWS.items():
+            assert derived.size(view) == pytest.approx(rows, rel=0.02)
+
+
+class TestCorrelatedLattice:
+    def test_empty_correlations_equals_plain_model(self, schema):
+        a = correlated_lattice(schema, 500, {})
+        b = analytical_lattice(schema, 500)
+        for view in a.views():
+            assert a.size(view) == pytest.approx(b.size(view))
+
+    def test_monotone_along_lattice(self, schema):
+        lattice = correlated_lattice(schema, 500, CORR)
+        for view in lattice.views():
+            for parent in lattice.parents(view):
+                assert lattice.size(parent) >= lattice.size(view) - 1e-9
+
+    def test_matches_generator_statistics(self):
+        """The model must track what the correlated generator actually
+        produces — same correlation spec on both sides."""
+        from repro.cube.generator import generate_fact_table
+
+        schema = CubeSchema([Dimension("p", 200), Dimension("s", 150)])
+        corr = {"s": ("p", 4)}
+        fact = generate_fact_table(schema, 5_000, rng=3, correlated=corr)
+        predicted = correlated_view_size(schema, View.of("p", "s"), 5_000, corr)
+        actual = fact.distinct_count(["p", "s"])
+        assert predicted == pytest.approx(actual, rel=0.1)
+
+    def test_view_size_empty_view(self, schema):
+        assert correlated_view_size(schema, View.none(), 100, CORR) == 1.0
+
+    def test_raw_rows_validation(self, schema):
+        with pytest.raises(ValueError):
+            correlated_lattice(schema, 0, CORR)

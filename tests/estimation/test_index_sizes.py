@@ -1,0 +1,57 @@
+"""Tests for the index-size model (Section 4.2.2)."""
+
+import math
+
+import pytest
+
+from repro.core.index import Index
+from repro.core.view import View
+from repro.estimation.index_sizes import (
+    btree_leaf_count,
+    index_size,
+    total_materialization_size,
+    view_with_all_fat_indexes_size,
+)
+
+
+class TestIndexSize:
+    def test_index_size_equals_view_size(self, tpcd_lat):
+        idx = Index(View.of("p", "s"), ("s", "p"))
+        assert index_size(tpcd_lat, idx) == 800_000
+
+    def test_every_index_on_view_same_size(self, tpcd_lat):
+        from repro.core.index import enumerate_all_indexes
+
+        view = View.of("p", "s", "c")
+        sizes = {index_size(tpcd_lat, i) for i in enumerate_all_indexes(view)}
+        assert sizes == {6_000_000}
+
+
+class TestAggregates:
+    def test_view_with_fat_indexes(self, tpcd_lat):
+        # psc: (3! + 1) * 6M = 42M
+        assert view_with_all_fat_indexes_size(
+            tpcd_lat, View.of("p", "s", "c")
+        ) == 42_000_000
+
+    def test_empty_view_is_just_itself(self, tpcd_lat):
+        assert view_with_all_fat_indexes_size(tpcd_lat, View.none()) == 2
+
+    def test_paper_80m_total(self, tpcd_lat):
+        """Example 2.1: materializing everything needs ~80M rows."""
+        total = total_materialization_size(tpcd_lat)
+        assert total == pytest.approx(81e6, rel=0.02)
+
+
+class TestLeafCount:
+    def test_paper_model_one_entry_per_leaf(self):
+        assert btree_leaf_count(1000) == 1000
+
+    def test_physical_pages(self):
+        assert btree_leaf_count(1000, entries_per_leaf=64) == math.ceil(1000 / 64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            btree_leaf_count(-1)
+        with pytest.raises(ValueError):
+            btree_leaf_count(10, entries_per_leaf=0)

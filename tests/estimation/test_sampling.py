@@ -1,0 +1,122 @@
+"""Tests for sampling-based distinct-value estimation ([HNS95])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation.sampling import (
+    frequency_profile,
+    gee_estimator,
+    goodman_jackknife,
+    sample_view_size,
+    scale_up_estimator,
+)
+
+
+class TestFrequencyProfile:
+    def test_simple(self):
+        assert frequency_profile(["a", "a", "b"]) == {1: 1, 2: 1}
+
+    def test_empty(self):
+        assert frequency_profile([]) == {}
+
+    def test_tuples_as_keys(self):
+        assert frequency_profile([(1, 2), (1, 2), (3, 4)]) == {1: 1, 2: 1}
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=100))
+    def test_profile_accounts_for_all_rows(self, sample):
+        profile = frequency_profile(sample)
+        assert sum(i * f for i, f in profile.items()) == len(sample)
+        assert sum(profile.values()) == len(set(sample))
+
+
+class TestEstimators:
+    PROFILE = {1: 40, 2: 20, 3: 10}  # 40+40+30 = 110 rows, 70 distinct
+
+    def test_validation_rejects_bad_row_count(self):
+        with pytest.raises(ValueError, match="accounts for"):
+            gee_estimator(self.PROFILE, 100, 1000)
+
+    def test_validation_rejects_sample_bigger_than_relation(self):
+        with pytest.raises(ValueError):
+            gee_estimator(self.PROFILE, 110, 50)
+
+    def test_validation_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            gee_estimator({}, 0, 100)
+
+    def test_scale_up(self):
+        # q = 0.11 -> 70 / 0.11 ≈ 636
+        est = scale_up_estimator(self.PROFILE, 110, 1000)
+        assert est == pytest.approx(70 / 0.11, rel=1e-6)
+
+    def test_jackknife_formula(self):
+        q = 110 / 1000
+        expected = 70 + (1 - q) * 40 / q
+        assert goodman_jackknife(self.PROFILE, 110, 1000) == pytest.approx(expected)
+
+    def test_gee_formula(self):
+        q = 110 / 1000
+        expected = np.sqrt(1 / q) * 40 + 30
+        assert gee_estimator(self.PROFILE, 110, 1000) == pytest.approx(expected)
+
+    def test_full_sample_returns_exact_count(self):
+        # q = 1: every estimator should return exactly d
+        profile = {1: 3, 2: 1}
+        for est in (scale_up_estimator, goodman_jackknife, gee_estimator):
+            assert est(profile, 5, 5) == pytest.approx(4)
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=5),
+            st.integers(min_value=1, max_value=20),
+            min_size=1,
+        ),
+        st.integers(min_value=2, max_value=100),
+    )
+    @settings(max_examples=50)
+    def test_estimates_within_feasible_range(self, profile, scale):
+        sample_rows = sum(i * f for i, f in profile.items())
+        total_rows = sample_rows * scale
+        d = sum(profile.values())
+        for est in (scale_up_estimator, goodman_jackknife, gee_estimator):
+            value = est(profile, sample_rows, total_rows)
+            assert d <= value <= total_rows
+
+
+class TestSampleViewSize:
+    def test_recovers_exact_count_with_full_sample(self):
+        rng = np.random.default_rng(0)
+        columns = {"a": rng.integers(0, 20, size=500)}
+        true = len(np.unique(columns["a"]))
+        est = sample_view_size(columns, ["a"], 500, rng, estimator="gee")
+        assert est == true
+
+    def test_empty_attrs_is_one(self):
+        rng = np.random.default_rng(0)
+        assert sample_view_size({"a": np.arange(10)}, [], 5, rng) == 1.0
+
+    def test_estimator_name_validated(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_view_size({"a": np.arange(10)}, ["a"], 5, rng, estimator="x")
+
+    def test_jackknife_reasonable_on_uniform_data(self):
+        rng = np.random.default_rng(42)
+        true_distinct = 200
+        columns = {"a": rng.integers(0, true_distinct, size=20_000)}
+        est = sample_view_size(
+            columns, ["a"], 2_000, rng, estimator="jackknife"
+        )
+        assert est == pytest.approx(true_distinct, rel=0.5)
+
+    def test_multi_attr_combination(self):
+        rng = np.random.default_rng(1)
+        columns = {
+            "a": rng.integers(0, 10, size=1000),
+            "b": rng.integers(0, 10, size=1000),
+        }
+        est = sample_view_size(columns, ["a", "b"], 1000, rng, estimator="gee")
+        stacked = np.stack([columns["a"], columns["b"]], axis=1)
+        assert est == len(np.unique(stacked, axis=0))

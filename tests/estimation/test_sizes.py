@@ -1,0 +1,159 @@
+"""Tests for the analytical size model (Section 4.2.1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.view import View
+from repro.cube.schema import CubeSchema, Dimension
+from repro.estimation.sizes import (
+    analytical_lattice,
+    analytical_view_size,
+    exact_sizes_from_rows,
+    expected_distinct,
+    min_model,
+    sparsity_to_rows,
+)
+
+
+@pytest.fixture
+def schema():
+    return CubeSchema([Dimension("a", 100), Dimension("b", 50), Dimension("c", 20)])
+
+
+class TestExpectedDistinct:
+    def test_zero_rows(self):
+        assert expected_distinct(100, 0) == 0.0
+
+    def test_one_row(self):
+        assert expected_distinct(100, 1) == pytest.approx(1.0)
+
+    def test_saturates_at_cells(self):
+        assert expected_distinct(2, 10_000) == pytest.approx(2.0)
+
+    def test_sparse_regime_close_to_rows(self):
+        # rows << cells: nearly every draw is new
+        assert expected_distinct(1e9, 1000) == pytest.approx(1000, rel=1e-3)
+
+    def test_exact_small_case(self):
+        # D(2, 2) = 2 * (1 - (1/2)^2) = 1.5
+        assert expected_distinct(2, 2) == pytest.approx(1.5)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            expected_distinct(0, 10)
+        with pytest.raises(ValueError):
+            expected_distinct(10, -1)
+
+    @given(
+        st.floats(min_value=1, max_value=1e12),
+        st.floats(min_value=0, max_value=1e12),
+    )
+    def test_bounds(self, cells, rows):
+        d = expected_distinct(cells, rows)
+        assert 0.0 <= d <= min(cells, rows) + 1e-6
+
+    @given(st.floats(min_value=1, max_value=1e6))
+    def test_monotone_in_rows(self, cells):
+        values = [expected_distinct(cells, r) for r in (10, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        cells, rows = 500, 800
+        trials = [
+            len(np.unique(rng.integers(0, cells, size=rows))) for __ in range(200)
+        ]
+        assert expected_distinct(cells, rows) == pytest.approx(
+            np.mean(trials), rel=0.02
+        )
+
+
+class TestMinModel:
+    def test_min(self):
+        assert min_model(100, 40) == 40
+        assert min_model(30, 40) == 30
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            min_model(0, 5)
+
+
+class TestAnalyticalViewSize:
+    def test_empty_view_is_one_row(self, schema):
+        assert analytical_view_size(schema, View.none(), 1000) == 1.0
+
+    def test_expected_model(self, schema):
+        size = analytical_view_size(schema, View.of("a", "b"), 10_000)
+        assert size == pytest.approx(expected_distinct(5000, 10_000))
+
+    def test_min_model(self, schema):
+        size = analytical_view_size(schema, View.of("a"), 10_000, model="min")
+        assert size == 100
+
+    def test_invalid_model(self, schema):
+        with pytest.raises(ValueError):
+            analytical_view_size(schema, View.of("a"), 100, model="bogus")
+
+    def test_at_least_one_row(self, schema):
+        assert analytical_view_size(schema, View.of("a"), 1) >= 1.0
+
+
+class TestAnalyticalLattice:
+    def test_all_views_sized(self, schema):
+        lattice = analytical_lattice(schema, 5_000)
+        assert len(lattice) == 8
+        for view in lattice.views():
+            assert lattice.size(view) >= 1
+
+    def test_monotone_along_lattice(self, schema):
+        """A view never has more rows than any ancestor — the property
+        the whole lattice-based optimization relies on."""
+        lattice = analytical_lattice(schema, 5_000)
+        for view in lattice.views():
+            for parent in lattice.parents(view):
+                assert lattice.size(parent) >= lattice.size(view) - 1e-9
+
+    def test_top_size_bounded_by_rows(self, schema):
+        lattice = analytical_lattice(schema, 5_000)
+        assert lattice.size(lattice.top) <= 5_000
+
+    def test_invalid_rows(self, schema):
+        with pytest.raises(ValueError):
+            analytical_lattice(schema, 0)
+
+
+class TestSparsity:
+    def test_conversion(self, schema):
+        assert sparsity_to_rows(schema, 0.1) == pytest.approx(0.1 * 100 * 50 * 20)
+
+    def test_bounds(self, schema):
+        with pytest.raises(ValueError):
+            sparsity_to_rows(schema, 0)
+        with pytest.raises(ValueError):
+            sparsity_to_rows(schema, 1.5)
+
+
+class TestExactSizes:
+    def test_counts_distinct_combinations(self, schema):
+        columns = {
+            "a": np.array([0, 0, 1, 1]),
+            "b": np.array([0, 0, 0, 1]),
+            "c": np.array([0, 1, 0, 0]),
+        }
+        estimator = exact_sizes_from_rows(schema, columns)
+        assert estimator(View.of("a")) == 2
+        assert estimator(View.of("a", "b")) == 3
+        assert estimator(View.of("a", "b", "c")) == 4
+        assert estimator(View.none()) == 1
+
+    def test_agrees_with_fact_table_distinct_count(self, schema):
+        from repro.cube.generator import generate_fact_table
+
+        fact = generate_fact_table(schema, 500, rng=1)
+        estimator = exact_sizes_from_rows(schema, fact.columns)
+        for attrs in (("a",), ("a", "b"), ("a", "b", "c")):
+            assert estimator(View(attrs)) == fact.distinct_count(attrs)

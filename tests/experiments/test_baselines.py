@@ -1,0 +1,53 @@
+"""Tests for the baselines-panorama experiment."""
+
+import pytest
+
+from repro.experiments.baselines import format_baselines, run_baselines
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_baselines()
+
+
+def by(rows, instance, strategy):
+    return next(
+        r for r in rows if r.instance == instance and r.strategy == strategy
+    )
+
+
+class TestBaselines:
+    def test_views_only_worst_on_tpcd(self, rows):
+        hru = by(rows, "TPC-D (25M)", "HRU (views only)")
+        two = by(rows, "TPC-D (25M)", "two-step 50/50")
+        one = by(rows, "TPC-D (25M)", "1-greedy")
+        assert hru.average_query_cost > two.average_query_cost
+        assert two.average_query_cost > one.average_query_cost
+
+    def test_paper_narrative_ordering_everywhere(self, rows):
+        for instance in {"TPC-D (25M)", "dim4 synthetic"}:
+            views_only = by(rows, instance, "HRU (views only)")
+            one_step = by(rows, instance, "1-greedy")
+            assert one_step.benefit >= views_only.benefit
+
+    def test_pbs_equals_hru_benefit(self, rows):
+        for instance in {"TPC-D (25M)", "dim4 synthetic"}:
+            pbs = by(rows, instance, "PBS (views only)")
+            hru = by(rows, instance, "HRU (views only)")
+            assert pbs.benefit == pytest.approx(hru.benefit, rel=0.01)
+
+    def test_local_search_never_hurts(self, rows):
+        for instance in {"TPC-D (25M)", "dim4 synthetic"}:
+            base = by(rows, instance, "inner-level")
+            refined = by(rows, instance, "inner-level + local search")
+            assert refined.benefit >= base.benefit - 1e-6
+
+    def test_tpcd_numbers_match_example21(self, rows):
+        one = by(rows, "TPC-D (25M)", "1-greedy")
+        two = by(rows, "TPC-D (25M)", "two-step 50/50")
+        assert one.average_query_cost == pytest.approx(0.708e6, rel=0.01)
+        assert two.average_query_cost == pytest.approx(1.18e6, rel=0.01)
+
+    def test_format(self, rows):
+        text = format_baselines(rows)
+        assert "two-step" in text and "PBS" in text

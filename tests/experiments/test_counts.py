@@ -1,0 +1,50 @@
+"""Tests for the Section 3.5 counts experiment."""
+
+import math
+
+import pytest
+
+from repro.experiments.counts import format_counts, run_counts
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_counts(max_dims=8)
+
+
+class TestCounts:
+    def test_tpcd_row(self, rows):
+        """n = 3: 8 views, 27 slice queries, 15 fat indexes."""
+        row = rows[2]
+        assert (row.views, row.queries, row.fat_indexes) == (8, 27, 15)
+
+    def test_views_power_of_two(self, rows):
+        for row in rows:
+            assert row.views == 2**row.n_dims
+
+    def test_queries_power_of_three(self, rows):
+        for row in rows:
+            assert row.queries == 3**row.n_dims
+
+    def test_fat_ratio_approaches_e(self, rows):
+        assert rows[-1].fat_over_factorial == pytest.approx(math.e, rel=0.001)
+
+    def test_fat_less_than_all(self, rows):
+        for row in rows:
+            if row.n_dims == 1:
+                assert row.fat_indexes == row.all_indexes  # only I_a(a)
+            else:
+                assert row.fat_indexes < row.all_indexes
+
+    def test_problem_size_grows_factorially(self, rows):
+        """The Section 3.5 takeaway: the structure count is Θ(n!)."""
+        ratios = [
+            rows[i + 1].fat_indexes / rows[i].fat_indexes for i in range(4, 7)
+        ]
+        for i, ratio in enumerate(ratios):
+            assert ratio == pytest.approx(rows[i + 5].n_dims, rel=0.15)
+
+
+def test_format(rows):
+    text = format_counts(rows)
+    assert "3^n" in text and "fat" in text

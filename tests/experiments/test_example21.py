@@ -1,0 +1,61 @@
+"""Tests for the Example 2.1 experiment driver — the paper's Section 2
+numbers must hold in shape."""
+
+import pytest
+
+from repro.experiments.example21 import (
+    PAPER_ONE_STEP_AVG,
+    PAPER_TWO_STEP_AVG,
+    format_example21,
+    run_example21,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_example21()
+
+
+class TestPaperNumbers:
+    def test_two_step_matches_paper_exactly(self, result):
+        """1.18M rows per query with the equal split."""
+        assert result.two_step_avg == pytest.approx(PAPER_TWO_STEP_AVG, rel=0.01)
+
+    def test_one_step_close_to_paper(self, result):
+        """0.74M in the paper; the shape (who wins, by what factor) holds."""
+        assert result.one_step_avg == pytest.approx(PAPER_ONE_STEP_AVG, rel=0.1)
+
+    def test_improvement_about_40_percent(self, result):
+        assert result.improvement == pytest.approx(0.40, abs=0.05)
+
+    def test_one_step_spends_about_three_quarters_on_indexes(self, result):
+        """The paper: 'we are best off allocating three-quarters of the
+        available space to the indexes'."""
+        assert result.index_space_fraction("1-greedy") == pytest.approx(0.75, abs=0.1)
+
+    def test_diminishing_returns(self, result):
+        """Materializing the remaining ~55M rows adds virtually nothing."""
+        assert result.everything_avg >= 0.99 * result.one_step_avg
+
+    def test_two_step_spends_half_on_indexes(self, result):
+        assert result.index_space_fraction("two-step (50/50)") <= 0.67
+
+
+class TestDriver:
+    def test_all_algorithms_present(self, result):
+        assert set(result.results) >= {"two-step (50/50)", "1-greedy", "inner-level"}
+
+    def test_selections_start_with_seed(self, result):
+        for res in result.results.values():
+            assert res.selected[0] == "psc"
+
+    def test_format_contains_paper_rows(self, result):
+        text = format_example21(result)
+        assert "paper: two-step" in text
+        assert "improvement" in text
+
+    def test_2greedy_no_worse_than_1greedy(self, result):
+        assert (
+            result.results["2-greedy"].average_query_cost
+            <= result.results["1-greedy"].average_query_cost + 1e-6
+        )

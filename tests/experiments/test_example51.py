@@ -1,0 +1,40 @@
+"""Tests for the Example 5.1/5.2 experiment driver."""
+
+import pytest
+
+from repro.experiments.example51 import format_example51, run_example51
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_example51()
+
+
+class TestAnchors:
+    def test_all_self_consistent_anchors_exact(self, result):
+        deltas = result.anchor_deltas()
+        assert deltas == {key: 0.0 for key in deltas}
+
+    def test_benefit_values(self, result):
+        assert result.benefit("1-greedy") == 46
+        assert result.benefit("2-greedy") == 194
+        assert result.benefit("inner-level") == 330
+        assert result.benefit("optimal(7)") == 300
+        assert result.benefit("optimal(9)") == 400
+
+    def test_3greedy_between_2greedy_and_optimal(self, result):
+        assert (
+            result.benefit("2-greedy")
+            <= result.benefit("3-greedy")
+            <= result.benefit("optimal(7)")
+        )
+
+
+class TestFormat:
+    def test_table_mentions_inconsistency_note(self, result):
+        text = format_example51(result)
+        assert "not self-consistent" in text
+
+    def test_table_shows_first_pick(self, result):
+        text = format_example51(result)
+        assert "V1, I1,1" in text and "(paper: 90)" in text

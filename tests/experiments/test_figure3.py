@@ -1,0 +1,47 @@
+"""Tests for the Figure 3 experiment driver."""
+
+import pytest
+
+from repro.experiments.figure3 import (
+    PAPER_GUARANTEES,
+    PAPER_INNER_LEVEL,
+    PAPER_KNEE,
+    PAPER_LIMIT,
+    format_figure3,
+    run_figure3,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure3()
+
+
+class TestCurve:
+    def test_matches_paper_printed_values(self, result):
+        curve = result.as_dict()
+        for r, expected in PAPER_GUARANTEES.items():
+            assert curve[r] == pytest.approx(expected, abs=0.005)
+
+    def test_limit(self, result):
+        assert result.limit == pytest.approx(PAPER_LIMIT, abs=0.005)
+
+    def test_inner_level(self, result):
+        assert result.inner_level == pytest.approx(PAPER_INNER_LEVEL, abs=0.001)
+
+    def test_knee(self, result):
+        assert result.knee == PAPER_KNEE
+
+    def test_curve_monotone(self, result):
+        values = [g for __, g in result.curve]
+        assert values == sorted(values)
+
+
+class TestFormat:
+    def test_mentions_paper_values(self, result):
+        text = format_figure3(result)
+        assert "0.39" in text
+        assert "knee" in text
+
+    def test_contains_bar_plot(self, result):
+        assert "#" in format_figure3(result)

@@ -1,0 +1,49 @@
+"""Tests for the theorem-verification experiment."""
+
+import pytest
+
+from repro.algorithms import inner_level_guarantee, r_greedy_guarantee
+from repro.experiments.guarantee_verification import (
+    format_verification,
+    run_verification,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_verification(n_instances=60, seed=1)
+
+
+class TestVerification:
+    def test_all_bounds_hold(self, rows):
+        for row in rows:
+            assert row.holds, row.algorithm
+
+    def test_bounds_match_formulas(self, rows):
+        by_name = {row.algorithm: row for row in rows}
+        assert by_name["2-greedy"].bound == pytest.approx(r_greedy_guarantee(2))
+        assert by_name["inner-level"].bound == pytest.approx(
+            inner_level_guarantee()
+        )
+
+    def test_mean_ratios_near_optimal(self, rows):
+        """The Section 6 observation again: in practice greedy is far
+        better than its worst case."""
+        for row in rows:
+            if row.algorithm != "1-greedy":
+                assert row.mean >= 0.95
+
+    def test_ratios_bounded_by_one(self, rows):
+        for row in rows:
+            assert row.worst <= 1.0 + 1e-9
+            assert row.mean <= 1.0 + 1e-9
+
+    def test_deterministic_given_seed(self):
+        a = run_verification(n_instances=20, seed=5)
+        b = run_verification(n_instances=20, seed=5)
+        assert [(r.worst, r.mean) for r in a] == [(r.worst, r.mean) for r in b]
+
+    def test_format(self, rows):
+        text = format_verification(rows)
+        assert "theoretical bound" in text
+        assert "VIOLATED" not in text

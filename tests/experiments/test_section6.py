@@ -1,0 +1,71 @@
+"""Tests for the Section 6 sweep driver (small configurations only)."""
+
+import pytest
+
+from repro.experiments.section6 import (
+    SweepConfig,
+    build_graph,
+    format_section6,
+    run_config,
+)
+
+SMALL = SweepConfig("test dim2", (8, 6), sparsity=0.3, rs=(1, 2))
+SMALL3 = SweepConfig("test dim3", (6, 5, 4), sparsity=0.2, rs=(1, 2))
+ZIPF = SweepConfig("test zipf", (8, 6), sparsity=0.3, rs=(1, 2), freq_exponent=1.0)
+
+
+class TestBuildGraph:
+    def test_graph_shape(self):
+        graph, top, budget = build_graph(SMALL)
+        assert graph.n_queries == 9
+        assert len(graph.views) == 4
+        assert top == "ab"
+        assert budget > graph.structure(top).space
+
+    def test_zipf_frequencies_differ(self):
+        graph, *__ = build_graph(ZIPF)
+        freqs = {q.frequency for q in graph.queries}
+        assert len(freqs) > 1
+
+    def test_deterministic(self):
+        g1, __, b1 = build_graph(ZIPF)
+        g2, __, b2 = build_graph(ZIPF)
+        assert b1 == b2
+        assert {q.name: q.frequency for q in g1.queries} == {
+            q.name: q.frequency for q in g2.queries
+        }
+
+
+class TestRunConfig:
+    @pytest.fixture(scope="class")
+    def row(self):
+        return run_config(SMALL3)
+
+    def test_near_optimal_claim(self, row):
+        """The paper's Section 6 finding on a small instance: greedy is
+        extremely close to optimal."""
+        assert row.optimal_benefit is not None
+        for name in ("1-greedy", "2-greedy"):
+            assert row.ratio(name) >= 0.9
+
+    def test_ratios_at_most_one(self, row):
+        for name in row.benefits:
+            assert row.ratio(name) <= 1.0 + 1e-9
+
+    def test_2greedy_at_least_1greedy(self, row):
+        assert row.benefits["2-greedy"] >= row.benefits["1-greedy"] - 1e-9
+
+    def test_reference_falls_back_to_best_found(self):
+        config = SweepConfig(
+            "no-opt", (6, 5), sparsity=0.2, rs=(1,), include_optimal=False
+        )
+        row = run_config(config)
+        assert row.optimal_benefit is None
+        assert row.reference == max(row.benefits.values())
+
+
+def test_format():
+    rows = [run_config(SMALL)]
+    text = format_section6(rows)
+    assert "test dim2" in text
+    assert "8x6" in text

@@ -1,0 +1,45 @@
+"""Tests for the cost-model skew-sensitivity experiment."""
+
+import pytest
+
+from repro.experiments.skew_sensitivity import (
+    format_skew_sensitivity,
+    run_skew_sensitivity,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_skew_sensitivity(exponents=(0.0, 1.0, 1.5), n_rows=3_000)
+
+
+class TestSkewSensitivity:
+    def test_uniform_draws_match_model_exactly(self, rows):
+        """E9's exactness, re-derived here: averaging over distinct
+        values reproduces |V|/|E| regardless of data skew."""
+        for row in rows:
+            assert row.uniform_ratio == pytest.approx(1.0, abs=1e-9)
+
+    def test_weighted_ratio_at_least_one(self, rows):
+        """E[n²]/E[n] >= E[n]: hot slices can only cost more on average
+        (up to sampling noise)."""
+        for row in rows:
+            assert row.weighted_ratio >= 0.95
+
+    def test_weighted_ratio_grows_with_skew(self, rows):
+        ratios = [row.weighted_ratio for row in rows]
+        assert ratios[-1] > ratios[0]
+        assert ratios[-1] > 1.3  # strong skew visibly breaks the average
+
+    def test_no_skew_means_no_gap(self, rows):
+        assert rows[0].weighted_ratio == pytest.approx(1.0, rel=0.1)
+
+    def test_deterministic(self):
+        a = run_skew_sensitivity(exponents=(1.0,), n_rows=1_000, rng_seed=4)
+        b = run_skew_sensitivity(exponents=(1.0,), n_rows=1_000, rng_seed=4)
+        assert a[0].weighted_mean == b[0].weighted_mean
+
+    def test_format(self, rows):
+        text = format_skew_sensitivity(rows)
+        assert "skew" in text
+        assert "1.00" in text

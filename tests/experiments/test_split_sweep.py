@@ -1,0 +1,28 @@
+"""Tests for the two-step split-sweep ablation (E10)."""
+
+import pytest
+
+from repro.experiments.split_sweep import format_split_sweep, run_split_sweep
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_split_sweep(fractions=(0.25, 0.5, 0.75))
+
+
+class TestSplitSweep:
+    def test_one_step_beats_every_split(self, result):
+        for avg in result.by_fraction.values():
+            assert result.one_step_avg <= avg + 1e-6
+
+    def test_best_split_is_index_heavy(self, result):
+        """The paper: ~3/4 of the space should go to indexes."""
+        assert result.best_fraction == 0.25
+
+    def test_extreme_view_split_is_poor(self, result):
+        assert result.by_fraction[0.75] > result.by_fraction[0.25]
+
+    def test_format(self, result):
+        text = format_split_sweep(result)
+        assert "one-step" in text
+        assert "best split" in text

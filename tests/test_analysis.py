@@ -1,0 +1,140 @@
+"""Tests for selection analysis (repro.analysis.explain)."""
+
+import pytest
+
+from repro.algorithms import FIT_PAPER, RGreedy
+from repro.analysis import explain
+from repro.datasets.paper_figure2 import FIGURE2_SPACE
+
+
+@pytest.fixture
+def fig2_explanation(fig2_g):
+    result = RGreedy(2, fit=FIT_PAPER).run(fig2_g, FIGURE2_SPACE)
+    return result, explain(fig2_g, result.selected)
+
+
+class TestExplain:
+    def test_benefit_matches_selection_result(self, fig2_explanation):
+        result, explanation = fig2_explanation
+        assert explanation.benefit == pytest.approx(result.benefit)
+
+    def test_plan_costs_consistent_with_tau(self, fig2_explanation):
+        __, explanation = fig2_explanation
+        total = sum(p.frequency * p.cost for p in explanation.plans)
+        assert total == pytest.approx(explanation.tau)
+
+    def test_every_query_has_a_plan(self, fig2_g, fig2_explanation):
+        __, explanation = fig2_explanation
+        assert len(explanation.plans) == fig2_g.n_queries
+
+    def test_winner_is_selected_structure(self, fig2_explanation):
+        result, explanation = fig2_explanation
+        for plan in explanation.plans:
+            if plan.structure is not None:
+                assert plan.structure in result.selected
+                assert plan.cost < plan.default_cost
+
+    def test_raw_fallback_queries_unimproved(self, fig2_explanation):
+        __, explanation = fig2_explanation
+        for plan in explanation.plans:
+            if plan.structure is None:
+                assert plan.cost == plan.default_cost
+                assert plan.speedup == 1.0
+
+    def test_coverage_between_zero_and_one(self, fig2_explanation):
+        __, explanation = fig2_explanation
+        assert 0.0 <= explanation.coverage() <= 1.0
+
+    def test_attributed_benefits_sum_to_total(self, fig2_explanation):
+        __, explanation = fig2_explanation
+        attributed = sum(c.benefit_attributed for c in explanation.contributions)
+        assert attributed == pytest.approx(explanation.benefit)
+
+    def test_marginal_loss_nonnegative(self, fig2_explanation):
+        __, explanation = fig2_explanation
+        for contribution in explanation.contributions:
+            assert contribution.marginal_loss >= -1e-9
+
+    def test_marginal_loss_at_least_attributed_for_indexes(self, fig2_explanation):
+        """Dropping an index loses at least the queries it uniquely wins
+        (they fall back to the next-best plan, possibly cheaper than
+        default, so loss <= attributed; for this instance every winner is
+        unique so they are equal)."""
+        __, explanation = fig2_explanation
+        for c in explanation.contributions:
+            if c.name.startswith("I"):
+                assert c.marginal_loss == pytest.approx(c.benefit_attributed)
+
+    def test_view_marginal_includes_orphaned_indexes(self, fig2_g):
+        result = RGreedy(2, fit=FIT_PAPER).run(fig2_g, FIGURE2_SPACE)
+        explanation = explain(fig2_g, result.selected)
+        v4 = next(c for c in explanation.contributions if c.name == "V4")
+        # dropping V4 also drops I4,* — the loss covers the whole bundle
+        assert v4.marginal_loss >= 41 + 21 * 3 - 1e-9
+
+    def test_inadmissible_selection_rejected(self, fig2_g):
+        with pytest.raises(ValueError, match="not admissible"):
+            explain(fig2_g, ["I2,1"])
+
+    def test_empty_selection(self, fig2_g):
+        explanation = explain(fig2_g, [])
+        assert explanation.benefit == 0.0
+        assert explanation.coverage() == 0.0
+
+    def test_table_renders(self, fig2_explanation):
+        __, explanation = fig2_explanation
+        text = explanation.table()
+        assert "query plans" in text
+        assert "structure contributions" in text
+
+    def test_tpcd_explanation(self, tpcd_g):
+        result = RGreedy(1, fit=FIT_PAPER).run(tpcd_g, 25e6, seed=("psc",))
+        explanation = explain(tpcd_g, result.selected)
+        assert explanation.coverage() > 0.8
+        # the three fat psc indexes carry most of the load
+        top = explanation.contributions[0]
+        assert "psc" in top.name
+
+
+class TestCompare:
+    @pytest.fixture
+    def comparison(self, tpcd_g):
+        from repro.algorithms import TwoStep
+        from repro.analysis import compare
+
+        two = TwoStep(0.5).run(tpcd_g, 25e6, seed=("psc",))
+        one = RGreedy(1, fit=FIT_PAPER).run(tpcd_g, 25e6, seed=("psc",))
+        return two, one, compare(tpcd_g, two.selected, one.selected)
+
+    def test_tau_matches_selection_results(self, comparison):
+        two, one, cmp = comparison
+        assert cmp.tau_a == pytest.approx(two.tau)
+        assert cmp.tau_b == pytest.approx(one.tau)
+
+    def test_one_step_wins_on_tpcd(self, comparison):
+        __, __, cmp = comparison
+        assert cmp.tau_ratio < 0.7  # the ~40% improvement
+
+    def test_structural_diff_partitions(self, comparison):
+        two, one, cmp = comparison
+        assert set(cmp.only_in_a) | set(cmp.shared) == set(two.selected)
+        assert set(cmp.only_in_b) | set(cmp.shared) == set(one.selected)
+        assert not set(cmp.only_in_a) & set(cmp.only_in_b)
+
+    def test_deltas_sorted_by_magnitude(self, comparison):
+        __, __, cmp = comparison
+        gaps = [abs(a - b) for __q, a, b in cmp.query_deltas]
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_identical_selections_have_no_deltas(self, fig2_g):
+        from repro.analysis import compare
+
+        result = RGreedy(2, fit=FIT_PAPER).run(fig2_g, FIGURE2_SPACE)
+        cmp = compare(fig2_g, result.selected, result.selected)
+        assert cmp.query_deltas == ()
+        assert cmp.tau_ratio == pytest.approx(1.0)
+
+    def test_table_renders(self, comparison):
+        __, __, cmp = comparison
+        text = cmp.table()
+        assert "only in A" in text and "cost under B" in text

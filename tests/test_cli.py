@@ -1,0 +1,241 @@
+"""Tests for the command-line advisor."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import save_lattice
+
+
+@pytest.fixture
+def cube_file(tmp_path, tpcd_lat):
+    path = tmp_path / "cube.json"
+    save_lattice(tpcd_lat, path)
+    return str(path)
+
+
+@pytest.fixture
+def analytical_cube_file(tmp_path):
+    path = tmp_path / "small.json"
+    path.write_text(
+        json.dumps({"dimensions": {"a": 20, "b": 12}, "raw_rows": 100})
+    )
+    return str(path)
+
+
+class TestAdvise:
+    def test_basic_run(self, cube_file, capsys):
+        rc = main(["advise", "--lattice", cube_file, "--space", "25e6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "average query cost" in out
+        assert "psc" in out
+
+    def test_writes_output_json(self, cube_file, tmp_path, capsys):
+        out_file = tmp_path / "selection.json"
+        rc = main(
+            [
+                "advise",
+                "--lattice",
+                cube_file,
+                "--space",
+                "25e6",
+                "--algorithm",
+                "1greedy",
+                "--fit",
+                "paper",
+                "--output",
+                str(out_file),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["algorithm"] == "1-greedy"
+        assert doc["selected"][0] == "psc"
+        assert doc["average_query_cost"] < 0.75e6
+
+    def test_budget_smaller_than_top_view_errors(self, cube_file, capsys):
+        rc = main(["advise", "--lattice", cube_file, "--space", "1000"])
+        assert rc == 2
+        assert "top view" in capsys.readouterr().err
+
+    def test_no_seed_top_allows_small_budget(self, cube_file, capsys):
+        rc = main(
+            [
+                "advise",
+                "--lattice",
+                cube_file,
+                "--space",
+                "1.5e6",
+                "--no-seed-top",
+            ]
+        )
+        assert rc == 0
+
+    def test_analytical_lattice_input(self, analytical_cube_file, capsys):
+        rc = main(
+            ["advise", "--lattice", analytical_cube_file, "--space", "300"]
+        )
+        assert rc == 0
+        assert "average query cost" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algo", ["2greedy", "inner", "two-step", "hru"])
+    def test_every_algorithm_runs(self, analytical_cube_file, algo, capsys):
+        rc = main(
+            [
+                "advise",
+                "--lattice",
+                analytical_cube_file,
+                "--space",
+                "400",
+                "--algorithm",
+                algo,
+            ]
+        )
+        assert rc == 0
+
+    def test_index_universe_none(self, analytical_cube_file, capsys):
+        rc = main(
+            [
+                "advise",
+                "--lattice",
+                analytical_cube_file,
+                "--space",
+                "400",
+                "--index-universe",
+                "none",
+            ]
+        )
+        assert rc == 0
+        assert "I_" not in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_explain_round_trip(self, cube_file, tmp_path, capsys):
+        sel_file = tmp_path / "sel.json"
+        assert (
+            main(
+                [
+                    "advise",
+                    "--lattice",
+                    cube_file,
+                    "--space",
+                    "25e6",
+                    "--output",
+                    str(sel_file),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        rc = main(
+            ["explain", "--lattice", cube_file, "--selection", str(sel_file)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "structure contributions" in out
+        assert "coverage" in out
+
+    def test_explain_bad_selection_document(self, cube_file, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        rc = main(["explain", "--lattice", cube_file, "--selection", str(bad)])
+        assert rc == 2
+        assert "selected" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_tpcd_demo(self, capsys):
+        rc = main(["tpcd"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "improvement" in out
+
+    def test_experiments_subset(self, capsys):
+        rc = main(["experiments", "figure3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "knee" in out
+
+    def test_experiments_unknown_name(self, capsys):
+        rc = main(["experiments", "bogus"])
+        assert rc == 2
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestHierarchicalDocuments:
+    @pytest.fixture
+    def hier_file(self, tmp_path):
+        path = tmp_path / "hier.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "hierarchies": {
+                        "time": [["day", 100], ["month", 10]],
+                        "p": [["p", 30]],
+                    },
+                    "raw_rows": 2000,
+                    "max_fat_indexes_per_view": 2,
+                }
+            )
+        )
+        return str(path)
+
+    def test_advise_on_hierarchical_cube(self, hier_file, capsys):
+        rc = main(["advise", "--lattice", hier_file, "--space", "4000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "day,p" in out  # the top view label
+
+    def test_explain_on_hierarchical_cube(self, hier_file, tmp_path, capsys):
+        sel = tmp_path / "sel.json"
+        assert (
+            main(
+                [
+                    "advise", "--lattice", hier_file, "--space", "4000",
+                    "--output", str(sel),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        rc = main(["explain", "--lattice", hier_file, "--selection", str(sel)])
+        assert rc == 0
+        assert "coverage" in capsys.readouterr().out
+
+
+class TestHierarchicalDocumentParsing:
+    def test_missing_hierarchies_rejected(self):
+        from repro.io import hierarchical_cube_from_dict
+
+        with pytest.raises(ValueError, match="hierarchies"):
+            hierarchical_cube_from_dict({"raw_rows": 10})
+
+    def test_missing_raw_rows_rejected(self):
+        from repro.io import hierarchical_cube_from_dict
+
+        with pytest.raises(ValueError, match="raw_rows"):
+            hierarchical_cube_from_dict({"hierarchies": {"a": [["a", 5]]}})
+
+    def test_empty_levels_rejected(self):
+        from repro.io import hierarchical_cube_from_dict
+
+        with pytest.raises(ValueError, match="levels"):
+            hierarchical_cube_from_dict(
+                {"hierarchies": {"a": []}, "raw_rows": 10}
+            )
+
+    def test_round_trip_structure(self):
+        from repro.io import hierarchical_cube_from_dict, is_hierarchical_document
+
+        doc = {
+            "hierarchies": {"t": [["day", 50], ["month", 5]]},
+            "raw_rows": 100,
+        }
+        assert is_hierarchical_document(doc)
+        cube = hierarchical_cube_from_dict(doc)
+        assert cube.n_views() == 3

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are documentation; a broken one is a broken promise.  Each is
+executed in-process via ``runpy`` (same interpreter, coverage-friendly).
+The long-running optimal-search study is excluded from the default run
+and exercised in the benchmarks instead.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "tpcd_advisor.py",
+    "engine_validation.py",
+    "hierarchical_cube.py",
+    "incremental_maintenance.py",
+    "sql_workbench.py",
+    "closed_loop_advisor.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_the_headline_number(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "average query cost" in out
+    assert "0.71M rows" in out
+
+
+def test_tpcd_advisor_reports_paper_anchors(capsys):
+    runpy.run_path(str(EXAMPLES / "tpcd_advisor.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "600 rows (paper: 600)" in out
+    assert "around 80M" in out
+    assert "40" in out  # the ~40% improvement
+
+
+def test_all_examples_are_either_fast_or_known_slow():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    known_slow = {"synthetic_cube_study.py"}
+    assert scripts == set(FAST_EXAMPLES) | known_slow

@@ -1,0 +1,163 @@
+"""Tests for JSON persistence (repro.io)."""
+
+import json
+
+import pytest
+
+from repro.core.view import View
+from repro.io import (
+    lattice_from_dict,
+    lattice_to_dict,
+    load_lattice,
+    round_trip_lattice,
+    save_lattice,
+    save_selection,
+    selection_to_dict,
+)
+
+
+class TestLatticeRoundTrip:
+    def test_exact_sizes_preserved(self, tpcd_lat):
+        restored = round_trip_lattice(tpcd_lat)
+        for view in tpcd_lat.views():
+            assert restored.size(view) == tpcd_lat.size(view)
+
+    def test_schema_preserved(self, tpcd_lat):
+        restored = round_trip_lattice(tpcd_lat)
+        assert restored.schema.names == tpcd_lat.schema.names
+        assert restored.schema.measure == tpcd_lat.schema.measure
+
+    def test_file_round_trip(self, tpcd_lat, tmp_path):
+        path = tmp_path / "cube.json"
+        save_lattice(tpcd_lat, path)
+        restored = load_lattice(path)
+        assert restored.sizes() == tpcd_lat.sizes()
+
+    def test_document_is_plain_json(self, tpcd_lat, tmp_path):
+        path = tmp_path / "cube.json"
+        save_lattice(tpcd_lat, path)
+        with open(path) as f:
+            doc = json.load(f)
+        assert doc["dimensions"] == {"p": 200_000, "s": 10_000, "c": 100_000}
+        assert doc["view_rows"]["psc"] == 6_000_000
+
+
+class TestLatticeFromDict:
+    def test_analytical_fallback(self):
+        doc = {"dimensions": {"a": 10, "b": 20}, "raw_rows": 150}
+        lattice = lattice_from_dict(doc)
+        assert lattice.size(lattice.top) <= 150
+        assert len(lattice) == 4
+
+    def test_missing_dimensions_rejected(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            lattice_from_dict({"raw_rows": 10})
+
+    def test_missing_sizes_rejected(self):
+        with pytest.raises(ValueError, match="view_rows"):
+            lattice_from_dict({"dimensions": {"a": 10}})
+
+    def test_unknown_view_dimension_rejected(self):
+        doc = {
+            "dimensions": {"a": 10},
+            "view_rows": {"a": 10, "none": 1, "z": 5},
+        }
+        with pytest.raises(ValueError, match="unknown dimensions"):
+            lattice_from_dict(doc)
+
+    def test_incomplete_view_rows_rejected(self):
+        doc = {"dimensions": {"a": 10, "b": 5}, "view_rows": {"a": 10, "none": 1}}
+        with pytest.raises(ValueError, match="missing"):
+            lattice_from_dict(doc)
+
+    def test_default_measure(self):
+        doc = {"dimensions": {"a": 10}, "raw_rows": 10}
+        assert lattice_from_dict(doc).schema.measure == "sales"
+
+
+class TestSelectionSerialization:
+    @pytest.fixture
+    def result(self, fig2_g):
+        from repro.algorithms import FIT_PAPER, RGreedy
+
+        return RGreedy(2, fit=FIT_PAPER).run(fig2_g, 7)
+
+    def test_headline_fields(self, result):
+        doc = selection_to_dict(result)
+        assert doc["algorithm"] == "2-greedy"
+        assert doc["benefit"] == 194
+        assert doc["selected"][0] == "V1"
+
+    def test_stages_serialized(self, result):
+        doc = selection_to_dict(result)
+        assert doc["stages"][0]["structures"] == ["V1", "I1,1"]
+        assert doc["stages"][0]["benefit"] == 90
+
+    def test_save_is_valid_json(self, result, tmp_path):
+        path = tmp_path / "sel.json"
+        save_selection(result, path)
+        with open(path) as f:
+            doc = json.load(f)
+        assert doc["space_used"] == 7
+
+
+class TestGraphDocuments:
+    def test_round_trip_figure2(self, fig2_g):
+        from repro.io import graph_from_dict, graph_to_dict
+
+        doc = graph_to_dict(fig2_g)
+        restored = graph_from_dict(doc)
+        assert restored.n_queries == fig2_g.n_queries
+        assert restored.n_structures == fig2_g.n_structures
+        assert restored.n_edges == fig2_g.n_edges
+        # anchor preserved: 2-greedy still finds 194
+        from repro.algorithms import FIT_PAPER, RGreedy
+
+        assert RGreedy(2, fit=FIT_PAPER).run(restored, 7).benefit == 194
+
+    def test_frequencies_survive(self, fig2_g):
+        from repro.core.qvgraph import QueryViewGraph
+        from repro.io import graph_from_dict, graph_to_dict
+
+        g = QueryViewGraph()
+        g.add_query("q", 10, frequency=2.5)
+        g.add_view("v", 1)
+        g.add_edge("q", "v", 1)
+        restored = graph_from_dict(graph_to_dict(g))
+        assert restored.query("q").frequency == 2.5
+
+    def test_missing_sections_rejected(self):
+        from repro.io import graph_from_dict
+
+        with pytest.raises(ValueError, match="queries"):
+            graph_from_dict({"views": []})
+
+    def test_handwritten_document(self):
+        from repro.io import graph_from_dict
+
+        doc = {
+            "queries": [{"name": "q1", "default_cost": 100}],
+            "views": [
+                {"name": "v", "space": 2,
+                 "indexes": [{"name": "i", "space": 1}]}
+            ],
+            "edges": [{"query": "q1", "structure": "i", "cost": 1}],
+        }
+        graph = graph_from_dict(doc)
+        assert graph.structure("i").space == 1
+        assert graph.edge_cost("q1", "i") == 1
+
+    def test_cli_advise_on_graph_document(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.datasets.paper_figure2 import figure2_graph
+        from repro.io import graph_to_dict
+
+        path = tmp_path / "fig2.json"
+        path.write_text(json.dumps(graph_to_dict(figure2_graph())))
+        rc = main(
+            ["advise", "--lattice", str(path), "--space", "7",
+             "--algorithm", "2greedy", "--fit", "paper"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "benefit 194" in out or "V1" in out

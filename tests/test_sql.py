@@ -1,0 +1,155 @@
+"""Tests for the SQL front-end."""
+
+import pytest
+
+from repro.core.query import SliceQuery
+from repro.cube.generator import generate_fact_table
+from repro.cube.schema import CubeSchema, Dimension
+from repro.sql import ParsedQuery, SqlError, parse_query, run_sql
+
+
+@pytest.fixture
+def schema():
+    return CubeSchema(
+        [Dimension("p", 20), Dimension("s", 10), Dimension("c", 8)],
+        measure="sales",
+    )
+
+
+class TestParsing:
+    def test_paper_example_query(self):
+        """Section 3.1's SQL form of the pc subcube."""
+        parsed = parse_query(
+            "SELECT Part, Customer, SUM(sales) AS TotalSales FROM R "
+            "GROUP BY Part, Customer;"
+        )
+        assert parsed.query == SliceQuery(groupby=["Part", "Customer"])
+        assert parsed.agg == "sum"
+
+    def test_slice_query_with_where(self):
+        parsed = parse_query(
+            "SELECT c, SUM(sales) FROM cube WHERE p = 3 AND s = 4 GROUP BY c"
+        )
+        assert parsed.query == SliceQuery(groupby=["c"], selection=["p", "s"])
+        assert parsed.values == {"p": 3, "s": 4}
+        assert parsed.is_executable
+
+    def test_grand_total(self):
+        parsed = parse_query("SELECT SUM(sales) FROM cube")
+        assert parsed.query == SliceQuery()
+        assert parsed.query.is_subcube_query
+
+    def test_pure_selection_query(self):
+        parsed = parse_query("SELECT SUM(sales) FROM cube WHERE p = 1")
+        assert parsed.query == SliceQuery(selection=["p"])
+
+    def test_case_insensitive_keywords(self):
+        parsed = parse_query("select p, sum(sales) from cube group by p")
+        assert parsed.query == SliceQuery(groupby=["p"])
+
+    def test_count_star(self):
+        parsed = parse_query("SELECT COUNT(*) FROM cube")
+        assert parsed.agg == "count"
+        assert parsed.measure == "*"
+
+    def test_table_name_captured(self):
+        assert parse_query("SELECT SUM(x) FROM warehouse.sales").table == (
+            "warehouse.sales"
+        )
+
+    def test_semicolon_optional(self):
+        a = parse_query("SELECT SUM(sales) FROM cube;")
+        b = parse_query("SELECT SUM(sales) FROM cube")
+        assert a.query == b.query
+
+
+class TestErrors:
+    def test_not_a_select(self):
+        with pytest.raises(SqlError, match="expected"):
+            parse_query("DELETE FROM cube")
+
+    def test_missing_aggregate(self):
+        with pytest.raises(SqlError, match="aggregate"):
+            parse_query("SELECT p FROM cube GROUP BY p")
+
+    def test_two_aggregates(self):
+        with pytest.raises(SqlError, match="one aggregate"):
+            parse_query("SELECT SUM(a), SUM(b) FROM cube")
+
+    def test_unsupported_aggregate(self):
+        with pytest.raises(SqlError, match="unsupported aggregate"):
+            parse_query("SELECT AVG(sales) FROM cube")
+
+    def test_groupby_select_mismatch(self):
+        with pytest.raises(SqlError, match="must match"):
+            parse_query("SELECT p, SUM(sales) FROM cube GROUP BY s")
+
+    def test_missing_groupby_for_selected_attr(self):
+        with pytest.raises(SqlError, match="must match"):
+            parse_query("SELECT p, SUM(sales) FROM cube")
+
+    def test_non_equality_predicate(self):
+        with pytest.raises(SqlError, match="predicate"):
+            parse_query("SELECT SUM(sales) FROM cube WHERE p > 3")
+
+    def test_attr_constrained_twice(self):
+        with pytest.raises(SqlError, match="twice"):
+            parse_query("SELECT SUM(sales) FROM cube WHERE p = 1 AND p = 2")
+
+    def test_attr_in_both_clauses(self):
+        with pytest.raises(SqlError, match="both"):
+            parse_query(
+                "SELECT p, SUM(sales) FROM cube WHERE p = 1 GROUP BY p"
+            )
+
+    def test_schema_validation_unknown_attr(self, schema):
+        with pytest.raises(SqlError, match="unknown attributes"):
+            parse_query(
+                "SELECT z, SUM(sales) FROM cube GROUP BY z", schema=schema
+            )
+
+    def test_schema_validation_unknown_measure(self, schema):
+        with pytest.raises(SqlError, match="unknown measure"):
+            parse_query("SELECT SUM(profit) FROM cube", schema=schema)
+
+    def test_unbalanced_parentheses(self):
+        with pytest.raises(SqlError, match="parentheses"):
+            parse_query("SELECT SUM(sales)) FROM cube")
+
+
+class TestExecution:
+    @pytest.fixture
+    def executor(self, schema):
+        from repro.core.view import View
+        from repro.engine.catalog import Catalog
+        from repro.engine.executor import Executor
+
+        fact = generate_fact_table(schema, 400, rng=0)
+        catalog = Catalog(fact)
+        for attrs in ((), ("p",), ("p", "s"), ("p", "s", "c")):
+            catalog.materialize(View(attrs))
+        return Executor(catalog)
+
+    def test_run_sql_end_to_end(self, executor, schema):
+        fact = executor.catalog.fact
+        p_value = int(fact.column("p")[0])
+        result = run_sql(
+            executor, f"SELECT s, SUM(sales) FROM cube WHERE p = {p_value} GROUP BY s"
+        )
+        assert result.rows_processed > 0
+        # verify against brute force on the raw data
+        import numpy as np
+
+        mask = fact.column("p") == p_value
+        expected_total = float(fact.measures[mask].sum())
+        assert sum(result.groups.values()) == pytest.approx(expected_total)
+
+    def test_run_sql_grand_total(self, executor):
+        result = run_sql(executor, "SELECT SUM(sales) FROM cube")
+        assert result.rows_processed == 1
+        total = float(executor.catalog.fact.measures.sum())
+        assert result.groups[()] == pytest.approx(total)
+
+    def test_run_sql_validates_against_engine_schema(self, executor):
+        with pytest.raises(SqlError, match="unknown attributes"):
+            run_sql(executor, "SELECT z, SUM(sales) FROM cube GROUP BY z")
