@@ -17,13 +17,18 @@ from repro.cube.schema import CubeSchema, Dimension
 from repro.estimation.sizes import analytical_lattice
 
 
-def cube_engine(n_dims: int) -> BenefitEngine:
+def cube_lattice(n_dims: int):
     cards = [4 + 2 * i for i in range(n_dims)]
     schema = CubeSchema(
         [Dimension(chr(ord("a") + i), c) for i, c in enumerate(cards)]
     )
-    lattice = analytical_lattice(schema, 0.1 * schema.dense_cells)
-    return BenefitEngine(QueryViewGraph.from_cube(lattice))
+    return analytical_lattice(schema, 0.1 * schema.dense_cells)
+
+
+def cube_engine(n_dims: int, backend: str = "auto") -> BenefitEngine:
+    return BenefitEngine(
+        QueryViewGraph.from_cube(cube_lattice(n_dims)), backend=backend
+    )
 
 
 def budget_of(engine: BenefitEngine) -> float:
@@ -74,7 +79,7 @@ class TestBenefitCacheAblation:
         """Recompute τ from scratch for a selection (the design we avoid)."""
         best = engine.defaults.copy()
         for sid in selected_ids:
-            best = np.minimum(best, engine.cost[sid])
+            best = engine.minimum_with(best, sid)
         return float(engine.frequencies @ best)
 
     def test_cached_equals_naive(self, engines):
@@ -125,3 +130,73 @@ class TestBenefitCacheAblation:
         total = benchmark(naive)
         assert total >= 0
         engine.reset()
+
+
+# ------------------------------------------------- sparse-backend scaling
+
+@pytest.fixture(scope="module")
+def engine_d6_sparse():
+    return cube_engine(6, backend="sparse")
+
+
+def test_bench_from_cube_vectorized_d6(benchmark):
+    lattice = cube_lattice(6)
+    graph = benchmark.pedantic(
+        QueryViewGraph.from_cube, args=(lattice,), rounds=2, iterations=1
+    )
+    assert graph.n_edges > 0
+
+
+def test_bench_engine_compilation_d6_sparse(benchmark):
+    graph = QueryViewGraph.from_cube(cube_lattice(6))
+    engine = benchmark.pedantic(
+        BenefitEngine, args=(graph,), kwargs={"backend": "sparse"},
+        rounds=2, iterations=1,
+    )
+    assert engine.backend == "sparse"
+
+
+def test_bench_rgreedy1_d6_sparse(benchmark, engine_d6_sparse):
+    engine = engine_d6_sparse
+    result = benchmark.pedantic(
+        RGreedy(1, fit=FIT_STRICT).run,
+        args=(engine, budget_of(engine)),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.benefit > 0
+
+
+class TestScaleLimits:
+    """The d=7 fat-index cube: compilable sparse, refused dense.
+
+    This is the scale target the sparse store exists for — ~13.8k
+    structures × 2187 queries would need a ~230 MiB dense matrix of
+    mostly-inf cells, above the engine's default dense allocation limit.
+    """
+
+    @pytest.fixture(scope="class")
+    def graph_d7(self):
+        return QueryViewGraph.from_cube(cube_lattice(7))
+
+    def test_dense_refuses_d7(self, graph_d7):
+        with pytest.raises(MemoryError):
+            BenefitEngine(graph_d7, backend="dense")
+
+    def test_sparse_compiles_d7_and_is_smaller(self, graph_d7):
+        engine = BenefitEngine(graph_d7)  # auto picks sparse
+        assert engine.backend == "sparse"
+        dense_bytes = BenefitEngine.dense_cost_bytes(
+            engine.n_structures, engine.n_queries
+        )
+        assert engine.cost_store_bytes() < dense_bytes
+
+    def test_one_greedy_runs_d7(self, graph_d7):
+        import time
+
+        start = time.perf_counter()
+        engine = BenefitEngine(graph_d7)
+        result = RGreedy(1, fit=FIT_STRICT).run(engine, budget_of(engine))
+        elapsed = time.perf_counter() - start
+        assert result.benefit > 0
+        assert elapsed < 60.0, f"d=7 1-greedy took {elapsed:.1f}s"

@@ -49,6 +49,19 @@ def as_engine(graph: GraphLike) -> BenefitEngine:
     )
 
 
+def resolve_lazy(lazy, engine: BenefitEngine) -> bool:
+    """Resolve an algorithm's ``lazy`` parameter against the engine.
+
+    ``None`` (or ``"auto"``) defers to the engine: the sparse backend
+    prefers the lazy stage loops (maintained single-benefit cache), the
+    dense backend keeps the eager full-scan loops.  Lazy and eager loops
+    are cross-checked to produce identical selections.
+    """
+    if lazy is None or lazy == "auto":
+        return bool(engine.prefers_lazy)
+    return bool(lazy)
+
+
 def check_fit(fit: str) -> str:
     if fit not in _FITS:
         raise ValueError(f"fit must be one of {_FITS}, got {fit!r}")

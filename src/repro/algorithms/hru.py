@@ -12,6 +12,8 @@ against.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.algorithms.base import (
     FIT_STRICT,
     SPACE_EPS,
@@ -21,21 +23,29 @@ from repro.algorithms.base import (
     as_engine,
     check_fit,
     check_space,
+    resolve_lazy,
 )
 from repro.core.selection import SelectionResult, Stage, make_result
 
 
 class HRUGreedy(SelectionAlgorithm):
-    """Greedy selection over views only ([HRU96])."""
+    """Greedy selection over views only ([HRU96]).
+
+    ``lazy=None`` (default) follows the engine: the sparse backend uses
+    the incrementally maintained single-benefit cache per stage, the dense
+    backend the eager full scan.  Both select the same views.
+    """
 
     name = "HRU greedy (views only)"
 
-    def __init__(self, fit: str = FIT_STRICT):
+    def __init__(self, fit: str = FIT_STRICT, lazy: Optional[bool] = None):
         self.fit = check_fit(fit)
+        self.lazy = lazy
 
     def run(self, graph: GraphLike, space: float, seed=()) -> SelectionResult:
         space = check_space(space)
         engine = as_engine(graph)
+        lazy = resolve_lazy(self.lazy, engine)
         stages = []
         picked_order = []
         strict = self.fit == FIT_STRICT
@@ -52,32 +62,42 @@ class HRUGreedy(SelectionAlgorithm):
                 )
             )
 
+        view_ids = engine.view_ids()
         while engine.space_used() < space - SPACE_EPS:
             space_left = space - engine.space_used()
-            view_ids = engine.view_ids()
-            benefits = engine.single_benefits(view_ids)
-            best_id = None
-            best_benefit = 0.0
-            best_space = 0.0
-            best_ratio = 0.0
-            for pos, view_id in enumerate(view_ids):
-                view_id = int(view_id)
-                if engine.is_selected(view_id):
-                    continue
-                view_space = float(engine.spaces[view_id])
-                if strict and view_space > space_left + SPACE_EPS:
-                    continue
-                benefit = float(benefits[pos])
-                if benefit <= 0.0:
-                    continue
-                ratio = benefit / view_space
-                if best_id is None or ratio > best_ratio * (1 + 1e-12):
-                    best_id = view_id
-                    best_benefit = benefit
-                    best_space = view_space
-                    best_ratio = ratio
-            if best_id is None:
-                break
+            if lazy:
+                # maintained-cache pass: same candidate order, filters and
+                # tie-break as the eager loop below
+                pick = engine.lazy_best_single(
+                    view_ids, space_left if strict else None
+                )
+                if pick is None:
+                    break
+                best_id, best_benefit, best_space, _ratio = pick
+            else:
+                benefits = engine.single_benefits(view_ids, lazy=False)
+                best_id = None
+                best_benefit = 0.0
+                best_space = 0.0
+                best_ratio = 0.0
+                for pos, view_id in enumerate(view_ids):
+                    view_id = int(view_id)
+                    if engine.is_selected(view_id):
+                        continue
+                    view_space = float(engine.spaces[view_id])
+                    if strict and view_space > space_left + SPACE_EPS:
+                        continue
+                    benefit = float(benefits[pos])
+                    if benefit <= 0.0:
+                        continue
+                    ratio = benefit / view_space
+                    if best_id is None or ratio > best_ratio * (1 + 1e-12):
+                        best_id = view_id
+                        best_benefit = benefit
+                        best_space = view_space
+                        best_ratio = ratio
+                if best_id is None:
+                    break
             engine.commit([best_id])
             name = engine.name_of(best_id)
             picked_order.append(name)

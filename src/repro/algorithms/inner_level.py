@@ -41,6 +41,7 @@ from repro.algorithms.base import (
     as_engine,
     check_fit,
     check_space,
+    resolve_lazy,
 )
 from repro.core.benefit import BenefitEngine
 from repro.core.selection import SelectionResult, Stage, make_result
@@ -50,19 +51,34 @@ IG_PEAK = "peak"
 
 
 class InnerLevelGreedy(SelectionAlgorithm):
-    """Inner-level greedy selection of views and indexes."""
+    """Inner-level greedy selection of views and indexes.
+
+    ``lazy=None`` (default) follows the engine: on the sparse backend the
+    maintained single-benefit cache supplies an upper bound on every
+    view's inner-greedy ratio (a set's benefit/space never exceeds the
+    best of its members' standalone ratios), so views that cannot displace
+    the stage incumbent skip the inner greedy entirely.  Candidate order
+    and tie-break match the eager loop, so selections are identical.
+    """
 
     name = "inner-level greedy"
 
-    def __init__(self, fit: str = FIT_PAPER, ig_rule: str = IG_SPACE):
+    def __init__(
+        self,
+        fit: str = FIT_PAPER,
+        ig_rule: str = IG_SPACE,
+        lazy: Optional[bool] = None,
+    ):
         self.fit = check_fit(fit)
         if ig_rule not in (IG_SPACE, IG_PEAK):
             raise ValueError(f"ig_rule must be 'space' or 'peak', got {ig_rule!r}")
         self.ig_rule = ig_rule
+        self.lazy = lazy
 
     def run(self, graph: GraphLike, space: float, seed=()) -> SelectionResult:
         space = check_space(space)
         engine = as_engine(graph)
+        lazy = resolve_lazy(self.lazy, engine)
         stages = []
         picked_order = []
         seed_ids = apply_seed(engine, seed)
@@ -79,7 +95,7 @@ class InnerLevelGreedy(SelectionAlgorithm):
             )
 
         while engine.space_used() < space - SPACE_EPS:
-            candidate = self._best_stage(engine, space)
+            candidate = self._best_stage(engine, space, lazy)
             if candidate is None:
                 break
             ids, cand_space = candidate
@@ -98,7 +114,7 @@ class InnerLevelGreedy(SelectionAlgorithm):
 
     # ------------------------------------------------------------ internals
 
-    def _best_stage(self, engine: BenefitEngine, space: float):
+    def _best_stage(self, engine: BenefitEngine, space: float, lazy: bool):
         """Return ``(ids, space)`` of the stage's winning set, or ``None``."""
         strict = self.fit == FIT_STRICT
         space_left = space - engine.space_used()
@@ -124,14 +140,19 @@ class InnerLevelGreedy(SelectionAlgorithm):
 
         best_vec = engine.best_costs
         freq = engine.frequencies
-        selected = engine.selected_ids
+        selected_mask = engine.selected_mask
+        singles = engine.single_benefits(lazy=True) if lazy else None
 
         # phase 1: per-view inner greedy
         for view_id in engine.view_ids():
             view_id = int(view_id)
-            if view_id in selected:
+            if selected_mask[view_id]:
                 continue
-            ig = self._grow_ig(engine, view_id, best_vec, freq, ig_cap)
+            if lazy and self._view_pruned(
+                engine, singles, view_id, selected_mask, best_ids, best_ratio
+            ):
+                continue
+            ig = self._grow_ig(engine, view_id, best_vec, freq, ig_cap, selected_mask)
             if ig is not None:
                 offer(*ig)
 
@@ -139,18 +160,44 @@ class InnerLevelGreedy(SelectionAlgorithm):
         phase2 = [
             int(idx)
             for view_id in engine.view_ids()
-            if int(view_id) in selected
+            if selected_mask[int(view_id)]
             for idx in engine.index_ids_of(int(view_id))
-            if int(idx) not in selected
+            if not selected_mask[int(idx)]
         ]
         if phase2:
-            benefits = engine.single_benefits(phase2)
+            benefits = engine.single_benefits(phase2, lazy=lazy)
             for pos, idx in enumerate(phase2):
                 offer((idx,), float(benefits[pos]), float(engine.spaces[idx]))
 
         if best_ids is None:
             return None
         return best_ids, best_space
+
+    @staticmethod
+    def _view_pruned(
+        engine: BenefitEngine,
+        singles: np.ndarray,
+        view_id: int,
+        selected_mask: np.ndarray,
+        best_ids: Optional[tuple],
+        best_ratio: float,
+    ) -> bool:
+        """True when no IG set grown from this view can displace the
+        incumbent: a set's benefit/space ratio never exceeds the maximum
+        standalone benefit/space ratio of its members (mediant inequality
+        plus subadditivity), all of which the maintained cache bounds."""
+        ratio_ub = float(singles[view_id]) / float(engine.spaces[view_id])
+        idx_ids = engine.index_ids_of(view_id)
+        if idx_ids.size:
+            idx_ids = idx_ids[~selected_mask[idx_ids]]
+        if idx_ids.size:
+            idx_ub = float((singles[idx_ids] / engine.spaces[idx_ids]).max())
+            ratio_ub = max(ratio_ub, idx_ub)
+        if ratio_ub <= 0.0:
+            return True  # the grown set's benefit cannot be positive
+        if best_ids is None:
+            return False
+        return ratio_ub <= best_ratio * (1 + 1e-12)
 
     def _grow_ig(
         self,
@@ -159,6 +206,7 @@ class InnerLevelGreedy(SelectionAlgorithm):
         best_vec: np.ndarray,
         freq: np.ndarray,
         ig_cap: float,
+        selected_mask: np.ndarray,
     ):
         """Inner greedy for one view: returns ``(ids, benefit, space)`` of
         the grown set (or its peak-ratio prefix), or ``None``."""
@@ -166,14 +214,13 @@ class InnerLevelGreedy(SelectionAlgorithm):
         # Theorem 5.2 assumes no structure exceeds S, and the while-loop
         # below simply adds no indexes in that case.
         view_space = float(engine.spaces[view_id])
-        cur_min = np.minimum(best_vec, engine.cost[view_id])
+        cur_min = engine.minimum_with(best_vec, view_id)
         cur_benefit = float(freq @ (best_vec - cur_min))
         cur_space = view_space
         chosen = [view_id]
 
         remaining = [
-            int(i) for i in engine.index_ids_of(view_id)
-            if int(i) not in engine.selected_ids
+            int(i) for i in engine.index_ids_of(view_id) if not selected_mask[int(i)]
         ]
         history = [(tuple(chosen), cur_benefit, cur_space)]
 
@@ -181,9 +228,7 @@ class InnerLevelGreedy(SelectionAlgorithm):
             # vectorized inner greedy: gain of every remaining index
             # against the growing set's current per-query minimum
             idx_arr = np.asarray(remaining, dtype=np.int64)
-            gains_matrix = cur_min - engine.cost[idx_arr]
-            np.maximum(gains_matrix, 0.0, out=gains_matrix)
-            gains = gains_matrix @ freq
+            gains = engine.gains_for(idx_arr, cur_min)
             densities = gains / engine.spaces[idx_arr]
             pos = int(np.argmax(densities))
             if gains[pos] <= 0.0:
@@ -192,7 +237,7 @@ class InnerLevelGreedy(SelectionAlgorithm):
             best_gain = float(gains[pos])
             best_idx_space = float(engine.spaces[best_idx])
             remaining.remove(best_idx)
-            cur_min = np.minimum(cur_min, engine.cost[best_idx])
+            cur_min = engine.minimum_with(cur_min, best_idx)
             cur_benefit += best_gain
             cur_space += best_idx_space
             chosen.append(best_idx)

@@ -26,7 +26,13 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Set, Tuple
 
-from repro.algorithms.base import SPACE_EPS, GraphLike, as_engine, check_space
+from repro.algorithms.base import (
+    SPACE_EPS,
+    GraphLike,
+    as_engine,
+    check_space,
+    resolve_lazy,
+)
 from repro.core.benefit import BenefitEngine
 from repro.core.selection import SelectionResult, Stage, make_result
 
@@ -38,14 +44,21 @@ class LocalSearchRefiner:
     ----------
     max_rounds:
         Maximum improvement rounds (each round scans all moves once).
+    lazy:
+        ``None`` (default) follows the engine backend.  When lazy, the
+        add-move scan consults the maintained single-benefit cache and
+        only evaluates structures whose cached benefit is positive — a
+        structure with zero cached benefit has exactly zero marginal
+        gain, so the scan's picks are identical to the eager one.
     """
 
     name = "local search"
 
-    def __init__(self, max_rounds: int = 20):
+    def __init__(self, max_rounds: int = 20, lazy: Optional[bool] = None):
         if max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
         self.max_rounds = int(max_rounds)
+        self.lazy = lazy
 
     def refine(
         self,
@@ -61,6 +74,7 @@ class LocalSearchRefiner:
         """
         space = check_space(space)
         engine = as_engine(graph)
+        lazy = resolve_lazy(self.lazy, engine)
         current: Set[int] = {engine.structure_id(name) for name in selection}
         protected_ids = {engine.structure_id(name) for name in protected}
         missing = protected_ids - current
@@ -80,7 +94,7 @@ class LocalSearchRefiner:
         for _round in range(self.max_rounds):
             improved = False
 
-            candidate = self._best_add(engine, current, space)
+            candidate = self._best_add(engine, current, space, lazy)
             if candidate is not None:
                 added, gain = candidate
                 current.add(added)
@@ -145,15 +159,23 @@ class LocalSearchRefiner:
         return engine.tau()
 
     def _best_add(
-        self, engine: BenefitEngine, current: Set[int], space: float
+        self, engine: BenefitEngine, current: Set[int], space: float, lazy: bool = False
     ) -> Optional[Tuple[int, float]]:
         """Best single addition that fits; None if nothing helps."""
         engine.reset()
         engine.commit(self._view_first_order(engine, current))
         space_left = space - engine.space_used()
+        # lazy: a structure whose maintained single benefit is zero has
+        # exactly zero marginal gain (the cached value is a sum of the same
+        # nonnegative per-query terms), so skipping it cannot change the
+        # scan's outcome; surviving candidates still use benefit_of, which
+        # is bitwise identical across backends.
+        singles = engine.single_benefits(lazy=True) if lazy else None
         best: Optional[Tuple[int, float]] = None
         for sid in range(engine.n_structures):
             if sid in current:
+                continue
+            if singles is not None and singles[sid] <= 0.0:
                 continue
             if float(engine.spaces[sid]) > space_left + SPACE_EPS:
                 continue

@@ -142,7 +142,6 @@ class MaintenanceAwareGreedy(SelectionAlgorithm):
                 best_ratio = ratio
 
         best_vec = engine.best_costs
-        freq = engine.frequencies
         for view_id in engine.view_ids():
             view_id = int(view_id)
             if view_id in selected:
@@ -153,14 +152,12 @@ class MaintenanceAwareGreedy(SelectionAlgorithm):
                 continue
             offer([view_id], float(singles[view_id]))
             # 2-greedy shape: the view with its single best index
-            base = np.minimum(best_vec, engine.cost[view_id])
+            base = engine.minimum_with(best_vec, view_id)
             idxs = [
                 int(i) for i in engine.index_ids_of(view_id) if int(i) not in selected
             ]
             if idxs:
-                gains_matrix = base - engine.cost[np.asarray(idxs, dtype=np.int64)]
-                np.maximum(gains_matrix, 0.0, out=gains_matrix)
-                gains = gains_matrix @ freq
+                gains = engine.gains_for(np.asarray(idxs, dtype=np.int64), base)
                 pos = int(np.argmax(gains))
                 offer(
                     [view_id, idxs[pos]],

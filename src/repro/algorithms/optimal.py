@@ -83,7 +83,7 @@ class BranchAndBoundOptimal(SelectionAlgorithm):
         freq = engine.frequencies
         standalone = np.array(
             [
-                float(freq @ (root_vec - np.minimum(root_vec, engine.cost[sid])))
+                float(freq @ (root_vec - engine.minimum_with(root_vec, sid)))
                 for sid in order
             ]
         )
@@ -93,7 +93,7 @@ class BranchAndBoundOptimal(SelectionAlgorithm):
         # positions >= t (shape (n+1, Q)); row n is all-inf.
         suffix_min = np.full((n + 1, engine.n_queries), np.inf)
         for t in range(n - 1, -1, -1):
-            suffix_min[t] = np.minimum(suffix_min[t + 1], engine.cost[order[t]])
+            suffix_min[t] = engine.minimum_with(suffix_min[t + 1], order[t])
 
         # density-sorted ranks for the fractional knapsack bound
         density_rank = sorted(
@@ -146,7 +146,7 @@ class BranchAndBoundOptimal(SelectionAlgorithm):
 
             # branch 1: include (if it fits and is admissible)
             if owner_chosen and s_space <= space_left + SPACE_EPS:
-                new_vec = np.minimum(best_vec, engine.cost[sid])
+                new_vec = engine.minimum_with(best_vec, sid)
                 gain = float(freq @ (best_vec - new_vec))
                 # including a zero-gain index is pointless; a zero-gain view
                 # may still unlock indexes, so only prune indexes this way.
@@ -184,7 +184,7 @@ class BranchAndBoundOptimal(SelectionAlgorithm):
 
         def standalone(sid: int) -> float:
             return float(
-                freq @ (defaults - np.minimum(defaults, engine.cost[sid]))
+                freq @ (defaults - engine.minimum_with(defaults, sid))
             )
 
         groups = []

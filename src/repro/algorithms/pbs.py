@@ -69,7 +69,7 @@ class PickBySmallest(SelectionAlgorithm):
 
         strict = self.fit == FIT_STRICT
         for s_space, __rank, sid in candidates:
-            if sid in engine.selected_ids:
+            if engine.is_selected(sid):
                 continue
             if engine.space_used() >= space - SPACE_EPS:
                 break

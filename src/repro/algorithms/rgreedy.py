@@ -15,11 +15,20 @@ Performance guarantee (Theorem 5.1, unit-space structures): the selection
 uses at most ``S + r − 1`` units and achieves at least
 ``1 − e^−(r−1)/r`` of the optimal benefit attainable in the space it used.
 
-The running time is ``O(k · m^r)`` for ``m`` structures and ``k`` stages;
-the inner subset search below prunes with a submodularity-based upper bound
-(sound: individual index gains computed against the stage's base state
-dominate any later marginal gain), which keeps moderate dimensions
-practical without changing the result.
+The running time is ``O(k · m^r)`` for ``m`` structures and ``k`` stages.
+Two layers of pruning keep moderate-to-large dimensions practical without
+changing the result:
+
+* the inner subset search prunes with a submodularity-based upper bound
+  (sound: individual index gains computed against the stage's base state
+  dominate any later marginal gain);
+* in lazy mode (``lazy=True``, or the engine's default for the sparse
+  backend) per-structure benefits come from the engine's incrementally
+  maintained cache instead of a full re-scan, and a whole view's index
+  subtree is skipped when the cached-singles upper bound on any bundle
+  ratio cannot displace the stage incumbent.  Candidates are still offered
+  in the exact eager order with the same tie-break rule, so lazy and eager
+  runs select identical structures.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from repro.algorithms.base import (
     as_engine,
     check_fit,
     check_space,
+    resolve_lazy,
 )
 from repro.core.benefit import BenefitEngine
 from repro.core.selection import SelectionResult, Stage, make_result
@@ -75,18 +85,25 @@ class RGreedy(SelectionAlgorithm):
     fit:
         ``"paper"`` or ``"strict"`` space semantics (see
         :mod:`repro.algorithms.base`).
+    lazy:
+        ``None`` (default) follows the engine — lazy on the sparse
+        backend, eager on the dense one.  ``True``/``False`` force the
+        maintained-cache or full-rescan stage loop.  Both produce the
+        same selection.
     """
 
-    def __init__(self, r: int = 1, fit: str = FIT_STRICT):
+    def __init__(self, r: int = 1, fit: str = FIT_STRICT, lazy: Optional[bool] = None):
         if r < 1:
             raise ValueError(f"r must be >= 1, got {r}")
         self.r = int(r)
         self.fit = check_fit(fit)
+        self.lazy = lazy
         self.name = f"{self.r}-greedy"
 
     def run(self, graph: GraphLike, space: float, seed=()) -> SelectionResult:
         space = check_space(space)
         engine = as_engine(graph)
+        lazy = resolve_lazy(self.lazy, engine)
         stages = []
         picked_order = []
         seed_ids = apply_seed(engine, seed)
@@ -103,7 +120,7 @@ class RGreedy(SelectionAlgorithm):
             )
 
         while engine.space_used() < space - SPACE_EPS:
-            candidate = self._best_stage(engine, space)
+            candidate = self._best_stage(engine, space, lazy)
             if candidate.ids is None:
                 break
             benefit = engine.commit(candidate.ids)
@@ -121,27 +138,45 @@ class RGreedy(SelectionAlgorithm):
 
     # ------------------------------------------------------------ internals
 
-    def _best_stage(self, engine: BenefitEngine, space: float) -> _Candidate:
+    def _best_stage(
+        self, engine: BenefitEngine, space: float, lazy: bool
+    ) -> _Candidate:
         best = _Candidate()
         space_left = space - engine.space_used()
         strict = self.fit == FIT_STRICT
+
+        if lazy and self.r < 2:
+            # pure single-structure stage: one pass over the maintained
+            # cache over the static view-major candidate order; the
+            # selected/admissible filters inside lazy_best_single leave
+            # exactly the eager scan's offers, in the eager scan's order
+            pick = engine.lazy_best_single(
+                engine.stage_candidates(),
+                space_left if strict else None,
+            )
+            if pick is not None:
+                sid, benefit, sid_space, _ratio = pick
+                best.offer((sid,), benefit, sid_space)
+            return best
 
         def fits(candidate_space: float) -> bool:
             return not strict or candidate_space <= space_left + SPACE_EPS
 
         best_vec = engine.best_costs
         freq = engine.frequencies
-        selected = engine.selected_ids
-        # one vectorized pass gives every structure's standalone benefit
-        # (used directly for bare views and for phase-2 single indexes)
-        singles = engine.single_benefits()
+        selected_mask = engine.selected_mask
+        # one pass gives every structure's standalone benefit (used
+        # directly for bare views and for phase-2 single indexes); in lazy
+        # mode this reads the incrementally maintained cache instead
+        singles = engine.single_benefits(lazy=lazy)
 
         for view_id in engine.view_ids():
-            if view_id in selected:
+            view_id = int(view_id)
+            if selected_mask[view_id]:
                 # phase 2 shape: single unselected indexes of selected views
-                for idx in engine.index_ids_of(int(view_id)):
+                for idx in engine.index_ids_of(view_id):
                     idx = int(idx)
-                    if idx in selected:
+                    if selected_mask[idx]:
                         continue
                     idx_space = float(engine.spaces[idx])
                     if not fits(idx_space):
@@ -156,7 +191,16 @@ class RGreedy(SelectionAlgorithm):
             best.offer((int(view_id),), view_benefit, view_space)
             if self.r < 2:
                 continue
-            base = np.minimum(best_vec, engine.cost[view_id])
+            idx_ids = engine.index_ids_of(view_id)
+            unselected_idx = idx_ids[~selected_mask[idx_ids]] if idx_ids.size else idx_ids
+            if unselected_idx.size == 0:
+                continue
+            if lazy and self._subtree_pruned(
+                engine, best, singles, view_benefit, view_space,
+                unselected_idx, space_left, strict,
+            ):
+                continue
+            base = engine.minimum_with(best_vec, view_id)
 
             self._search_index_subsets(
                 engine,
@@ -168,8 +212,52 @@ class RGreedy(SelectionAlgorithm):
                 freq,
                 space_left,
                 strict,
+                unselected_idx,
+                singles,
             )
         return best
+
+    def _subtree_pruned(
+        self,
+        engine: BenefitEngine,
+        best: _Candidate,
+        singles: np.ndarray,
+        view_benefit: float,
+        view_space: float,
+        unselected_idx: np.ndarray,
+        space_left: float,
+        strict: bool,
+    ) -> bool:
+        """True when no ``{view} ∪ T`` bundle can displace the incumbent.
+
+        Upper bound from cached singles: a ``k``-index bundle's benefit is
+        at most ``singles[view] + (top k index singles)`` (subadditivity)
+        and its space at least ``view_space + k · min index space``, so if
+        every such ratio fails the incumbent's ``(1 + 1e-12)`` displacement
+        threshold the whole subtree is a no-op.  Exact — a skipped subtree
+        could never have changed the stage outcome.
+        """
+        idx_singles = singles[unselected_idx]
+        positive = idx_singles > 0.0
+        if not positive.any():
+            # every index gain against the view baseline would be <= 0,
+            # so the eager subset search would find nothing either
+            return True
+        if best.ids is None:
+            return False
+        idx_singles = np.sort(idx_singles[positive])[::-1]
+        min_space = float(engine.spaces[unselected_idx[positive]].min())
+        threshold = best.ratio * (1 + 1e-12)
+        max_extra = min(self.r - 1, idx_singles.size)
+        cum_benefit = view_benefit
+        for k in range(1, max_extra + 1):
+            cum_benefit += float(idx_singles[k - 1])
+            bundle_space = view_space + k * min_space
+            if strict and bundle_space > space_left + SPACE_EPS:
+                break  # larger bundles only need more space
+            if cum_benefit > threshold * bundle_space:
+                return False
+        return True
 
     def _search_index_subsets(
         self,
@@ -182,6 +270,8 @@ class RGreedy(SelectionAlgorithm):
         freq: np.ndarray,
         space_left: float,
         strict: bool,
+        unselected_idx: np.ndarray,
+        singles: np.ndarray,
     ) -> None:
         """Consider {view} ∪ T for index subsets T, |T| ≤ r − 1.
 
@@ -191,18 +281,26 @@ class RGreedy(SelectionAlgorithm):
         index gains (computed once against ``base``), because per-query
         minima only shrink as indexes are added.
         """
-        idx_ids = [
-            int(i) for i in engine.index_ids_of(view_id) if i not in engine.selected_ids
-        ]
-        if not idx_ids:
+        # an index with zero standalone benefit has zero gain against the
+        # (even lower) view baseline — drop it before touching its row
+        candidates = unselected_idx[singles[unselected_idx] > 0.0]
+        if candidates.size == 0:
             return
         # individual gains over the view-scan baseline
-        gains = []
-        for idx in idx_ids:
-            reduced = np.minimum(base, engine.cost[idx])
-            gain = float(freq @ (base - reduced))
-            if gain > 0.0:
-                gains.append((gain, idx))
+        if engine.backend == "sparse":
+            gain_values = engine.gains_for(candidates, base)
+            gains = [
+                (float(g), int(idx))
+                for g, idx in zip(gain_values, candidates.tolist())
+                if g > 0.0
+            ]
+        else:
+            gains = []
+            for idx in candidates.tolist():
+                reduced = engine.minimum_with(base, idx)
+                gain = float(freq @ (base - reduced))
+                if gain > 0.0:
+                    gains.append((gain, idx))
         if not gains:
             return
         gains.sort(key=lambda pair: -pair[0])
@@ -243,7 +341,7 @@ class RGreedy(SelectionAlgorithm):
                 new_space = cur_space + idx_space
                 if strict and new_space > space_left + SPACE_EPS:
                     continue
-                new_min = np.minimum(cur_min, engine.cost[idx])
+                new_min = engine.minimum_with(cur_min, idx)
                 new_benefit = view_benefit + float(freq @ (base - new_min))
                 chosen_ids.append(idx)
                 best.offer((view_id, *chosen_ids), new_benefit, new_space)

@@ -12,6 +12,10 @@ split (about 3/4 to indexes there) cannot be known in advance.
 
 from __future__ import annotations
 
+from typing import Optional
+
+import numpy as np
+
 from repro.algorithms.base import (
     FIT_STRICT,
     SPACE_EPS,
@@ -20,6 +24,7 @@ from repro.algorithms.base import (
     as_engine,
     check_fit,
     check_space,
+    resolve_lazy,
 )
 from repro.algorithms.hru import HRUGreedy
 from repro.core.selection import SelectionResult, Stage, make_result
@@ -41,6 +46,10 @@ class TwoStep(SelectionAlgorithm):
         ``"remaining"`` hands it whatever the view step left unused,
         a mildly smarter variant that still cannot redeem a bad split
         (tests demonstrate both).
+    lazy:
+        ``None`` (default) follows the engine backend; both step loops use
+        the maintained single-benefit cache when lazy.  Selections are
+        identical either way.
     """
 
     def __init__(
@@ -48,6 +57,7 @@ class TwoStep(SelectionAlgorithm):
         view_fraction: float = 0.5,
         fit: str = FIT_STRICT,
         index_budget_mode: str = "fraction",
+        lazy: Optional[bool] = None,
     ):
         if not 0.0 < view_fraction < 1.0:
             raise ValueError(
@@ -61,18 +71,20 @@ class TwoStep(SelectionAlgorithm):
         self.view_fraction = float(view_fraction)
         self.fit = check_fit(fit)
         self.index_budget_mode = index_budget_mode
+        self.lazy = lazy
         self.name = f"two-step (views {self.view_fraction:.0%})"
 
     def run(self, graph: GraphLike, space: float, seed=()) -> SelectionResult:
         space = check_space(space)
         engine = as_engine(graph)
+        lazy = resolve_lazy(self.lazy, engine)
         view_budget = space * self.view_fraction
 
         # step 1: [HRU96] greedy over views, within the view share.  Running
         # it on the shared engine leaves the chosen views committed, so the
         # index step below starts from that state.  The seed (typically the
         # top view) counts against the view share.
-        hru = HRUGreedy(fit=self.fit)
+        hru = HRUGreedy(fit=self.fit, lazy=lazy)
         step1 = hru.run(engine, view_budget, seed=seed)
         stages = list(step1.stages)
         picked_order = list(step1.selected)
@@ -88,20 +100,46 @@ class TwoStep(SelectionAlgorithm):
 
         # candidate indexes: those of the views picked in step 1, in the
         # deterministic view-then-index order
-        candidate_indexes = [
-            int(idx)
-            for view_id in engine.view_ids()
-            if engine.is_selected(int(view_id))
-            for idx in engine.index_ids_of(int(view_id))
-        ]
-        while index_used < index_budget - SPACE_EPS:
+        candidate_indexes = np.asarray(
+            [
+                int(idx)
+                for view_id in engine.view_ids()
+                if engine.is_selected(int(view_id))
+                for idx in engine.index_ids_of(int(view_id))
+            ],
+            dtype=np.int64,
+        )
+        while candidate_indexes.size and index_used < index_budget - SPACE_EPS:
             space_left = index_budget - index_used
-            benefits = engine.single_benefits(candidate_indexes)
+            if lazy:
+                # maintained-cache pass: same candidate order, filters and
+                # tie-break as the eager loop below
+                pick = engine.lazy_best_single(
+                    candidate_indexes, space_left if strict else None
+                )
+                if pick is None:
+                    break
+                best_id, best_benefit, best_space, _ratio = pick
+                engine.commit([best_id])
+                index_used += best_space
+                name = engine.name_of(best_id)
+                picked_order.append(name)
+                stages.append(
+                    Stage(
+                        structures=(name,),
+                        benefit=best_benefit,
+                        space=best_space,
+                        tau_after=engine.tau(),
+                    )
+                )
+                continue
+            benefits = engine.single_benefits(candidate_indexes, lazy=False)
             best_id = None
             best_benefit = 0.0
             best_space = 0.0
             best_ratio = 0.0
             for pos, idx in enumerate(candidate_indexes):
+                idx = int(idx)
                 if engine.is_selected(idx):
                     continue
                 idx_space = float(engine.spaces[idx])

@@ -143,7 +143,7 @@ def _query_plans(engine: BenefitEngine, ids: Sequence[int]) -> List[QueryPlan]:
         best_cost = default
         winner: Optional[int] = None
         for sid in ids:
-            cost = float(engine.cost[sid, q])
+            cost = engine.edge_cost_by_id(sid, q)
             if cost < best_cost:
                 best_cost = cost
                 winner = sid
@@ -280,5 +280,5 @@ def _tau_of(engine: BenefitEngine, ids: Sequence[int]) -> float:
     if not ids:
         return float(engine.frequencies @ engine.defaults)
     arr = np.fromiter(ids, dtype=np.int64)
-    best = np.minimum(engine.defaults, engine.cost[arr].min(axis=0))
+    best = np.minimum(engine.defaults, engine.min_cost_over(arr))
     return float(engine.frequencies @ best)

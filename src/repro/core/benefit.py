@@ -8,9 +8,33 @@ the total query cost is
 and the *benefit* of a candidate set ``C`` w.r.t. ``M`` is
 ``B(C, M) = τ(G, M) − τ(G, M ∪ C)``.  Every selection algorithm in
 :mod:`repro.algorithms` evaluates thousands of such benefits, so this
-module compiles the graph to dense numpy arrays once and keeps the current
-per-query best cost as state, making a benefit evaluation a single
-vectorized pass.
+module compiles the graph once and keeps the current per-query best cost
+as state, making a benefit evaluation a single vectorized pass.
+
+Two cost-store backends are provided, selected by ``backend=``:
+
+``"dense"``
+    The original ``(n_structures × n_queries)`` matrix, ``inf`` where
+    there is no edge.  Fast for small, dense graphs; refuses to allocate
+    beyond ``dense_limit_bytes`` (a d=7 fat-index cube already needs
+    hundreds of MB of mostly-inf cells).
+``"sparse"``
+    CSR (per-structure) plus CSC (per-query) edge arrays — only the
+    edges are stored.  This is what makes 7–8 dimension cubes
+    compilable at all.
+``"auto"`` (default)
+    Dense while the matrix stays small (``AUTO_DENSE_BYTES``), sparse
+    beyond — existing small-graph callers see no change.
+
+On top of either store the engine maintains *incremental single-structure
+benefits*: after a :meth:`commit`, only queries whose best cost dropped
+(the *dirty columns*) can change any candidate's standalone benefit, so
+only structures with an edge into a dirty column (the *stale rows*) are
+re-scored.  :meth:`lazy_best_single` exploits this — a greedy stage costs
+``O(stale edges)`` instead of ``O(n_structures · n_queries)`` — and
+:meth:`invalidate` drops the cache.  The eager full-recompute path is
+retained (``single_benefits(lazy=False)``) and cross-checked in tests:
+lazy and eager stage loops must produce identical selections.
 
 An index is *usable* only when its owning view is materialized; the engine
 exposes :meth:`BenefitEngine.is_admissible` so algorithms can enforce the
@@ -19,26 +43,110 @@ rule, and raises on attempts to commit an index without its view.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 import numpy as np
 
 from repro.core.qvgraph import QueryViewGraph
 
+try:  # scipy does the CSR->CSC transpose in C; optional, numpy fallback.
+    # Imported at module load so the first engine build doesn't pay it.
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - scipy is normally available
+    _scipy_sparse = None
+
 INF = float("inf")
+
+#: ``backend="auto"`` picks the sparse store once the dense matrix would
+#: exceed this many bytes.
+AUTO_DENSE_BYTES = 32 * 2**20
+
+#: ``backend="dense"`` refuses to allocate a matrix larger than this
+#: (override per-engine with ``dense_limit_bytes=``).  A d=7 fat-index
+#: cube needs ~240 MB of mostly-inf cells and is rejected by default.
+DENSE_LIMIT_BYTES = 192 * 2**20
+
+#: Relative tolerance of the canonical greedy tie-break: a candidate only
+#: displaces the incumbent when its ratio exceeds the incumbent's by this
+#: factor.  Shared by every stage loop so lazy and eager paths agree.
+RATIO_RTOL = 1e-12
+
+_BACKENDS = ("auto", "dense", "sparse")
+
+
+def _gather_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Indices covering ``[starts[i], starts[i]+lengths[i])`` for all i,
+    concatenated in order — the multi-slice gather used for CSR/CSC rows."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(lengths[:-1])))
+    return np.repeat(starts - offsets, lengths) + np.arange(total, dtype=np.int64)
+
+
+def chain_pick(ratios: np.ndarray) -> Optional[int]:
+    """Winner of the canonical greedy incumbent chain over ``ratios``.
+
+    The canonical rule (shared by every stage loop): scan candidates in
+    order; the incumbent is displaced only by a ratio strictly greater
+    than ``incumbent · (1 + RATIO_RTOL)``.  All ratios must be positive.
+
+    Vectorized via running prefix maxima: a candidate strictly above the
+    previous prefix max times the tolerance *definitely* displaces, one at
+    or below the prefix max definitely does not; the (measure-zero)
+    ambiguous band falls back to the exact Python scan, so the result is
+    always identical to the sequential rule.
+    """
+    n = len(ratios)
+    if n == 0:
+        return None
+    if n == 1:
+        return 0
+    cummax = np.maximum.accumulate(ratios)
+    prev = np.empty_like(cummax)
+    prev[0] = 0.0
+    prev[1:] = cummax[:-1]
+    definite = ratios > prev * (1.0 + RATIO_RTOL)
+    ambiguous = (ratios > prev) & ~definite
+    if ambiguous.any():
+        best = 0
+        best_ratio = float(ratios[0])
+        for i in range(1, n):
+            if ratios[i] > best_ratio * (1.0 + RATIO_RTOL):
+                best = i
+                best_ratio = float(ratios[i])
+        return best
+    return int(np.flatnonzero(definite)[-1])
 
 
 class BenefitEngine:
     """Compiled, stateful benefit evaluator over a query-view graph.
 
     The engine assigns every structure an integer id (``0..m-1``) and every
-    query an integer id (``0..q-1``).  ``cost[s, q]`` is the cost of
-    answering query ``q`` via structure ``s`` (``inf`` when there is no
-    edge).  State is the vector of current best per-query costs given the
-    committed selection, initialized to the default costs ``T_i``.
+    query an integer id (``0..q-1``).  The cost of answering query ``q``
+    via structure ``s`` lives in the backend store (``inf`` when there is
+    no edge).  State is the vector of current best per-query costs given
+    the committed selection, initialized to the default costs ``T_i``.
+
+    Parameters
+    ----------
+    graph:
+        The query-view graph to compile.
+    backend:
+        ``"dense"``, ``"sparse"`` or ``"auto"`` (see module docstring).
+    dense_limit_bytes:
+        Hard cap for the dense matrix; ``backend="dense"`` raises
+        ``MemoryError`` beyond it.  Defaults to :data:`DENSE_LIMIT_BYTES`.
     """
 
-    def __init__(self, graph: QueryViewGraph):
+    def __init__(
+        self,
+        graph: QueryViewGraph,
+        backend: str = "auto",
+        dense_limit_bytes: Optional[int] = None,
+    ):
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
         self.graph = graph
         self.query_names = [q.name for q in graph.queries]
         self.structure_names = [s.name for s in graph.structures]
@@ -58,9 +166,27 @@ class BenefitEngine:
         self.view_id_of = np.array(
             [self._structure_id[s.view_name] for s in graph.structures], dtype=np.int64
         )
-        self.cost = np.full((n_s, n_q), INF, dtype=np.float64)
-        for q_name, s_name, cost in graph.edges():
-            self.cost[self._structure_id[s_name], self._query_id[q_name]] = cost
+
+        q_idx, s_idx, vals = self._edge_arrays(graph)
+        self._build_sparse(n_s, n_q, s_idx, q_idx, vals)
+
+        limit = DENSE_LIMIT_BYTES if dense_limit_bytes is None else int(dense_limit_bytes)
+        dense_bytes = self.dense_cost_bytes(n_s, n_q)
+        if backend == "auto":
+            backend = "dense" if dense_bytes <= min(AUTO_DENSE_BYTES, limit) else "sparse"
+        if backend == "dense":
+            if dense_bytes > limit:
+                raise MemoryError(
+                    f"dense cost matrix needs {dense_bytes} bytes for "
+                    f"{n_s} structures x {n_q} queries (limit {limit}); "
+                    "use backend='sparse' or raise dense_limit_bytes"
+                )
+            cost = np.full((n_s, n_q), INF, dtype=np.float64)
+            np.minimum.at(cost, (self._nnz_rows, self._row_cols), self._row_vals)
+            self._dense_cost = cost
+        else:
+            self._dense_cost = None
+        self.backend = backend
 
         self._indexes_of = {
             self._structure_id[v.name]: np.array(
@@ -69,7 +195,120 @@ class BenefitEngine:
             )
             for v in graph.views
         }
+        self._gain_scratch: Optional[np.ndarray] = None
+        self._singles: Optional[np.ndarray] = None
+        self._singles_fresh = False
+        self._stage_candidates: Optional[np.ndarray] = None
         self.reset()
+
+    # ----------------------------------------------------------- compilation
+
+    def _edge_arrays(self, graph):
+        """Edge triples as (query_idx, structure_idx, cost) arrays."""
+        if hasattr(graph, "edge_arrays"):
+            return graph.edge_arrays()
+        q_list, s_list, c_list = [], [], []
+        for q_name, s_name, cost in graph.edges():
+            q_list.append(self._query_id[q_name])
+            s_list.append(self._structure_id[s_name])
+            c_list.append(cost)
+        return (
+            np.asarray(q_list, dtype=np.int64),
+            np.asarray(s_list, dtype=np.int64),
+            np.asarray(c_list, dtype=np.float64),
+        )
+
+    def _build_sparse(self, n_s, n_q, s_idx, q_idx, vals) -> None:
+        """Build the CSR (by structure) and CSC (by query) edge stores."""
+        s_idx = np.asarray(s_idx, dtype=np.int64)
+        q_idx = np.asarray(q_idx, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        # the vectorized from_cube emits edges already in strict CSR order
+        # (structure-major, query-minor, no duplicates) — detect that and
+        # skip the O(nnz log nnz) sort, which dominates compile time
+        if s_idx.size:
+            same_row = s_idx[1:] == s_idx[:-1]
+            csr_ordered = bool(np.all(s_idx[1:] >= s_idx[:-1])) and bool(
+                np.all(q_idx[1:][same_row] > q_idx[:-1][same_row])
+            )
+        else:
+            csr_ordered = True
+        if csr_ordered:
+            s_sorted, q_sorted, v_sorted = s_idx, q_idx, vals
+        else:
+            order = np.lexsort((q_idx, s_idx))
+            s_sorted, q_sorted, v_sorted = s_idx[order], q_idx[order], vals[order]
+            dup = np.zeros(s_sorted.size, dtype=bool)
+            dup[1:] = (s_sorted[1:] == s_sorted[:-1]) & (q_sorted[1:] == q_sorted[:-1])
+            if dup.any():
+                # parallel edges keep the minimum cost, as add_edge does
+                firsts = np.flatnonzero(~dup)
+                v_sorted = np.minimum.reduceat(v_sorted, firsts)
+                s_sorted = s_sorted[firsts]
+                q_sorted = q_sorted[firsts]
+        self._nnz_rows = s_sorted.astype(np.int32)
+        self._row_cols = q_sorted.astype(np.int32)
+        self._row_vals = v_sorted
+        counts = np.bincount(s_sorted, minlength=n_s) if s_sorted.size else np.zeros(
+            n_s, dtype=np.int64
+        )
+        self._row_ptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+
+        if _scipy_sparse is not None and s_sorted.size:
+            csc = _scipy_sparse.csr_matrix(
+                (v_sorted, self._row_cols, self._row_ptr), shape=(n_s, n_q)
+            ).tocsc()
+            self._col_rows = csc.indices.astype(np.int32, copy=False)
+            self._col_vals = np.ascontiguousarray(csc.data, dtype=np.float64)
+            self._col_ptr = csc.indptr.astype(np.int64, copy=False)
+        else:
+            order_c = np.lexsort((s_sorted, q_sorted))
+            self._col_rows = s_sorted[order_c].astype(np.int32)
+            self._col_vals = v_sorted[order_c]
+            counts_c = np.bincount(
+                q_sorted, minlength=n_q
+            ) if q_sorted.size else np.zeros(n_q, dtype=np.int64)
+            self._col_ptr = np.concatenate(([0], np.cumsum(counts_c))).astype(np.int64)
+
+    @staticmethod
+    def dense_cost_bytes(n_structures: int, n_queries: int) -> int:
+        """Bytes a dense float64 cost matrix of this shape would need."""
+        return int(n_structures) * int(n_queries) * 8
+
+    @property
+    def cost(self) -> np.ndarray:
+        """The dense cost matrix (dense backend only).
+
+        The sparse backend never materializes it — use :meth:`cost_row`,
+        :meth:`min_cost_over`, :meth:`minimum_with` or :meth:`gains_for`.
+        """
+        if self._dense_cost is None:
+            raise RuntimeError(
+                "the sparse backend has no dense cost matrix; use cost_row(), "
+                "min_cost_over(), minimum_with() or gains_for() instead"
+            )
+        return self._dense_cost
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored edges."""
+        return int(self._row_vals.size)
+
+    def cost_store_bytes(self) -> int:
+        """Actual bytes held by the cost store (CSR + CSC, plus the dense
+        matrix when materialized)."""
+        total = (
+            self._nnz_rows.nbytes
+            + self._row_cols.nbytes
+            + self._row_vals.nbytes
+            + self._row_ptr.nbytes
+            + self._col_rows.nbytes
+            + self._col_vals.nbytes
+            + self._col_ptr.nbytes
+        )
+        if self._dense_cost is not None:
+            total += self._dense_cost.nbytes
+        return int(total)
 
     # ------------------------------------------------------------------ ids
 
@@ -104,16 +343,81 @@ class BenefitEngine:
             raise ValueError(f"structure {self.name_of(view_id)} is not a view")
         return self._indexes_of[view_id]
 
+    def stage_candidates(self) -> np.ndarray:
+        """All structures in the canonical greedy offer order: each view
+        followed by its indexes, views in id order.  Cached; combined with
+        the admissibility filter in :meth:`lazy_best_single` this is the
+        static candidate list for single-structure stage scans."""
+        if self._stage_candidates is None:
+            segments = []
+            for view_id in self.view_ids():
+                view_id = int(view_id)
+                segments.append(np.array([view_id], dtype=np.int64))
+                idx = self._indexes_of[view_id]
+                if idx.size:
+                    segments.append(idx.astype(np.int64, copy=False))
+            self._stage_candidates = (
+                np.concatenate(segments)
+                if segments
+                else np.empty(0, dtype=np.int64)
+            )
+        return self._stage_candidates
+
+    # ------------------------------------------------------------- cost rows
+
+    def cost_row(self, structure_id: int) -> np.ndarray:
+        """Per-query cost of one structure (``inf`` where no edge).
+
+        Dense backend returns a read-only view of the matrix row; sparse
+        materializes the row.  Do not mutate the result.
+        """
+        if self._dense_cost is not None:
+            return self._dense_cost[structure_id]
+        row = np.full(self.n_queries, INF, dtype=np.float64)
+        lo, hi = self._row_ptr[structure_id], self._row_ptr[structure_id + 1]
+        row[self._row_cols[lo:hi]] = self._row_vals[lo:hi]
+        return row
+
+    def minimum_with(self, vec: np.ndarray, structure_id: int) -> np.ndarray:
+        """``np.minimum(vec, cost_row(structure_id))`` without materializing
+        the row on the sparse backend.  Returns a new array."""
+        if self._dense_cost is not None:
+            return np.minimum(vec, self._dense_cost[structure_id])
+        out = vec.copy()
+        lo, hi = self._row_ptr[structure_id], self._row_ptr[structure_id + 1]
+        cols = self._row_cols[lo:hi]
+        # fancy-indexed out= would write into a copy; assign instead
+        out[cols] = np.minimum(out[cols], self._row_vals[lo:hi])
+        return out
+
+    def edge_cost_by_id(self, structure_id: int, query_id: int) -> float:
+        """Cost of the (structure, query) edge, ``inf`` when absent."""
+        if self._dense_cost is not None:
+            return float(self._dense_cost[structure_id, query_id])
+        lo, hi = self._row_ptr[structure_id], self._row_ptr[structure_id + 1]
+        cols = self._row_cols[lo:hi]
+        pos = lo + int(np.searchsorted(cols, query_id))
+        if pos < hi and self._row_cols[pos] == query_id:
+            return float(self._row_vals[pos])
+        return INF
+
     # ---------------------------------------------------------------- state
 
     def reset(self) -> None:
         """Forget the committed selection; best costs return to defaults."""
         self._best = self.defaults.copy()
         self._selected: set = set()
+        self._selected_mask = np.zeros(self.n_structures, dtype=bool)
+        self._singles_fresh = False
 
     @property
     def selected_ids(self) -> frozenset:
         return frozenset(self._selected)
+
+    @property
+    def selected_mask(self) -> np.ndarray:
+        """Boolean mask of selected structures (read-only; do not mutate)."""
+        return self._selected_mask
 
     @property
     def selected_names(self) -> list:
@@ -153,7 +457,14 @@ class BenefitEngine:
         arr = self._as_id_array(ids)
         if arr.size == 0:
             return np.full(self.n_queries, INF)
-        return self.cost[arr].min(axis=0)
+        if self._dense_cost is not None:
+            return self._dense_cost[arr].min(axis=0)
+        out = np.full(self.n_queries, INF, dtype=np.float64)
+        for sid in arr:
+            lo, hi = self._row_ptr[sid], self._row_ptr[sid + 1]
+            cols = self._row_cols[lo:hi]
+            out[cols] = np.minimum(out[cols], self._row_vals[lo:hi])
+        return out
 
     def is_admissible(self, ids: Iterable[int]) -> bool:
         """True iff every index in ``ids`` has its view in ``ids`` or in
@@ -166,19 +477,183 @@ class BenefitEngine:
                     return False
         return True
 
-    def single_benefits(self, ids=None) -> np.ndarray:
+    # ------------------------------------------------- single benefits (m×1)
+
+    def _eager_singles_dense(self, ids) -> np.ndarray:
+        """One matrix pass over the dense store, into a reused scratch
+        buffer (no per-stage (m × q) allocation)."""
+        cost = self._dense_cost
+        if ids is None:
+            rows_needed = cost.shape[0]
+            take_ids = None
+        else:
+            take_ids = np.asarray(ids, dtype=np.int64)
+            rows_needed = take_ids.shape[0]
+        if self._gain_scratch is None or self._gain_scratch.shape[0] < rows_needed:
+            self._gain_scratch = np.empty(
+                (rows_needed, self.n_queries), dtype=np.float64
+            )
+        gains = self._gain_scratch[:rows_needed]
+        if take_ids is None:
+            np.subtract(self._best, cost, out=gains)
+        else:
+            np.take(cost, take_ids, axis=0, out=gains)
+            np.subtract(self._best, gains, out=gains)
+        np.maximum(gains, 0.0, out=gains)  # -inf where no edge -> 0
+        return gains @ self.frequencies
+
+    def _eager_singles_sparse(self, ids) -> np.ndarray:
+        """Per-edge gains summed per structure over the CSR store."""
+        if ids is None:
+            contrib = self._best[self._row_cols] - self._row_vals
+            np.maximum(contrib, 0.0, out=contrib)
+            contrib *= self.frequencies[self._row_cols]
+            return np.bincount(
+                self._nnz_rows, weights=contrib, minlength=self.n_structures
+            )
+        arr = np.asarray(ids, dtype=np.int64)
+        starts = self._row_ptr[arr]
+        lengths = self._row_ptr[arr + 1] - starts
+        flat = _gather_ranges(starts, lengths)
+        cols = self._row_cols[flat]
+        contrib = self._best[cols] - self._row_vals[flat]
+        np.maximum(contrib, 0.0, out=contrib)
+        contrib *= self.frequencies[cols]
+        local = np.repeat(np.arange(arr.size, dtype=np.int64), lengths)
+        return np.bincount(local, weights=contrib, minlength=arr.size)
+
+    def _ensure_singles(self) -> np.ndarray:
+        if not self._singles_fresh:
+            self._singles = self._eager_singles_sparse(None)
+            self._singles_fresh = True
+        return self._singles
+
+    def _refresh_singles_after(self, old_best: np.ndarray) -> None:
+        """Incrementally re-score only structures touched by queries whose
+        best cost just dropped (the dirty columns).
+
+        A structure is stale only when one of its dirty-column edges was
+        *beating* the old best cost there: an edge with
+        ``cost >= old_best`` contributed exactly zero before and (the best
+        only drops) still does, so the cached sum — the same addends in
+        the same order — is bitwise unchanged.
+        """
+        dirty = np.flatnonzero(self._best < old_best)
+        if dirty.size == 0:
+            return
+        starts = self._col_ptr[dirty]
+        lengths = self._col_ptr[dirty + 1] - starts
+        flat = _gather_ranges(starts, lengths)
+        if flat.size == 0:
+            return
+        beating = self._col_vals[flat] < np.repeat(old_best[dirty], lengths)
+        if not beating.any():
+            return
+        stale = np.unique(self._col_rows[flat[beating]]).astype(np.int64)
+        self._singles[stale] = self._eager_singles_sparse(stale)
+
+    def invalidate(self, ids=None) -> None:
+        """Drop (or selectively refresh) the maintained single-benefit cache.
+
+        ``ids=None`` discards the whole cache — the next lazy call pays a
+        full recompute.  With ``ids``, those rows are re-scored in place
+        when the cache is live (no-op otherwise).  Algorithms normally
+        never need this — :meth:`commit`, :meth:`reset` and
+        :meth:`restore` keep the cache consistent — but external
+        mutations of engine state should call it.
+        """
+        if ids is None:
+            self._singles_fresh = False
+        elif self._singles_fresh:
+            arr = np.asarray(list(ids), dtype=np.int64)
+            if arr.size:
+                self._singles[arr] = self._eager_singles_sparse(arr)
+
+    def single_benefits(self, ids=None, lazy: Optional[bool] = None) -> np.ndarray:
         """Benefit of each structure *alone* w.r.t. the committed selection.
 
-        Vectorized over structures: one matrix pass instead of a Python
-        loop — the hot path of every greedy stage.  ``ids`` restricts the
-        computation to the given structure ids (array-like); ``None``
-        evaluates all structures.  Missing edges (``inf`` cost) contribute
-        zero, as they must.
+        ``ids`` restricts the computation to the given structure ids
+        (array-like); ``None`` evaluates all structures.  Missing edges
+        contribute zero, as they must.
+
+        ``lazy=None`` picks the backend default (sparse → maintained
+        incremental cache, dense → eager matrix pass); ``lazy=True``
+        forces the maintained cache, ``lazy=False`` a full recompute.
         """
-        rows = self.cost if ids is None else self.cost[np.asarray(ids, dtype=np.int64)]
-        gains = self._best - rows  # -inf where no edge
-        np.maximum(gains, 0.0, out=gains)
-        return gains @ self.frequencies
+        if lazy is None:
+            lazy = self._dense_cost is None
+        if lazy:
+            singles = self._ensure_singles()
+            if ids is None:
+                return singles.copy()
+            return singles[np.asarray(ids, dtype=np.int64)]
+        if self._dense_cost is not None:
+            return self._eager_singles_dense(ids)
+        return self._eager_singles_sparse(ids)
+
+    def lazy_best_single(self, ids, space_left: Optional[float] = None):
+        """Best single candidate by benefit per space, from the maintained
+        incremental cache — the lazy replacement for a full eager stage scan.
+
+        Scans ``ids`` with the canonical greedy rule (first candidate at a
+        strictly better ratio wins, tolerance :data:`RATIO_RTOL`), skipping
+        selected structures, inadmissible indexes (owning view not yet
+        selected), non-positive benefits and — when ``space_left`` is
+        given — candidates that do not fit.  Returns
+        ``(structure_id, benefit, space, ratio)`` or ``None``.
+        """
+        arr = np.asarray(ids, dtype=np.int64)
+        if arr.size == 0:
+            return None
+        singles = self._ensure_singles()
+        benefits = singles[arr]
+        spaces = self.spaces[arr]
+        eligible = (benefits > 0.0) & ~self._selected_mask[arr]
+        eligible &= self.is_view[arr] | self._selected_mask[self.view_id_of[arr]]
+        if space_left is not None:
+            eligible &= spaces <= space_left + 1e-9
+        if not eligible.any():
+            return None
+        pos = np.flatnonzero(eligible)
+        ratios = benefits[pos] / spaces[pos]
+        win = chain_pick(ratios)
+        if win is None:
+            return None
+        p = pos[win]
+        return int(arr[p]), float(benefits[p]), float(spaces[p]), float(ratios[win])
+
+    @property
+    def prefers_lazy(self) -> bool:
+        """True when algorithms should default to the lazy stage loops.
+
+        The lazy loops are exact (same candidate order and tie-break as
+        the eager scans, skipping only provably no-op work) and measured
+        faster on both backends, so this is always ``True``; it exists so
+        a subclass or an experiment can opt a whole engine out.
+        """
+        return True
+
+    def gains_for(self, ids, base: np.ndarray) -> np.ndarray:
+        """Frequency-weighted positive gain of each structure against the
+        per-query cost vector ``base`` (one vectorized pass)."""
+        arr = np.asarray(ids, dtype=np.int64)
+        if arr.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        if self._dense_cost is not None:
+            gains_matrix = base - self._dense_cost[arr]
+            np.maximum(gains_matrix, 0.0, out=gains_matrix)
+            return gains_matrix @ self.frequencies
+        starts = self._row_ptr[arr]
+        lengths = self._row_ptr[arr + 1] - starts
+        flat = _gather_ranges(starts, lengths)
+        cols = self._row_cols[flat]
+        contrib = base[cols] - self._row_vals[flat]
+        np.maximum(contrib, 0.0, out=contrib)
+        contrib *= self.frequencies[cols]
+        local = np.repeat(np.arange(arr.size, dtype=np.int64), lengths)
+        return np.bincount(local, weights=contrib, minlength=arr.size)
+
+    # ---------------------------------------------------------- set benefits
 
     def benefit_of(self, ids: Iterable[int]) -> float:
         """Benefit of the candidate set w.r.t. the committed selection.
@@ -190,7 +665,7 @@ class BenefitEngine:
         arr = self._as_id_array(ids)
         if arr.size == 0:
             return 0.0
-        candidate = self.cost[arr].min(axis=0)
+        candidate = self.min_cost_over(arr)
         improved = np.minimum(self._best, candidate)
         return float(self.frequencies @ (self._best - improved))
 
@@ -207,6 +682,8 @@ class BenefitEngine:
 
         Raises ``ValueError`` if an index would be committed without its
         owning view (either previously selected or in the same call).
+        Keeps the maintained single-benefit cache consistent by re-scoring
+        only the structures touched by dirty queries.
         """
         ids = list(ids)
         if not self.is_admissible(ids):
@@ -217,11 +694,15 @@ class BenefitEngine:
         arr = self._as_id_array(ids)
         if arr.size == 0:
             return 0.0
-        candidate = self.cost[arr].min(axis=0)
+        candidate = self.min_cost_over(arr)
         improved = np.minimum(self._best, candidate)
         benefit = float(self.frequencies @ (self._best - improved))
+        old_best = self._best
         self._best = improved
         self._selected.update(int(i) for i in arr)
+        self._selected_mask[arr] = True
+        if self._singles_fresh:
+            self._refresh_singles_after(old_best)
         return benefit
 
     # ---------------------------------------------- snapshots (backtracking)
@@ -234,6 +715,10 @@ class BenefitEngine:
         best, selected = snapshot
         self._best = best.copy()
         self._selected = set(selected)
+        self._selected_mask = np.zeros(self.n_structures, dtype=bool)
+        if self._selected:
+            self._selected_mask[np.fromiter(self._selected, dtype=np.int64)] = True
+        self._singles_fresh = False
 
     # ------------------------------------------------------------- reporting
 
@@ -243,19 +728,25 @@ class BenefitEngine:
         arr = self._as_id_array(ids)
         if arr.size == 0:
             return 0.0
-        candidate = self.cost[arr].min(axis=0)
+        candidate = self.min_cost_over(arr)
         improved = np.minimum(self.defaults, candidate)
         return float(self.frequencies @ (self.defaults - improved))
 
     def max_achievable_benefit(self) -> float:
         """Benefit of materializing everything — an upper bound for any
         selection (computed against default costs)."""
-        improved = np.minimum(self.defaults, self.cost.min(axis=0))
+        if self._dense_cost is not None:
+            floor = self._dense_cost.min(axis=0)
+        else:
+            floor = np.full(self.n_queries, INF, dtype=np.float64)
+            np.minimum.at(floor, self._row_cols, self._row_vals)
+        improved = np.minimum(self.defaults, floor)
         return float(self.frequencies @ (self.defaults - improved))
 
     def __repr__(self) -> str:
         return (
             f"BenefitEngine(structures={self.n_structures}, "
-            f"queries={self.n_queries}, selected={len(self._selected)}, "
+            f"queries={self.n_queries}, edges={self.nnz}, "
+            f"backend={self.backend!r}, selected={len(self._selected)}, "
             f"tau={self.tau():g})"
         )

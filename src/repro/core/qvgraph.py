@@ -15,12 +15,23 @@ Graphs come from two places:
   / ``add_edge``; or
 * a data cube, via :meth:`QueryViewGraph.from_cube`, which enumerates slice
   queries, fat indexes, and linear-cost-model edges.
+
+Edges are stored two ways: a ``(query, structure) -> cost`` dict fed by
+:meth:`add_edge`, and *bulk blocks* of position-indexed numpy arrays fed by
+:meth:`add_edges_bulk`.  The block path exists for scale — ``from_cube`` on
+a d=7 fat-index cube emits ~5 million edges, and one dict insert per edge
+dominates the build.  The vectorized ``from_cube`` computes answerability
+with subset bitmasks over the lattice and appends whole edge arrays;
+:meth:`edge_arrays` hands the combined edge set to the benefit engine
+without ever materializing per-edge Python objects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.costmodel import LinearCostModel
 from repro.core.index import enumerate_all_indexes, enumerate_fat_indexes
@@ -29,6 +40,10 @@ from repro.core.query import SliceQuery, enumerate_slice_queries
 
 VIEW_KIND = "view"
 INDEX_KIND = "index"
+
+#: Pair-cell budget per chunk of the vectorized index-edge computation —
+#: bounds temporaries to a few tens of MB regardless of cube size.
+_VEC_CHUNK_CELLS = 2_000_000
 
 
 @dataclass(frozen=True)
@@ -86,6 +101,11 @@ class QueryViewGraph:
         self._view_indexes: Dict[str, list] = {}
         # (query_name, structure_name) -> min cost over parallel edges
         self._edges: Dict[Tuple[str, str], float] = {}
+        # bulk edges: (query_positions, structure_positions, costs) arrays,
+        # positions being insertion order of the node dicts
+        self._edge_blocks: list = []
+        self._n_block_edges = 0
+        self._block_lookup: Optional[Dict[Tuple[int, int], float]] = None
 
     # ------------------------------------------------------------ building
 
@@ -159,6 +179,38 @@ class QueryViewGraph:
         if prev is None or cost < prev:
             self._edges[key] = cost
 
+    def add_edges_bulk(
+        self,
+        query_positions: np.ndarray,
+        structure_positions: np.ndarray,
+        costs: np.ndarray,
+    ) -> None:
+        """Append a block of edges given by *node positions* (insertion
+        order of queries / structures) instead of names.
+
+        This is the scale path: a block is stored as three aligned numpy
+        arrays, so millions of edges cost three array appends.  Parallel
+        edges across blocks (or against :meth:`add_edge`) are resolved to
+        the minimum cost at read time (``edge_cost``) and at engine
+        compile time.
+        """
+        q = np.ascontiguousarray(query_positions, dtype=np.int64)
+        s = np.ascontiguousarray(structure_positions, dtype=np.int64)
+        c = np.ascontiguousarray(costs, dtype=np.float64)
+        if not (q.ndim == s.ndim == c.ndim == 1 and q.size == s.size == c.size):
+            raise ValueError("bulk edge arrays must be 1-D and aligned")
+        if q.size == 0:
+            return
+        if int(q.min()) < 0 or int(q.max()) >= len(self._queries):
+            raise ValueError("bulk edge query position out of range")
+        if int(s.min()) < 0 or int(s.max()) >= len(self._structures):
+            raise ValueError("bulk edge structure position out of range")
+        if float(c.min()) < 0:
+            raise ValueError("edge cost must be >= 0")
+        self._edge_blocks.append((q, s, c))
+        self._n_block_edges += int(q.size)
+        self._block_lookup = None
+
     # ------------------------------------------------------------ reading
 
     @property
@@ -191,10 +243,74 @@ class QueryViewGraph:
         """Yield ``(query_name, structure_name, cost)`` triples."""
         for (q, s), cost in self._edges.items():
             yield q, s, cost
+        if self._edge_blocks:
+            query_names = list(self._queries)
+            structure_names = list(self._structures)
+            for q, s, c in self._edge_blocks:
+                for qi, si, ci in zip(q.tolist(), s.tolist(), c.tolist()):
+                    yield query_names[qi], structure_names[si], ci
+
+    def _block_lookup_map(self) -> Dict[Tuple[int, int], float]:
+        """Lazy ``(query_pos, structure_pos) -> min cost`` map over the
+        bulk blocks — only for name-based point lookups; the engine reads
+        blocks via :meth:`edge_arrays` and never builds this."""
+        if self._block_lookup is None:
+            lookup: Dict[Tuple[int, int], float] = {}
+            for q, s, c in self._edge_blocks:
+                for qi, si, ci in zip(q.tolist(), s.tolist(), c.tolist()):
+                    key = (qi, si)
+                    prev = lookup.get(key)
+                    if prev is None or ci < prev:
+                        lookup[key] = ci
+            self._block_lookup = lookup
+        return self._block_lookup
 
     def edge_cost(self, query_name: str, structure_name: str) -> Optional[float]:
-        """Cost of the edge, or ``None`` if absent."""
-        return self._edges.get((query_name, structure_name))
+        """Cost of the edge, or ``None`` if absent (min over parallel
+        edges, across both the dict and bulk stores)."""
+        best = self._edges.get((query_name, structure_name))
+        if self._edge_blocks:
+            qpos = list(self._queries).index(query_name) if query_name in self._queries else -1
+            spos = (
+                list(self._structures).index(structure_name)
+                if structure_name in self._structures
+                else -1
+            )
+            if qpos >= 0 and spos >= 0:
+                block = self._block_lookup_map().get((qpos, spos))
+                if block is not None and (best is None or block < best):
+                    best = block
+        return best
+
+    def edge_arrays(self) -> tuple:
+        """All edges as ``(query_positions, structure_positions, costs)``
+        int64/int64/float64 arrays (dict edges first, then bulk blocks;
+        parallel edges are *not* merged here — the benefit engine keeps
+        the minimum)."""
+        query_pos = {name: i for i, name in enumerate(self._queries)}
+        structure_pos = {name: i for i, name in enumerate(self._structures)}
+        q_parts = [
+            np.fromiter(
+                (query_pos[q] for (q, _s) in self._edges), dtype=np.int64, count=len(self._edges)
+            )
+        ]
+        s_parts = [
+            np.fromiter(
+                (structure_pos[s] for (_q, s) in self._edges),
+                dtype=np.int64,
+                count=len(self._edges),
+            )
+        ]
+        c_parts = [np.fromiter(self._edges.values(), dtype=np.float64, count=len(self._edges))]
+        for q, s, c in self._edge_blocks:
+            q_parts.append(q)
+            s_parts.append(s)
+            c_parts.append(c)
+        return (
+            np.concatenate(q_parts),
+            np.concatenate(s_parts),
+            np.concatenate(c_parts),
+        )
 
     @property
     def n_queries(self) -> int:
@@ -206,7 +322,7 @@ class QueryViewGraph:
 
     @property
     def n_edges(self) -> int:
-        return len(self._edges)
+        return len(self._edges) + self._n_block_edges
 
     def total_space(self) -> float:
         """Space needed to materialize every structure."""
@@ -227,6 +343,13 @@ class QueryViewGraph:
                 raise ValueError(f"edge references unknown structure {s!r}")
             if cost < 0:
                 raise ValueError(f"edge ({q}, {s}) has negative cost")
+        for q, s, c in self._edge_blocks:
+            if q.size and (int(q.min()) < 0 or int(q.max()) >= len(self._queries)):
+                raise ValueError("bulk edge references unknown query position")
+            if s.size and (int(s.min()) < 0 or int(s.max()) >= len(self._structures)):
+                raise ValueError("bulk edge references unknown structure position")
+            if c.size and float(c.min()) < 0:
+                raise ValueError("bulk edge has negative cost")
         for name, struct in self._structures.items():
             if struct.is_index and struct.view_name not in self._structures:
                 raise ValueError(f"index {name!r} has unknown view {struct.view_name!r}")
@@ -248,6 +371,7 @@ class QueryViewGraph:
         cost_model: Optional[LinearCostModel] = None,
         index_universe: str = "fat",
         skip_useless_index_edges: bool = True,
+        vectorized: Optional[bool] = None,
     ) -> "QueryViewGraph":
         """Build the query-view graph of a data cube.
 
@@ -270,11 +394,21 @@ class QueryViewGraph:
         skip_useless_index_edges:
             When True (default), index edges that do not beat the plain
             view scan are omitted — they can never influence a selection.
+        vectorized:
+            ``None`` (default) uses the bitmask fast path whenever the
+            inputs allow it (plain :class:`LinearCostModel` over this
+            lattice, plain :class:`SliceQuery` queries) and falls back to
+            the reference per-edge loop otherwise.  ``True`` demands the
+            fast path (raises ``ValueError`` if ineligible); ``False``
+            forces the reference loop.  Both paths produce node-for-node,
+            edge-for-edge identical graphs.
         """
         if cost_model is None:
             cost_model = LinearCostModel(lattice)
         if queries is None:
             queries = list(enumerate_slice_queries(lattice.schema.names))
+        else:
+            queries = list(queries)
         frequencies = dict(frequencies or {})
 
         if index_universe == "fat":
@@ -287,6 +421,26 @@ class QueryViewGraph:
         else:
             raise ValueError(
                 f"index_universe must be 'fat', 'all' or 'none', got {index_universe!r}"
+            )
+
+        fast_ok = (
+            vectorized is not False
+            and type(cost_model) is LinearCostModel
+            and cost_model.lattice is lattice
+            and isinstance(lattice, CubeLattice)
+            and lattice.schema.n_dims <= 20
+            and cost_model.default_view.attrs <= set(lattice.schema.names)
+            and all(type(q) is SliceQuery for q in queries)
+        )
+        if vectorized and not fast_ok:
+            raise ValueError(
+                "vectorized=True requires a plain LinearCostModel over this "
+                "lattice and plain SliceQuery inputs"
+            )
+        if fast_ok:
+            return cls._from_cube_vectorized(
+                lattice, queries, frequencies, cost_model, index_enum,
+                skip_useless_index_edges,
             )
 
         graph = cls()
@@ -313,4 +467,124 @@ class QueryViewGraph:
                     if skip_useless_index_edges and cost >= view_rows:
                         continue
                     graph.add_edge(str(query), index_name, cost)
+        return graph
+
+    @classmethod
+    def _from_cube_vectorized(
+        cls,
+        lattice: CubeLattice,
+        queries: Sequence[SliceQuery],
+        frequencies: Mapping[SliceQuery, float],
+        cost_model: LinearCostModel,
+        index_enum,
+        skip_useless_index_edges: bool,
+    ) -> "QueryViewGraph":
+        """Bitmask fast path of :meth:`from_cube`.
+
+        Every view and every query attribute set becomes an ``n``-bit
+        mask; a view answers a query iff ``q_attrs & ~view_mask == 0``.
+        Index usability is the longest key prefix inside the query's
+        selection mask, found by counting cumulative-prefix-mask subset
+        tests (monotone in the prefix length), and the cost formula
+        ``max(1, |V| / |prefix|)`` is evaluated on whole (index × query)
+        blocks.  Emits node-for-node, edge-for-edge the same graph as the
+        reference loop.
+        """
+        graph = cls()
+        names = tuple(lattice.schema.names)
+        n = len(names)
+        bit = {attr: 1 << i for i, attr in enumerate(names)}
+        sentinel = np.int64(1 << n)  # impossible prefix: a bit no query has
+
+        def mask_of(attrs) -> int:
+            m = 0
+            for attr in attrs:
+                m |= bit[attr]
+            return m
+
+        default_view = cost_model.default_view
+        default_mask = mask_of(default_view.attrs)
+        default_cost_val = lattice.size(default_view)
+
+        n_q = len(queries)
+        q_attr_masks = np.empty(n_q, dtype=np.int64)
+        q_sel_masks = np.empty(n_q, dtype=np.int64)
+        for qi, query in enumerate(queries):
+            try:
+                attr_mask = mask_of(query.attrs)
+            except KeyError:
+                # attribute outside the schema: unanswerable by the
+                # default view — raise the canonical error
+                cost_model.default_cost(query)
+                raise AssertionError("unreachable")  # pragma: no cover
+            if attr_mask & ~default_mask:
+                cost_model.default_cost(query)  # raises ValueError
+            graph.add_query(
+                str(query),
+                default_cost=default_cost_val,
+                frequency=frequencies.get(query, 1.0),
+                payload=query,
+            )
+            q_attr_masks[qi] = attr_mask
+            q_sel_masks[qi] = mask_of(query.selection)
+
+        size_by_mask = np.ones(1 << n, dtype=np.float64)
+        for view in lattice.views():
+            size_by_mask[mask_of(view.attrs)] = float(lattice.size(view))
+
+        for view in lattice.views():
+            view_name = lattice.label(view)
+            view_rows = lattice.size(view)
+            graph.add_view(view_name, space=view_rows, payload=view)
+            view_pos = graph.n_structures - 1
+            view_mask = mask_of(view.attrs)
+            ans = np.flatnonzero((q_attr_masks & ~np.int64(view_mask)) == 0)
+            if ans.size:
+                graph.add_edges_bulk(
+                    ans,
+                    np.full(ans.size, view_pos, dtype=np.int64),
+                    np.full(ans.size, float(view_rows)),
+                )
+
+            index_list = list(index_enum(view))
+            if not index_list or not ans.size:
+                for index in index_list:
+                    graph.add_index(view_name, lattice.index_label(index), payload=index)
+                continue
+            first_index_pos = graph.n_structures
+            for index in index_list:
+                graph.add_index(view_name, lattice.index_label(index), payload=index)
+
+            not_sel = ~q_sel_masks[ans]  # high bits (incl. sentinel) set
+            kmax = max(len(index.key) for index in index_list)
+            chunk_rows = max(1, _VEC_CHUNK_CELLS // int(ans.size))
+            view_rows_f = float(view_rows)
+            for lo in range(0, len(index_list), chunk_rows):
+                chunk = index_list[lo : lo + chunk_rows]
+                n_i = len(chunk)
+                # cumulative prefix masks; sentinel past the key's end
+                prefix_masks = np.full((n_i, kmax + 1), sentinel, dtype=np.int64)
+                prefix_masks[:, 0] = 0
+                for i, index in enumerate(chunk):
+                    mask = 0
+                    for j, attr in enumerate(index.key, start=1):
+                        mask |= bit[attr]
+                        prefix_masks[i, j] = mask
+                # usable prefix length: prefix_j usable iff its mask is a
+                # subset of the selection mask; usability is monotone in j
+                usable_len = np.zeros((n_i, ans.size), dtype=np.int64)
+                for j in range(1, kmax + 1):
+                    usable_len += (prefix_masks[:, j : j + 1] & not_sel[None, :]) == 0
+                pair_prefix = np.take_along_axis(prefix_masks, usable_len, axis=1)
+                costs = view_rows_f / size_by_mask[pair_prefix]
+                np.maximum(costs, 1.0, out=costs)
+                if skip_useless_index_edges:
+                    keep = costs < view_rows_f
+                else:
+                    keep = np.ones(costs.shape, dtype=bool)
+                ii, aa = np.nonzero(keep)
+                if ii.size:
+                    graph.add_edges_bulk(
+                        ans[aa], first_index_pos + lo + ii, costs[keep]
+                    )
         return graph

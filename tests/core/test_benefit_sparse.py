@@ -1,0 +1,298 @@
+"""The sparse (CSR/CSC) cost-store backend and the maintained
+single-benefit cache.
+
+The dense matrix is the reference: every sparse query below is checked
+for *exact* (bitwise, not approximate) agreement with it, because the
+lazy stage loops rely on maintained values matching an eager recompute.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.benefit import AUTO_DENSE_BYTES, BenefitEngine
+from repro.core.qvgraph import QueryViewGraph
+from repro.datasets.paper_figure2 import figure2_graph
+
+
+def small_graph() -> QueryViewGraph:
+    g = QueryViewGraph()
+    g.add_view("v0", 4)
+    g.add_index("v0", "i0", 4)
+    g.add_index("v0", "i1", 4)
+    g.add_view("v1", 2)
+    g.add_index("v1", "i2", 2)
+    g.add_view("v2", 3)
+    g.add_query("q0", 100, frequency=2.0)
+    g.add_query("q1", 80)
+    g.add_query("q2", 60, frequency=0.5)
+    g.add_query("q3", 40)
+    g.add_edge("q0", "v0", 10)
+    g.add_edge("q0", "i0", 2)
+    g.add_edge("q1", "v0", 30)
+    g.add_edge("q1", "i1", 5)
+    g.add_edge("q1", "v1", 25)
+    g.add_edge("q2", "v1", 8)
+    g.add_edge("q2", "i2", 1)
+    g.add_edge("q3", "v2", 4)
+    return g
+
+
+def random_graph(
+    seed: int,
+    n_views: int = 6,
+    n_queries: int = 25,
+    edge_prob: float = 0.3,
+) -> QueryViewGraph:
+    rng = np.random.default_rng(seed)
+    g = QueryViewGraph()
+    names = []
+    for v in range(n_views):
+        vname = f"V{v}"
+        g.add_view(vname, float(rng.integers(1, 20)))
+        names.append(vname)
+        for i in range(int(rng.integers(0, 4))):
+            iname = f"I{v}.{i}"
+            g.add_index(vname, iname, float(rng.integers(1, 20)))
+            names.append(iname)
+    for q in range(n_queries):
+        default = float(rng.integers(50, 500))
+        g.add_query(f"q{q}", default, frequency=float(rng.integers(1, 5)))
+        for s in names:
+            if rng.random() < edge_prob:
+                g.add_edge(f"q{q}", s, float(rng.integers(0, int(default))))
+    return g
+
+
+@pytest.fixture(params=[small_graph, figure2_graph, lambda: random_graph(7)])
+def pair(request):
+    g = request.param()
+    return BenefitEngine(g, backend="dense"), BenefitEngine(g, backend="sparse")
+
+
+class TestBackendSelection:
+    def test_auto_picks_dense_for_small_graphs(self):
+        eng = BenefitEngine(small_graph())
+        assert eng.backend == "dense"
+        assert eng.cost.shape == (eng.n_structures, eng.n_queries)
+
+    def test_auto_picks_sparse_past_the_byte_threshold(self):
+        g = small_graph()
+        need = BenefitEngine.dense_cost_bytes(6, 4)
+        assert need < AUTO_DENSE_BYTES  # sanity: threshold is generous
+        eng = BenefitEngine(g, dense_limit_bytes=need - 1)
+        assert eng.backend == "sparse"
+
+    def test_explicit_dense_beyond_limit_raises(self):
+        with pytest.raises(MemoryError):
+            BenefitEngine(small_graph(), backend="dense", dense_limit_bytes=8)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            BenefitEngine(small_graph(), backend="csr")
+
+    def test_sparse_has_no_dense_matrix(self):
+        eng = BenefitEngine(small_graph(), backend="sparse")
+        with pytest.raises(RuntimeError):
+            eng.cost
+        assert eng.cost_store_bytes() > 0
+
+    def test_sparse_store_smaller_than_dense_for_sparse_graphs(self):
+        g = random_graph(3, n_views=8, n_queries=60, edge_prob=0.05)
+        eng = BenefitEngine(g, backend="sparse")
+        assert eng.cost_store_bytes() < BenefitEngine.dense_cost_bytes(
+            eng.n_structures, eng.n_queries
+        )
+
+    def test_repr_names_the_backend(self):
+        assert "sparse" in repr(BenefitEngine(small_graph(), backend="sparse"))
+
+
+class TestCostQueries:
+    def test_cost_rows_match(self, pair):
+        dense, sparse = pair
+        for sid in range(dense.n_structures):
+            assert np.array_equal(dense.cost_row(sid), sparse.cost_row(sid))
+
+    def test_edge_cost_by_id_matches(self, pair):
+        dense, sparse = pair
+        for sid in range(dense.n_structures):
+            for qid in range(dense.n_queries):
+                assert dense.edge_cost_by_id(sid, qid) == sparse.edge_cost_by_id(
+                    sid, qid
+                )
+
+    def test_minimum_with_matches(self, pair):
+        dense, sparse = pair
+        vec = dense.defaults * 0.5
+        for sid in range(dense.n_structures):
+            assert np.array_equal(
+                dense.minimum_with(vec, sid), sparse.minimum_with(vec, sid)
+            )
+
+    def test_minimum_with_does_not_mutate_input(self):
+        eng = BenefitEngine(small_graph(), backend="sparse")
+        vec = eng.defaults.copy()
+        eng.minimum_with(vec, 0)
+        assert np.array_equal(vec, eng.defaults)
+
+    def test_min_cost_over_matches(self, pair):
+        dense, sparse = pair
+        ids = list(range(dense.n_structures))
+        assert np.array_equal(dense.min_cost_over(ids), sparse.min_cost_over(ids))
+        assert np.array_equal(
+            dense.min_cost_over(ids[::2]), sparse.min_cost_over(ids[::2])
+        )
+
+    def test_gains_for_values_match(self, pair):
+        dense, sparse = pair
+        base = dense.defaults * 0.75
+        ids = np.arange(dense.n_structures)
+        np.testing.assert_allclose(
+            dense.gains_for(ids, base), sparse.gains_for(ids, base), rtol=1e-13
+        )
+
+    def test_max_achievable_benefit_matches(self, pair):
+        dense, sparse = pair
+        assert dense.max_achievable_benefit() == pytest.approx(
+            sparse.max_achievable_benefit(), rel=1e-13
+        )
+
+
+class TestStateParity:
+    def test_tau_and_benefits_track_across_commits(self, pair):
+        dense, sparse = pair
+        for view in [s for s in range(dense.n_structures) if dense.is_view[s]]:
+            b_d = dense.commit([view])
+            b_s = sparse.commit([view])
+            assert b_d == pytest.approx(b_s, rel=1e-13)
+            assert dense.tau() == pytest.approx(sparse.tau(), rel=1e-13)
+        assert dense.selected_ids == sparse.selected_ids
+
+    def test_snapshot_restore_parity(self, pair):
+        dense, sparse = pair
+        view = int(dense.view_ids()[0])
+        for eng in pair:
+            snap = eng.snapshot()
+            eng.commit([view])
+            eng.restore(snap)
+        assert dense.tau() == pytest.approx(sparse.tau(), rel=1e-13)
+        assert not dense.selected_ids and not sparse.selected_ids
+
+
+class TestMaintainedSingles:
+    """The incremental cache must be *bitwise* equal to an eager pass."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_cache_matches_eager_after_every_commit(self, seed):
+        g = random_graph(seed)
+        eng = BenefitEngine(g, backend="sparse")
+        rng = np.random.default_rng(seed + 100)
+        eng.single_benefits(lazy=True)  # prime the cache
+        views = list(eng.view_ids())
+        rng.shuffle(views)
+        for view in views[:4]:
+            view = int(view)
+            eng.commit([view])
+            assert np.array_equal(
+                eng.single_benefits(lazy=True), eng.single_benefits(lazy=False)
+            )
+            for idx in eng.index_ids_of(view)[:2]:
+                eng.commit([int(idx)])
+                assert np.array_equal(
+                    eng.single_benefits(lazy=True), eng.single_benefits(lazy=False)
+                )
+
+    def test_cache_matches_on_dense_backend_too(self):
+        g = random_graph(11)
+        eng = BenefitEngine(g, backend="dense")
+        eng.single_benefits(lazy=True)
+        for view in list(eng.view_ids())[:3]:
+            eng.commit([int(view)])
+            lazy = eng.single_benefits(lazy=True)
+            eager = eng.single_benefits(lazy=False)
+            np.testing.assert_allclose(lazy, eager, rtol=1e-13)
+
+    def test_reset_invalidates(self):
+        eng = BenefitEngine(small_graph(), backend="sparse")
+        eng.single_benefits(lazy=True)
+        eng.commit([0])
+        eng.reset()
+        assert np.array_equal(
+            eng.single_benefits(lazy=True), eng.single_benefits(lazy=False)
+        )
+
+    def test_invalidate_full_and_partial(self):
+        eng = BenefitEngine(small_graph(), backend="sparse")
+        eng.single_benefits(lazy=True)
+        eng.invalidate()
+        assert np.array_equal(
+            eng.single_benefits(lazy=True), eng.single_benefits(lazy=False)
+        )
+        eng.invalidate(ids=[0, 1])  # selective refresh of a live cache
+        assert np.array_equal(
+            eng.single_benefits(lazy=True), eng.single_benefits(lazy=False)
+        )
+
+    def test_restricted_ids_read_from_cache(self):
+        eng = BenefitEngine(small_graph(), backend="sparse")
+        whole = eng.single_benefits(lazy=True)
+        some = eng.single_benefits([2, 0], lazy=True)
+        assert some[0] == whole[2] and some[1] == whole[0]
+
+
+class TestLazyBestSingle:
+    def eager_best(self, eng, ids, space_left=None):
+        benefits = eng.single_benefits(ids, lazy=False)
+        best = None
+        best_ratio = 0.0
+        for pos, sid in enumerate(ids):
+            sid = int(sid)
+            if eng.is_selected(sid):
+                continue
+            if not eng.is_view[sid] and not eng.is_selected(int(eng.view_id_of[sid])):
+                continue
+            s_space = float(eng.spaces[sid])
+            if space_left is not None and s_space > space_left + 1e-9:
+                continue
+            benefit = float(benefits[pos])
+            if benefit <= 0.0:
+                continue
+            ratio = benefit / s_space
+            if best is None or ratio > best_ratio * (1 + 1e-12):
+                best = sid
+                best_ratio = ratio
+        return best
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_matches_eager_scan_through_a_whole_run(self, seed):
+        g = random_graph(seed)
+        eng = BenefitEngine(g, backend="sparse")
+        ids = eng.stage_candidates()
+        while True:
+            expected = self.eager_best(eng, ids)
+            got = eng.lazy_best_single(ids)
+            if expected is None:
+                assert got is None
+                break
+            assert got is not None and got[0] == expected
+            eng.commit([expected])
+
+    def test_space_limit_filters(self):
+        eng = BenefitEngine(small_graph(), backend="sparse")
+        unconstrained = eng.lazy_best_single(eng.stage_candidates())
+        assert unconstrained is not None
+        tight = eng.lazy_best_single(eng.stage_candidates(), space_left=0.0)
+        assert tight is None
+
+    def test_empty_candidates(self):
+        eng = BenefitEngine(small_graph(), backend="sparse")
+        assert eng.lazy_best_single(np.empty(0, dtype=np.int64)) is None
+
+    def test_inadmissible_indexes_skipped(self):
+        eng = BenefitEngine(small_graph(), backend="sparse")
+        idx = int(eng.structure_id("i0"))
+        # i0 alone is not offerable: its view is unselected
+        assert eng.lazy_best_single(np.array([idx])) is None
+        eng.commit([int(eng.structure_id("v0"))])
+        pick = eng.lazy_best_single(np.array([idx]))
+        assert pick is not None and pick[0] == idx
