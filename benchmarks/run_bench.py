@@ -32,6 +32,8 @@ from pathlib import Path
 
 HERE = Path(__file__).resolve().parent
 RESULT_PATH = HERE / "BENCH_selection.json"
+#: ``--check`` without a committed baseline: distinct from a regression (1)
+EXIT_NO_BASELINE = 4
 REGRESSION_FACTOR = 2.0
 #: timings below this are dominated by noise; never gate on them
 GATE_FLOOR_SECONDS = 0.01
@@ -138,6 +140,75 @@ def measure_pipelines(skip_d7: bool) -> dict:
     return out
 
 
+def measure_checkpoint_overhead(n_dims: int = 5, repeats: int = 3) -> dict:
+    """Cost of stage checkpointing on the d=5 selection pipeline.
+
+    Times the ``d5_current`` pipeline (graph compile + engine compile +
+    1-greedy + 2-greedy) with throttled on-disk checkpoints (the default
+    interval) on both greedy legs, measuring the time spent inside the
+    checkpoint path (``StageTracker._notify`` — stage recording, the
+    boundary snapshot, budget checks, and the throttled write) within
+    the *same* run.  Comparing two separate end-to-end runs instead
+    drowns the few ms of true overhead in clock-speed drift.  The
+    acceptance bar is <= 5% overhead for the on-disk default.
+    """
+    import statistics
+    import tempfile
+
+    from repro.algorithms import base as algorithms_base
+    from repro.algorithms.rgreedy import RGreedy
+    from repro.core.benefit import BenefitEngine
+    from repro.core.qvgraph import QueryViewGraph
+    from repro.runtime import RunContext
+
+    from bench_algorithms_scaling import budget_of, cube_lattice
+
+    lattice = cube_lattice(n_dims)
+
+    def pipeline(checkpoint_dir):
+        """Run the d5_current pipeline; return (total, checkpoint path) s."""
+        spent = 0.0
+        original = algorithms_base.StageTracker._notify
+
+        def timed_notify(self, stage, scope):
+            nonlocal spent
+            t0 = time.perf_counter()
+            try:
+                return original(self, stage, scope)
+            finally:
+                spent += time.perf_counter() - t0
+
+        algorithms_base.StageTracker._notify = timed_notify
+        try:
+            t0 = time.perf_counter()
+            graph = QueryViewGraph.from_cube(lattice)
+            engine = BenefitEngine(graph)
+            space = budget_of(engine)
+            for leg, algorithm in enumerate((RGreedy(1), RGreedy(2))):
+                algorithm.run(
+                    engine,
+                    space,
+                    context=RunContext(
+                        checkpoint_path=checkpoint_dir / f"leg{leg}.ckpt"
+                    ),
+                )
+            total = time.perf_counter() - t0
+        finally:
+            algorithms_base.StageTracker._notify = original
+        return total, spent
+
+    with tempfile.TemporaryDirectory() as tmp:
+        pipeline(Path(tmp))  # warm up
+        samples = [pipeline(Path(tmp)) for _ in range(max(3, repeats))]
+    overheads = [spent / (total - spent) for total, spent in samples]
+    base = statistics.median(total - spent for total, spent in samples)
+    return {
+        "base_seconds": base,
+        "disk_checkpoint_seconds": statistics.median(t for t, __ in samples),
+        "disk_overhead": statistics.median(overheads),
+    }
+
+
 def gate(current: dict, baseline: dict) -> list:
     """Return a list of human-readable regression descriptions."""
     failures = []
@@ -180,11 +251,21 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.check and not RESULT_PATH.exists():
+        print(
+            f"error: --check needs a committed baseline at {RESULT_PATH}, "
+            "but none exists.\nRun without --check once to measure and "
+            "write one, then commit it.",
+            file=sys.stderr,
+        )
+        return EXIT_NO_BASELINE
+
     sys.path.insert(0, str(HERE))
 
     result = {
         "pytest_benchmarks": run_pytest_benchmarks(),
         "pipelines": measure_pipelines(args.skip_d7),
+        "checkpoint_overhead": measure_checkpoint_overhead(),
         "meta": {
             "regression_factor": REGRESSION_FACTOR,
             "python": sys.version.split()[0],
@@ -218,6 +299,12 @@ def main(argv=None) -> int:
     if "d7_current" in result["pipelines"]:
         d7 = result["pipelines"]["d7_current"]
         print(f"d=7 compile+1-greedy: {d7['total']:.2f}s (backend={d7['backend']})")
+    overhead = result["checkpoint_overhead"]
+    print(
+        f"d=5 checkpointing overhead: {overhead['disk_overhead']:+.1%} "
+        f"(base {overhead['base_seconds'] * 1e3:.1f}ms, on-disk "
+        f"{overhead['disk_checkpoint_seconds'] * 1e3:.1f}ms)"
+    )
 
     if failures:
         print("\nREGRESSIONS (> {:g}x baseline):".format(REGRESSION_FACTOR))

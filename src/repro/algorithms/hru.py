@@ -18,14 +18,16 @@ from repro.algorithms.base import (
     FIT_STRICT,
     SPACE_EPS,
     GraphLike,
+    RunContext,
+    RuntimeStop,
     SelectionAlgorithm,
-    apply_seed,
+    StageTracker,
     as_engine,
     check_fit,
     check_space,
     resolve_lazy,
 )
-from repro.core.selection import SelectionResult, Stage, make_result
+from repro.core.selection import SelectionResult
 
 
 class HRUGreedy(SelectionAlgorithm):
@@ -42,28 +44,36 @@ class HRUGreedy(SelectionAlgorithm):
         self.fit = check_fit(fit)
         self.lazy = lazy
 
-    def run(self, graph: GraphLike, space: float, seed=()) -> SelectionResult:
+    def config(self) -> dict:
+        return {
+            "class": "HRUGreedy",
+            "params": {"fit": self.fit, "lazy": self.lazy},
+        }
+
+    def run(
+        self,
+        graph: GraphLike,
+        space: float,
+        seed=(),
+        context: Optional[RunContext] = None,
+    ) -> SelectionResult:
         space = check_space(space)
         engine = as_engine(graph)
         lazy = resolve_lazy(self.lazy, engine)
-        stages = []
-        picked_order = []
         strict = self.fit == FIT_STRICT
-        seed_ids = apply_seed(engine, seed)
-        if seed_ids:
-            names = tuple(engine.name_of(i) for i in seed_ids)
-            picked_order.extend(names)
-            stages.append(
-                Stage(
-                    structures=names,
-                    benefit=engine.absolute_benefit(seed_ids),
-                    space=engine.space_of(seed_ids),
-                    tau_after=engine.tau(),
-                )
-            )
+        tracker = StageTracker(self, engine, space, context)
+        try:
+            tracker.apply_seed(seed)
+            self._stage_loop(engine, space, strict, lazy, tracker)
+        except RuntimeStop as stop:
+            raise tracker.interrupted(stop)
+        return tracker.finish()
 
+    def _stage_loop(self, engine, space, strict, lazy, tracker) -> None:
         view_ids = engine.view_ids()
         while engine.space_used() < space - SPACE_EPS:
+            if tracker.replay_stage() is not None:
+                continue
             space_left = space - engine.space_used()
             if lazy:
                 # maintained-cache pass: same candidate order, filters and
@@ -98,15 +108,6 @@ class HRUGreedy(SelectionAlgorithm):
                         best_ratio = ratio
                 if best_id is None:
                     break
-            engine.commit([best_id])
-            name = engine.name_of(best_id)
-            picked_order.append(name)
-            stages.append(
-                Stage(
-                    structures=(name,),
-                    benefit=best_benefit,
-                    space=best_space,
-                    tau_after=engine.tau(),
-                )
+            tracker.commit_stage(
+                [best_id], stage_space=best_space, stage_benefit=best_benefit
             )
-        return make_result(self.name, engine, stages, space, picked_order)

@@ -29,12 +29,20 @@ from typing import List, Optional, Sequence, Set, Tuple
 from repro.algorithms.base import (
     SPACE_EPS,
     GraphLike,
+    RunContext,
+    RuntimeStop,
     as_engine,
     check_space,
     resolve_lazy,
 )
 from repro.core.benefit import BenefitEngine
 from repro.core.selection import SelectionResult, Stage, make_result
+from repro.runtime.checkpoint import CheckpointError, StageRecord
+
+#: Scope tag of local-search move records in checkpoints.  Move records
+#: hold human-readable labels, not structure names — they are *not*
+#: replayed; resume jumps straight to the checkpointed selection.
+MOVE_SCOPE = "move"
 
 
 class LocalSearchRefiner:
@@ -60,17 +68,31 @@ class LocalSearchRefiner:
         self.max_rounds = int(max_rounds)
         self.lazy = lazy
 
+    def config(self) -> dict:
+        return {
+            "class": "LocalSearchRefiner",
+            "params": {"max_rounds": self.max_rounds, "lazy": self.lazy},
+        }
+
     def refine(
         self,
         graph: GraphLike,
         space: float,
         selection: Sequence[str],
         protected: Sequence[str] = (),
+        context: Optional[RunContext] = None,
     ) -> SelectionResult:
         """Improve ``selection`` within ``space``; returns a new result.
 
         ``protected`` names structures that must stay selected (e.g. the
         top view).  The input selection must be admissible and fit.
+
+        With a ``context``, the search checkpoints at *round* boundaries
+        (after each improving round) — mid-round resume would reorder
+        moves, so resume restores the checkpointed set and benefit and
+        continues from the next round, which is bit-identical to the
+        uninterrupted run (each round is a pure function of the set and
+        the running benefit).
         """
         space = check_space(space)
         engine = as_engine(graph)
@@ -88,58 +110,147 @@ class LocalSearchRefiner:
         if engine.space_of(current) > space + SPACE_EPS:
             raise ValueError("input selection exceeds the space budget")
 
-        best_benefit = self._benefit(engine, current)
+        if context is not None:
+            context.bind(self, engine, space)
+        protected_names = sorted(engine.name_of(i) for i in protected_ids)
         moves: List[Stage] = []
-
-        for _round in range(self.max_rounds):
-            improved = False
-
-            candidate = self._best_add(engine, current, space, lazy)
-            if candidate is not None:
-                added, gain = candidate
-                current.add(added)
-                best_benefit += gain
+        start_round = 0
+        resume = context.resume_checkpoint if context is not None else None
+        if resume is not None:
+            if resume.extra.get("protected", []) != protected_names:
+                raise CheckpointError(
+                    f"checkpoint protected set {resume.extra.get('protected')} "
+                    f"differs from this run's {protected_names}"
+                )
+            # jump straight to the checkpointed set; past moves come from
+            # the records (labels only — moves are not replayed), and the
+            # running benefit from the extra block (JSON round-trips
+            # floats exactly, so the continuation is bit-identical)
+            for record in resume.stages:
+                context.replay_next(record.scope)
+                context.record_stage(record)
                 moves.append(
                     Stage(
+                        structures=tuple(record.structures),
+                        benefit=record.benefit,
+                        space=record.space,
+                        tau_after=record.tau_after,
+                    )
+                )
+            current = {engine.structure_id(name) for name in resume.selected}
+            start_round = resume.stage_counter
+            context.stage_counter = start_round
+            best_benefit = float(resume.extra["benefit"])
+        else:
+            best_benefit = self._benefit(engine, current)
+
+        try:
+            for _round in range(start_round, self.max_rounds):
+                improved = False
+
+                candidate = self._best_add(engine, current, space, lazy)
+                if candidate is not None:
+                    added, gain = candidate
+                    current.add(added)
+                    best_benefit += gain
+                    move = Stage(
                         structures=(f"+{engine.name_of(added)}",),
                         benefit=gain,
                         space=float(engine.spaces[added]),
                         tau_after=self._tau(engine, current),
                     )
-                )
-                improved = True
+                    moves.append(move)
+                    self._record_move(context, move)
+                    improved = True
 
-            swap = self._best_swap(engine, current, space, best_benefit, protected_ids)
-            if swap is not None:
-                removed, added, new_benefit = swap
-                gain = new_benefit - best_benefit
-                current -= removed
-                current |= added
-                best_benefit = new_benefit
-                label = (
-                    "swap -{" + ", ".join(sorted(engine.name_of(i) for i in removed))
-                    + "} +{" + ", ".join(sorted(engine.name_of(i) for i in added)) + "}"
+                swap = self._best_swap(
+                    engine, current, space, best_benefit, protected_ids
                 )
-                moves.append(
-                    Stage(
+                if swap is not None:
+                    removed, added, new_benefit = swap
+                    gain = new_benefit - best_benefit
+                    current -= removed
+                    current |= added
+                    best_benefit = new_benefit
+                    label = (
+                        "swap -{"
+                        + ", ".join(sorted(engine.name_of(i) for i in removed))
+                        + "} +{"
+                        + ", ".join(sorted(engine.name_of(i) for i in added))
+                        + "}"
+                    )
+                    move = Stage(
                         structures=(label,),
                         benefit=gain,
                         space=0.0,
                         tau_after=self._tau(engine, current),
                     )
-                )
-                improved = True
+                    moves.append(move)
+                    self._record_move(context, move)
+                    improved = True
 
-            if not improved:
-                break
+                if not improved:
+                    break
+                if context is not None:
+                    ordered = self._commit_current(engine, current)
+                    context.stage_boundary(
+                        engine,
+                        selected=[engine.name_of(i) for i in ordered],
+                        extra={
+                            "benefit": best_benefit,
+                            "protected": protected_names,
+                        },
+                    )
+        except RuntimeStop as stop:
+            stop.result = self._finish(
+                engine, current, moves, space,
+                interrupted=True, stop_reason=stop.reason,
+            )
+            raise
 
+        return self._finish(engine, current, moves, space)
+
+    # ------------------------------------------------------------ helpers
+
+    def _commit_current(
+        self, engine: BenefitEngine, current: Set[int]
+    ) -> List[int]:
+        """Reset the engine to exactly ``current`` committed; return the
+        deterministic commit order."""
         engine.reset()
         ordered = self._view_first_order(engine, current)
         engine.commit(ordered)
-        picked = [engine.name_of(i) for i in ordered]
-        return make_result(self.name, engine, tuple(moves), space, picked)
+        return ordered
 
-    # ------------------------------------------------------------ helpers
+    def _finish(
+        self,
+        engine: BenefitEngine,
+        current: Set[int],
+        moves: List[Stage],
+        space: float,
+        interrupted: bool = False,
+        stop_reason: Optional[str] = None,
+    ) -> SelectionResult:
+        ordered = self._commit_current(engine, current)
+        picked = [engine.name_of(i) for i in ordered]
+        return make_result(
+            self.name, engine, tuple(moves), space, picked,
+            interrupted=interrupted, stop_reason=stop_reason,
+        )
+
+    @staticmethod
+    def _record_move(context: Optional[RunContext], move: Stage) -> None:
+        if context is None:
+            return
+        context.record_stage(
+            StageRecord(
+                scope=MOVE_SCOPE,
+                structures=tuple(move.structures),
+                benefit=move.benefit,
+                space=move.space,
+                tau_after=move.tau_after,
+            )
+        )
 
     @staticmethod
     def _view_first_order(engine: BenefitEngine, ids: Set[int]) -> List[int]:

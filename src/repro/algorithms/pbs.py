@@ -16,17 +16,21 @@ in size), giving the cheapest possible one-step straw man.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.algorithms.base import (
     FIT_STRICT,
     SPACE_EPS,
     GraphLike,
+    RunContext,
+    RuntimeStop,
     SelectionAlgorithm,
-    apply_seed,
+    StageTracker,
     as_engine,
     check_fit,
     check_space,
 )
-from repro.core.selection import SelectionResult, Stage, make_result
+from repro.core.selection import SelectionResult
 
 
 class PickBySmallest(SelectionAlgorithm):
@@ -37,24 +41,38 @@ class PickBySmallest(SelectionAlgorithm):
         self.include_indexes = bool(include_indexes)
         self.name = "PBS" + (" (with indexes)" if self.include_indexes else "")
 
-    def run(self, graph: GraphLike, space: float, seed=()) -> SelectionResult:
+    def config(self) -> dict:
+        return {
+            "class": "PickBySmallest",
+            "params": {
+                "fit": self.fit,
+                "include_indexes": self.include_indexes,
+            },
+        }
+
+    def run(
+        self,
+        graph: GraphLike,
+        space: float,
+        seed=(),
+        context: Optional[RunContext] = None,
+    ) -> SelectionResult:
         space = check_space(space)
         engine = as_engine(graph)
-        stages = []
-        picked_order = []
-        seed_ids = apply_seed(engine, seed)
-        if seed_ids:
-            names = tuple(engine.name_of(i) for i in seed_ids)
-            picked_order.extend(names)
-            stages.append(
-                Stage(
-                    structures=names,
-                    benefit=engine.absolute_benefit(seed_ids),
-                    space=engine.space_of(seed_ids),
-                    tau_after=engine.tau(),
-                )
-            )
+        tracker = StageTracker(self, engine, space, context)
+        try:
+            tracker.apply_seed(seed)
+            # replayed picks are committed up front; the size-ordered scan
+            # below then skips them (is_selected) and continues exactly
+            # where the interrupted run stopped
+            while tracker.replay_stage() is not None:
+                pass
+            self._size_loop(engine, space, tracker)
+        except RuntimeStop as stop:
+            raise tracker.interrupted(stop)
+        return tracker.finish()
 
+    def _size_loop(self, engine, space, tracker) -> None:
         candidates = []
         for view_id in engine.view_ids():
             view_id = int(view_id)
@@ -79,15 +97,4 @@ class PickBySmallest(SelectionAlgorithm):
                 int(engine.view_id_of[sid])
             ):
                 continue  # size order skipped the view (didn't fit)
-            benefit = engine.commit([sid])
-            name = engine.name_of(sid)
-            picked_order.append(name)
-            stages.append(
-                Stage(
-                    structures=(name,),
-                    benefit=benefit,
-                    space=s_space,
-                    tau_after=engine.tau(),
-                )
-            )
-        return make_result(self.name, engine, stages, space, picked_order)
+            tracker.commit_stage([sid], stage_space=s_space)

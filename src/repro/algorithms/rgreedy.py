@@ -41,15 +41,17 @@ from repro.algorithms.base import (
     FIT_STRICT,
     SPACE_EPS,
     GraphLike,
+    RunContext,
+    RuntimeStop,
     SelectionAlgorithm,
-    apply_seed,
+    StageTracker,
     as_engine,
     check_fit,
     check_space,
     resolve_lazy,
 )
 from repro.core.benefit import BenefitEngine
-from repro.core.selection import SelectionResult, Stage, make_result
+from repro.core.selection import SelectionResult
 
 
 class _Candidate:
@@ -100,41 +102,35 @@ class RGreedy(SelectionAlgorithm):
         self.lazy = lazy
         self.name = f"{self.r}-greedy"
 
-    def run(self, graph: GraphLike, space: float, seed=()) -> SelectionResult:
+    def config(self) -> dict:
+        return {
+            "class": "RGreedy",
+            "params": {"r": self.r, "fit": self.fit, "lazy": self.lazy},
+        }
+
+    def run(
+        self,
+        graph: GraphLike,
+        space: float,
+        seed=(),
+        context: Optional[RunContext] = None,
+    ) -> SelectionResult:
         space = check_space(space)
         engine = as_engine(graph)
         lazy = resolve_lazy(self.lazy, engine)
-        stages = []
-        picked_order = []
-        seed_ids = apply_seed(engine, seed)
-        if seed_ids:
-            names = tuple(engine.name_of(i) for i in seed_ids)
-            picked_order.extend(names)
-            stages.append(
-                Stage(
-                    structures=names,
-                    benefit=engine.absolute_benefit(seed_ids),
-                    space=engine.space_of(seed_ids),
-                    tau_after=engine.tau(),
-                )
-            )
-
-        while engine.space_used() < space - SPACE_EPS:
-            candidate = self._best_stage(engine, space, lazy)
-            if candidate.ids is None:
-                break
-            benefit = engine.commit(candidate.ids)
-            names = tuple(engine.name_of(i) for i in candidate.ids)
-            picked_order.extend(names)
-            stages.append(
-                Stage(
-                    structures=names,
-                    benefit=benefit,
-                    space=candidate.space,
-                    tau_after=engine.tau(),
-                )
-            )
-        return make_result(self.name, engine, stages, space, picked_order)
+        tracker = StageTracker(self, engine, space, context)
+        try:
+            tracker.apply_seed(seed)
+            while engine.space_used() < space - SPACE_EPS:
+                if tracker.replay_stage() is not None:
+                    continue
+                candidate = self._best_stage(engine, space, lazy)
+                if candidate.ids is None:
+                    break
+                tracker.commit_stage(candidate.ids, stage_space=candidate.space)
+        except RuntimeStop as stop:
+            raise tracker.interrupted(stop)
+        return tracker.finish()
 
     # ------------------------------------------------------------ internals
 

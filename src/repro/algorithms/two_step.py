@@ -20,14 +20,17 @@ from repro.algorithms.base import (
     FIT_STRICT,
     SPACE_EPS,
     GraphLike,
+    RunContext,
+    RuntimeStop,
     SelectionAlgorithm,
+    StageTracker,
     as_engine,
     check_fit,
     check_space,
     resolve_lazy,
 )
 from repro.algorithms.hru import HRUGreedy
-from repro.core.selection import SelectionResult, Stage, make_result
+from repro.core.selection import SelectionResult
 
 
 class TwoStep(SelectionAlgorithm):
@@ -74,20 +77,45 @@ class TwoStep(SelectionAlgorithm):
         self.lazy = lazy
         self.name = f"two-step (views {self.view_fraction:.0%})"
 
-    def run(self, graph: GraphLike, space: float, seed=()) -> SelectionResult:
+    def config(self) -> dict:
+        return {
+            "class": "TwoStep",
+            "params": {
+                "view_fraction": self.view_fraction,
+                "fit": self.fit,
+                "index_budget_mode": self.index_budget_mode,
+                "lazy": self.lazy,
+            },
+        }
+
+    def run(
+        self,
+        graph: GraphLike,
+        space: float,
+        seed=(),
+        context: Optional[RunContext] = None,
+    ) -> SelectionResult:
         space = check_space(space)
         engine = as_engine(graph)
         lazy = resolve_lazy(self.lazy, engine)
         view_budget = space * self.view_fraction
+        # bind before delegating so the checkpoint names TwoStep (first
+        # bind wins); the index loop's stages carry this tracker's scope,
+        # distinct from the HRU step's, so resume replays each loop's own
+        # stages only
+        tracker = StageTracker(self, engine, space, context, scope="TwoStep.index")
 
         # step 1: [HRU96] greedy over views, within the view share.  Running
         # it on the shared engine leaves the chosen views committed, so the
         # index step below starts from that state.  The seed (typically the
         # top view) counts against the view share.
         hru = HRUGreedy(fit=self.fit, lazy=lazy)
-        step1 = hru.run(engine, view_budget, seed=seed)
-        stages = list(step1.stages)
-        picked_order = list(step1.selected)
+        try:
+            step1 = hru.run(engine, view_budget, seed=seed, context=context)
+        except RuntimeStop as stop:
+            tracker.adopt(stop.result)
+            raise tracker.interrupted(stop)
+        tracker.adopt(step1)
 
         # step 2: greedy single indexes on the selected views, within the
         # index share.
@@ -95,6 +123,13 @@ class TwoStep(SelectionAlgorithm):
             index_budget = space - engine.space_used()
         else:
             index_budget = space - view_budget
+        try:
+            self._index_loop(engine, index_budget, lazy, tracker)
+        except RuntimeStop as stop:
+            raise tracker.interrupted(stop)
+        return tracker.finish()
+
+    def _index_loop(self, engine, index_budget, lazy, tracker) -> None:
         index_used = 0.0
         strict = self.fit == FIT_STRICT
 
@@ -110,6 +145,10 @@ class TwoStep(SelectionAlgorithm):
             dtype=np.int64,
         )
         while candidate_indexes.size and index_used < index_budget - SPACE_EPS:
+            replayed = tracker.replay_stage()
+            if replayed is not None:
+                index_used += replayed.space
+                continue
             space_left = index_budget - index_used
             if lazy:
                 # maintained-cache pass: same candidate order, filters and
@@ -120,52 +159,31 @@ class TwoStep(SelectionAlgorithm):
                 if pick is None:
                     break
                 best_id, best_benefit, best_space, _ratio = pick
-                engine.commit([best_id])
-                index_used += best_space
-                name = engine.name_of(best_id)
-                picked_order.append(name)
-                stages.append(
-                    Stage(
-                        structures=(name,),
-                        benefit=best_benefit,
-                        space=best_space,
-                        tau_after=engine.tau(),
-                    )
-                )
-                continue
-            benefits = engine.single_benefits(candidate_indexes, lazy=False)
-            best_id = None
-            best_benefit = 0.0
-            best_space = 0.0
-            best_ratio = 0.0
-            for pos, idx in enumerate(candidate_indexes):
-                idx = int(idx)
-                if engine.is_selected(idx):
-                    continue
-                idx_space = float(engine.spaces[idx])
-                if strict and idx_space > space_left + SPACE_EPS:
-                    continue
-                benefit = float(benefits[pos])
-                if benefit <= 0.0:
-                    continue
-                ratio = benefit / idx_space
-                if best_id is None or ratio > best_ratio * (1 + 1e-12):
-                    best_id = idx
-                    best_benefit = benefit
-                    best_space = idx_space
-                    best_ratio = ratio
-            if best_id is None:
-                break
-            engine.commit([best_id])
-            index_used += best_space
-            name = engine.name_of(best_id)
-            picked_order.append(name)
-            stages.append(
-                Stage(
-                    structures=(name,),
-                    benefit=best_benefit,
-                    space=best_space,
-                    tau_after=engine.tau(),
-                )
+            else:
+                benefits = engine.single_benefits(candidate_indexes, lazy=False)
+                best_id = None
+                best_benefit = 0.0
+                best_space = 0.0
+                best_ratio = 0.0
+                for pos, idx in enumerate(candidate_indexes):
+                    idx = int(idx)
+                    if engine.is_selected(idx):
+                        continue
+                    idx_space = float(engine.spaces[idx])
+                    if strict and idx_space > space_left + SPACE_EPS:
+                        continue
+                    benefit = float(benefits[pos])
+                    if benefit <= 0.0:
+                        continue
+                    ratio = benefit / idx_space
+                    if best_id is None or ratio > best_ratio * (1 + 1e-12):
+                        best_id = idx
+                        best_benefit = benefit
+                        best_space = idx_space
+                        best_ratio = ratio
+                if best_id is None:
+                    break
+            tracker.commit_stage(
+                [best_id], stage_space=best_space, stage_benefit=best_benefit
             )
-        return make_result(self.name, engine, stages, space, picked_order)
+            index_used += best_space

@@ -4,12 +4,20 @@ Usage::
 
     python -m repro advise --lattice cube.json --space 25e6 \\
         --algorithm inner --output selection.json
+    python -m repro advise ... --deadline 3600 --checkpoint run.ckpt
+    python -m repro resume --lattice cube.json --checkpoint run.ckpt
     python -m repro tpcd                     # the paper's Example 2.1 demo
     python -m repro experiments [names...]   # regenerate paper tables
 
 ``cube.json`` is the lattice document of :mod:`repro.io`: dimensions and
 either exact per-view row counts or a raw row count for analytical
 sizing.
+
+Exit codes: 0 on success; 2 on bad input (malformed documents, missing
+files, invalid budgets — one-line message on stderr, ``--traceback`` to
+see the full stack); 3 when a run stopped early on a deadline, memory
+budget, or signal — the best-so-far selection is still printed (and
+written to ``--output``, flagged ``"interrupted": true``).
 """
 
 from __future__ import annotations
@@ -36,6 +44,11 @@ from repro.io import (
     save_selection,
 )
 
+#: CLI exit codes (documented in docs/API.md).
+EXIT_OK = 0
+EXIT_ERROR = 2
+EXIT_INTERRUPTED = 3
+
 ALGORITHMS = {
     "1greedy": lambda fit: RGreedy(1, fit=fit),
     "2greedy": lambda fit: RGreedy(2, fit=fit),
@@ -51,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Index Selection for OLAP (ICDE 1997) — reproduction toolkit",
+    )
+    parser.add_argument(
+        "--traceback",
+        action="store_true",
+        help="show full tracebacks for input errors instead of one-line "
+        "messages",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -88,6 +107,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="candidate indexes per view (default: fat only, per §4.2.2)",
     )
     advise.add_argument("--output", help="write the selection as JSON here")
+    advise.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds; past it the run stops at the "
+        "next stage boundary with the best-so-far selection (exit 3)",
+    )
+    advise.add_argument(
+        "--memory-limit-mb",
+        type=float,
+        default=None,
+        help="peak-RSS budget in MiB, checked at stage boundaries (exit 3)",
+    )
+    advise.add_argument(
+        "--checkpoint",
+        default=None,
+        help="write a resumable checkpoint here after every committed "
+        "stage (see 'repro resume')",
+    )
+
+    resume = sub.add_parser(
+        "resume",
+        help="continue an interrupted advise run from its checkpoint",
+    )
+    resume.add_argument(
+        "--lattice", required=True, help="the same cube document the "
+        "interrupted run used"
+    )
+    resume.add_argument(
+        "--checkpoint", required=True, help="checkpoint file written by "
+        "advise --checkpoint"
+    )
+    resume.add_argument(
+        "--index-universe", choices=("fat", "all", "none"), default="fat",
+        help="must match the interrupted run (the checkpoint's graph "
+        "fingerprint is verified)",
+    )
+    resume.add_argument("--output", help="write the selection as JSON here")
+    resume.add_argument("--deadline", type=float, default=None)
+    resume.add_argument("--memory-limit-mb", type=float, default=None)
 
     explain = sub.add_parser(
         "explain", help="explain a saved selection: per-query plans and value"
@@ -137,6 +196,61 @@ def _load_graph(path: str, index_universe: str):
     return graph, lattice.label(lattice.top), lattice.size(lattice.top)
 
 
+def _report_result(result, output: Optional[str]) -> int:
+    """Print a selection result (complete or partial) and persist it."""
+    print(result.table())
+    print()
+    print(
+        f"average query cost: {result.average_query_cost:g} rows "
+        f"(no precomputation: {result.initial_tau / result.total_frequency:g})"
+    )
+    if output:
+        save_selection(result, output)
+        print(f"selection written to {output}")
+    return EXIT_INTERRUPTED if result.interrupted else EXIT_OK
+
+
+def _run_with_context(algorithm, graph, space, seed, args) -> int:
+    """Run an algorithm under the runtime context the flags describe.
+
+    Without runtime flags this is a plain call.  With them, the run gets
+    budgets, stage checkpointing, and signal handlers; an early stop
+    still reports (and saves) the best-so-far selection, exiting 3.
+    """
+    from repro.runtime import RunContext, RuntimeStop
+
+    resume_from = getattr(args, "resume_from", None)
+    wants_context = (
+        args.deadline is not None
+        or args.memory_limit_mb is not None
+        or args.checkpoint is not None
+        or resume_from is not None
+    )
+    if not wants_context:
+        return _report_result(algorithm.run(graph, space, seed=seed), args.output)
+    context = RunContext(
+        deadline=args.deadline,
+        memory_limit_mb=args.memory_limit_mb,
+        checkpoint_path=args.checkpoint,
+        resume_from=resume_from,
+    )
+    try:
+        with context.handle_signals():
+            result = algorithm.run(graph, space, seed=seed, context=context)
+    except RuntimeStop as stop:
+        print(f"run stopped early: {stop}", file=sys.stderr)
+        if args.checkpoint:
+            print(
+                f"resume with: repro resume --lattice {args.lattice} "
+                f"--checkpoint {args.checkpoint}",
+                file=sys.stderr,
+            )
+        if stop.result is None:
+            return EXIT_INTERRUPTED  # stopped before the first stage
+        return _report_result(stop.result, args.output)
+    return _report_result(result, args.output)
+
+
 def cmd_advise(args: argparse.Namespace) -> int:
     """Run a selection algorithm on the cube document and report it."""
     graph, top_name, top_rows = _load_graph(args.lattice, args.index_universe)
@@ -148,19 +262,29 @@ def cmd_advise(args: argparse.Namespace) -> int:
             "(pass --no-seed-top to skip it)",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_ERROR
     algorithm = ALGORITHMS[args.algorithm](args.fit)
-    result = algorithm.run(graph, args.space, seed=seed)
-    print(result.table())
-    print()
+    return _run_with_context(algorithm, graph, args.space, seed, args)
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Continue an interrupted advise run from its checkpoint."""
+    from repro.runtime import load_checkpoint
+    from repro.runtime.checkpoint import algorithm_from_config
+
+    checkpoint = load_checkpoint(args.checkpoint)
+    graph, __top, __rows = _load_graph(args.lattice, args.index_universe)
+    algorithm = algorithm_from_config(checkpoint.algorithm)
+    args.resume_from = checkpoint
     print(
-        f"average query cost: {result.average_query_cost:g} rows "
-        f"(no precomputation: {result.initial_tau / result.total_frequency:g})"
+        f"resuming {checkpoint.algorithm['class']} from stage "
+        f"{checkpoint.stage_counter} "
+        f"({len(checkpoint.selected)} structures selected, "
+        f"{checkpoint.remaining_space:g} rows of budget left)"
     )
-    if args.output:
-        save_selection(result, args.output)
-        print(f"selection written to {args.output}")
-    return 0
+    return _run_with_context(
+        algorithm, graph, checkpoint.space_budget, checkpoint.seed, args
+    )
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
@@ -175,7 +299,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
     selected = document.get("selected")
     if not isinstance(selected, list):
         print("error: selection document has no 'selected' list", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
     explanation = explain(graph, selected)
     print(explanation.table())
     print()
@@ -204,14 +328,29 @@ def cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point: parse arguments and dispatch to the subcommand."""
+    """Entry point: parse arguments and dispatch to the subcommand.
+
+    Input errors — missing or malformed documents, bad budgets, stale
+    checkpoints — exit 2 with a one-line message; ``--traceback``
+    restores the full stack for debugging.
+    """
     args = build_parser().parse_args(argv)
-    if args.command == "advise":
-        return cmd_advise(args)
-    if args.command == "explain":
-        return cmd_explain(args)
-    if args.command == "tpcd":
-        return cmd_tpcd(args)
-    if args.command == "experiments":
-        return cmd_experiments(args)
+    try:
+        if args.command == "advise":
+            return cmd_advise(args)
+        if args.command == "explain":
+            return cmd_explain(args)
+        if args.command == "resume":
+            return cmd_resume(args)
+        if args.command == "tpcd":
+            return cmd_tpcd(args)
+        if args.command == "experiments":
+            return cmd_experiments(args)
+    except (OSError, ValueError) as exc:
+        # ValueError covers json.JSONDecodeError, the io.py document
+        # validators, bad budgets (check_space), and CheckpointError
+        if args.traceback:
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
     raise AssertionError(f"unhandled command {args.command!r}")

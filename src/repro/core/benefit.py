@@ -43,6 +43,7 @@ rule, and raises on attempts to commit an index without its view.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Optional
 
 import numpy as np
@@ -199,6 +200,7 @@ class BenefitEngine:
         self._singles: Optional[np.ndarray] = None
         self._singles_fresh = False
         self._stage_candidates: Optional[np.ndarray] = None
+        self._fingerprint: Optional[str] = None
         self.reset()
 
     # ----------------------------------------------------------- compilation
@@ -274,6 +276,52 @@ class BenefitEngine:
     def dense_cost_bytes(n_structures: int, n_queries: int) -> int:
         """Bytes a dense float64 cost matrix of this shape would need."""
         return int(n_structures) * int(n_queries) * 8
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the compiled instance (checkpoint identity).
+
+        Covers structure names/spaces/ownership, query names, default
+        costs, frequencies, and every cost edge — two engines share a
+        fingerprint iff they describe the same selection problem, so a
+        checkpoint can never be replayed against a different instance.
+        Backend choice is deliberately excluded: dense and sparse
+        engines over the same graph are interchangeable for replay.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            for name in self.structure_names:
+                digest.update(name.encode("utf-8"))
+                digest.update(b"\x00")
+            digest.update(b"\x01")
+            for name in self.query_names:
+                digest.update(name.encode("utf-8"))
+                digest.update(b"\x00")
+            digest.update(b"\x01")
+            for arr in (
+                self.spaces,
+                self.is_view,
+                self.view_id_of,
+                self.defaults,
+                self.frequencies,
+                self._nnz_rows,
+                self._row_cols,
+                self._row_vals,
+            ):
+                digest.update(np.ascontiguousarray(arr).tobytes())
+                digest.update(b"\x01")
+            self._fingerprint = "sha256:" + digest.hexdigest()
+        return self._fingerprint
+
+    def replay_commit(self, names: Iterable[str]) -> float:
+        """Commit structures by name (the checkpoint replay hook).
+
+        Commits are deterministic — per-query best costs only take
+        elementwise minima, and the maintained single-benefit cache is
+        exact — so replaying a checkpoint's recorded stages in order
+        reproduces the original engine state bitwise.  Returns the
+        realized benefit of the committed set.
+        """
+        return self.commit([self.structure_id(name) for name in names])
 
     @property
     def cost(self) -> np.ndarray:

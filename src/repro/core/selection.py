@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -50,6 +50,13 @@ class SelectionResult:
         τ(G, M) — total cost with the selection materialized.
     total_frequency:
         Sum of query frequencies (for average-cost reporting).
+    interrupted:
+        ``True`` when the run stopped early (deadline, memory budget,
+        signal, or injected fault).  Every committed stage is a valid
+        selection, so the result is still usable — just not final.
+    stop_reason:
+        Machine-readable reason for the early stop (``None`` when the
+        run completed).
     """
 
     algorithm: str
@@ -60,6 +67,8 @@ class SelectionResult:
     initial_tau: float
     tau: float
     total_frequency: float
+    interrupted: bool = False
+    stop_reason: Optional[str] = None
 
     @property
     def benefit(self) -> float:
@@ -78,10 +87,16 @@ class SelectionResult:
 
     def summary(self) -> str:
         """One-line summary suitable for experiment tables."""
+        note = (
+            f" [interrupted: {self.stop_reason or 'stopped'}]"
+            if self.interrupted
+            else ""
+        )
         return (
             f"{self.algorithm}: {len(self.selected)} structures, "
             f"space {self.space_used:g}/{self.space_budget:g}, "
             f"benefit {self.benefit:g}, avg query cost {self.average_query_cost:g}"
+            + note
         )
 
     def table(self) -> str:
@@ -100,6 +115,8 @@ def make_result(
     stages: Sequence[Stage],
     space_budget: float,
     picked_order: Sequence[str],
+    interrupted: bool = False,
+    stop_reason: Optional[str] = None,
 ) -> SelectionResult:
     """Assemble a :class:`SelectionResult` from a finished engine state."""
     return SelectionResult(
@@ -111,4 +128,6 @@ def make_result(
         initial_tau=float(engine.frequencies @ engine.defaults),
         tau=engine.tau(),
         total_frequency=float(engine.frequencies.sum()),
+        interrupted=interrupted,
+        stop_reason=stop_reason,
     )

@@ -17,7 +17,7 @@ processed — comparable against :func:`naive_load_cost`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.index import Index
 from repro.core.view import View
@@ -65,6 +65,8 @@ def materialize_selection(
     views: Iterable[View],
     indexes: Iterable[Index] = (),
     agg: str = "sum",
+    on_step: Optional[Callable[[LoadReport, Optional[LoadStep]], None]] = None,
+    resume_from: Optional[LoadReport] = None,
 ) -> LoadReport:
     """Materialize views (ancestors first, rolled up from the smallest
     available source) and build indexes on them.
@@ -72,6 +74,15 @@ def materialize_selection(
     Views already present in the catalog are reused as sources but not
     recomputed.  Index views must be in ``views`` or already
     materialized.
+
+    ``on_step`` is invoked after every completed unit of work —
+    ``(report, step)`` for a view, ``(report, None)`` for an index — so
+    callers can checkpoint the load; an exception it raises aborts the
+    load *between* units, never mid-build.  ``resume_from`` seeds the
+    report with a prior partial run's accounting: its steps carry over
+    (those views are already in the catalog, so they are skipped, not
+    recomputed) and its indexes are neither rebuilt nor recounted, so a
+    resumed load's row accounting matches an uninterrupted one.
     """
     requested = list(dict.fromkeys(views))  # stable de-dup
     indexes = list(indexes)
@@ -82,9 +93,16 @@ def materialize_selection(
                 "requested nor materialized"
             )
 
+    report = LoadReport()
+    done_indexes = set()
+    if resume_from is not None:
+        report.steps.extend(resume_from.steps)
+        report.index_entries_built = resume_from.index_entries_built
+        report.indexes_built = tuple(resume_from.indexes_built)
+        done_indexes = set(resume_from.indexes_built)
+
     # ancestors first: more attributes = potential source for the rest
     order = sorted(requested, key=lambda v: (-len(v), v.key))
-    report = LoadReport()
     for view in order:
         if catalog.has_view(view):
             continue
@@ -97,21 +115,25 @@ def materialize_selection(
             table = rollup_view(source_table, view, agg, schema=catalog.fact.schema)
             scanned = source_table.n_rows
         catalog.add_view(table)
-        report.steps.append(
-            LoadStep(
-                view=view,
-                source=source,
-                rows_scanned=scanned,
-                rows_produced=table.n_rows,
-            )
+        step = LoadStep(
+            view=view,
+            source=source,
+            rows_scanned=scanned,
+            rows_produced=table.n_rows,
         )
+        report.steps.append(step)
+        if on_step is not None:
+            on_step(report, step)
 
-    built = []
     for index in indexes:
+        name = str(index)
+        if name in done_indexes:
+            continue
         tree = catalog.build_index(index)
         report.index_entries_built += len(tree)
-        built.append(str(index))
-    report.indexes_built = tuple(built)
+        report.indexes_built = report.indexes_built + (name,)
+        if on_step is not None:
+            on_step(report, None)
     return report
 
 

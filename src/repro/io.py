@@ -20,6 +20,7 @@ View labels use the lattice's schema-ordered compact form (``ps``,
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Dict, Union
 
@@ -30,6 +31,23 @@ from repro.cube.schema import CubeSchema, Dimension
 from repro.estimation.sizes import analytical_lattice
 
 PathLike = Union[str, Path]
+
+
+def _require_finite(value, field: str) -> float:
+    """Coerce to float and reject NaN/inf with the offending field named.
+
+    Python's ``json`` accepts the non-standard ``NaN``/``Infinity``
+    tokens, and a NaN row count or frequency silently poisons every
+    comparison downstream (``NaN <= x`` is always false) — reject it at
+    the door instead.
+    """
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{field} must be a number, got {value!r}") from exc
+    if not math.isfinite(value):
+        raise ValueError(f"{field} must be finite, got {value}")
+    return value
 
 
 def lattice_to_dict(lattice: CubeLattice) -> Dict:
@@ -68,12 +86,12 @@ def lattice_from_dict(document: Dict) -> CubeLattice:
                 raise ValueError(
                     f"view {label!r} references unknown dimensions {sorted(unknown)}"
                 )
-            sizes[view] = float(rows)
+            sizes[view] = _require_finite(rows, f"view_rows[{label!r}]")
         return CubeLattice(schema, sizes)
     raw_rows = document.get("raw_rows")
     if raw_rows is None:
         raise ValueError("document needs 'view_rows' or 'raw_rows'")
-    return analytical_lattice(schema, float(raw_rows))
+    return analytical_lattice(schema, _require_finite(raw_rows, "raw_rows"))
 
 
 def load_lattice(path: PathLike) -> CubeLattice:
@@ -122,7 +140,9 @@ def hierarchical_cube_from_dict(document: Dict):
         built.append(
             Hierarchy(name, [Level(str(n), int(c)) for n, c in levels])
         )
-    return HierarchicalCube(built, raw_rows=float(raw_rows))
+    return HierarchicalCube(
+        built, raw_rows=_require_finite(raw_rows, "raw_rows")
+    )
 
 
 def is_hierarchical_document(document: Dict) -> bool:
@@ -180,21 +200,40 @@ def graph_from_dict(document: Dict):
         raise ValueError("document needs 'queries' and 'views' lists")
     graph = QueryViewGraph()
     for q in document["queries"]:
+        name = q["name"]
         graph.add_query(
-            q["name"],
-            default_cost=float(q["default_cost"]),
-            frequency=float(q.get("frequency", 1.0)),
+            name,
+            default_cost=_require_finite(
+                q["default_cost"], f"queries[{name!r}].default_cost"
+            ),
+            frequency=_require_finite(
+                q.get("frequency", 1.0), f"queries[{name!r}].frequency"
+            ),
         )
     for v in document["views"]:
-        graph.add_view(v["name"], space=float(v["space"]))
+        name = v["name"]
+        graph.add_view(
+            name, space=_require_finite(v["space"], f"views[{name!r}].space")
+        )
         for idx in v.get("indexes", []):
             graph.add_index(
-                v["name"],
+                name,
                 idx["name"],
-                space=float(idx["space"]) if "space" in idx else None,
+                space=_require_finite(
+                    idx["space"], f"indexes[{idx['name']!r}].space"
+                )
+                if "space" in idx
+                else None,
             )
     for edge in document.get("edges", []):
-        graph.add_edge(edge["query"], edge["structure"], float(edge["cost"]))
+        graph.add_edge(
+            edge["query"],
+            edge["structure"],
+            _require_finite(
+                edge["cost"],
+                f"edge ({edge['query']!r}, {edge['structure']!r}).cost",
+            ),
+        )
     graph.validate()
     return graph
 
@@ -203,6 +242,8 @@ def selection_to_dict(result: SelectionResult) -> Dict:
     """Serialize a selection result (structures, stages, headline stats)."""
     return {
         "algorithm": result.algorithm,
+        "interrupted": result.interrupted,
+        "stop_reason": result.stop_reason,
         "space_budget": result.space_budget,
         "space_used": result.space_used,
         "initial_tau": result.initial_tau,

@@ -1,0 +1,302 @@
+"""Fault-injection harness: kill a run at every stage boundary, resume,
+and assert the resumed selection is bit-identical to the golden run.
+
+The harness is the executable proof behind the checkpoint design:
+
+1. run the algorithm uninterrupted (the *golden* run) under a counting
+   :class:`~repro.runtime.context.RunContext` to learn how many stage
+   boundaries it crosses;
+2. for every boundary ``k``, re-run with ``fault_stage=k`` — the context
+   raises :class:`~repro.runtime.context.InjectedFault` right after the
+   k-th checkpoint is taken, exactly like a crash between stages;
+3. round-trip that checkpoint through JSON (what a real crash leaves on
+   disk), rebuild the algorithm from its recorded config, and resume on
+   a fresh engine state;
+4. compare the resumed result against the golden run — structure ids in
+   pick order, total benefit, and τ must match *exactly* (``==`` on
+   floats, no tolerance).
+
+The matrix covers every selection algorithm on the dense and sparse
+engine backends with the lazy stage loops forced on and off.  Run it
+from the command line for the CI smoke::
+
+    PYTHONPATH=src python -m repro.runtime.faults --dims 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.benefit import BenefitEngine
+from repro.core.qvgraph import QueryViewGraph
+from repro.core.selection import SelectionResult
+from repro.runtime.checkpoint import (
+    Checkpoint,
+    algorithm_from_config,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.runtime.context import InjectedFault, RunContext
+
+
+@dataclass(frozen=True)
+class FaultCase:
+    """One kill-and-resume experiment: algorithm × backend × lazy × k."""
+
+    algorithm: str
+    backend: str
+    lazy: bool
+    stage: int
+    n_stages: int
+    ok: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        mode = "lazy" if self.lazy else "eager"
+        base = (
+            f"[{status}] {self.algorithm} / {self.backend}/{mode} "
+            f"killed at {self.stage}/{self.n_stages}"
+        )
+        return base + (f": {self.detail}" if self.detail else "")
+
+
+def compare_results(golden: SelectionResult, resumed: SelectionResult) -> str:
+    """Empty string when the resumed run is bit-identical, else why not."""
+    if resumed.selected != golden.selected:
+        return (
+            f"selected differ: resumed {list(resumed.selected)} "
+            f"vs golden {list(golden.selected)}"
+        )
+    if resumed.benefit != golden.benefit:
+        return (
+            f"benefit differs: resumed {resumed.benefit!r} "
+            f"vs golden {golden.benefit!r}"
+        )
+    if resumed.tau != golden.tau:
+        return f"tau differs: resumed {resumed.tau!r} vs golden {golden.tau!r}"
+    if resumed.space_used != golden.space_used:
+        return (
+            f"space_used differs: resumed {resumed.space_used!r} "
+            f"vs golden {golden.space_used!r}"
+        )
+    if resumed.interrupted:
+        return "resumed run still reports interrupted=True"
+    return ""
+
+
+def _roundtrip(checkpoint: Checkpoint) -> Checkpoint:
+    """Serialize to JSON on disk and load back — the crash-recovery path."""
+    fd, path = tempfile.mkstemp(prefix="repro-fault-", suffix=".json")
+    os.close(fd)
+    try:
+        save_checkpoint(checkpoint, path)
+        return load_checkpoint(path)
+    finally:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+def fault_scan(
+    run: Callable[[Optional[RunContext]], SelectionResult],
+    *,
+    algorithm: str,
+    backend: str,
+    lazy: bool,
+    rebuild: bool = True,
+) -> Tuple[SelectionResult, List[FaultCase]]:
+    """Kill ``run`` at every stage boundary and resume; return the cases.
+
+    ``run`` takes an optional context and executes one full selection on
+    a deterministic engine (the harness calls it repeatedly).  With
+    ``rebuild`` the resumed algorithm is reconstructed from the
+    checkpoint's config block via :func:`algorithm_from_config`,
+    exercising the cold-start path a real recovery would take.
+    """
+    golden_context = RunContext()
+    golden = run(golden_context)
+    n_stages = golden_context.stage_counter
+    cases: List[FaultCase] = []
+    for k in range(1, n_stages + 1):
+        try:
+            run(RunContext(fault_stage=k))
+        except InjectedFault as fault:
+            checkpoint = fault.checkpoint
+            detail = ""
+            if fault.result is None or not fault.result.interrupted:
+                detail = "fault did not carry an interrupted partial result"
+            elif checkpoint is None:
+                detail = "fault carried no checkpoint"
+            if not detail:
+                checkpoint = _roundtrip(checkpoint)
+                if rebuild:
+                    algorithm_from_config(checkpoint.algorithm)
+                resumed = run(RunContext(resume_from=checkpoint))
+                detail = compare_results(golden, resumed)
+        else:
+            detail = f"no fault fired at boundary {k}"
+        cases.append(
+            FaultCase(
+                algorithm=algorithm,
+                backend=backend,
+                lazy=lazy,
+                stage=k,
+                n_stages=n_stages,
+                ok=not detail,
+                detail=detail,
+            )
+        )
+    return golden, cases
+
+
+# --------------------------------------------------------------- the matrix
+
+
+def default_algorithms(lazy: bool) -> List[Tuple[str, object]]:
+    """The selection algorithms under test, built for one lazy mode."""
+    from repro.algorithms import (
+        HRUGreedy,
+        InnerLevelGreedy,
+        LocalSearchRefiner,
+        RGreedy,
+        TwoStep,
+    )
+
+    return [
+        ("RGreedy(r=2)", RGreedy(2, lazy=lazy)),
+        ("HRUGreedy", HRUGreedy(lazy=lazy)),
+        ("InnerLevelGreedy", InnerLevelGreedy(lazy=lazy)),
+        ("TwoStep", TwoStep(lazy=lazy)),
+        ("LocalSearchRefiner", LocalSearchRefiner(lazy=lazy)),
+    ]
+
+
+def top_view_of(engine: BenefitEngine) -> str:
+    """Name of the largest view — the seed every cube run materializes."""
+    view_ids = engine.view_ids()
+    spaces = engine.spaces[view_ids]
+    return engine.name_of(int(view_ids[int(spaces.argmax())]))
+
+
+def fault_matrix(
+    graph: QueryViewGraph,
+    space: float,
+    *,
+    backends: Sequence[str] = ("dense", "sparse"),
+    lazy_modes: Sequence[bool] = (False, True),
+    algorithms: Optional[Callable[[bool], List[Tuple[str, object]]]] = None,
+    seed: Optional[Sequence[str]] = None,
+) -> List[FaultCase]:
+    """Run the full kill/resume matrix; returns every case (ok or not).
+
+    The :class:`~repro.algorithms.local_search.LocalSearchRefiner` entry
+    refines a 1-greedy base selection (its natural usage); all other
+    algorithms run from the seed (default: the top view).
+    """
+    from repro.algorithms import RGreedy
+
+    make_algorithms = algorithms or default_algorithms
+    cases: List[FaultCase] = []
+    for backend in backends:
+        engine = BenefitEngine(graph, backend=backend)
+        run_seed = list(seed) if seed is not None else [top_view_of(engine)]
+        base = RGreedy(1).run(engine, space, seed=run_seed)
+        for lazy in lazy_modes:
+            for label, algorithm in make_algorithms(lazy):
+                if hasattr(algorithm, "refine"):
+                    def run(context=None, _a=algorithm):
+                        return _a.refine(
+                            engine,
+                            space,
+                            base.selected,
+                            protected=run_seed,
+                            context=context,
+                        )
+                else:
+                    def run(context=None, _a=algorithm):
+                        return _a.run(engine, space, seed=run_seed, context=context)
+                __, scan = fault_scan(
+                    run, algorithm=label, backend=backend, lazy=lazy
+                )
+                cases.extend(scan)
+    return cases
+
+
+# ----------------------------------------------------------------- CLI smoke
+
+
+def _cube_graph(n_dims: int) -> QueryViewGraph:
+    """A d-dimensional cube instance (cardinalities 4, 6, 8, …)."""
+    from repro.cube.schema import CubeSchema, Dimension
+    from repro.estimation.sizes import analytical_lattice
+
+    cards = [4 + 2 * i for i in range(n_dims)]
+    schema = CubeSchema(
+        [Dimension(chr(ord("a") + i), c) for i, c in enumerate(cards)]
+    )
+    return QueryViewGraph.from_cube(
+        analytical_lattice(schema, 0.1 * schema.dense_cells)
+    )
+
+
+def smoke_budget(engine: BenefitEngine, fraction: float) -> float:
+    """Top view plus ``fraction`` of the remaining structure space."""
+    top_space = float(engine.spaces[engine.view_ids()].max())
+    return top_space + fraction * (float(engine.spaces.sum()) - top_space)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.faults",
+        description="Kill selection runs at every stage boundary and "
+        "assert resume is bit-identical.",
+    )
+    parser.add_argument(
+        "--dims", type=int, default=4, help="cube dimensions (default 4)"
+    )
+    parser.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.05,
+        help="budget beyond the top view, as a fraction of the remaining "
+        "structure space (default 0.05; larger means more stages)",
+    )
+    parser.add_argument(
+        "--backends",
+        default="dense,sparse",
+        help="comma-separated engine backends (default dense,sparse)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the case list as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    graph = _cube_graph(args.dims)
+    probe = BenefitEngine(graph)
+    space = smoke_budget(probe, args.budget_fraction)
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    cases = fault_matrix(graph, space, backends=backends)
+    failures = [case for case in cases if not case.ok]
+    if args.json:
+        print(json.dumps([case.__dict__ for case in cases], indent=2))
+    else:
+        for case in failures:
+            print(case, file=sys.stderr)
+        print(
+            f"fault matrix: {len(cases)} kill/resume cases over "
+            f"{len(backends)} backend(s), d={args.dims}; "
+            f"{len(failures)} failure(s)"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI smoke
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Kill/resume tests for the load pipeline's ``on_step``/``resume_from``.
+
+The selection runtime checkpoints *selection* runs at stage boundaries;
+these tests exercise the analogous contract for *materialization*: kill
+``materialize_selection`` after every completed unit of work (view step
+or index build), resume on the same catalog with the partial report, and
+require the combined row accounting to match an uninterrupted load
+exactly.
+"""
+
+import pytest
+
+from repro.core.index import Index
+from repro.core.view import View
+from repro.cube.generator import generate_fact_table
+from repro.cube.schema import CubeSchema, Dimension
+from repro.engine.catalog import Catalog
+from repro.engine.pipeline import materialize_selection
+
+
+class _Killed(RuntimeError):
+    """Raised by the on_step hook to abort a load at a chosen boundary."""
+
+
+@pytest.fixture
+def schema():
+    return CubeSchema(
+        [Dimension("a", 20), Dimension("b", 12), Dimension("c", 6)]
+    )
+
+
+def _fresh_fact(schema):
+    return generate_fact_table(schema, 2_500, rng=6)
+
+
+ABC = View.of("a", "b", "c")
+AB = View.of("a", "b")
+A = View.of("a")
+B = View.of("b")
+
+VIEWS = [ABC, AB, A, B, View.none()]
+INDEXES = [Index(AB, ("a", "b")), Index(AB, ("b", "a")), Index(A, ("a",))]
+
+
+def _golden(schema):
+    catalog = Catalog(_fresh_fact(schema))
+    return materialize_selection(catalog, VIEWS, indexes=INDEXES)
+
+
+def _kill_after(n_units):
+    """An on_step hook that raises once ``n_units`` units have completed."""
+    state = {"count": 0, "report": None}
+
+    def hook(report, step):
+        state["count"] += 1
+        state["report"] = report
+        if state["count"] == n_units:
+            raise _Killed(f"killed after unit {n_units}")
+
+    return hook, state
+
+
+def _units(report):
+    return len(report.steps) + len(report.indexes_built)
+
+
+class TestPipelineKillResume:
+    def test_resume_matches_uninterrupted_at_every_boundary(self, schema):
+        golden = _golden(schema)
+        total_units = _units(golden)
+        assert total_units == len(VIEWS) + len(INDEXES)
+
+        for kill_at in range(1, total_units + 1):
+            catalog = Catalog(_fresh_fact(schema))
+            hook, state = _kill_after(kill_at)
+            with pytest.raises(_Killed):
+                materialize_selection(
+                    catalog, VIEWS, indexes=INDEXES, on_step=hook
+                )
+            partial = state["report"]
+            assert partial is not None
+            assert _units(partial) == kill_at
+
+            resumed = materialize_selection(
+                catalog, VIEWS, indexes=INDEXES, resume_from=partial
+            )
+            assert _units(resumed) == total_units, f"kill at {kill_at}"
+            assert resumed.rows_scanned == golden.rows_scanned
+            assert resumed.index_entries_built == golden.index_entries_built
+            assert resumed.indexes_built == golden.indexes_built
+            assert resumed.total_cost == golden.total_cost
+            assert [
+                (s.view, s.source, s.rows_scanned, s.rows_produced)
+                for s in resumed.steps
+            ] == [
+                (s.view, s.source, s.rows_scanned, s.rows_produced)
+                for s in golden.steps
+            ]
+
+    def test_resumed_catalog_contents_match(self, schema):
+        """The data, not just the accounting: killing mid-load and
+        resuming leaves the same tables as a clean load."""
+        clean = Catalog(_fresh_fact(schema))
+        materialize_selection(clean, VIEWS, indexes=INDEXES)
+
+        catalog = Catalog(_fresh_fact(schema))
+        hook, state = _kill_after(2)
+        with pytest.raises(_Killed):
+            materialize_selection(catalog, VIEWS, indexes=INDEXES, on_step=hook)
+        materialize_selection(
+            catalog, VIEWS, indexes=INDEXES, resume_from=state["report"]
+        )
+        for view in VIEWS:
+            got = dict(catalog.view_table(view).iter_rows())
+            expected = dict(clean.view_table(view).iter_rows())
+            assert got.keys() == expected.keys()
+        for index in INDEXES:
+            assert catalog.has_index(index)
+
+    def test_resume_skips_built_indexes(self, schema):
+        """Index entries are not recounted on resume — the combined
+        count equals the uninterrupted one even when the kill lands
+        between index builds."""
+        golden = _golden(schema)
+        kill_at = len(VIEWS) + 1  # after the first index
+        catalog = Catalog(_fresh_fact(schema))
+        hook, state = _kill_after(kill_at)
+        with pytest.raises(_Killed):
+            materialize_selection(catalog, VIEWS, indexes=INDEXES, on_step=hook)
+        partial = state["report"]
+        assert len(partial.indexes_built) == 1
+        resumed = materialize_selection(
+            catalog, VIEWS, indexes=INDEXES, resume_from=partial
+        )
+        assert resumed.indexes_built == golden.indexes_built
+        assert resumed.index_entries_built == golden.index_entries_built
+
+    def test_on_step_sees_every_unit(self, schema):
+        catalog = Catalog(_fresh_fact(schema))
+        seen = []
+        materialize_selection(
+            catalog,
+            VIEWS,
+            indexes=INDEXES,
+            on_step=lambda report, step: seen.append(step),
+        )
+        view_steps = [s for s in seen if s is not None]
+        index_steps = [s for s in seen if s is None]
+        assert len(view_steps) == len(VIEWS)
+        assert len(index_steps) == len(INDEXES)

@@ -239,3 +239,115 @@ class TestHierarchicalDocumentParsing:
         assert is_hierarchical_document(doc)
         cube = hierarchical_cube_from_dict(doc)
         assert cube.n_views() == 3
+
+
+class TestErrorHandling:
+    def test_missing_lattice_file_exits_2(self, capsys):
+        rc = main(["advise", "--lattice", "/no/such/cube.json", "--space", "1e6"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_malformed_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json at all")
+        rc = main(["advise", "--lattice", str(path), "--space", "1e6"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_nan_raw_rows_exits_2_naming_field(self, tmp_path, capsys):
+        path = tmp_path / "nan.json"
+        path.write_text('{"dimensions": {"a": 4, "b": 6}, "raw_rows": NaN}')
+        rc = main(["advise", "--lattice", str(path), "--space", "1e6"])
+        assert rc == 2
+        assert "raw_rows" in capsys.readouterr().err
+
+    def test_traceback_flag_reraises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json at all")
+        with pytest.raises(ValueError):
+            main(
+                ["--traceback", "advise", "--lattice", str(path),
+                 "--space", "1e6"]
+            )
+
+
+class TestRuntimeFlags:
+    def test_deadline_zero_exits_3_with_partial(
+        self, cube_file, tmp_path, capsys
+    ):
+        out_file = tmp_path / "partial.json"
+        rc = main(
+            ["advise", "--lattice", cube_file, "--space", "25e6",
+             "--deadline", "0", "--output", str(out_file)]
+        )
+        assert rc == 3
+        captured = capsys.readouterr()
+        assert "stopped early" in captured.err
+        doc = json.loads(out_file.read_text())
+        assert doc["interrupted"] is True
+        assert doc["stop_reason"] == "budget-exceeded"
+        assert doc["selected"] == ["psc"]  # the seed stage completed
+
+    def test_checkpoint_resume_round_trip(self, cube_file, tmp_path, capsys):
+        full_file = tmp_path / "full.json"
+        assert (
+            main(
+                ["advise", "--lattice", cube_file, "--space", "25e6",
+                 "--output", str(full_file)]
+            )
+            == 0
+        )
+        ckpt = tmp_path / "run.ckpt"
+        rc = main(
+            ["advise", "--lattice", cube_file, "--space", "25e6",
+             "--deadline", "0", "--checkpoint", str(ckpt)]
+        )
+        assert rc == 3
+        assert "repro resume" in capsys.readouterr().err
+        resumed_file = tmp_path / "resumed.json"
+        rc = main(
+            ["resume", "--lattice", cube_file, "--checkpoint", str(ckpt),
+             "--output", str(resumed_file)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resuming" in out
+        full = json.loads(full_file.read_text())
+        resumed = json.loads(resumed_file.read_text())
+        assert resumed["selected"] == full["selected"]
+        assert resumed["benefit"] == full["benefit"]
+        assert resumed["interrupted"] is False
+
+    def test_resume_wrong_index_universe_exits_2(
+        self, cube_file, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "run.ckpt"
+        assert (
+            main(
+                ["advise", "--lattice", cube_file, "--space", "25e6",
+                 "--deadline", "0", "--checkpoint", str(ckpt)]
+            )
+            == 3
+        )
+        capsys.readouterr()
+        rc = main(
+            ["resume", "--lattice", cube_file, "--checkpoint", str(ckpt),
+             "--index-universe", "none"]
+        )
+        assert rc == 2
+        assert "fingerprint" in capsys.readouterr().err
+
+    def test_checkpoint_without_deadline_still_completes(
+        self, cube_file, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "run.ckpt"
+        rc = main(
+            ["advise", "--lattice", cube_file, "--space", "25e6",
+             "--checkpoint", str(ckpt)]
+        )
+        assert rc == 0
+        from repro.runtime import load_checkpoint
+
+        assert load_checkpoint(ckpt).stage_counter >= 1

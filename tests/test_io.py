@@ -161,3 +161,75 @@ class TestGraphDocuments:
         out = capsys.readouterr().out
         assert rc == 0
         assert "benefit 194" in out or "V1" in out
+
+
+class TestFiniteValidation:
+    """NaN/inf inputs are rejected at load with the offending field named
+    (``NaN <= x`` is always false, so they would otherwise silently
+    disable every budget comparison downstream)."""
+
+    def test_nan_view_rows_rejected(self):
+        doc = {
+            "dimensions": {"a": 4, "b": 6},
+            "view_rows": {"ab": float("nan"), "a": 4, "b": 6, "none": 1},
+        }
+        with pytest.raises(ValueError, match=r"view_rows\['ab'\]"):
+            lattice_from_dict(doc)
+
+    def test_inf_raw_rows_rejected(self):
+        doc = {"dimensions": {"a": 4}, "raw_rows": float("inf")}
+        with pytest.raises(ValueError, match="raw_rows"):
+            lattice_from_dict(doc)
+
+    def test_non_numeric_raw_rows_rejected(self):
+        doc = {"dimensions": {"a": 4}, "raw_rows": "lots"}
+        with pytest.raises(ValueError, match="raw_rows"):
+            lattice_from_dict(doc)
+
+    def test_nan_survives_json_parse_but_not_load(self, tmp_path):
+        """Python's json module accepts the non-standard NaN token; the
+        loader must still reject it."""
+        from repro.io import load_lattice
+
+        path = tmp_path / "nan.json"
+        path.write_text('{"dimensions": {"a": 4}, "raw_rows": NaN}')
+        with pytest.raises(ValueError, match="finite"):
+            load_lattice(path)
+
+    def test_hierarchical_nan_raw_rows_rejected(self):
+        from repro.io import hierarchical_cube_from_dict
+
+        doc = {
+            "hierarchies": {"a": [["a", 5]]},
+            "raw_rows": float("nan"),
+        }
+        with pytest.raises(ValueError, match="raw_rows"):
+            hierarchical_cube_from_dict(doc)
+
+    @pytest.mark.parametrize(
+        "patch, field",
+        [
+            (("queries", 0, "default_cost"), "default_cost"),
+            (("queries", 0, "frequency"), "frequency"),
+            (("views", 0, "space"), r"views\['v'\].space"),
+            (("views", 0, "indexes", 0, "space"), r"indexes\['i'\].space"),
+            (("edges", 0, "cost"), "cost"),
+        ],
+    )
+    def test_nan_graph_fields_rejected(self, patch, field):
+        from repro.io import graph_from_dict
+
+        doc = {
+            "queries": [{"name": "q", "default_cost": 10, "frequency": 1}],
+            "views": [
+                {"name": "v", "space": 2,
+                 "indexes": [{"name": "i", "space": 1}]}
+            ],
+            "edges": [{"query": "q", "structure": "i", "cost": 1}],
+        }
+        target = doc
+        for key in patch[:-1]:
+            target = target[key]
+        target[patch[-1]] = float("nan")
+        with pytest.raises(ValueError, match=field):
+            graph_from_dict(doc)
