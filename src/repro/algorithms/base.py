@@ -127,11 +127,20 @@ class StageTracker:
         self.scope = scope if scope is not None else type(algorithm).__name__
         self.stages: list = []
         self.picked: list = []
+        self.evaluator = None
         # running space total, mirrored into each checkpoint so the
         # boundary need not re-sum the engine's selection every stage
         self._space_total = float(engine.space_used())
         if context is not None:
             context.bind(algorithm, engine, space)
+
+    def set_evaluator(self, evaluator) -> None:
+        """Attach the run's stage evaluator: commits get reported to it
+        (so a parallel evaluator can track stale singles), and the run
+        context learns about it (so stop paths drain the pool)."""
+        self.evaluator = evaluator
+        if self.context is not None:
+            self.context.register_evaluator(evaluator)
 
     # ---------------------------------------------------------------- seed
 
@@ -179,7 +188,7 @@ class StageTracker:
         """
         engine = self.engine
         ids = [int(i) for i in ids]
-        benefit = engine.commit(ids)
+        benefit = self._hooked_commit(lambda: engine.commit(ids))
         names = tuple(engine.name_of(i) for i in ids)
         if stage_space is None:
             stage_space = engine.space_of(ids)
@@ -207,7 +216,9 @@ class StageTracker:
         if record is None:
             return None
         engine = self.engine
-        benefit = engine.replay_commit(record.structures)
+        benefit = self._hooked_commit(
+            lambda: engine.replay_commit(record.structures)
+        )
         tolerance = self.REPLAY_RTOL * max(1.0, abs(record.benefit))
         if abs(benefit - record.benefit) > tolerance:
             raise CheckpointError(
@@ -260,6 +271,17 @@ class StageTracker:
         return stop
 
     # ------------------------------------------------------------ internals
+
+    def _hooked_commit(self, commit_fn):
+        """Run a commit, reporting the pre-commit best-cost vector to the
+        evaluator when it asked for it (serial evaluators never do)."""
+        evaluator = self.evaluator
+        if evaluator is None or not evaluator.wants_commit_hook:
+            return commit_fn()
+        old_best = self.engine._best.copy()
+        benefit = commit_fn()
+        evaluator.note_commit(self.engine, old_best)
+        return benefit
 
     def _notify(self, stage: Stage, scope: str) -> None:
         if self.context is None:

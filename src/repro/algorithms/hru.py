@@ -28,6 +28,7 @@ from repro.algorithms.base import (
     resolve_lazy,
 )
 from repro.core.selection import SelectionResult
+from repro.parallel import make_evaluator
 
 
 class HRUGreedy(SelectionAlgorithm):
@@ -35,19 +36,27 @@ class HRUGreedy(SelectionAlgorithm):
 
     ``lazy=None`` (default) follows the engine: the sparse backend uses
     the incrementally maintained single-benefit cache per stage, the dense
-    backend the eager full scan.  Both select the same views.
+    backend the eager full scan.  Both select the same views.  ``workers``
+    parallelises the per-stage scan (see :mod:`repro.parallel`) without
+    changing the selection.
     """
 
     name = "HRU greedy (views only)"
 
-    def __init__(self, fit: str = FIT_STRICT, lazy: Optional[bool] = None):
+    def __init__(
+        self,
+        fit: str = FIT_STRICT,
+        lazy: Optional[bool] = None,
+        workers: Optional[int] = None,
+    ):
         self.fit = check_fit(fit)
         self.lazy = lazy
+        self.workers = workers
 
     def config(self) -> dict:
         return {
             "class": "HRUGreedy",
-            "params": {"fit": self.fit, "lazy": self.lazy},
+            "params": {"fit": self.fit, "lazy": self.lazy, "workers": self.workers},
         }
 
     def run(
@@ -56,58 +65,44 @@ class HRUGreedy(SelectionAlgorithm):
         space: float,
         seed=(),
         context: Optional[RunContext] = None,
+        evaluator=None,
     ) -> SelectionResult:
         space = check_space(space)
         engine = as_engine(graph)
         lazy = resolve_lazy(self.lazy, engine)
         strict = self.fit == FIT_STRICT
         tracker = StageTracker(self, engine, space, context)
+        # TwoStep passes its own evaluator so both steps share one pool;
+        # a shared evaluator is also not ours to close
+        owns_evaluator = evaluator is None
+        if owns_evaluator:
+            evaluator = make_evaluator(engine, self.workers)
+        tracker.set_evaluator(evaluator)
         try:
             tracker.apply_seed(seed)
-            self._stage_loop(engine, space, strict, lazy, tracker)
+            self._stage_loop(engine, space, strict, lazy, tracker, evaluator)
         except RuntimeStop as stop:
             raise tracker.interrupted(stop)
+        finally:
+            if owns_evaluator:
+                evaluator.close()
         return tracker.finish()
 
-    def _stage_loop(self, engine, space, strict, lazy, tracker) -> None:
+    def _stage_loop(self, engine, space, strict, lazy, tracker, evaluator) -> None:
         view_ids = engine.view_ids()
         while engine.space_used() < space - SPACE_EPS:
             if tracker.replay_stage() is not None:
                 continue
             space_left = space - engine.space_used()
-            if lazy:
-                # maintained-cache pass: same candidate order, filters and
-                # tie-break as the eager loop below
-                pick = engine.lazy_best_single(
-                    view_ids, space_left if strict else None
-                )
-                if pick is None:
-                    break
-                best_id, best_benefit, best_space, _ratio = pick
-            else:
-                benefits = engine.single_benefits(view_ids, lazy=False)
-                best_id = None
-                best_benefit = 0.0
-                best_space = 0.0
-                best_ratio = 0.0
-                for pos, view_id in enumerate(view_ids):
-                    view_id = int(view_id)
-                    if engine.is_selected(view_id):
-                        continue
-                    view_space = float(engine.spaces[view_id])
-                    if strict and view_space > space_left + SPACE_EPS:
-                        continue
-                    benefit = float(benefits[pos])
-                    if benefit <= 0.0:
-                        continue
-                    ratio = benefit / view_space
-                    if best_id is None or ratio > best_ratio * (1 + 1e-12):
-                        best_id = view_id
-                        best_benefit = benefit
-                        best_space = view_space
-                        best_ratio = ratio
-                if best_id is None:
-                    break
+            # one best-single pass over the views: same candidate order,
+            # filters, and tie-break whether the evaluator runs it on the
+            # maintained cache, an eager scan, or sharded across workers
+            pick = evaluator.single_stage(
+                engine, view_ids, space_left if strict else None, lazy
+            )
+            if pick is None:
+                break
+            best_id, best_benefit, best_space, _ratio = pick
             tracker.commit_stage(
                 [best_id], stage_space=best_space, stage_benefit=best_benefit
             )

@@ -47,6 +47,7 @@ from repro.algorithms.base import (
 )
 from repro.core.benefit import BenefitEngine
 from repro.core.selection import SelectionResult
+from repro.parallel import ChainSink, make_evaluator
 
 IG_SPACE = "space"
 IG_PEAK = "peak"
@@ -70,12 +71,14 @@ class InnerLevelGreedy(SelectionAlgorithm):
         fit: str = FIT_PAPER,
         ig_rule: str = IG_SPACE,
         lazy: Optional[bool] = None,
+        workers: Optional[int] = None,
     ):
         self.fit = check_fit(fit)
         if ig_rule not in (IG_SPACE, IG_PEAK):
             raise ValueError(f"ig_rule must be 'space' or 'peak', got {ig_rule!r}")
         self.ig_rule = ig_rule
         self.lazy = lazy
+        self.workers = workers
 
     def config(self) -> dict:
         return {
@@ -84,6 +87,7 @@ class InnerLevelGreedy(SelectionAlgorithm):
                 "fit": self.fit,
                 "ig_rule": self.ig_rule,
                 "lazy": self.lazy,
+                "workers": self.workers,
             },
         }
 
@@ -98,18 +102,22 @@ class InnerLevelGreedy(SelectionAlgorithm):
         engine = as_engine(graph)
         lazy = resolve_lazy(self.lazy, engine)
         tracker = StageTracker(self, engine, space, context)
+        evaluator = make_evaluator(engine, self.workers)
+        tracker.set_evaluator(evaluator)
         try:
             tracker.apply_seed(seed)
             while engine.space_used() < space - SPACE_EPS:
                 if tracker.replay_stage() is not None:
                     continue
-                candidate = self._best_stage(engine, space, lazy)
+                candidate = evaluator.inner_stage(self, engine, space, lazy)
                 if candidate is None:
                     break
                 ids, cand_space = candidate
                 tracker.commit_stage(ids, stage_space=cand_space)
         except RuntimeStop as stop:
             raise tracker.interrupted(stop)
+        finally:
+            evaluator.close()
         return tracker.finish()
 
     # ------------------------------------------------------------ internals
@@ -119,47 +127,57 @@ class InnerLevelGreedy(SelectionAlgorithm):
         strict = self.fit == FIT_STRICT
         space_left = space - engine.space_used()
         ig_cap = space_left if strict else space
+        sink = ChainSink()
+        singles = engine.single_benefits(lazy=True) if lazy else None
+        view_ids = engine.view_ids()
+        self._scan_phase1(
+            engine, view_ids, sink, singles, space_left, ig_cap, strict
+        )
+        self._scan_phase2(engine, view_ids, sink, space_left, strict, lazy)
+        if sink.ids is None:
+            return None
+        return sink.ids, sink.space
 
-        best_ids: Optional[tuple] = None
-        best_benefit = 0.0
-        best_space = 0.0
-        best_ratio = 0.0
+    @staticmethod
+    def _offer(sink, ids, benefit, cand_space, space_left, strict) -> None:
+        """The stage's offer rule: strict fit filter, then the sink's
+        chain (the sink already rejects non-positive benefit/space)."""
+        if strict and cand_space > space_left + SPACE_EPS:
+            return
+        sink.offer(ids, benefit, cand_space)
 
-        def offer(ids: tuple, benefit: float, cand_space: float) -> None:
-            nonlocal best_ids, best_benefit, best_space, best_ratio
-            if benefit <= 0.0 or cand_space <= 0.0:
-                return
-            if strict and cand_space > space_left + SPACE_EPS:
-                return
-            ratio = benefit / cand_space
-            if best_ids is None or ratio > best_ratio * (1 + 1e-12):
-                best_ids = ids
-                best_benefit = benefit
-                best_space = cand_space
-                best_ratio = ratio
-
+    def _scan_phase1(
+        self, engine, view_ids, sink, singles, space_left, ig_cap, strict
+    ) -> None:
+        """Phase 1 over ``view_ids``: per-view inner greedy.  Shared by
+        the serial stage (sink = incumbent chain) and pool workers (sink
+        = recorder over the worker's shard of the view order); ``singles``
+        is the maintained cache, or ``None`` to disable the lazy prune."""
         best_vec = engine.best_costs
         freq = engine.frequencies
         selected_mask = engine.selected_mask
-        singles = engine.single_benefits(lazy=True) if lazy else None
-
-        # phase 1: per-view inner greedy
-        for view_id in engine.view_ids():
+        for view_id in view_ids:
             view_id = int(view_id)
             if selected_mask[view_id]:
                 continue
-            if lazy and self._view_pruned(
-                engine, singles, view_id, selected_mask, best_ids, best_ratio
+            if singles is not None and self._view_pruned(
+                engine, singles, view_id, selected_mask, sink
             ):
                 continue
             ig = self._grow_ig(engine, view_id, best_vec, freq, ig_cap, selected_mask)
             if ig is not None:
-                offer(*ig)
+                ids, benefit, cand_space = ig
+                self._offer(sink, ids, benefit, cand_space, space_left, strict)
 
-        # phase 2: single indexes of already-selected views (vectorized)
+    def _scan_phase2(
+        self, engine, view_ids, sink, space_left, strict, lazy
+    ) -> None:
+        """Phase 2 over ``view_ids``: single unselected indexes of
+        already-selected views (vectorized benefits)."""
+        selected_mask = engine.selected_mask
         phase2 = [
             int(idx)
-            for view_id in engine.view_ids()
+            for view_id in view_ids
             if selected_mask[int(view_id)]
             for idx in engine.index_ids_of(int(view_id))
             if not selected_mask[int(idx)]
@@ -167,20 +185,22 @@ class InnerLevelGreedy(SelectionAlgorithm):
         if phase2:
             benefits = engine.single_benefits(phase2, lazy=lazy)
             for pos, idx in enumerate(phase2):
-                offer((idx,), float(benefits[pos]), float(engine.spaces[idx]))
-
-        if best_ids is None:
-            return None
-        return best_ids, best_space
+                self._offer(
+                    sink,
+                    (idx,),
+                    float(benefits[pos]),
+                    float(engine.spaces[idx]),
+                    space_left,
+                    strict,
+                )
 
     @staticmethod
     def _view_pruned(
-        engine: BenefitEngine,
+        engine,
         singles: np.ndarray,
         view_id: int,
         selected_mask: np.ndarray,
-        best_ids: Optional[tuple],
-        best_ratio: float,
+        sink,
     ) -> bool:
         """True when no IG set grown from this view can displace the
         incumbent: a set's benefit/space ratio never exceeds the maximum
@@ -195,9 +215,9 @@ class InnerLevelGreedy(SelectionAlgorithm):
             ratio_ub = max(ratio_ub, idx_ub)
         if ratio_ub <= 0.0:
             return True  # the grown set's benefit cannot be positive
-        if best_ids is None:
+        if sink.ids is None:
             return False
-        return ratio_ub <= best_ratio * (1 + 1e-12)
+        return ratio_ub <= sink.prune_ratio
 
     def _grow_ig(
         self,

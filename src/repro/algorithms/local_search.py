@@ -343,6 +343,10 @@ class LocalSearchRefiner:
         seed_names = [
             engine.name_of(i) for i in self._view_first_order(engine, base)
         ]
-        result = RGreedy(2, fit="strict").run(engine, space, seed=seed_names)
+        # always serial: local search restores engine state mid-run, which
+        # a live pool's shared state snapshot would not follow
+        result = RGreedy(2, fit="strict", workers=1).run(
+            engine, space, seed=seed_names
+        )
         selection = {engine.structure_id(name) for name in result.selected}
         return selection, result.benefit

@@ -37,11 +37,10 @@ from repro.algorithms.base import (
 )
 from repro.core.benefit import BenefitEngine
 from repro.core.selection import SelectionResult
+from repro.parallel import ChainSink, make_evaluator
 
 
-def structure_update_costs(
-    engine: BenefitEngine, delta_rows: float
-) -> np.ndarray:
+def structure_update_costs(engine, delta_rows: float) -> np.ndarray:
     """Per-structure refresh cost per delta batch, in rows.
 
     Mirrors what :func:`repro.engine.maintenance.apply_delta` actually
@@ -72,13 +71,19 @@ class MaintenanceAwareGreedy(SelectionAlgorithm):
         Rows per delta batch, for the update-cost model.
     """
 
-    def __init__(self, update_weight: float = 0.0, delta_rows: float = 1000.0):
+    def __init__(
+        self,
+        update_weight: float = 0.0,
+        delta_rows: float = 1000.0,
+        workers: Optional[int] = None,
+    ):
         if update_weight < 0:
             raise ValueError("update_weight must be >= 0")
         if delta_rows < 0:
             raise ValueError("delta_rows must be >= 0")
         self.update_weight = float(update_weight)
         self.delta_rows = float(delta_rows)
+        self.workers = workers
         self.name = f"maintenance-aware greedy (λ={self.update_weight:g})"
 
     def config(self) -> dict:
@@ -87,6 +92,7 @@ class MaintenanceAwareGreedy(SelectionAlgorithm):
             "params": {
                 "update_weight": self.update_weight,
                 "delta_rows": self.delta_rows,
+                "workers": self.workers,
             },
         }
 
@@ -101,58 +107,70 @@ class MaintenanceAwareGreedy(SelectionAlgorithm):
         engine = as_engine(graph)
         update_costs = structure_update_costs(engine, self.delta_rows)
         tracker = StageTracker(self, engine, space, context)
+        evaluator = make_evaluator(engine, self.workers)
+        tracker.set_evaluator(evaluator)
         try:
             tracker.apply_seed(seed)
             while engine.space_used() < space - SPACE_EPS:
                 if tracker.replay_stage() is not None:
                     continue
-                candidate = self._best_stage(engine, space, update_costs)
+                candidate = evaluator.maintenance_stage(
+                    self, engine, space, update_costs
+                )
                 if candidate is None:
                     break
                 ids, cand_space = candidate
                 tracker.commit_stage(ids, stage_space=cand_space)
         except RuntimeStop as stop:
             raise tracker.interrupted(stop)
+        finally:
+            evaluator.close()
         return tracker.finish()
 
     # ------------------------------------------------------------ internals
 
     def _best_stage(self, engine: BenefitEngine, space: float, update_costs):
         space_left = space - engine.space_used()
-        selected = engine.selected_ids
         singles = engine.single_benefits()
-        best: Optional[tuple] = None
-        best_ratio = 0.0
+        sink = ChainSink()
+        self._scan_views(
+            engine, engine.view_ids(), sink, space_left, update_costs, singles
+        )
+        if sink.ids is None:
+            return None
+        return sink.ids, sink.space
+
+    def _scan_views(
+        self, engine, view_ids, sink, space_left, update_costs, singles
+    ) -> None:
+        """Offer every candidate (with its *net* benefit) rooted at
+        ``view_ids`` to ``sink``, in the canonical view-major order —
+        shared by the serial stage and the pool workers."""
+        selected = engine.selected_mask
 
         def offer(ids, benefit):
-            nonlocal best, best_ratio
             cand_space = engine.space_of(ids)
             if cand_space <= 0 or cand_space > space_left + SPACE_EPS:
                 return
             net = benefit - self.update_weight * float(
                 update_costs[list(ids)].sum()
             )
-            if net <= 0:
-                return
-            ratio = net / cand_space
-            if best is None or ratio > best_ratio * (1 + 1e-12):
-                best = (tuple(ids), cand_space)
-                best_ratio = ratio
+            sink.offer(tuple(ids), net, cand_space)
 
         best_vec = engine.best_costs
-        for view_id in engine.view_ids():
+        for view_id in view_ids:
             view_id = int(view_id)
-            if view_id in selected:
+            if selected[view_id]:
                 for idx in engine.index_ids_of(view_id):
                     idx = int(idx)
-                    if idx not in selected:
+                    if not selected[idx]:
                         offer([idx], float(singles[idx]))
                 continue
             offer([view_id], float(singles[view_id]))
             # 2-greedy shape: the view with its single best index
             base = engine.minimum_with(best_vec, view_id)
             idxs = [
-                int(i) for i in engine.index_ids_of(view_id) if int(i) not in selected
+                int(i) for i in engine.index_ids_of(view_id) if not selected[int(i)]
             ]
             if idxs:
                 gains = engine.gains_for(np.asarray(idxs, dtype=np.int64), base)
@@ -161,4 +179,3 @@ class MaintenanceAwareGreedy(SelectionAlgorithm):
                     [view_id, idxs[pos]],
                     float(singles[view_id]) + float(gains[pos]),
                 )
-        return best

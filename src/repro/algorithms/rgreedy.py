@@ -52,29 +52,14 @@ from repro.algorithms.base import (
 )
 from repro.core.benefit import BenefitEngine
 from repro.core.selection import SelectionResult
+from repro.parallel import ChainSink, make_evaluator
 
-
-class _Candidate:
-    """Best candidate tracker for one stage (deterministic tie-breaking:
-    first candidate found at a strictly better ratio wins)."""
-
-    __slots__ = ("ratio", "benefit", "space", "ids")
-
-    def __init__(self) -> None:
-        self.ratio = 0.0
-        self.benefit = 0.0
-        self.space = 0.0
-        self.ids: Optional[tuple] = None
-
-    def offer(self, ids: tuple, benefit: float, space: float) -> None:
-        if benefit <= 0.0 or space <= 0.0:
-            return
-        ratio = benefit / space
-        if self.ids is None or ratio > self.ratio * (1 + 1e-12):
-            self.ratio = ratio
-            self.benefit = benefit
-            self.space = space
-            self.ids = ids
+#: The stage incumbent chain (deterministic tie-breaking: first candidate
+#: found at a strictly better ratio wins).  The scan methods below take
+#: any sink with the same ``offer``/``prune_ratio``/``can_displace``
+#: surface — parallel workers substitute a
+#: :class:`~repro.parallel.sinks.RecorderSink`.
+_Candidate = ChainSink
 
 
 class RGreedy(SelectionAlgorithm):
@@ -92,20 +77,38 @@ class RGreedy(SelectionAlgorithm):
         backend, eager on the dense one.  ``True``/``False`` force the
         maintained-cache or full-rescan stage loop.  Both produce the
         same selection.
+    workers:
+        Stage-evaluation parallelism (see :mod:`repro.parallel`):
+        ``None`` defers to ``REPRO_WORKERS`` (unset = serial), ``1`` is
+        serial, ``0`` auto-sizes to the machine (falling back to serial
+        on small problems), ``N >= 2`` forces a pool.  Parallel runs
+        select bit-identical structures.
     """
 
-    def __init__(self, r: int = 1, fit: str = FIT_STRICT, lazy: Optional[bool] = None):
+    def __init__(
+        self,
+        r: int = 1,
+        fit: str = FIT_STRICT,
+        lazy: Optional[bool] = None,
+        workers: Optional[int] = None,
+    ):
         if r < 1:
             raise ValueError(f"r must be >= 1, got {r}")
         self.r = int(r)
         self.fit = check_fit(fit)
         self.lazy = lazy
+        self.workers = workers
         self.name = f"{self.r}-greedy"
 
     def config(self) -> dict:
         return {
             "class": "RGreedy",
-            "params": {"r": self.r, "fit": self.fit, "lazy": self.lazy},
+            "params": {
+                "r": self.r,
+                "fit": self.fit,
+                "lazy": self.lazy,
+                "workers": self.workers,
+            },
         }
 
     def run(
@@ -119,17 +122,21 @@ class RGreedy(SelectionAlgorithm):
         engine = as_engine(graph)
         lazy = resolve_lazy(self.lazy, engine)
         tracker = StageTracker(self, engine, space, context)
+        evaluator = make_evaluator(engine, self.workers)
+        tracker.set_evaluator(evaluator)
         try:
             tracker.apply_seed(seed)
             while engine.space_used() < space - SPACE_EPS:
                 if tracker.replay_stage() is not None:
                     continue
-                candidate = self._best_stage(engine, space, lazy)
+                candidate = evaluator.rgreedy_stage(self, engine, space, lazy)
                 if candidate.ids is None:
                     break
                 tracker.commit_stage(candidate.ids, stage_space=candidate.space)
         except RuntimeStop as stop:
             raise tracker.interrupted(stop)
+        finally:
+            evaluator.close()
         return tracker.finish()
 
     # ------------------------------------------------------------ internals
@@ -155,18 +162,42 @@ class RGreedy(SelectionAlgorithm):
                 best.offer((sid,), benefit, sid_space)
             return best
 
+        # one pass gives every structure's standalone benefit (used
+        # directly for bare views and for phase-2 single indexes); in lazy
+        # mode this reads the incrementally maintained cache instead
+        singles = engine.single_benefits(lazy=lazy)
+        self._scan_views(
+            engine, engine.view_ids(), best, singles, space_left, strict, lazy
+        )
+        return best
+
+    def _scan_views(
+        self,
+        engine,
+        view_ids,
+        best,
+        singles: np.ndarray,
+        space_left: float,
+        strict: bool,
+        lazy: bool,
+    ) -> None:
+        """Offer every candidate bundle rooted at ``view_ids`` to ``best``.
+
+        The one scan implementation serial and parallel runs share:
+        ``engine`` is either the real :class:`BenefitEngine` or a
+        worker's shared-memory view, ``best`` either the serial incumbent
+        chain or a worker's recorder.  Offers happen in the canonical
+        view-major order restricted to ``view_ids``.
+        """
+
         def fits(candidate_space: float) -> bool:
             return not strict or candidate_space <= space_left + SPACE_EPS
 
         best_vec = engine.best_costs
         freq = engine.frequencies
         selected_mask = engine.selected_mask
-        # one pass gives every structure's standalone benefit (used
-        # directly for bare views and for phase-2 single indexes); in lazy
-        # mode this reads the incrementally maintained cache instead
-        singles = engine.single_benefits(lazy=lazy)
 
-        for view_id in engine.view_ids():
+        for view_id in view_ids:
             view_id = int(view_id)
             if selected_mask[view_id]:
                 # phase 2 shape: single unselected indexes of selected views
@@ -211,12 +242,11 @@ class RGreedy(SelectionAlgorithm):
                 unselected_idx,
                 singles,
             )
-        return best
 
     def _subtree_pruned(
         self,
-        engine: BenefitEngine,
-        best: _Candidate,
+        engine,
+        best,
         singles: np.ndarray,
         view_benefit: float,
         view_space: float,
@@ -243,7 +273,7 @@ class RGreedy(SelectionAlgorithm):
             return False
         idx_singles = np.sort(idx_singles[positive])[::-1]
         min_space = float(engine.spaces[unselected_idx[positive]].min())
-        threshold = best.ratio * (1 + 1e-12)
+        threshold = best.prune_ratio
         max_extra = min(self.r - 1, idx_singles.size)
         cum_benefit = view_benefit
         for k in range(1, max_extra + 1):
@@ -257,8 +287,8 @@ class RGreedy(SelectionAlgorithm):
 
     def _search_index_subsets(
         self,
-        engine: BenefitEngine,
-        best: _Candidate,
+        engine,
+        best,
         view_id: int,
         view_space: float,
         view_benefit: float,
@@ -321,7 +351,7 @@ class RGreedy(SelectionAlgorithm):
                 ub_space = cur_space + extra * min_idx_space
                 if extra == 0 and chosen == 0:
                     continue  # the bare view was already offered
-                if ub_benefit > best.ratio * ub_space * (1 + 1e-12):
+                if best.can_displace(ub_benefit, ub_space):
                     return False
             return True
 

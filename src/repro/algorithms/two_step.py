@@ -31,6 +31,7 @@ from repro.algorithms.base import (
 )
 from repro.algorithms.hru import HRUGreedy
 from repro.core.selection import SelectionResult
+from repro.parallel import make_evaluator
 
 
 class TwoStep(SelectionAlgorithm):
@@ -61,6 +62,7 @@ class TwoStep(SelectionAlgorithm):
         fit: str = FIT_STRICT,
         index_budget_mode: str = "fraction",
         lazy: Optional[bool] = None,
+        workers: Optional[int] = None,
     ):
         if not 0.0 < view_fraction < 1.0:
             raise ValueError(
@@ -75,6 +77,7 @@ class TwoStep(SelectionAlgorithm):
         self.fit = check_fit(fit)
         self.index_budget_mode = index_budget_mode
         self.lazy = lazy
+        self.workers = workers
         self.name = f"two-step (views {self.view_fraction:.0%})"
 
     def config(self) -> dict:
@@ -85,6 +88,7 @@ class TwoStep(SelectionAlgorithm):
                 "fit": self.fit,
                 "index_budget_mode": self.index_budget_mode,
                 "lazy": self.lazy,
+                "workers": self.workers,
             },
         }
 
@@ -104,32 +108,43 @@ class TwoStep(SelectionAlgorithm):
         # distinct from the HRU step's, so resume replays each loop's own
         # stages only
         tracker = StageTracker(self, engine, space, context, scope="TwoStep.index")
-
-        # step 1: [HRU96] greedy over views, within the view share.  Running
-        # it on the shared engine leaves the chosen views committed, so the
-        # index step below starts from that state.  The seed (typically the
-        # top view) counts against the view share.
-        hru = HRUGreedy(fit=self.fit, lazy=lazy)
+        # both steps share one evaluator (one pool, one shared-memory
+        # export); the HRU step receives it explicitly and leaves closing
+        # to us
+        evaluator = make_evaluator(engine, self.workers)
+        tracker.set_evaluator(evaluator)
         try:
-            step1 = hru.run(engine, view_budget, seed=seed, context=context)
-        except RuntimeStop as stop:
-            tracker.adopt(stop.result)
-            raise tracker.interrupted(stop)
-        tracker.adopt(step1)
+            # step 1: [HRU96] greedy over views, within the view share.
+            # Running it on the shared engine leaves the chosen views
+            # committed, so the index step below starts from that state.
+            # The seed (typically the top view) counts against the view
+            # share.
+            hru = HRUGreedy(fit=self.fit, lazy=lazy)
+            try:
+                step1 = hru.run(
+                    engine, view_budget, seed=seed, context=context,
+                    evaluator=evaluator,
+                )
+            except RuntimeStop as stop:
+                tracker.adopt(stop.result)
+                raise tracker.interrupted(stop)
+            tracker.adopt(step1)
 
-        # step 2: greedy single indexes on the selected views, within the
-        # index share.
-        if self.index_budget_mode == "remaining":
-            index_budget = space - engine.space_used()
-        else:
-            index_budget = space - view_budget
-        try:
-            self._index_loop(engine, index_budget, lazy, tracker)
-        except RuntimeStop as stop:
-            raise tracker.interrupted(stop)
+            # step 2: greedy single indexes on the selected views, within
+            # the index share.
+            if self.index_budget_mode == "remaining":
+                index_budget = space - engine.space_used()
+            else:
+                index_budget = space - view_budget
+            try:
+                self._index_loop(engine, index_budget, lazy, tracker, evaluator)
+            except RuntimeStop as stop:
+                raise tracker.interrupted(stop)
+        finally:
+            evaluator.close()
         return tracker.finish()
 
-    def _index_loop(self, engine, index_budget, lazy, tracker) -> None:
+    def _index_loop(self, engine, index_budget, lazy, tracker, evaluator) -> None:
         index_used = 0.0
         strict = self.fit == FIT_STRICT
 
@@ -150,39 +165,15 @@ class TwoStep(SelectionAlgorithm):
                 index_used += replayed.space
                 continue
             space_left = index_budget - index_used
-            if lazy:
-                # maintained-cache pass: same candidate order, filters and
-                # tie-break as the eager loop below
-                pick = engine.lazy_best_single(
-                    candidate_indexes, space_left if strict else None
-                )
-                if pick is None:
-                    break
-                best_id, best_benefit, best_space, _ratio = pick
-            else:
-                benefits = engine.single_benefits(candidate_indexes, lazy=False)
-                best_id = None
-                best_benefit = 0.0
-                best_space = 0.0
-                best_ratio = 0.0
-                for pos, idx in enumerate(candidate_indexes):
-                    idx = int(idx)
-                    if engine.is_selected(idx):
-                        continue
-                    idx_space = float(engine.spaces[idx])
-                    if strict and idx_space > space_left + SPACE_EPS:
-                        continue
-                    benefit = float(benefits[pos])
-                    if benefit <= 0.0:
-                        continue
-                    ratio = benefit / idx_space
-                    if best_id is None or ratio > best_ratio * (1 + 1e-12):
-                        best_id = idx
-                        best_benefit = benefit
-                        best_space = idx_space
-                        best_ratio = ratio
-                if best_id is None:
-                    break
+            # one best-single pass over the candidate indexes: same
+            # candidate order, filters, and tie-break in the lazy, eager,
+            # and parallel evaluators
+            pick = evaluator.single_stage(
+                engine, candidate_indexes, space_left if strict else None, lazy
+            )
+            if pick is None:
+                break
+            best_id, best_benefit, best_space, _ratio = pick
             tracker.commit_stage(
                 [best_id], stage_space=best_space, stage_benefit=best_benefit
             )

@@ -50,12 +50,12 @@ EXIT_ERROR = 2
 EXIT_INTERRUPTED = 3
 
 ALGORITHMS = {
-    "1greedy": lambda fit: RGreedy(1, fit=fit),
-    "2greedy": lambda fit: RGreedy(2, fit=fit),
-    "3greedy": lambda fit: RGreedy(3, fit=fit),
-    "inner": lambda fit: InnerLevelGreedy(fit=fit),
-    "two-step": lambda fit: TwoStep(0.5, fit=fit),
-    "hru": lambda fit: HRUGreedy(fit=fit),
+    "1greedy": lambda fit, workers: RGreedy(1, fit=fit, workers=workers),
+    "2greedy": lambda fit, workers: RGreedy(2, fit=fit, workers=workers),
+    "3greedy": lambda fit, workers: RGreedy(3, fit=fit, workers=workers),
+    "inner": lambda fit, workers: InnerLevelGreedy(fit=fit, workers=workers),
+    "two-step": lambda fit, workers: TwoStep(0.5, fit=fit, workers=workers),
+    "hru": lambda fit, workers: HRUGreedy(fit=fit, workers=workers),
 }
 
 
@@ -126,6 +126,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a resumable checkpoint here after every committed "
         "stage (see 'repro resume')",
     )
+    advise.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel stage evaluation: 0 = auto-size to this machine "
+        "(serial on small problems), N >= 2 forces N workers; default "
+        "follows REPRO_WORKERS (unset = serial).  The selection is "
+        "bit-identical at any worker count",
+    )
 
     resume = sub.add_parser(
         "resume",
@@ -147,6 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--output", help="write the selection as JSON here")
     resume.add_argument("--deadline", type=float, default=None)
     resume.add_argument("--memory-limit-mb", type=float, default=None)
+    resume.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="override the worker count for the resumed run (0 = auto); "
+        "checkpoints resume identically at any worker count",
+    )
 
     explain = sub.add_parser(
         "explain", help="explain a saved selection: per-query plans and value"
@@ -263,7 +279,7 @@ def cmd_advise(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return EXIT_ERROR
-    algorithm = ALGORITHMS[args.algorithm](args.fit)
+    algorithm = ALGORITHMS[args.algorithm](args.fit, args.workers)
     return _run_with_context(algorithm, graph, args.space, seed, args)
 
 
@@ -275,6 +291,8 @@ def cmd_resume(args: argparse.Namespace) -> int:
     checkpoint = load_checkpoint(args.checkpoint)
     graph, __top, __rows = _load_graph(args.lattice, args.index_universe)
     algorithm = algorithm_from_config(checkpoint.algorithm)
+    if args.workers is not None and hasattr(algorithm, "workers"):
+        algorithm.workers = args.workers
     args.resume_from = checkpoint
     print(
         f"resuming {checkpoint.algorithm['class']} from stage "

@@ -85,6 +85,55 @@ def _gather_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     return np.repeat(starts - offsets, lengths) + np.arange(total, dtype=np.int64)
 
 
+def csr_gains(
+    row_ptr: np.ndarray,
+    row_cols: np.ndarray,
+    row_vals: np.ndarray,
+    frequencies: np.ndarray,
+    base: np.ndarray,
+    ids,
+) -> np.ndarray:
+    """Frequency-weighted positive gain of each structure in ``ids``
+    against the per-query cost vector ``base``, over a CSR edge store.
+
+    This is the batched gain kernel shared by :class:`BenefitEngine`
+    (``gains_for`` / subset single-benefit refresh) and the parallel
+    worker store (:mod:`repro.parallel.worker`): both sides evaluating a
+    candidate vector through the *same* kernel — same gather order, same
+    ``bincount`` summation — is what makes serial and parallel single
+    benefits bitwise identical.
+    """
+    arr = np.asarray(ids, dtype=np.int64)
+    if arr.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    starts = row_ptr[arr]
+    lengths = row_ptr[arr + 1] - starts
+    flat = _gather_ranges(starts, lengths)
+    cols = row_cols[flat]
+    contrib = base[cols] - row_vals[flat]
+    np.maximum(contrib, 0.0, out=contrib)
+    contrib *= frequencies[cols]
+    local = np.repeat(np.arange(arr.size, dtype=np.int64), lengths)
+    return np.bincount(local, weights=contrib, minlength=arr.size)
+
+
+def csr_minimum_with(
+    vec: np.ndarray,
+    row_ptr: np.ndarray,
+    row_cols: np.ndarray,
+    row_vals: np.ndarray,
+    structure_id: int,
+) -> np.ndarray:
+    """``np.minimum(vec, cost_row(structure_id))`` over a CSR edge store
+    without materializing the row.  Returns a new array."""
+    out = vec.copy()
+    lo, hi = row_ptr[structure_id], row_ptr[structure_id + 1]
+    cols = row_cols[lo:hi]
+    # fancy-indexed out= would write into a copy; assign instead
+    out[cols] = np.minimum(out[cols], row_vals[lo:hi])
+    return out
+
+
 def chain_pick(ratios: np.ndarray) -> Optional[int]:
     """Winner of the canonical greedy incumbent chain over ``ratios``.
 
@@ -411,6 +460,30 @@ class BenefitEngine:
             )
         return self._stage_candidates
 
+    # ------------------------------------------------------- shared export
+
+    def shared_arrays(self) -> dict:
+        """The immutable compiled arrays a parallel worker needs, by name.
+
+        Everything a :class:`repro.parallel.worker.WorkerStore` reads:
+        the CSR edge store, per-structure/per-query attributes, and the
+        canonical candidate order.  The CSC store stays master-side
+        (stale discovery runs there).  The returned arrays are the
+        engine's own — callers copy them into shared memory and must not
+        mutate them.
+        """
+        return {
+            "row_ptr": self._row_ptr,
+            "row_cols": self._row_cols,
+            "row_vals": self._row_vals,
+            "spaces": self.spaces,
+            "frequencies": self.frequencies,
+            "defaults": self.defaults,
+            "is_view": self.is_view,
+            "view_id_of": self.view_id_of,
+            "stage_candidates": self.stage_candidates(),
+        }
+
     # ------------------------------------------------------------- cost rows
 
     def cost_row(self, structure_id: int) -> np.ndarray:
@@ -431,12 +504,9 @@ class BenefitEngine:
         the row on the sparse backend.  Returns a new array."""
         if self._dense_cost is not None:
             return np.minimum(vec, self._dense_cost[structure_id])
-        out = vec.copy()
-        lo, hi = self._row_ptr[structure_id], self._row_ptr[structure_id + 1]
-        cols = self._row_cols[lo:hi]
-        # fancy-indexed out= would write into a copy; assign instead
-        out[cols] = np.minimum(out[cols], self._row_vals[lo:hi])
-        return out
+        return csr_minimum_with(
+            vec, self._row_ptr, self._row_cols, self._row_vals, structure_id
+        )
 
     def edge_cost_by_id(self, structure_id: int, query_id: int) -> float:
         """Cost of the (structure, query) edge, ``inf`` when absent."""
@@ -559,16 +629,14 @@ class BenefitEngine:
             return np.bincount(
                 self._nnz_rows, weights=contrib, minlength=self.n_structures
             )
-        arr = np.asarray(ids, dtype=np.int64)
-        starts = self._row_ptr[arr]
-        lengths = self._row_ptr[arr + 1] - starts
-        flat = _gather_ranges(starts, lengths)
-        cols = self._row_cols[flat]
-        contrib = self._best[cols] - self._row_vals[flat]
-        np.maximum(contrib, 0.0, out=contrib)
-        contrib *= self.frequencies[cols]
-        local = np.repeat(np.arange(arr.size, dtype=np.int64), lengths)
-        return np.bincount(local, weights=contrib, minlength=arr.size)
+        return csr_gains(
+            self._row_ptr,
+            self._row_cols,
+            self._row_vals,
+            self.frequencies,
+            self._best,
+            ids,
+        )
 
     def _ensure_singles(self) -> np.ndarray:
         if not self._singles_fresh:
@@ -576,29 +644,38 @@ class BenefitEngine:
             self._singles_fresh = True
         return self._singles
 
-    def _refresh_singles_after(self, old_best: np.ndarray) -> None:
-        """Incrementally re-score only structures touched by queries whose
-        best cost just dropped (the dirty columns).
+    def stale_structures_after(self, old_best: np.ndarray) -> np.ndarray:
+        """Structures whose standalone benefit may have changed since the
+        best-cost vector was ``old_best`` (sorted unique ids).
 
-        A structure is stale only when one of its dirty-column edges was
-        *beating* the old best cost there: an edge with
-        ``cost >= old_best`` contributed exactly zero before and (the best
-        only drops) still does, so the cached sum — the same addends in
-        the same order — is bitwise unchanged.
+        A structure is stale only when one of its edges into a *dirty*
+        query (best cost dropped) was *beating* the old best cost there:
+        an edge with ``cost >= old_best`` contributed exactly zero before
+        and (the best only drops) still does, so the cached sum — the
+        same addends in the same order — is bitwise unchanged.  This is
+        the discovery half of the maintained single-benefit cache; the
+        parallel evaluator calls it after every commit to route refresh
+        work to worker shards.
         """
         dirty = np.flatnonzero(self._best < old_best)
         if dirty.size == 0:
-            return
+            return np.empty(0, dtype=np.int64)
         starts = self._col_ptr[dirty]
         lengths = self._col_ptr[dirty + 1] - starts
         flat = _gather_ranges(starts, lengths)
         if flat.size == 0:
-            return
+            return np.empty(0, dtype=np.int64)
         beating = self._col_vals[flat] < np.repeat(old_best[dirty], lengths)
         if not beating.any():
-            return
-        stale = np.unique(self._col_rows[flat[beating]]).astype(np.int64)
-        self._singles[stale] = self._eager_singles_sparse(stale)
+            return np.empty(0, dtype=np.int64)
+        return np.unique(self._col_rows[flat[beating]]).astype(np.int64)
+
+    def _refresh_singles_after(self, old_best: np.ndarray) -> None:
+        """Incrementally re-score only structures touched by queries whose
+        best cost just dropped (see :meth:`stale_structures_after`)."""
+        stale = self.stale_structures_after(old_best)
+        if stale.size:
+            self._singles[stale] = self._eager_singles_sparse(stale)
 
     def invalidate(self, ids=None) -> None:
         """Drop (or selectively refresh) the maintained single-benefit cache.
@@ -650,11 +727,26 @@ class BenefitEngine:
         given — candidates that do not fit.  Returns
         ``(structure_id, benefit, space, ratio)`` or ``None``.
         """
+        return self.best_single(ids, space_left=space_left, lazy=True)
+
+    def best_single(
+        self, ids, space_left: Optional[float] = None, lazy: bool = True
+    ):
+        """Canonical single-structure stage pick over ``ids``.
+
+        Same offer stream and tie-break either way; ``lazy=True`` reads
+        the maintained cache, ``lazy=False`` recomputes the benefits
+        eagerly (the two agree bitwise on the sparse backend — the cache
+        invariant — and up to kernel summation order on the dense one).
+        Returns ``(structure_id, benefit, space, ratio)`` or ``None``.
+        """
         arr = np.asarray(ids, dtype=np.int64)
         if arr.size == 0:
             return None
-        singles = self._ensure_singles()
-        benefits = singles[arr]
+        if lazy:
+            benefits = self._ensure_singles()[arr]
+        else:
+            benefits = self.single_benefits(arr, lazy=False)
         spaces = self.spaces[arr]
         eligible = (benefits > 0.0) & ~self._selected_mask[arr]
         eligible &= self.is_view[arr] | self._selected_mask[self.view_id_of[arr]]
@@ -691,15 +783,9 @@ class BenefitEngine:
             gains_matrix = base - self._dense_cost[arr]
             np.maximum(gains_matrix, 0.0, out=gains_matrix)
             return gains_matrix @ self.frequencies
-        starts = self._row_ptr[arr]
-        lengths = self._row_ptr[arr + 1] - starts
-        flat = _gather_ranges(starts, lengths)
-        cols = self._row_cols[flat]
-        contrib = base[cols] - self._row_vals[flat]
-        np.maximum(contrib, 0.0, out=contrib)
-        contrib *= self.frequencies[cols]
-        local = np.repeat(np.arange(arr.size, dtype=np.int64), lengths)
-        return np.bincount(local, weights=contrib, minlength=arr.size)
+        return csr_gains(
+            self._row_ptr, self._row_cols, self._row_vals, self.frequencies, base, arr
+        )
 
     # ---------------------------------------------------------- set benefits
 

@@ -1,0 +1,50 @@
+"""Parallel stage evaluation over a shared-memory cost store.
+
+The package splits one greedy *stage* — evaluate every candidate
+view/index bundle against the current selection, keep the max-ratio
+one — across a process pool:
+
+:mod:`repro.parallel.sinks`
+    The offer protocol: the serial incumbent chain (:class:`ChainSink`)
+    and the worker-side strict-prefix-maxima recorder
+    (:class:`RecorderSink`).  Replaying the recorded offers through a
+    fresh chain reproduces the serial outcome bit-for-bit.
+:mod:`repro.parallel.shm`
+    ``multiprocessing.shared_memory`` packing of the engine's compiled
+    arrays and the per-stage mutable state (best costs, selection mask,
+    maintained single-benefit cache) — zero-copy worker attach, no
+    per-stage pickling of the matrix.
+:mod:`repro.parallel.worker`
+    The pool worker: a duck-typed read-only view of the engine over the
+    shared segments, running the *same* scan code the serial algorithms
+    use.
+:mod:`repro.parallel.evaluator`
+    :class:`StageEvaluator` (serial; the default) and
+    :class:`ParallelStageEvaluator` (shards candidates across the pool
+    and reduces deterministically); :func:`make_evaluator` resolves the
+    ``workers`` parameter (``None``/1 = serial, 0 = auto, ``N >= 2`` =
+    forced) against the ``REPRO_WORKERS`` environment variable and the
+    auto-fallback candidate-count threshold.
+"""
+
+from repro.parallel.evaluator import (
+    PARALLEL_MIN_STRUCTURES,
+    ParallelStageEvaluator,
+    StageEvaluator,
+    make_evaluator,
+    resolve_workers,
+)
+from repro.parallel.shm import SHM_PREFIX, leaked_segments
+from repro.parallel.sinks import ChainSink, RecorderSink
+
+__all__ = [
+    "PARALLEL_MIN_STRUCTURES",
+    "SHM_PREFIX",
+    "ChainSink",
+    "ParallelStageEvaluator",
+    "RecorderSink",
+    "StageEvaluator",
+    "leaked_segments",
+    "make_evaluator",
+    "resolve_workers",
+]

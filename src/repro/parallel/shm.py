@@ -1,0 +1,141 @@
+"""Shared-memory packing of numpy arrays for the worker pool.
+
+A :class:`ShmPack` lays a dict of arrays out in one
+``multiprocessing.shared_memory`` segment (64-byte aligned) and hands
+out a picklable *spec* from which workers re-attach zero-copy views.
+
+Lifetime contract: the **master owns the segment** — it unlinks on every
+exit path (the evaluator's idempotent ``close()``, called from the
+algorithm's ``finally``, the run context's stop drain, and ``atexit``).
+Workers only ever attach; :meth:`ShmPack.attach` immediately deregisters
+the segment from the process's ``resource_tracker`` so a worker exiting
+(or, under the spawn start method, its private tracker) can neither
+unlink the master's live segment nor warn about it.  Segment names carry
+:data:`SHM_PREFIX` so tests can scan ``/dev/shm`` for leaks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import secrets
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+#: Prefix of every segment this package creates (leak scans key on it).
+SHM_PREFIX = "repro-shm-"
+
+_ALIGN = 64
+_counter = itertools.count()
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _segment_name(tag: str) -> str:
+    return f"{SHM_PREFIX}{tag}-{os.getpid()}-{next(_counter)}-{secrets.token_hex(4)}"
+
+
+def leaked_segments(prefix: str = SHM_PREFIX) -> List[str]:
+    """Names of live shared-memory segments created by this package.
+
+    Scans ``/dev/shm`` (the Linux backing directory).  On platforms
+    without it the scan degrades to an empty list — the unlink paths are
+    still exercised, only the leak *assertion* loses teeth there.
+    """
+    root = Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-Linux only
+        return []
+    return sorted(p.name for p in root.glob(prefix + "*"))
+
+
+class ShmPack:
+    """A named set of numpy arrays in one shared-memory segment."""
+
+    def __init__(self, shm, arrays: Dict[str, np.ndarray], spec: dict, owner: bool):
+        self._shm = shm
+        self.arrays = arrays
+        self.spec = spec
+        self._owner = owner
+        self._closed = False
+
+    @classmethod
+    def create(cls, arrays: Dict[str, np.ndarray], tag: str) -> "ShmPack":
+        """Copy ``arrays`` into a fresh segment (master side)."""
+        fields = []
+        offset = 0
+        contiguous = {
+            key: np.ascontiguousarray(arr) for key, arr in arrays.items()
+        }
+        for key, arr in contiguous.items():
+            offset = _aligned(offset)
+            fields.append((key, arr.dtype.str, list(arr.shape), offset))
+            offset += arr.nbytes
+        shm = shared_memory.SharedMemory(
+            name=_segment_name(tag), create=True, size=max(offset, 1)
+        )
+        spec = {"name": shm.name, "fields": fields}
+        views = cls._views(shm, fields)
+        for key, arr in contiguous.items():
+            np.copyto(views[key], arr)
+        return cls(shm, views, spec, owner=True)
+
+    @classmethod
+    def attach(cls, spec: dict) -> "ShmPack":
+        """Attach to an existing segment from its spec (worker side).
+
+        Attaching must not (re-)register the segment with the process's
+        ``resource_tracker``: under the fork start method the workers
+        share the master's tracker, so a worker-side deregistration
+        would erase the master's own entry, and under spawn a private
+        tracker would unlink the master's live segment when the worker
+        exits (CPython gh-82300).  Registration is suppressed for the
+        duration of the attach instead.
+        """
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _no_shm_register(name, rtype):
+            if rtype != "shared_memory":  # pragma: no cover - shm only
+                original(name, rtype)
+
+        resource_tracker.register = _no_shm_register
+        try:
+            shm = shared_memory.SharedMemory(name=spec["name"])
+        finally:
+            resource_tracker.register = original
+        return cls(shm, cls._views(shm, spec["fields"]), spec, owner=False)
+
+    @staticmethod
+    def _views(shm, fields) -> Dict[str, np.ndarray]:
+        return {
+            key: np.ndarray(
+                tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
+            )
+            for key, dtype, shape, offset in fields
+        }
+
+    def close(self) -> None:
+        """Drop the mapping; the owner also unlinks the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        # release the exported views before the buffer can be closed
+        self.arrays = {}
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "ShmPack":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -51,6 +51,17 @@ except ImportError:  # pragma: no cover - POSIX containers always have it
 SEED_SCOPE = "seed"
 
 
+def _strip_workers(config: Dict) -> Dict:
+    """An algorithm config with the ``workers`` param removed (it does
+    not affect what gets selected, only how fast)."""
+    params = {
+        key: value
+        for key, value in dict(config.get("params", {})).items()
+        if key != "workers"
+    }
+    return {**config, "params": params}
+
+
 class RuntimeStop(Exception):
     """Base of all cooperative stops.
 
@@ -193,6 +204,8 @@ class RunContext:
         self._boundary: Optional[tuple] = None
         self._materialized: Optional[Checkpoint] = None
         self._last_write: Optional[float] = None
+        self._evaluators: List = []
+        self._workers: Optional[int] = None
 
     # -------------------------------------------------------------- binding
 
@@ -211,7 +224,10 @@ class RunContext:
         self._space_budget = float(space_budget)
         self._engine = engine
         if self._resume is not None:
-            if self._resume.algorithm != config:
+            # workers is an execution knob, not part of the algorithm's
+            # identity: parallel and serial runs select identically, so a
+            # checkpoint from either resumes under the other
+            if _strip_workers(self._resume.algorithm) != _strip_workers(config):
                 raise CheckpointError(
                     f"checkpoint was written by {self._resume.algorithm!r}, "
                     f"cannot resume with {config!r}"
@@ -243,6 +259,22 @@ class RunContext:
     @property
     def resume_checkpoint(self) -> Optional[Checkpoint]:
         return self._resume
+
+    def register_evaluator(self, evaluator) -> None:
+        """Track a run's stage evaluator so cooperative stops drain its
+        worker pool (and free its shared-memory segments) right after
+        the stop's checkpoint is flushed, and so checkpoints record the
+        resolved worker count."""
+        if evaluator not in self._evaluators:
+            self._evaluators.append(evaluator)
+        self._workers = int(getattr(evaluator, "workers", 1))
+
+    def _drain_evaluators(self) -> None:
+        for evaluator in self._evaluators:
+            try:
+                evaluator.close()
+            except Exception:  # pragma: no cover - stop path must not mask
+                pass
 
     # --------------------------------------------------------------- replay
 
@@ -288,12 +320,15 @@ class RunContext:
         if self._bound is None:
             raise RuntimeError("stage_boundary before bind()")
         self.stage_counter += 1
+        extra_dict = dict(extra) if extra else {}
+        if self._workers is not None:
+            extra_dict.setdefault("workers", self._workers)
         self._boundary = (
             self.stage_counter,
             len(self._records),
             float(engine.space_used()) if space_used is None else space_used,
             tuple(selected) if selected is not None else None,
-            dict(extra) if extra else {},
+            extra_dict,
         )
         self._engine = engine
         self._materialized = None
@@ -311,6 +346,9 @@ class RunContext:
         except RuntimeStop:
             if not wrote:
                 self._write_checkpoint(force=True)
+            # checkpoint is safely on disk; now drain any worker pool so
+            # the stop leaves no processes or /dev/shm segments behind
+            self._drain_evaluators()
             raise
 
     @property

@@ -17,10 +17,13 @@ The harness is the executable proof behind the checkpoint design:
    floats, no tolerance).
 
 The matrix covers every selection algorithm on the dense and sparse
-engine backends with the lazy stage loops forced on and off.  Run it
-from the command line for the CI smoke::
+engine backends with the lazy stage loops forced on and off, and — via
+``workers_modes`` / ``--workers`` — with the stage scans running in a
+forced process pool, proving a kill with a live pool still checkpoints,
+drains, and resumes bit-identically (at any worker count).  Run it from
+the command line for the CI smoke::
 
-    PYTHONPATH=src python -m repro.runtime.faults --dims 4
+    PYTHONPATH=src python -m repro.runtime.faults --dims 4 --workers 1,2
 """
 
 from __future__ import annotations
@@ -47,7 +50,8 @@ from repro.runtime.context import InjectedFault, RunContext
 
 @dataclass(frozen=True)
 class FaultCase:
-    """One kill-and-resume experiment: algorithm × backend × lazy × k."""
+    """One kill-and-resume experiment: algorithm × backend × lazy ×
+    workers × k."""
 
     algorithm: str
     backend: str
@@ -55,14 +59,15 @@ class FaultCase:
     stage: int
     n_stages: int
     ok: bool
+    workers: int = 1
     detail: str = ""
 
     def __str__(self) -> str:
         status = "ok" if self.ok else "FAIL"
         mode = "lazy" if self.lazy else "eager"
         base = (
-            f"[{status}] {self.algorithm} / {self.backend}/{mode} "
-            f"killed at {self.stage}/{self.n_stages}"
+            f"[{status}] {self.algorithm} / {self.backend}/{mode}/"
+            f"w{self.workers} killed at {self.stage}/{self.n_stages}"
         )
         return base + (f": {self.detail}" if self.detail else "")
 
@@ -111,6 +116,7 @@ def fault_scan(
     algorithm: str,
     backend: str,
     lazy: bool,
+    workers: int = 1,
     rebuild: bool = True,
 ) -> Tuple[SelectionResult, List[FaultCase]]:
     """Kill ``run`` at every stage boundary and resume; return the cases.
@@ -151,6 +157,7 @@ def fault_scan(
                 stage=k,
                 n_stages=n_stages,
                 ok=not detail,
+                workers=workers,
                 detail=detail,
             )
         )
@@ -160,8 +167,10 @@ def fault_scan(
 # --------------------------------------------------------------- the matrix
 
 
-def default_algorithms(lazy: bool) -> List[Tuple[str, object]]:
-    """The selection algorithms under test, built for one lazy mode."""
+def default_algorithms(lazy: bool, workers: int = 1) -> List[Tuple[str, object]]:
+    """The selection algorithms under test, built for one lazy mode and
+    worker count (local search is always serial — it restores engine
+    state mid-run, which a pool's shared snapshot would not follow)."""
     from repro.algorithms import (
         HRUGreedy,
         InnerLevelGreedy,
@@ -171,10 +180,10 @@ def default_algorithms(lazy: bool) -> List[Tuple[str, object]]:
     )
 
     return [
-        ("RGreedy(r=2)", RGreedy(2, lazy=lazy)),
-        ("HRUGreedy", HRUGreedy(lazy=lazy)),
-        ("InnerLevelGreedy", InnerLevelGreedy(lazy=lazy)),
-        ("TwoStep", TwoStep(lazy=lazy)),
+        ("RGreedy(r=2)", RGreedy(2, lazy=lazy, workers=workers)),
+        ("HRUGreedy", HRUGreedy(lazy=lazy, workers=workers)),
+        ("InnerLevelGreedy", InnerLevelGreedy(lazy=lazy, workers=workers)),
+        ("TwoStep", TwoStep(lazy=lazy, workers=workers)),
         ("LocalSearchRefiner", LocalSearchRefiner(lazy=lazy)),
     ]
 
@@ -192,7 +201,8 @@ def fault_matrix(
     *,
     backends: Sequence[str] = ("dense", "sparse"),
     lazy_modes: Sequence[bool] = (False, True),
-    algorithms: Optional[Callable[[bool], List[Tuple[str, object]]]] = None,
+    workers_modes: Sequence[int] = (1,),
+    algorithms: Optional[Callable[..., List[Tuple[str, object]]]] = None,
     seed: Optional[Sequence[str]] = None,
 ) -> List[FaultCase]:
     """Run the full kill/resume matrix; returns every case (ok or not).
@@ -200,6 +210,9 @@ def fault_matrix(
     The :class:`~repro.algorithms.local_search.LocalSearchRefiner` entry
     refines a 1-greedy base selection (its natural usage); all other
     algorithms run from the seed (default: the top view).
+    ``workers_modes`` adds a column per worker count: ``2`` (or more)
+    forces a process pool even below the auto threshold, so the kill
+    lands while shared-memory segments are live.
     """
     from repro.algorithms import RGreedy
 
@@ -209,24 +222,31 @@ def fault_matrix(
         engine = BenefitEngine(graph, backend=backend)
         run_seed = list(seed) if seed is not None else [top_view_of(engine)]
         base = RGreedy(1).run(engine, space, seed=run_seed)
-        for lazy in lazy_modes:
-            for label, algorithm in make_algorithms(lazy):
-                if hasattr(algorithm, "refine"):
-                    def run(context=None, _a=algorithm):
-                        return _a.refine(
-                            engine,
-                            space,
-                            base.selected,
-                            protected=run_seed,
-                            context=context,
-                        )
-                else:
-                    def run(context=None, _a=algorithm):
-                        return _a.run(engine, space, seed=run_seed, context=context)
-                __, scan = fault_scan(
-                    run, algorithm=label, backend=backend, lazy=lazy
-                )
-                cases.extend(scan)
+        for workers in workers_modes:
+            for lazy in lazy_modes:
+                for label, algorithm in make_algorithms(lazy, workers):
+                    if hasattr(algorithm, "refine"):
+                        def run(context=None, _a=algorithm):
+                            return _a.refine(
+                                engine,
+                                space,
+                                base.selected,
+                                protected=run_seed,
+                                context=context,
+                            )
+                    else:
+                        def run(context=None, _a=algorithm):
+                            return _a.run(
+                                engine, space, seed=run_seed, context=context
+                            )
+                    __, scan = fault_scan(
+                        run,
+                        algorithm=label,
+                        backend=backend,
+                        lazy=lazy,
+                        workers=workers,
+                    )
+                    cases.extend(scan)
     return cases
 
 
@@ -275,6 +295,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="comma-separated engine backends (default dense,sparse)",
     )
     parser.add_argument(
+        "--workers",
+        default="1",
+        help="comma-separated worker counts to run the matrix under "
+        "(default 1; e.g. 1,2 adds a forced-pool column)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the case list as JSON"
     )
     args = parser.parse_args(argv)
@@ -283,7 +309,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     probe = BenefitEngine(graph)
     space = smoke_budget(probe, args.budget_fraction)
     backends = [b.strip() for b in args.backends.split(",") if b.strip()]
-    cases = fault_matrix(graph, space, backends=backends)
+    workers_modes = [
+        int(w.strip()) for w in args.workers.split(",") if w.strip()
+    ]
+    cases = fault_matrix(
+        graph, space, backends=backends, workers_modes=workers_modes
+    )
     failures = [case for case in cases if not case.ok]
     if args.json:
         print(json.dumps([case.__dict__ for case in cases], indent=2))
@@ -292,8 +323,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(case, file=sys.stderr)
         print(
             f"fault matrix: {len(cases)} kill/resume cases over "
-            f"{len(backends)} backend(s), d={args.dims}; "
-            f"{len(failures)} failure(s)"
+            f"{len(backends)} backend(s) x workers {workers_modes}, "
+            f"d={args.dims}; {len(failures)} failure(s)"
         )
     return 1 if failures else 0
 

@@ -1,0 +1,123 @@
+"""Parallel/serial equivalence: the determinism contract of the pool.
+
+A run with ``workers=2`` (forced, even below the auto threshold) must
+select **bit-identical** structures to the serial run — same picks in
+the same order, with equal per-stage benefits, spaces, and τ.  Stage
+benefits are compared with ``==`` (no tolerance) whenever the serial
+scan reads the CSR/maintained-cache kernels the workers also run
+(sparse backend, or ``lazy=True``); on the dense backend with eager
+scans the serial side uses the dense matmul kernel, which agrees with
+the CSR kernel only up to summation order (the same last-ulp caveat
+:meth:`BenefitEngine.best_single` documents for lazy-vs-eager), so
+there benefits are compared at ``rel=1e-12`` — selections stay exact.
+Enforced on the paper fixtures, on d=4/d=5 cube instances across both
+engine backends and both lazy modes, and on tie-heavy seeded random
+graphs (the regime where an offer-order slip in the reduction would
+surface as a different selection).
+
+Every run also asserts the pool left no shared-memory segments behind.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    HRUGreedy,
+    InnerLevelGreedy,
+    MaintenanceAwareGreedy,
+    RGreedy,
+    TwoStep,
+)
+from repro.core.benefit import BenefitEngine
+from repro.datasets.paper_figure2 import FIGURE2_SPACE
+from repro.parallel import leaked_segments
+from repro.runtime.faults import _cube_graph, smoke_budget, top_view_of
+
+from tests.algorithms.test_lazy_equivalence import budget_for, random_graph
+
+ALGORITHMS = [
+    ("1-greedy", lambda lz, w: RGreedy(1, lazy=lz, workers=w)),
+    ("2-greedy", lambda lz, w: RGreedy(2, lazy=lz, workers=w)),
+    ("hru", lambda lz, w: HRUGreedy(lazy=lz, workers=w)),
+    ("inner", lambda lz, w: InnerLevelGreedy(lazy=lz, workers=w)),
+    ("two-step", lambda lz, w: TwoStep(lazy=lz, workers=w)),
+    (
+        "maintenance",
+        lambda lz, w: MaintenanceAwareGreedy(update_weight=0.5, workers=w),
+    ),
+]
+IDS = [a[0] for a in ALGORITHMS]
+
+
+def assert_bit_identical(serial, parallel, exact=True):
+    check = (lambda v: v) if exact else (lambda v: pytest.approx(v, rel=1e-12))
+    assert parallel.selected == serial.selected
+    assert parallel.benefit == check(serial.benefit)
+    assert parallel.tau == serial.tau
+    assert parallel.space_used == serial.space_used
+    assert len(parallel.stages) == len(serial.stages)
+    for got, want in zip(parallel.stages, serial.stages):
+        assert got.structures == want.structures
+        assert got.benefit == check(want.benefit)
+        assert got.space == want.space
+        assert got.tau_after == want.tau_after
+
+
+def run_pair(make, graph, space, backend, lazy, seed=()):
+    serial = make(lazy, 1).run(
+        BenefitEngine(graph, backend=backend), space, seed=seed
+    )
+    parallel = make(lazy, 2).run(
+        BenefitEngine(graph, backend=backend), space, seed=seed
+    )
+    # dense + eager: the serial scan's dense matmul kernel matches the
+    # workers' CSR kernel only up to summation order (see module docstring)
+    assert_bit_identical(serial, parallel, exact=backend == "sparse" or lazy)
+    assert leaked_segments() == []
+
+
+@pytest.mark.parametrize("label,make", ALGORITHMS, ids=IDS)
+class TestOnFixtures:
+    def test_figure2(self, label, make, fig2_g):
+        run_pair(make, fig2_g, FIGURE2_SPACE, "sparse", True)
+
+    def test_example_2_1(self, label, make, tpcd_g):
+        space = 0.25 * sum(s.space for s in tpcd_g.structures)
+        run_pair(make, tpcd_g, space, "dense", False, seed=("psc",))
+
+
+@pytest.mark.parametrize("label,make", ALGORITHMS, ids=IDS)
+@pytest.mark.parametrize("backend", ["dense", "sparse"])
+@pytest.mark.parametrize("lazy", [False, True], ids=["eager", "lazy"])
+class TestOnCubeD4:
+    def test_d4(self, label, make, backend, lazy, d4_setup):
+        graph, space, seed = d4_setup
+        run_pair(make, graph, space, backend, lazy, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def d4_setup():
+    graph = _cube_graph(4)
+    engine = BenefitEngine(graph)
+    return graph, smoke_budget(engine, 0.3), (top_view_of(engine),)
+
+
+@pytest.fixture(scope="module")
+def d5_setup():
+    graph = _cube_graph(5)
+    engine = BenefitEngine(graph)
+    return graph, smoke_budget(engine, 0.1), (top_view_of(engine),)
+
+
+@pytest.mark.parametrize("label,make", ALGORITHMS, ids=IDS)
+class TestOnCubeD5:
+    def test_d5(self, label, make, d5_setup):
+        graph, space, seed = d5_setup
+        run_pair(make, graph, space, "sparse", True, seed=seed)
+
+
+@pytest.mark.parametrize("label,make", ALGORITHMS, ids=IDS)
+@pytest.mark.parametrize("seed", range(4))
+class TestOnRandomGraphs:
+    def test_tie_heavy(self, label, make, seed):
+        graph = random_graph(seed)
+        run_pair(make, graph, budget_for(graph), "sparse", True)

@@ -1,0 +1,93 @@
+"""Parallel load pipeline: wave materialization must produce a
+LoadReport identical to the serial loop — same steps, same sources, same
+row accounting, same ``on_step`` firing order — and bitwise-equal view
+tables."""
+
+import pytest
+
+from repro.core.view import View
+from repro.cube.generator import generate_fact_table
+from repro.cube.schema import CubeSchema, Dimension
+from repro.engine.catalog import Catalog
+from repro.engine.pipeline import materialize_selection
+
+VIEWS = [View(k) for k in ("abc", "ab", "ac", "bc", "a", "b", "c", "")]
+
+
+@pytest.fixture(scope="module")
+def fact():
+    schema = CubeSchema(
+        [Dimension("a", 20), Dimension("b", 12), Dimension("c", 6)]
+    )
+    return generate_fact_table(schema, 2_500, rng=6)
+
+
+def load(fact, workers, steps):
+    catalog = Catalog(fact)
+    report = materialize_selection(
+        catalog,
+        VIEWS,
+        workers=workers,
+        on_step=lambda rep, st: steps.append(st.view.key if st else None),
+    )
+    return catalog, report
+
+
+def test_workers_report_identical_to_serial(fact):
+    serial_steps, parallel_steps = [], []
+    serial_catalog, serial = load(fact, None, serial_steps)
+    parallel_catalog, parallel = load(fact, 2, parallel_steps)
+
+    assert [s.view.key for s in parallel.steps] == [
+        s.view.key for s in serial.steps
+    ]
+    assert [
+        s.source.key if s.source else None for s in parallel.steps
+    ] == [s.source.key if s.source else None for s in serial.steps]
+    assert [s.rows_scanned for s in parallel.steps] == [
+        s.rows_scanned for s in serial.steps
+    ]
+    assert [s.rows_produced for s in parallel.steps] == [
+        s.rows_produced for s in serial.steps
+    ]
+    assert parallel.rows_scanned == serial.rows_scanned
+    assert parallel.total_cost == serial.total_cost
+    assert parallel_steps == serial_steps
+    for view in VIEWS:
+        assert dict(parallel_catalog.view_table(view).iter_rows()) == dict(
+            serial_catalog.view_table(view).iter_rows()
+        )
+
+
+def test_workers_env_default(fact, monkeypatch):
+    from repro.parallel.evaluator import WORKERS_ENV
+
+    monkeypatch.setenv(WORKERS_ENV, "2")
+    serial_catalog = Catalog(fact)
+    serial = materialize_selection(serial_catalog, VIEWS, workers=1)
+    env_catalog = Catalog(fact)
+    env_report = materialize_selection(env_catalog, VIEWS)  # workers=None
+    assert [s.view.key for s in env_report.steps] == [
+        s.view.key for s in serial.steps
+    ]
+    assert env_report.rows_scanned == serial.rows_scanned
+
+
+def test_workers_with_indexes_and_resume(fact):
+    """Indexes still build serially after the waves, and a parallel load
+    resumed from a partial serial report skips the finished views."""
+    from repro.core.index import Index
+
+    catalog = Catalog(fact)
+    first = materialize_selection(catalog, VIEWS[:3])
+    resumed = materialize_selection(
+        catalog,
+        VIEWS,
+        indexes=[Index(View("ab"), ("a",))],
+        workers=2,
+        resume_from=first,
+    )
+    assert len(resumed.steps) == len(VIEWS)
+    assert resumed.indexes_built
+    fresh_keys = {s.view.key for s in resumed.steps[len(first.steps):]}
+    assert fresh_keys == {v.key for v in VIEWS[3:]}

@@ -1,0 +1,173 @@
+"""Unit tests for the parallel layer's pieces: worker-count resolution,
+the candidate partitioner, and the chain-equivalence lemma the whole
+reduction rests on."""
+
+import numpy as np
+import pytest
+
+from repro.core.benefit import BenefitEngine
+from repro.parallel import (
+    PARALLEL_MIN_STRUCTURES,
+    ChainSink,
+    ParallelStageEvaluator,
+    RecorderSink,
+    StageEvaluator,
+    make_evaluator,
+    resolve_workers,
+)
+from repro.parallel.evaluator import WORKERS_ENV, _partition
+
+from tests.algorithms.test_lazy_equivalence import random_graph
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == (1, False)
+
+    def test_explicit_one_is_serial(self):
+        assert resolve_workers(1) == (1, False)
+
+    def test_explicit_n_is_forced(self):
+        assert resolve_workers(2) == (2, True)
+        assert resolve_workers(6) == (6, True)
+
+    def test_zero_is_auto_not_forced(self):
+        import os
+
+        count, forced = resolve_workers(0)
+        assert count == min(os.cpu_count() or 1, 8)
+        assert not forced
+
+    def test_env_var_is_the_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers(None) == (3, True)
+        monkeypatch.setenv(WORKERS_ENV, "")
+        assert resolve_workers(None) == (1, False)
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert resolve_workers(1) == (1, False)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestMakeEvaluator:
+    def engine(self):
+        return BenefitEngine(random_graph(0), backend="sparse")
+
+    def test_serial_by_default(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        evaluator = make_evaluator(self.engine(), None)
+        assert type(evaluator) is StageEvaluator
+        assert not evaluator.is_parallel
+
+    def test_auto_falls_back_to_serial_on_small_problems(self):
+        engine = self.engine()
+        assert engine.n_structures < PARALLEL_MIN_STRUCTURES
+        evaluator = make_evaluator(engine, 0)
+        assert type(evaluator) is StageEvaluator
+
+    def test_explicit_count_forces_a_pool(self):
+        evaluator = make_evaluator(self.engine(), 2)
+        try:
+            assert isinstance(evaluator, ParallelStageEvaluator)
+            assert evaluator.workers == 2
+        finally:
+            evaluator.close()
+
+    def test_close_before_first_dispatch_is_safe(self):
+        evaluator = make_evaluator(self.engine(), 2)
+        evaluator.close()
+        evaluator.close()
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("workers", [1, 2, 3, 5])
+class TestPartition:
+    def test_partition_invariants(self, seed, workers):
+        engine = BenefitEngine(random_graph(seed), backend="sparse")
+        arrays = engine.shared_arrays()
+        candidates = arrays["stage_candidates"]
+        shards = _partition(
+            candidates, engine.is_view, arrays["row_ptr"], workers
+        )
+        assert len(shards) == workers
+        # contiguous cover of the canonical order
+        assert shards[0][0] == 0
+        assert shards[-1][1] == candidates.size
+        for (_, hi), (lo, _) in zip(shards, shards[1:]):
+            assert hi == lo
+        # a view and its indexes never straddle a shard boundary
+        for lo, hi in shards:
+            if lo < hi:
+                assert engine.is_view[candidates[lo]]
+            for sid in candidates[lo:hi]:
+                owner = int(engine.view_id_of[int(sid)])
+                position = int(np.flatnonzero(candidates == owner)[0])
+                assert lo <= position < hi
+
+    def test_empty_candidates(self, seed, workers):
+        del seed
+        shards = _partition(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=bool),
+            np.zeros(1, dtype=np.int64),
+            workers,
+        )
+        assert shards == [(0, 0)] * workers
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_chain_equivalence_lemma(seed):
+    """Strict prefix maxima per slice, replayed slice-by-slice through a
+    fresh chain, must land on the identical incumbent — the lemma that
+    makes the parallel reduction exact.  Small integer benefits/spaces
+    make exact ratio ties common, the regime where this could break."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 50))
+    offers = [
+        ((i,), float(rng.integers(0, 6)), float(rng.integers(1, 4)))
+        for i in range(n)
+    ]
+    serial = ChainSink()
+    for offer in offers:
+        serial.offer(*offer)
+    for n_slices in (1, 2, 3, 5, 8):
+        cuts = sorted(int(c) for c in rng.integers(0, n + 1, size=n_slices - 1))
+        bounds = [0] + cuts + [n]
+        merged = ChainSink()
+        recorded = 0
+        for lo, hi in zip(bounds, bounds[1:]):
+            recorder = RecorderSink()
+            for offer in offers[lo:hi]:
+                recorder.offer(*offer)
+            recorded += len(recorder.offers)
+            for offer in recorder.offers:
+                merged.offer(*offer)
+        assert merged.ids == serial.ids
+        assert merged.ratio == serial.ratio
+        assert merged.benefit == serial.benefit
+        assert merged.space == serial.space
+        assert recorded <= n
+
+
+def test_recorder_keeps_only_strict_prefix_maxima():
+    recorder = RecorderSink()
+    recorder.offer((0,), 4.0, 2.0)  # ratio 2 — kept
+    recorder.offer((1,), 2.0, 1.0)  # ratio 2, tie — dropped
+    recorder.offer((2,), 3.0, 1.0)  # ratio 3 — kept
+    recorder.offer((3,), 0.0, 1.0)  # non-positive — dropped
+    recorder.offer((4,), 5.0, 1.0)  # ratio 5 — kept
+    assert [offer[0] for offer in recorder.offers] == [(0,), (2,), (4,)]
+
+
+def test_chain_sink_tie_break_keeps_first():
+    sink = ChainSink()
+    sink.offer((0,), 4.0, 2.0)
+    sink.offer((1,), 8.0, 4.0)  # exactly equal ratio — incumbent stays
+    assert sink.ids == (0,)
+    sink.offer((2,), 9.0, 4.0)
+    assert sink.ids == (2,)

@@ -1,0 +1,169 @@
+"""Runtime integration for the parallel layer: cooperative stops drain
+the worker pool and unlink its shared-memory segments, checkpoints
+record the resolved worker count, and a checkpoint written at any
+worker count resumes bit-identically at any other."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms import RGreedy
+from repro.core.benefit import BenefitEngine
+from repro.parallel import leaked_segments
+from repro.runtime.context import InjectedFault, Interrupted, RunContext
+from repro.runtime.faults import (
+    _cube_graph,
+    _roundtrip,
+    compare_results,
+    smoke_budget,
+    top_view_of,
+)
+
+
+@pytest.fixture(scope="module")
+def d4():
+    graph = _cube_graph(4)
+    probe = BenefitEngine(graph, backend="sparse")
+    return graph, smoke_budget(probe, 0.3), top_view_of(probe)
+
+
+def make_run(graph, space, seed, workers):
+    def run(context=None):
+        engine = BenefitEngine(graph, backend="sparse")
+        return RGreedy(2, workers=workers).run(
+            engine, space, seed=[seed], context=context
+        )
+
+    return run
+
+
+class TestStopDrain:
+    def test_injected_fault_drains_pool(self, d4):
+        graph, space, seed = d4
+        with pytest.raises(InjectedFault) as info:
+            make_run(graph, space, seed, workers=2)(RunContext(fault_stage=2))
+        assert leaked_segments() == []
+        checkpoint = info.value.checkpoint
+        assert checkpoint is not None
+        assert checkpoint.extra["workers"] == 2
+
+    def test_signal_stop_drains_pool(self, d4):
+        """The cooperative SIGTERM path: the stop lands at the next
+        stage boundary, after the checkpoint, and tears the pool down."""
+        graph, space, seed = d4
+        context = RunContext()
+        context.request_stop(signal.SIGTERM)
+        with pytest.raises(Interrupted):
+            make_run(graph, space, seed, workers=2)(context)
+        assert leaked_segments() == []
+
+    def test_deadline_stop_drains_pool(self, d4):
+        graph, space, seed = d4
+        from repro.runtime.context import BudgetExceeded
+
+        with pytest.raises(BudgetExceeded):
+            make_run(graph, space, seed, workers=2)(RunContext(deadline=0.0))
+        assert leaked_segments() == []
+
+
+class TestCheckpointWorkers:
+    def test_serial_run_records_workers_1(self, d4):
+        graph, space, seed = d4
+        with pytest.raises(InjectedFault) as info:
+            make_run(graph, space, seed, workers=1)(RunContext(fault_stage=1))
+        assert info.value.checkpoint.extra["workers"] == 1
+
+
+@pytest.mark.parametrize(
+    "write_workers,resume_workers", [(2, 1), (1, 2), (2, 2)]
+)
+def test_resume_across_worker_counts(d4, write_workers, resume_workers):
+    """A checkpoint is an execution artifact, not an algorithm identity:
+    whatever worker count wrote it, resuming at any other count must
+    reproduce the golden serial run bit for bit."""
+    graph, space, seed = d4
+    golden_context = RunContext()
+    golden = make_run(graph, space, seed, workers=1)(golden_context)
+    n_stages = golden_context.stage_counter
+    assert n_stages >= 2
+    kill_at = max(1, n_stages // 2)
+    with pytest.raises(InjectedFault) as info:
+        make_run(graph, space, seed, write_workers)(
+            RunContext(fault_stage=kill_at)
+        )
+    checkpoint = _roundtrip(info.value.checkpoint)
+    resumed = make_run(graph, space, seed, resume_workers)(
+        RunContext(resume_from=checkpoint)
+    )
+    assert compare_results(golden, resumed) == ""
+    assert leaked_segments() == []
+
+
+_CHILD = """
+import signal, sys
+from repro.algorithms import RGreedy
+from repro.core.benefit import BenefitEngine
+from repro.parallel import leaked_segments
+from repro.runtime.context import RunContext, RuntimeStop
+from repro.runtime.faults import _cube_graph, smoke_budget, top_view_of
+
+graph = _cube_graph(4)
+probe = BenefitEngine(graph, backend="sparse")
+space = smoke_budget(probe, 0.3)
+seed = [top_view_of(probe)]
+
+state = {"ctx": None, "sig": False}
+
+def on_sig(signum, frame):
+    state["sig"] = True
+    if state["ctx"] is not None:
+        state["ctx"].request_stop(signum)
+
+signal.signal(signal.SIGTERM, on_sig)
+print("ready", flush=True)
+while not state["sig"]:
+    context = RunContext()
+    state["ctx"] = context
+    engine = BenefitEngine(graph, backend="sparse")
+    try:
+        RGreedy(2, workers=2).run(engine, space, seed=seed, context=context)
+    except RuntimeStop:
+        break
+print("drained", flush=True)
+sys.exit(0 if not leaked_segments() else 3)
+"""
+
+
+def test_sigterm_mid_run_leaves_no_segments(tmp_path):
+    """End to end: SIGTERM a process mid-parallel-run; the handler routes
+    the signal to the run context, the next stage boundary drains the
+    pool, and ``/dev/shm`` ends up clean (exit code 3 = child saw leaks)."""
+    script = tmp_path / "child.py"
+    script.write_text(_CHILD)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, str(script)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        assert proc.stdout.readline().strip() == "ready"
+        time.sleep(0.5)
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=120)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on failure
+            proc.kill()
+            proc.communicate()
+    assert "drained" in out, err
+    assert proc.returncode == 0, (out, err)
+    assert leaked_segments() == []

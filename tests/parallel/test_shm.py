@@ -1,0 +1,121 @@
+"""Shared-memory pack: layout round-trip and segment lifetime.
+
+The lifetime contract under test: the master *owns* the segment and is
+the only unlinking party; workers attach without registering with any
+resource tracker, so neither a worker exit nor the tracker can tear a
+live segment out from under the master.  Every ``close()`` path must
+leave ``/dev/shm`` clean.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SHM_PREFIX, leaked_segments
+from repro.parallel.shm import ShmPack
+
+
+@pytest.fixture(autouse=True)
+def no_preexisting_leaks():
+    assert leaked_segments() == []
+    yield
+    assert leaked_segments() == []
+
+
+def sample_arrays():
+    return {
+        "f64": np.arange(7, dtype=np.float64) * 0.5,
+        "i64": np.array([3, 1, 4, 1, 5], dtype=np.int64),
+        "mask": np.array([True, False, True], dtype=bool),
+        "i32": np.arange(11, dtype=np.int32),
+        "empty": np.empty(0, dtype=np.float64),
+    }
+
+
+class TestRoundTrip:
+    def test_values_survive_create_and_attach(self):
+        arrays = sample_arrays()
+        with ShmPack.create(arrays, tag="t") as pack:
+            attached = ShmPack.attach(pack.spec)
+            try:
+                for key, arr in arrays.items():
+                    assert attached.arrays[key].dtype == arr.dtype
+                    np.testing.assert_array_equal(attached.arrays[key], arr)
+            finally:
+                attached.close()
+
+    def test_writes_are_shared_both_ways(self):
+        with ShmPack.create(sample_arrays(), tag="t") as pack:
+            attached = ShmPack.attach(pack.spec)
+            try:
+                attached.arrays["f64"][0] = 99.0
+                assert pack.arrays["f64"][0] == 99.0
+                pack.arrays["i64"][2] = -7
+                assert attached.arrays["i64"][2] == -7
+            finally:
+                attached.close()
+
+    def test_spec_is_plain_data(self):
+        """The spec must survive pickling to worker processes."""
+        import pickle
+
+        with ShmPack.create(sample_arrays(), tag="t") as pack:
+            spec = pickle.loads(pickle.dumps(pack.spec))
+            assert spec == pack.spec
+
+    def test_alignment(self):
+        with ShmPack.create(sample_arrays(), tag="t") as pack:
+            for _key, _dtype, _shape, offset in pack.spec["fields"]:
+                assert offset % 64 == 0
+
+
+class TestLifetime:
+    def test_segment_name_carries_prefix(self):
+        with ShmPack.create(sample_arrays(), tag="t") as pack:
+            assert pack.spec["name"].startswith(SHM_PREFIX)
+            assert pack.spec["name"] in leaked_segments()
+
+    def test_owner_close_unlinks(self):
+        pack = ShmPack.create(sample_arrays(), tag="t")
+        name = pack.spec["name"]
+        pack.close()
+        assert name not in leaked_segments()
+
+    def test_attach_close_does_not_unlink(self):
+        pack = ShmPack.create(sample_arrays(), tag="t")
+        try:
+            attached = ShmPack.attach(pack.spec)
+            attached.close()
+            assert pack.spec["name"] in leaked_segments()
+            # the owner can still read its views after a peer detaches
+            np.testing.assert_array_equal(
+                pack.arrays["i64"], sample_arrays()["i64"]
+            )
+        finally:
+            pack.close()
+
+    def test_close_is_idempotent(self):
+        pack = ShmPack.create(sample_arrays(), tag="t")
+        pack.close()
+        pack.close()
+
+    def test_attach_does_not_register_with_resource_tracker(self):
+        """A worker-side attach must leave the process's resource
+        tracker untouched — under fork a (de)registration would mutate
+        the *master's* tracker entry (CPython gh-82300)."""
+        from multiprocessing import resource_tracker
+
+        calls = []
+        original = resource_tracker.register
+        pack = ShmPack.create(sample_arrays(), tag="t")
+        try:
+            resource_tracker.register = lambda name, rtype: calls.append(
+                (name, rtype)
+            )
+            try:
+                attached = ShmPack.attach(pack.spec)
+                attached.close()
+            finally:
+                resource_tracker.register = original
+            assert calls == []
+        finally:
+            pack.close()

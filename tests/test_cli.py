@@ -351,3 +351,62 @@ class TestRuntimeFlags:
         from repro.runtime import load_checkpoint
 
         assert load_checkpoint(ckpt).stage_counter >= 1
+
+
+class TestWorkersFlag:
+    def test_workers_2_selection_identical(self, cube_file, tmp_path):
+        serial_file = tmp_path / "serial.json"
+        parallel_file = tmp_path / "parallel.json"
+        assert (
+            main(
+                ["advise", "--lattice", cube_file, "--space", "25e6",
+                 "--workers", "1", "--output", str(serial_file)]
+            )
+            == 0
+        )
+        assert (
+            main(
+                ["advise", "--lattice", cube_file, "--space", "25e6",
+                 "--workers", "2", "--output", str(parallel_file)]
+            )
+            == 0
+        )
+        serial = json.loads(serial_file.read_text())
+        parallel = json.loads(parallel_file.read_text())
+        assert parallel["selected"] == serial["selected"]
+        assert parallel["benefit"] == serial["benefit"]
+        from repro.parallel import leaked_segments
+
+        assert leaked_segments() == []
+
+    def test_resume_with_workers_override(self, cube_file, tmp_path, capsys):
+        """A serially-written checkpoint resumes under --workers 2 to the
+        exact uninterrupted selection."""
+        full_file = tmp_path / "full.json"
+        ckpt = tmp_path / "run.ckpt"
+        assert (
+            main(
+                ["advise", "--lattice", cube_file, "--space", "25e6",
+                 "--output", str(full_file)]
+            )
+            == 0
+        )
+        assert (
+            main(
+                ["advise", "--lattice", cube_file, "--space", "25e6",
+                 "--deadline", "0", "--checkpoint", str(ckpt)]
+            )
+            == 3
+        )
+        capsys.readouterr()
+        resumed_file = tmp_path / "resumed.json"
+        rc = main(
+            ["resume", "--lattice", cube_file, "--checkpoint", str(ckpt),
+             "--workers", "2", "--output", str(resumed_file)]
+        )
+        assert rc == 0
+        full = json.loads(full_file.read_text())
+        resumed = json.loads(resumed_file.read_text())
+        assert resumed["selected"] == full["selected"]
+        assert resumed["benefit"] == full["benefit"]
+        assert resumed["interrupted"] is False
