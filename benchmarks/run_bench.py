@@ -6,7 +6,9 @@ end-to-end pipeline (graph compile + engine compile + 1-greedy +
 2-greedy) in both the *seed-style* configuration (reference per-edge
 ``from_cube`` loop, dense cost matrix, eager stage scans) and the
 *current* configuration (vectorized ``from_cube``, auto backend, lazy
-stage loops), and writes everything to ``benchmarks/BENCH_selection.json``.
+stage loops), measures query serving on the d=5 TPC-D workload (qps and
+latency percentiles, serial vs. 2 replay workers), and writes everything
+to ``benchmarks/BENCH_selection.json``.
 
 The committed copy of that file doubles as the regression baseline: a
 run whose pytest-benchmark medians or pipeline timings exceed the
@@ -240,6 +242,64 @@ def measure_checkpoint_overhead(n_dims: int = 5, repeats: int = 3) -> dict:
     }
 
 
+def measure_serving(n_dims: int = 5, n_queries: int = 500, repeats: int = 2) -> dict:
+    """Queries/sec and latency percentiles serving the d=5 TPC-D workload.
+
+    Replays the same synthetic log through a materialized selection
+    serially and with 2 replay workers (best of ``repeats`` runs each).
+    The serial leg is gated like the pipeline timings; the worker leg is
+    informational (wall-clock depends on the runner's core count).
+    """
+    from repro.algorithms.rgreedy import RGreedy
+    from repro.core.benefit import BenefitEngine
+    from repro.core.costmodel import LinearCostModel
+    from repro.core.qvgraph import QueryViewGraph
+    from repro.cube.query_log import generate_query_log
+    from repro.datasets.tpcd import tpcd_serving_fact, tpcd_serving_schema
+    from repro.serve import QueryServer
+
+    schema = tpcd_serving_schema(n_dims)
+    fact = tpcd_serving_fact(n_dims)
+    model = LinearCostModel.from_fact(fact)
+    lattice = model.lattice
+    graph = QueryViewGraph.from_cube(lattice)
+    selection = (
+        RGreedy(1)
+        .run(
+            BenefitEngine(graph),
+            3.0 * lattice.size(lattice.top),
+            seed=(lattice.label(lattice.top),),
+        )
+        .selected
+    )
+    log = generate_query_log(schema, n_queries, rng=0)
+
+    def leg(workers: int) -> dict:
+        best = None
+        for _ in range(max(1, repeats)):
+            server = QueryServer(fact, selection, cost_model=model)
+            report = server.replay(log, workers=workers)
+            assert report.fallbacks == 0, "bench workload must not fall back"
+            timings = {
+                "queries": report.queries,
+                "workers": workers,
+                "seconds": report.seconds,
+                "qps": report.qps,
+                "p50_us": report.p50_us,
+                "p99_us": report.p99_us,
+            }
+            if best is None or timings["seconds"] < best["seconds"]:
+                best = timings
+        return best
+
+    out = {
+        f"d{n_dims}_serial": leg(1),
+        f"d{n_dims}_w2": leg(2),
+    }
+    out[f"d{n_dims}_structures"] = len(selection)
+    return out
+
+
 def gate(current: dict, baseline: dict) -> list:
     """Return a list of human-readable regression descriptions."""
     failures = []
@@ -269,6 +329,16 @@ def gate(current: dict, baseline: dict) -> list:
         then = base_pipes.get(config)
         if isinstance(then, dict) and "total" in then:
             check(f"pipeline:{config}", timings["total"], then["total"])
+
+    base_serving = baseline.get("serving", {})
+    for config, timings in current.get("serving", {}).items():
+        if not isinstance(timings, dict):
+            continue
+        if timings.get("workers", 1) > 1:
+            continue  # same cpu-aware rule as the workers sweep
+        then = base_serving.get(config)
+        if isinstance(then, dict) and "seconds" in then:
+            check(f"serving:{config}", timings["seconds"], then["seconds"])
     return failures
 
 
@@ -303,6 +373,7 @@ def main(argv=None) -> int:
         "pytest_benchmarks": run_pytest_benchmarks(),
         "pipelines": measure_pipelines(args.skip_d7),
         "checkpoint_overhead": measure_checkpoint_overhead(),
+        "serving": measure_serving(),
         "meta": {
             "regression_factor": REGRESSION_FACTOR,
             "python": sys.version.split()[0],
@@ -357,6 +428,14 @@ def main(argv=None) -> int:
         f"(base {overhead['base_seconds'] * 1e3:.1f}ms, on-disk "
         f"{overhead['disk_checkpoint_seconds'] * 1e3:.1f}ms)"
     )
+    for config, timings in sorted(result["serving"].items()):
+        if not isinstance(timings, dict):
+            continue
+        print(
+            f"serve {config}: {timings['qps']:.0f} q/s "
+            f"(p50 {timings['p50_us']:.0f} us, p99 {timings['p99_us']:.0f} us, "
+            f"workers {timings['workers']})"
+        )
 
     if failures:
         print("\nREGRESSIONS (> {:g}x baseline):".format(REGRESSION_FACTOR))

@@ -312,8 +312,10 @@ class RGreedy(SelectionAlgorithm):
         candidates = unselected_idx[singles[unselected_idx] > 0.0]
         if candidates.size == 0:
             return
-        # individual gains over the view-scan baseline
-        if engine.backend == "sparse":
+        # individual gains over the view-scan baseline; branch on the
+        # kernel actually in use (not the backend) so a dense engine
+        # routed through CSR for worker parity takes the CSR pass too
+        if engine.uses_csr_kernels:
             gain_values = engine.gains_for(candidates, base)
             gains = [
                 (float(g), int(idx))

@@ -8,6 +8,10 @@ Usage::
     python -m repro resume --lattice cube.json --checkpoint run.ckpt
     python -m repro tpcd                     # the paper's Example 2.1 demo
     python -m repro experiments [names...]   # regenerate paper tables
+    python -m repro serve --dims 4 --queries 200 --record obs.jsonl \\
+        --telemetry telemetry.json           # serve a synthetic workload
+    python -m repro replay --dims 4 --log obs.jsonl --workers 2 \\
+        --adaptive                           # replay a recorded log
 
 ``cube.json`` is the lattice document of :mod:`repro.io`: dimensions and
 either exact per-view row counts or a raw row count for analytical
@@ -184,6 +188,131 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="regenerate the paper's tables and figures"
     )
     experiments.add_argument("names", nargs="*", help="subset of experiments")
+
+    def serving_flags(command, log_flags):
+        command.add_argument(
+            "--dims",
+            type=int,
+            default=4,
+            choices=(3, 4, 5),
+            help="dimensions of the dense serving cube (default: 4)",
+        )
+        command.add_argument(
+            "--selection",
+            help="selection JSON from advise --output; default: advise "
+            "inline with --algorithm under --space",
+        )
+        command.add_argument(
+            "--space",
+            type=float,
+            default=None,
+            help="space budget in rows for the inline advise "
+            "(default: 3x the top view)",
+        )
+        command.add_argument(
+            "--algorithm",
+            choices=sorted(ALGORITHMS),
+            default="1greedy",
+            help="algorithm for inline advise and re-advise (default: 1greedy)",
+        )
+        command.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="for serve: worker count handed to the (re-)advise "
+            "algorithm; for replay: additionally the replay thread count",
+        )
+        command.add_argument(
+            "--record", help="append every served query to this JSONL log"
+        )
+        command.add_argument(
+            "--telemetry", help="write the telemetry snapshot JSON here"
+        )
+        command.add_argument(
+            "--adaptive",
+            action="store_true",
+            help="monitor workload drift and re-advise in the background, "
+            "hot-swapping the selection when the new one wins by --margin",
+        )
+        command.add_argument(
+            "--drift-threshold",
+            type=float,
+            default=None,
+            help="total-variation distance that counts as drift "
+            "(default: 0.25)",
+        )
+        command.add_argument(
+            "--drift-min-queries",
+            type=int,
+            default=None,
+            help="observations required before drift can trigger "
+            "(default: 50)",
+        )
+        command.add_argument(
+            "--margin",
+            type=float,
+            default=None,
+            help="relative cost improvement a re-advised selection needs "
+            "to be swapped in (default: 0.05)",
+        )
+        command.add_argument(
+            "--deadline",
+            type=float,
+            default=None,
+            help="wall-clock budget in seconds for each background "
+            "re-advise",
+        )
+        command.add_argument(
+            "--checkpoint",
+            default=None,
+            help="checkpoint path for the background re-advise runs",
+        )
+        command.add_argument(
+            "--fail-on-fallback",
+            action="store_true",
+            help="exit 1 if any query fell back to a raw-cube scan",
+        )
+        log_flags(command)
+
+    serve = sub.add_parser(
+        "serve",
+        help="materialize a selection and serve a synthetic query workload",
+    )
+    serving_flags(
+        serve,
+        lambda c: (
+            c.add_argument(
+                "--queries",
+                type=int,
+                default=200,
+                help="number of synthetic queries to serve (default: 200)",
+            ),
+            c.add_argument(
+                "--rng",
+                type=int,
+                default=0,
+                help="random seed for the synthetic workload (default: 0)",
+            ),
+            c.add_argument(
+                "--zipf",
+                type=float,
+                default=1.0,
+                help="Zipf exponent of the synthetic pattern mix "
+                "(default: 1.0)",
+            ),
+        ),
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a recorded query log against a materialized selection",
+    )
+    serving_flags(
+        replay,
+        lambda c: c.add_argument(
+            "--log", required=True, help="query log JSONL to replay"
+        ),
+    )
     return parser
 
 
@@ -338,6 +467,137 @@ def cmd_tpcd(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_server(args: argparse.Namespace):
+    """Shared serve/replay setup: cube, selection, server.
+
+    Returns ``(schema, server, recorder)`` — the recorder is ``None``
+    unless ``--record`` was given.
+    """
+    import json
+
+    from repro.core.benefit import BenefitEngine
+    from repro.core.costmodel import LinearCostModel
+    from repro.core.query import enumerate_slice_queries
+    from repro.datasets.tpcd import tpcd_serving_fact, tpcd_serving_schema
+    from repro.serve import AdaptiveReselector, QueryServer, WorkloadRecorder
+
+    schema = tpcd_serving_schema(args.dims)
+    fact = tpcd_serving_fact(args.dims)
+    model = LinearCostModel.from_fact(fact)
+    lattice = model.lattice
+    top_label = lattice.label(lattice.top)
+    space = (
+        args.space if args.space is not None else 3.0 * lattice.size(lattice.top)
+    )
+    if args.selection:
+        with open(args.selection) as f:
+            document = json.load(f)
+        selected = document.get("selected")
+        if not isinstance(selected, list):
+            raise ValueError(
+                f"{args.selection}: selection document has no 'selected' list"
+            )
+    else:
+        algorithm = ALGORITHMS[args.algorithm](FIT_STRICT, args.workers)
+        graph = QueryViewGraph.from_cube(lattice)
+        selected = algorithm.run(graph, space, seed=(top_label,)).selected
+    advised = {q: 1.0 for q in enumerate_slice_queries(schema.names)}
+    reselector = None
+    if args.adaptive:
+        reselector = AdaptiveReselector(
+            lattice,
+            ALGORITHMS[args.algorithm](FIT_STRICT, args.workers),
+            space,
+            margin=args.margin if args.margin is not None else 0.05,
+            seed=(top_label,),
+            deadline=args.deadline,
+            checkpoint_path=args.checkpoint,
+        )
+    recorder = WorkloadRecorder(args.record) if args.record else None
+    server = QueryServer(
+        fact,
+        selected,
+        cost_model=model,
+        advised=advised,
+        recorder=recorder,
+        reselector=reselector,
+        drift_threshold=args.drift_threshold,
+        drift_min_queries=args.drift_min_queries,
+    )
+    return schema, server, recorder
+
+
+def _report_serving(args: argparse.Namespace, server, report, recorder) -> int:
+    """Print the serving summary, persist telemetry, pick the exit code."""
+    import json
+
+    from repro.serve import validate_telemetry
+
+    server.drain(timeout=60)
+    if recorder is not None:
+        recorder.close()
+    snapshot = validate_telemetry(server.telemetry_snapshot())
+    cost = snapshot["cost"]
+    print(
+        f"served {report.queries} queries at {report.qps:.0f} q/s "
+        f"(p50 {report.p50_us:.0f} us, p99 {report.p99_us:.0f} us, "
+        f"workers {report.workers})"
+    )
+    print(
+        f"rows scanned {cost['actual_rows']:g} "
+        f"(predicted {cost['predicted_rows']:g}, "
+        f"{cost['exact_matches']}/{report.queries} exact); "
+        f"{report.fallbacks} raw-cube fallbacks; "
+        f"{snapshot['swaps']} selection swaps"
+    )
+    if args.telemetry:
+        with open(args.telemetry, "w") as f:
+            json.dump(snapshot, f, indent=2, sort_keys=True)
+        print(f"telemetry written to {args.telemetry}")
+    if args.record:
+        print(f"workload recorded to {args.record}")
+    if args.fail_on_fallback and report.fallbacks:
+        print(
+            f"error: {report.fallbacks} queries fell back to the raw cube",
+            file=sys.stderr,
+        )
+        return 1
+    return EXIT_OK
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Materialize a selection and serve a synthetic workload."""
+    from repro.cube.query_log import generate_query_log
+
+    schema, server, recorder = _build_server(args)
+    log = generate_query_log(
+        schema, args.queries, rng=args.rng, zipf_exponent=args.zipf
+    )
+    print(
+        f"serving {len(log)} queries over {args.dims} dimensions "
+        f"({len(server.selection)} structures materialized)"
+    )
+    report = server.replay(log)
+    return _report_serving(args, server, report, recorder)
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a recorded query log, optionally with worker threads."""
+    from repro.io import load_query_log
+
+    schema, server, recorder = _build_server(args)
+    log = load_query_log(args.log, schema)
+    if not log:
+        print(f"{args.log}: empty query log, nothing to replay")
+        return EXIT_OK
+    print(
+        f"replaying {len(log)} queries from {args.log} "
+        f"({len(server.selection)} structures materialized)"
+    )
+    report = server.replay(log, workers=args.workers)
+    return _report_serving(args, server, report, recorder)
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     """Delegate to the experiment registry."""
     from repro.experiments.__main__ import main as experiments_main
@@ -362,6 +622,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_resume(args)
         if args.command == "tpcd":
             return cmd_tpcd(args)
+        if args.command == "serve":
+            return cmd_serve(args)
+        if args.command == "replay":
+            return cmd_replay(args)
         if args.command == "experiments":
             return cmd_experiments(args)
     except (OSError, ValueError) as exc:

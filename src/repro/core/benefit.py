@@ -246,6 +246,7 @@ class BenefitEngine:
             for v in graph.views
         }
         self._gain_scratch: Optional[np.ndarray] = None
+        self._csr_routed = False
         self._singles: Optional[np.ndarray] = None
         self._singles_fresh = False
         self._stage_candidates: Optional[np.ndarray] = None
@@ -385,6 +386,35 @@ class BenefitEngine:
                 "min_cost_over(), minimum_with() or gains_for() instead"
             )
         return self._dense_cost
+
+    def route_through_csr(self) -> None:
+        """Route every eager benefit evaluation through the CSR kernels.
+
+        The dense backend's eager paths (:meth:`single_benefits` with
+        ``lazy=False`` and the dense branch of :meth:`gains_for`) sum
+        per-query contributions in matrix order, while :func:`csr_gains`
+        — the kernel pool workers always use — sums per-edge in CSR
+        order.  Both are exact up to float summation order, so they can
+        differ in the last ulp.  Once any part of a run asks for workers
+        (including ``workers=1``), serial scans must go through the same
+        kernel so a serial stage following a pooled one (or the serial
+        arm of an equivalence check) is *bitwise* identical, not just
+        ulp-close.  :func:`repro.parallel.make_evaluator` calls this
+        whenever a worker count is requested; the flag is one-way for
+        the engine's lifetime — mixing kernels mid-run is the exact bug
+        this prevents.  No-op on the sparse backend (already CSR).
+        """
+        self._csr_routed = True
+
+    @property
+    def uses_csr_kernels(self) -> bool:
+        """True when eager benefit kernels run over the CSR store —
+        always on the sparse backend, and on the dense one after
+        :meth:`route_through_csr`.  Algorithms branch on this (not on
+        ``backend``) when choosing between a batched CSR gain pass and a
+        dense per-row loop, keeping serial and pooled scans bitwise
+        aligned."""
+        return self._dense_cost is None or self._csr_routed
 
     @property
     def nnz(self) -> int:
@@ -712,7 +742,7 @@ class BenefitEngine:
             if ids is None:
                 return singles.copy()
             return singles[np.asarray(ids, dtype=np.int64)]
-        if self._dense_cost is not None:
+        if self._dense_cost is not None and not self._csr_routed:
             return self._eager_singles_dense(ids)
         return self._eager_singles_sparse(ids)
 
@@ -779,7 +809,7 @@ class BenefitEngine:
         arr = np.asarray(ids, dtype=np.int64)
         if arr.size == 0:
             return np.zeros(0, dtype=np.float64)
-        if self._dense_cost is not None:
+        if self._dense_cost is not None and not self._csr_routed:
             gains_matrix = base - self._dense_cost[arr]
             np.maximum(gains_matrix, 0.0, out=gains_matrix)
             return gains_matrix @ self.frequencies

@@ -47,6 +47,23 @@ class LinearCostModel:
         self.lattice = lattice
         self.default_view = default_view if default_view is not None else lattice.top
 
+    @classmethod
+    def from_fact(cls, fact) -> "LinearCostModel":
+        """Cost model over the *exact* lattice of a materialized fact table.
+
+        Every view's size is measured as the fact table's distinct count
+        of its attributes — the true row count of the materialized view —
+        so the model's ``|C| / |E|`` predictions are falsifiable against
+        the executor's actual rows-processed numbers (and on a dense cube
+        they match exactly, query by query).  ``fact`` is a
+        :class:`~repro.engine.table.FactTable`.
+        """
+        lattice = CubeLattice.from_estimator(
+            fact.schema,
+            lambda view: float(fact.distinct_count(fact.schema.sort_attrs(view.attrs))),
+        )
+        return cls(lattice)
+
     def cost(
         self,
         query: SliceQuery,

@@ -131,6 +131,27 @@ def generate_fact_table(
     return FactTable(schema, columns, measures, extra_measures=extras)
 
 
+def dense_fact_table(schema: CubeSchema, rng: RngLike = 0) -> "FactTable":
+    """A *dense* fact table: every dimension combination exactly once.
+
+    On a dense cube every view's row count is the product of its
+    attribute cardinalities, so the linear cost model's ``|C| / |E|``
+    equals the number of rows behind every bound index prefix *exactly*
+    — the fixture that makes predicted-vs-actual serving telemetry an
+    equality, not an approximation.  Measures are seeded-random.
+    """
+    from repro.engine.table import FactTable
+
+    cards = [d.cardinality for d in schema.dimensions]
+    grids = np.meshgrid(*[np.arange(c, dtype=np.int64) for c in cards], indexing="ij")
+    columns = {
+        d.name: grid.reshape(-1) for d, grid in zip(schema.dimensions, grids)
+    }
+    n_rows = int(np.prod(cards))
+    measures = _as_rng(rng).uniform(1.0, 100.0, size=n_rows)
+    return FactTable(schema, columns, measures)
+
+
 def sparsity_of(schema: CubeSchema, n_rows: int) -> float:
     """The paper's sparsity: raw rows over the dense cell count."""
     return n_rows / schema.dense_cells

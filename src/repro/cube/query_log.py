@@ -78,6 +78,19 @@ def generate_query_log(
     return entries
 
 
+def pattern_counts(log: Sequence[LogEntry]) -> Dict[SliceQuery, int]:
+    """Raw occurrence count of each generic pattern in the log.
+
+    The un-normalized companion of :func:`estimate_frequencies` — an
+    empty log is an empty mapping, not an error, so streaming consumers
+    (the serving drift monitor) can poll it before any query arrives.
+    """
+    counts: Dict[SliceQuery, int] = {}
+    for entry in log:
+        counts[entry.query] = counts.get(entry.query, 0) + 1
+    return counts
+
+
 def estimate_frequencies(
     log: Sequence[LogEntry],
     smoothing: float = 0.0,

@@ -89,3 +89,22 @@ def normalize_frequencies(
         raise ValueError("frequencies must have a positive sum")
     scale = total / current
     return {q: f * scale for q, f in frequencies.items()}
+
+
+def total_variation(
+    observed: Dict[SliceQuery, float], advised: Dict[SliceQuery, float]
+) -> float:
+    """Total-variation distance between two frequency distributions.
+
+    Both mappings are normalized to sum to 1 first (missing queries
+    count as 0), so the result is in ``[0, 1]``: 0 when the observed
+    workload matches the advised one exactly, 1 when they are disjoint.
+    This is the drift metric the serving layer watches — the largest
+    probability mass the advisor assigned to the wrong queries.
+    """
+    observed = normalize_frequencies(observed)
+    advised = normalize_frequencies(advised)
+    keys = set(observed) | set(advised)
+    return 0.5 * sum(
+        abs(observed.get(q, 0.0) - advised.get(q, 0.0)) for q in keys
+    )

@@ -21,7 +21,7 @@ from typing import Mapping, Optional
 from repro.core.lattice import CubeLattice
 from repro.core.qvgraph import QueryViewGraph
 from repro.core.view import View
-from repro.cube.generator import generate_fact_table
+from repro.cube.generator import dense_fact_table, generate_fact_table
 from repro.cube.schema import CubeSchema, Dimension
 from repro.engine.table import FactTable
 
@@ -77,6 +77,37 @@ def tpcd_graph(
         frequencies=frequencies,
         index_universe=index_universe,
     )
+
+
+#: Cardinalities of the serving fixtures: TPC-D's p/s/c plus *date* (d)
+#: and *employee* (e) to reach 4 and 5 dimensions.  Deliberately tiny —
+#: the dense d=5 cube is 720 rows, so serving tests run in milliseconds.
+TPCD_SERVING_CARDINALITIES = {"p": 6, "s": 4, "c": 5, "d": 3, "e": 2}
+
+
+def tpcd_serving_schema(n_dims: int = 4) -> CubeSchema:
+    """The d-dimensional serving schema (p, s, c, then d, e)."""
+    if not 3 <= n_dims <= len(TPCD_SERVING_CARDINALITIES):
+        raise ValueError(
+            f"n_dims must be in [3, {len(TPCD_SERVING_CARDINALITIES)}], got {n_dims}"
+        )
+    names = list(TPCD_SERVING_CARDINALITIES)[:n_dims]
+    return CubeSchema(
+        [Dimension(name, TPCD_SERVING_CARDINALITIES[name]) for name in names],
+        measure="sales",
+    )
+
+
+def tpcd_serving_fact(n_dims: int = 4, rng=0) -> FactTable:
+    """A **dense** TPC-D-shaped fact table for the serving fixtures.
+
+    Density is the point: with every dimension combination present, the
+    rows behind any bound index prefix equal ``|C| / |E|`` exactly, so
+    replaying a workload through :mod:`repro.serve` must report actual
+    rows scanned equal to the cost model's prediction on every query the
+    selection answers (the acceptance criterion, not a tolerance check).
+    """
+    return dense_fact_table(tpcd_serving_schema(n_dims), rng=rng)
 
 
 def tpcd_fact_table(scale: float = 0.001, rng=0) -> FactTable:

@@ -108,6 +108,15 @@ class Catalog:
         indexes = sum(len(t) for t in self._indexes.values())
         return views + indexes
 
+    def stats(self) -> Dict[str, int]:
+        """Structure and row counts, for serving telemetry headers."""
+        return {
+            "views": len(self._views),
+            "indexes": len(self._indexes),
+            "rows": self.total_rows(),
+            "fact_rows": self.fact.n_rows,
+        }
+
     def __repr__(self) -> str:
         return (
             f"Catalog(views={len(self._views)}, indexes={len(self._indexes)}, "

@@ -120,6 +120,19 @@ class Executor:
         Raises ``LookupError`` if no materialized view can answer the
         query (the caller falls back to raw data).
         """
+        view, index, _cost = self.plan_with_cost(query)
+        return view, index
+
+    def plan_with_cost(
+        self, query: SliceQuery
+    ) -> Tuple[View, Optional[Index], float]:
+        """Like :meth:`choose_plan`, plus the winning plan's estimated
+        cost — the prediction the serving telemetry compares against the
+        rows actually processed, from the same model the router used.
+
+        Raises ``LookupError`` if no materialized view can answer the
+        query (the caller falls back to raw data).
+        """
         best: Optional[Tuple[View, Optional[Index]]] = None
         best_cost = float("inf")
         for view in self.catalog.views():
@@ -133,7 +146,7 @@ class Executor:
                     best = (view, index)
         if best is None:
             raise LookupError(f"no materialized view answers {query}")
-        return best
+        return best[0], best[1], best_cost
 
     # ----------------------------------------------------------- execution
 

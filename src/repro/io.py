@@ -273,3 +273,105 @@ def save_selection(result: SelectionResult, path: PathLike) -> None:
 def round_trip_lattice(lattice: CubeLattice) -> CubeLattice:
     """Serialize and re-parse (used by tests; exact sizes preserved)."""
     return lattice_from_dict(lattice_to_dict(lattice))
+
+
+# ----------------------------------------------------------- query logs
+
+# One JSON object per line (JSONL) — the workload recorder's streaming
+# format.  A record::
+#
+#     {"groupby": ["c"], "selection": ["p", "s"], "values": {"p": 3, "s": 1}}
+#
+# ``values`` binds every selection attribute to a concrete dimension
+# value.  Attribute names are validated against the cube schema at load
+# time: a record selecting on an attribute the cube does not have used
+# to surface as a ``KeyError`` deep inside plan routing — now it is a
+# one-line input error naming the record.
+
+
+def log_entry_to_dict(entry) -> Dict:
+    """Serialize a :class:`~repro.cube.query_log.LogEntry`."""
+    return {
+        "groupby": sorted(entry.query.groupby),
+        "selection": sorted(entry.query.selection),
+        "values": {attr: int(value) for attr, value in entry.values},
+    }
+
+
+def log_entry_from_dict(document: Dict, schema, where: str = "query-log entry"):
+    """Rebuild a :class:`~repro.cube.query_log.LogEntry`, validated
+    against ``schema`` (a :class:`~repro.cube.schema.CubeSchema`).
+
+    Rejects attributes that are not cube dimensions, bound values
+    outside the attribute's domain, and values that do not bind exactly
+    the selection attributes — all as one-line ``ValueError``\\ s naming
+    the record, so a bad log line fails at the door instead of as a
+    ``KeyError`` in the middle of routing.
+    """
+    from repro.core.query import SliceQuery
+    from repro.cube.query_log import LogEntry
+
+    known = set(schema.names)
+    groupby = list(document.get("groupby", []))
+    selection = list(document.get("selection", []))
+    for role, attrs in (("groupby", groupby), ("selection", selection)):
+        unknown = [a for a in attrs if a not in known]
+        if unknown:
+            raise ValueError(
+                f"{where}: {role} attribute {unknown[0]!r} is not a cube "
+                f"dimension (have {', '.join(schema.names)})"
+            )
+    values = document.get("values", {})
+    if set(values) != set(selection):
+        raise ValueError(
+            f"{where}: values must bind exactly the selection attributes "
+            f"{sorted(selection)}, got {sorted(values)}"
+        )
+    bound = []
+    for attr, value in values.items():
+        try:
+            value = int(value)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"{where}: value for {attr!r} must be an integer, got {value!r}"
+            ) from exc
+        card = schema.cardinality(attr)
+        if not 0 <= value < card:
+            raise ValueError(
+                f"{where}: value {value} for {attr!r} is outside [0, {card})"
+            )
+        bound.append((attr, value))
+    query = SliceQuery(groupby=groupby, selection=selection)
+    return LogEntry(query=query, values=tuple(sorted(bound)))
+
+
+def save_query_log(log, path: PathLike) -> None:
+    """Write a query log as JSONL (one record per line)."""
+    with open(path, "w") as f:
+        for entry in log:
+            f.write(json.dumps(log_entry_to_dict(entry), sort_keys=True))
+            f.write("\n")
+
+
+def load_query_log(path: PathLike, schema) -> list:
+    """Read a JSONL query log, validating every record against ``schema``.
+
+    An empty file is an empty log.  Malformed JSON or invalid records
+    raise ``ValueError`` naming the offending line.
+    """
+    entries = []
+    with open(path) as f:
+        for line_no, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                document = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: invalid JSON in query log: {exc}"
+                ) from exc
+            entries.append(
+                log_entry_from_dict(document, schema, where=f"{path}:{line_no}")
+            )
+    return entries

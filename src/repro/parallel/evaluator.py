@@ -82,7 +82,24 @@ def resolve_workers(workers=None) -> Tuple[int, bool]:
 def make_evaluator(engine, workers=None) -> "StageEvaluator":
     """The evaluator for one run: serial unless ``workers`` (or the
     ``REPRO_WORKERS`` environment) asks for — and the problem size
-    justifies — a pool."""
+    justifies — a pool.
+
+    Whenever a worker count is *requested* at all — explicitly (any
+    value, including ``1`` and auto ``0``) or via ``REPRO_WORKERS`` —
+    the engine's eager benefit kernels are routed through the CSR store
+    (:meth:`~repro.core.benefit.BenefitEngine.route_through_csr`), even
+    when the run ends up serial.  Pool workers always evaluate through
+    :func:`~repro.core.benefit.csr_gains`; routing the serial scans
+    through the same kernel makes every stage of the run — serial
+    stages after pooled ones, the serial arm of an equivalence check, a
+    resume at a different worker count — bitwise identical rather than
+    merely last-ulp-close.
+    """
+    requested = workers is not None or bool(
+        os.environ.get(WORKERS_ENV, "").strip()
+    )
+    if requested and hasattr(engine, "route_through_csr"):
+        engine.route_through_csr()
     count, forced = resolve_workers(workers)
     if count <= 1:
         return StageEvaluator()

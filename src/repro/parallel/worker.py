@@ -73,6 +73,7 @@ class WorkerStore:
     """
 
     backend = "sparse"
+    uses_csr_kernels = True
 
     def __init__(self, static_spec: dict, state_spec: dict, meta: dict):
         self._static = ShmPack.attach(static_spec)

@@ -1,0 +1,50 @@
+"""repro.serve — online query serving over a materialized selection.
+
+The serving subsystem closes the loop the paper leaves open: the advisor
+picks views and indexes from *assumed* workload frequencies; this package
+serves concrete slice queries from that selection, measures the workload
+actually arriving, and re-runs the advisor when the two drift apart.
+"""
+
+from repro.serve.adaptive import (
+    READVISE_MARGIN,
+    AdaptiveReselector,
+    ReadviseOutcome,
+    observed_cost,
+)
+from repro.serve.drift import DRIFT_MIN_QUERIES, DRIFT_THRESHOLD, DriftMonitor
+from repro.serve.recorder import WorkloadRecorder
+from repro.serve.server import (
+    QueryServer,
+    ReplayReport,
+    ServeOutcome,
+    ServingState,
+)
+from repro.serve.structures import parse_structure, resolve_selection
+from repro.serve.telemetry import (
+    RAW_LABEL,
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetryCollector,
+    validate_telemetry,
+)
+
+__all__ = [
+    "AdaptiveReselector",
+    "DriftMonitor",
+    "DRIFT_MIN_QUERIES",
+    "DRIFT_THRESHOLD",
+    "QueryServer",
+    "RAW_LABEL",
+    "READVISE_MARGIN",
+    "ReadviseOutcome",
+    "ReplayReport",
+    "ServeOutcome",
+    "ServingState",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetryCollector",
+    "WorkloadRecorder",
+    "observed_cost",
+    "parse_structure",
+    "resolve_selection",
+    "validate_telemetry",
+]

@@ -1,0 +1,173 @@
+"""Background re-selection: re-run the advisor on the observed workload.
+
+When the drift monitor fires, the serving layer hands the observed query
+frequencies to an :class:`AdaptiveReselector`, which rebuilds the
+query-view graph with those frequencies (unseen patterns get weight 0 —
+``from_cube`` would otherwise default them to 1), re-runs the configured
+greedy algorithm — honoring its ``workers=`` setting and the runtime
+deadline/checkpoint machinery via a fresh
+:class:`~repro.runtime.context.RunContext` — and compares the new
+selection's total cost τ against the *current* selection's τ under the
+same observed frequencies.  The new selection wins only when it is
+cheaper by the configured relative margin; the caller then materializes
+and hot-swaps it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.core.benefit import BenefitEngine
+from repro.core.lattice import CubeLattice
+from repro.core.qvgraph import QueryViewGraph
+from repro.core.query import SliceQuery, enumerate_slice_queries
+from repro.core.selection import SelectionResult
+from repro.runtime.context import RunContext, RuntimeStop
+
+#: Default relative τ improvement a new selection must deliver to swap.
+READVISE_MARGIN = 0.05
+
+
+@dataclass
+class ReadviseOutcome:
+    """What one background re-selection concluded."""
+
+    result: Optional[SelectionResult]
+    tau_current: float
+    tau_new: float
+    accepted: bool
+    detail: str = ""
+
+    @property
+    def improvement(self) -> float:
+        """Relative τ reduction of the new selection (0 when rejected
+        before a comparison)."""
+        if self.tau_current <= 0:
+            return 0.0
+        return 1.0 - self.tau_new / self.tau_current
+
+
+class AdaptiveReselector:
+    """Re-runs a selection algorithm on observed workload frequencies.
+
+    Parameters
+    ----------
+    lattice:
+        The serving lattice (exact sizes — the same one the cost model
+        routes with).
+    algorithm:
+        A configured :class:`~repro.algorithms.base.SelectionAlgorithm`
+        (its ``workers=`` setting is honored as-is).
+    space:
+        Space budget in rows, same units as the lattice sizes.
+    margin:
+        Required relative τ improvement: the new selection is accepted
+        when ``tau_new <= (1 - margin) * tau_current``.
+    seed:
+        Structure names committed before the greedy runs (default: the
+        current selection's first structure is *not* carried over; pass
+        the top view's label to keep the catalog always-answering).
+    deadline / checkpoint_path:
+        Forwarded into the :class:`RunContext` of every re-selection
+        run, so a background re-advise obeys the same wall-clock budget
+        and crash-recovery rules as a foreground ``repro advise``.
+    """
+
+    def __init__(
+        self,
+        lattice: CubeLattice,
+        algorithm,
+        space: float,
+        margin: float = READVISE_MARGIN,
+        seed: Sequence[str] = (),
+        deadline: Optional[float] = None,
+        checkpoint_path=None,
+    ):
+        if not 0.0 <= margin < 1.0:
+            raise ValueError(f"margin must be in [0, 1), got {margin}")
+        self.lattice = lattice
+        self.algorithm = algorithm
+        self.space = float(space)
+        self.margin = float(margin)
+        self.seed = tuple(seed)
+        self.deadline = deadline
+        self.checkpoint_path = checkpoint_path
+        self._patterns = list(enumerate_slice_queries(lattice.schema.names))
+
+    def _observed_graph(
+        self, observed: Mapping[SliceQuery, float]
+    ) -> QueryViewGraph:
+        frequencies: Dict[SliceQuery, float] = {
+            query: float(observed.get(query, 0.0)) for query in self._patterns
+        }
+        return QueryViewGraph.from_cube(self.lattice, frequencies=frequencies)
+
+    def _tau_of(self, engine: BenefitEngine, names: Sequence[str]) -> float:
+        engine.reset()
+        known = [n for n in names if n in engine.structure_names]
+        engine.replay_commit(known)
+        return engine.tau()
+
+    def readvise(
+        self,
+        observed: Mapping[SliceQuery, float],
+        current_selection: Sequence[str],
+    ) -> ReadviseOutcome:
+        """One re-selection run; never raises on a runtime stop.
+
+        Returns the outcome with ``accepted=True`` when the new
+        selection beats the current one by the margin under the
+        observed frequencies.
+        """
+        graph = self._observed_graph(observed)
+        engine = BenefitEngine(graph)
+        tau_current = self._tau_of(engine, current_selection)
+        engine.reset()
+        context = RunContext(
+            deadline=self.deadline, checkpoint_path=self.checkpoint_path
+        )
+        try:
+            result = self.algorithm.run(
+                engine, self.space, seed=self.seed, context=context
+            )
+        except RuntimeStop as stop:
+            return ReadviseOutcome(
+                result=getattr(stop, "result", None),
+                tau_current=tau_current,
+                tau_new=float("inf"),
+                accepted=False,
+                detail=f"re-advise stopped: {stop.reason}",
+            )
+        tau_new = result.tau
+        accepted = (
+            tuple(result.selected) != tuple(current_selection)
+            and tau_new <= (1.0 - self.margin) * tau_current
+        )
+        detail = "" if accepted else (
+            "new selection identical to current"
+            if tuple(result.selected) == tuple(current_selection)
+            else f"improvement below margin {self.margin:g}"
+        )
+        return ReadviseOutcome(
+            result=result,
+            tau_current=tau_current,
+            tau_new=tau_new,
+            accepted=accepted,
+            detail=detail,
+        )
+
+
+def observed_cost(
+    lattice: CubeLattice,
+    selection: Sequence[str],
+    observed: Mapping[SliceQuery, float],
+) -> float:
+    """τ of a selection under observed frequencies — the ledger both the
+    acceptance test and the swap decision read (unseen patterns weigh 0)."""
+    patterns = list(enumerate_slice_queries(lattice.schema.names))
+    frequencies = {q: float(observed.get(q, 0.0)) for q in patterns}
+    graph = QueryViewGraph.from_cube(lattice, frequencies=frequencies)
+    engine = BenefitEngine(graph)
+    engine.replay_commit([n for n in selection if n in engine.structure_names])
+    return engine.tau()

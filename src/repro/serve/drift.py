@@ -1,0 +1,102 @@
+"""Workload drift: observed query frequencies vs. the advised ones.
+
+A selection is only as good as the frequencies it was advised under
+(they weight every benefit the greedy maximized).  The monitor keeps a
+running count of observed query patterns and reports the total-variation
+distance to the advised distribution — the probability mass the advisor
+assigned to the wrong queries.  When that distance crosses a threshold
+(after a minimum number of observations, so a handful of queries cannot
+trip it), the serving layer triggers a background re-selection.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping
+
+from repro.core.query import SliceQuery
+from repro.cube.workload import normalize_frequencies, total_variation
+
+#: Default total-variation threshold that marks a workload as drifted.
+DRIFT_THRESHOLD = 0.25
+
+#: Default minimum observations before drift can be reported.
+DRIFT_MIN_QUERIES = 50
+
+
+class DriftMonitor:
+    """Running comparison of observed vs. advised query frequencies."""
+
+    def __init__(
+        self,
+        advised: Mapping[SliceQuery, float],
+        threshold: float = DRIFT_THRESHOLD,
+        min_queries: int = DRIFT_MIN_QUERIES,
+    ):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        if min_queries < 1:
+            raise ValueError(f"min_queries must be >= 1, got {min_queries}")
+        self.threshold = float(threshold)
+        self.min_queries = int(min_queries)
+        self._lock = threading.Lock()
+        self._advised = normalize_frequencies(dict(advised))
+        self._counts: Dict[SliceQuery, int] = {}
+        self._total = 0
+
+    def observe(self, query: SliceQuery) -> None:
+        with self._lock:
+            self._counts[query] = self._counts.get(query, 0) + 1
+            self._total += 1
+
+    @property
+    def observed_total(self) -> int:
+        with self._lock:
+            return self._total
+
+    def observed_frequencies(self) -> Dict[SliceQuery, float]:
+        """The observed relative frequencies (sums to 1; empty when no
+        query has been observed yet)."""
+        with self._lock:
+            if not self._total:
+                return {}
+            return {q: c / self._total for q, c in self._counts.items()}
+
+    def observed_counts(self) -> Dict[SliceQuery, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def distance(self) -> float:
+        """Total-variation distance of observed from advised (0 before
+        any observation)."""
+        observed = self.observed_frequencies()
+        if not observed:
+            return 0.0
+        return total_variation(observed, self._advised)
+
+    @property
+    def drifted(self) -> bool:
+        """True once enough queries have been seen *and* the distance
+        crosses the threshold."""
+        if self.observed_total < self.min_queries:
+            return False
+        return self.distance() >= self.threshold
+
+    def rebase(self, advised: Mapping[SliceQuery, float]) -> None:
+        """Restart monitoring against a new advised distribution — called
+        after a hot swap, so drift is always measured against the
+        selection currently serving."""
+        with self._lock:
+            self._advised = normalize_frequencies(dict(advised))
+            self._counts = {}
+            self._total = 0
+
+    def status(self) -> dict:
+        """Snapshot for telemetry meta: observations, distance, state."""
+        return {
+            "observed": self.observed_total,
+            "distance": self.distance(),
+            "threshold": self.threshold,
+            "min_queries": self.min_queries,
+            "drifted": self.drifted,
+        }

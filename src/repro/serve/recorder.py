@@ -1,0 +1,86 @@
+"""Streaming workload recorder: the observed query log, on disk.
+
+The recorder appends every served query to a JSONL file in the
+:mod:`repro.io` query-log format (one record per line), so a serving
+session's observed workload can be replayed later — or fed back into the
+advisor — exactly as :func:`repro.io.load_query_log` reads it.  Writes
+are line-atomic under a lock; the concurrent replay driver shares one
+recorder across its worker threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.io import log_entry_to_dict
+
+PathLike = Union[str, Path]
+
+
+class WorkloadRecorder:
+    """Append-only JSONL writer for observed queries.
+
+    Parameters
+    ----------
+    path:
+        Target file; opened lazily on the first record and truncated
+        (one recorder = one recording session).  ``None`` keeps the log
+        in memory only (:attr:`entries`).
+    """
+
+    def __init__(self, path: Optional[PathLike] = None):
+        self.path = Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._file = None
+        self._entries: List = []
+        self._closed = False
+
+    @property
+    def entries(self) -> List:
+        """The recorded entries, in arrival order (a copy)."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def record(self, entry) -> None:
+        """Append one :class:`~repro.cube.query_log.LogEntry`."""
+        line = json.dumps(log_entry_to_dict(entry), sort_keys=True)
+        with self._lock:
+            if self._closed:
+                raise ValueError("recorder is closed")
+            self._entries.append(entry)
+            if self.path is not None:
+                if self._file is None:
+                    self._file = open(self.path, "w")
+                self._file.write(line)
+                self._file.write("\n")
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close; an empty recording still leaves a valid
+        (empty) log file behind."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self.path is not None and self._file is None:
+                self.path.touch()
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "WorkloadRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,382 @@
+"""The in-process query server: route, execute, observe, adapt.
+
+:class:`QueryServer` holds one immutable :class:`ServingState` — catalog,
+executor, and the selection it materializes — behind an atomic reference.
+Every query reads the reference once, so a background re-selection can
+build a whole new state and swap it in while the old one keeps serving.
+
+Per query, the server
+
+1. routes to the cheapest answering ``(view, index)`` plan with the
+   paper's ``|C| / |E|`` cost model (:meth:`Executor.plan_with_cost`),
+   falling back to a raw fact-table scan when nothing materialized
+   answers,
+2. executes the plan, counting rows actually processed,
+3. records telemetry (latency, predicted vs. actual rows, per-structure
+   hits, fallbacks), appends to the workload recorder, and feeds the
+   drift monitor,
+4. when the observed workload has drifted and a reselector is
+   configured, triggers one background re-advise; if its selection beats
+   the current one by the margin, the server materializes it and swaps.
+
+The concurrent :meth:`replay` driver pushes a recorded log through
+:meth:`serve` from a thread pool — safe because the state is immutable
+and every shared collector takes its own lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.costmodel import LinearCostModel
+from repro.core.query import SliceQuery
+from repro.cube.query_log import LogEntry
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.engine.pipeline import materialize_selection
+from repro.engine.table import FactTable
+from repro.serve.adaptive import AdaptiveReselector, ReadviseOutcome
+from repro.serve.drift import DriftMonitor
+from repro.serve.recorder import WorkloadRecorder
+from repro.serve.structures import resolve_selection
+from repro.serve.telemetry import RAW_LABEL, TelemetryCollector, _percentile
+
+
+@dataclass(frozen=True)
+class ServingState:
+    """One materialized selection, ready to answer queries (immutable —
+    swapped atomically, never mutated)."""
+
+    catalog: Catalog
+    executor: Executor
+    selection: Tuple[str, ...]
+    generation: int = 0
+
+
+@dataclass
+class ServeOutcome:
+    """What serving one query observed."""
+
+    entry: LogEntry
+    structure: str
+    predicted_rows: float
+    actual_rows: int
+    latency_us: float
+    fallback: bool
+    groups: Dict[tuple, float] = field(default_factory=dict)
+
+
+@dataclass
+class ReplayReport:
+    """Aggregate of one :meth:`QueryServer.replay` run."""
+
+    queries: int
+    fallbacks: int
+    workers: int
+    seconds: float
+    latencies_us: List[float] = field(default_factory=list)
+
+    @property
+    def qps(self) -> float:
+        return self.queries / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def p50_us(self) -> float:
+        return _percentile(self.latencies_us, 0.50)
+
+    @property
+    def p99_us(self) -> float:
+        return _percentile(self.latencies_us, 0.99)
+
+    def summary(self) -> dict:
+        return {
+            "queries": self.queries,
+            "fallbacks": self.fallbacks,
+            "workers": self.workers,
+            "seconds": self.seconds,
+            "qps": self.qps,
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+        }
+
+
+class QueryServer:
+    """Serves concrete slice queries from a materialized selection.
+
+    Parameters
+    ----------
+    fact:
+        The raw fact table (also the fallback execution path).
+    selection:
+        Structure labels to materialize (paper notation, e.g. ``psc``,
+        ``I_sp(ps)``) — typically ``SelectionResult.selected``.
+    cost_model:
+        Router cost model.  Defaults to the *exact* model measured from
+        the fact table (:meth:`LinearCostModel.from_fact`), under which
+        predicted rows equal actual rows on dense cubes.
+    advised:
+        The workload frequencies the selection was advised under; enables
+        the drift monitor.
+    recorder:
+        Optional :class:`WorkloadRecorder` that every served entry is
+        appended to.
+    reselector:
+        Optional :class:`AdaptiveReselector`; with it (and ``advised``),
+        drift past the monitor's threshold triggers one background
+        re-advise and — when the new selection wins by the reselector's
+        margin — an atomic hot swap.
+    drift_threshold / drift_min_queries:
+        Forwarded to the :class:`DriftMonitor` (ignored without
+        ``advised``).
+    background:
+        ``False`` runs re-advises synchronously inside :meth:`serve`
+        (deterministic for tests); ``True`` (default) runs them on a
+        daemon thread while the old selection keeps serving.
+    """
+
+    def __init__(
+        self,
+        fact: FactTable,
+        selection: Sequence[str],
+        cost_model: Optional[LinearCostModel] = None,
+        advised: Optional[Mapping[SliceQuery, float]] = None,
+        recorder: Optional[WorkloadRecorder] = None,
+        reselector: Optional[AdaptiveReselector] = None,
+        drift_threshold: Optional[float] = None,
+        drift_min_queries: Optional[int] = None,
+        keep_records: bool = True,
+        background: bool = True,
+    ):
+        self.fact = fact
+        self.cost_model = (
+            cost_model if cost_model is not None else LinearCostModel.from_fact(fact)
+        )
+        self.telemetry = TelemetryCollector(keep_records=keep_records)
+        self.recorder = recorder
+        self.reselector = reselector
+        self.background = background
+        self.drift: Optional[DriftMonitor] = None
+        if advised is not None:
+            kwargs = {}
+            if drift_threshold is not None:
+                kwargs["threshold"] = drift_threshold
+            if drift_min_queries is not None:
+                kwargs["min_queries"] = drift_min_queries
+            self.drift = DriftMonitor(advised, **kwargs)
+
+        self._swap_lock = threading.Lock()
+        self._readvise_lock = threading.Lock()
+        self._readvise_thread: Optional[threading.Thread] = None
+        self._readvise_inflight = False
+        self._cooldown_until = 0
+        self.readvise_count = 0
+        self.swap_count = 0
+        self.outcomes: List[ReadviseOutcome] = []
+        self._state = self._materialize(tuple(selection), generation=0)
+
+    # -------------------------------------------------------------- state
+
+    @property
+    def state(self) -> ServingState:
+        """The current serving state (read once per query — immutable)."""
+        return self._state
+
+    @property
+    def selection(self) -> Tuple[str, ...]:
+        return self._state.selection
+
+    def _materialize(self, names: Tuple[str, ...], generation: int) -> ServingState:
+        views, indexes = resolve_selection(names)
+        catalog = Catalog(self.fact)
+        materialize_selection(catalog, views, indexes)
+        executor = Executor(catalog, self.cost_model)
+        return ServingState(
+            catalog=catalog,
+            executor=executor,
+            selection=names,
+            generation=generation,
+        )
+
+    # -------------------------------------------------------------- serve
+
+    def serve(self, entry: LogEntry) -> ServeOutcome:
+        """Answer one concrete query; record telemetry and workload."""
+        state = self._state  # single atomic read: stable across the call
+        start = time.perf_counter()
+        try:
+            view, index, predicted = state.executor.plan_with_cost(entry.query)
+        except LookupError:
+            outcome = self._serve_raw(entry, start)
+        else:
+            result = state.executor.execute(
+                entry.query, entry.bound_values, plan=(view, index)
+            )
+            latency_us = (time.perf_counter() - start) * 1e6
+            lattice = self.cost_model.lattice
+            structure = (
+                lattice.index_label(index) if index is not None else lattice.label(view)
+            )
+            outcome = ServeOutcome(
+                entry=entry,
+                structure=structure,
+                predicted_rows=predicted,
+                actual_rows=result.rows_processed,
+                latency_us=latency_us,
+                fallback=False,
+                groups=result.groups,
+            )
+        self._observe(outcome)
+        return outcome
+
+    def _serve_raw(self, entry: LogEntry, start: float) -> ServeOutcome:
+        """Fallback: answer from the raw fact table (full scan)."""
+        fact = self.fact
+        predicted = self.cost_model.default_cost(entry.query)
+        mask = np.ones(fact.n_rows, dtype=bool)
+        for attr, value in entry.values:
+            mask &= fact.columns[attr] == value
+        groupby = fact.schema.sort_attrs(entry.query.groupby)
+        measures = fact.measures[mask]
+        groups: Dict[tuple, float] = {}
+        if groupby:
+            keys = np.stack([fact.columns[a][mask] for a in groupby], axis=1)
+            for row in range(len(measures)):
+                key = tuple(int(v) for v in keys[row])
+                groups[key] = groups.get(key, 0.0) + float(measures[row])
+        elif len(measures):
+            groups[()] = float(measures.sum())
+        latency_us = (time.perf_counter() - start) * 1e6
+        return ServeOutcome(
+            entry=entry,
+            structure=RAW_LABEL,
+            predicted_rows=predicted,
+            actual_rows=fact.n_rows,
+            latency_us=latency_us,
+            fallback=True,
+            groups=groups,
+        )
+
+    def _observe(self, outcome: ServeOutcome) -> None:
+        self.telemetry.record(
+            pattern=str(outcome.entry.query),
+            structure=outcome.structure,
+            latency_us=outcome.latency_us,
+            predicted_rows=outcome.predicted_rows,
+            actual_rows=outcome.actual_rows,
+            fallback=outcome.fallback,
+        )
+        if self.recorder is not None:
+            self.recorder.record(outcome.entry)
+        if self.drift is not None:
+            self.drift.observe(outcome.entry.query)
+            if self.reselector is not None:
+                self._maybe_readvise()
+
+    # ----------------------------------------------------------- re-advise
+
+    def _maybe_readvise(self) -> None:
+        with self._readvise_lock:
+            if self._readvise_inflight or not self.drift.drifted:
+                return
+            if self.drift.observed_total < self._cooldown_until:
+                return
+            self._readvise_inflight = True
+            observed = self.drift.observed_counts()
+        if self.background:
+            thread = threading.Thread(
+                target=self._run_readvise, args=(observed,), daemon=True
+            )
+            self._readvise_thread = thread
+            thread.start()
+        else:
+            self._run_readvise(observed)
+
+    def _run_readvise(self, observed: Mapping[SliceQuery, float]) -> None:
+        try:
+            current = self._state.selection
+            outcome = self.reselector.readvise(observed, current)
+            self.outcomes.append(outcome)
+            self.readvise_count += 1
+            if outcome.accepted:
+                self._swap(tuple(outcome.result.selected), observed)
+            else:
+                # rejected: wait for the workload to move on before
+                # re-running the advisor against near-identical counts
+                with self._readvise_lock:
+                    self._cooldown_until = (
+                        self.drift.observed_total + self.drift.min_queries
+                    )
+        finally:
+            with self._readvise_lock:
+                self._readvise_inflight = False
+
+    def _swap(
+        self, names: Tuple[str, ...], observed: Mapping[SliceQuery, float]
+    ) -> None:
+        """Materialize the winning selection and publish it atomically.
+
+        The old state serves every query that started before the swap;
+        queries issued after see the new catalog."""
+        with self._swap_lock:
+            state = self._materialize(names, generation=self._state.generation + 1)
+            self._state = state
+            self.swap_count += 1
+        self.telemetry.note_swap()
+        if self.drift is not None:
+            self.drift.rebase(observed)
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Wait for an in-flight background re-advise (if any)."""
+        thread = self._readvise_thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+
+    # -------------------------------------------------------------- replay
+
+    def replay(
+        self, entries: Sequence[LogEntry], workers: Optional[int] = None
+    ) -> ReplayReport:
+        """Serve a recorded log, serially or from a thread pool.
+
+        ``workers`` >= 2 drives :meth:`serve` concurrently — the
+        immutable state plus per-collector locks make this safe; entry
+        *completion* order is nondeterministic but every entry is served
+        exactly once.
+        """
+        count = int(workers) if workers else 1
+        start = time.perf_counter()
+        if count <= 1:
+            outcomes = [self.serve(entry) for entry in entries]
+        else:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=count) as pool:
+                outcomes = list(pool.map(self.serve, entries))
+        seconds = time.perf_counter() - start
+        return ReplayReport(
+            queries=len(outcomes),
+            fallbacks=sum(1 for o in outcomes if o.fallback),
+            workers=count,
+            seconds=seconds,
+            latencies_us=[o.latency_us for o in outcomes],
+        )
+
+    # ------------------------------------------------------------ snapshot
+
+    def telemetry_snapshot(self) -> dict:
+        """The telemetry document plus serving meta (catalog stats,
+        selection, drift status)."""
+        meta = {
+            "selection": list(self._state.selection),
+            "generation": self._state.generation,
+            "catalog": self._state.catalog.stats(),
+            "readvises": self.readvise_count,
+        }
+        if self.drift is not None:
+            meta["drift"] = self.drift.status()
+        return self.telemetry.snapshot(meta=meta)

@@ -1,0 +1,220 @@
+"""Per-query serving telemetry: latency, rows scanned, routing hits.
+
+Every served query contributes one observation: which structure answered
+it (or ``raw`` on a fallback), how long it took, how many rows the
+executor actually processed, and how many the linear cost model
+predicted (``|C| / |E|``).  The collector aggregates those under a lock
+— servers call it from the concurrent replay driver — and snapshots to
+a stable JSON document the CI smoke validates.
+
+Latency percentiles are exact (computed from the retained samples, not
+interpolated from buckets); the histogram is log-spaced buckets for
+eyeballing the distribution shape.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: Log-spaced latency histogram bucket upper bounds, in microseconds.
+LATENCY_BUCKETS_US = (
+    10.0, 30.0, 100.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 30_000.0,
+    100_000.0, 300_000.0, 1_000_000.0, float("inf"),
+)
+
+#: Structure label recorded for fallback-to-raw-cube executions.
+RAW_LABEL = "raw"
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    """Exact (nearest-rank) percentile of the samples."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class TelemetryCollector:
+    """Thread-safe aggregator of per-query serving observations."""
+
+    def __init__(self, keep_records: bool = True):
+        self._lock = threading.Lock()
+        self.keep_records = keep_records
+        self.reset()
+
+    def reset(self) -> None:
+        with getattr(self, "_lock", threading.Lock()):
+            self._hits: Dict[str, int] = {}
+            self._fallbacks = 0
+            self._queries = 0
+            self._exact = 0
+            self._predicted_total = 0.0
+            self._actual_total = 0.0
+            self._max_abs_error = 0.0
+            self._latencies_us: List[float] = []
+            self._buckets = [0] * len(LATENCY_BUCKETS_US)
+            self._records: List[dict] = []
+            self._swaps = 0
+
+    # -------------------------------------------------------------- record
+
+    def record(
+        self,
+        pattern: str,
+        structure: str,
+        latency_us: float,
+        predicted_rows: float,
+        actual_rows: int,
+        fallback: bool = False,
+    ) -> None:
+        """One served query.  ``structure`` is the answering structure's
+        label (:data:`RAW_LABEL` for a raw-cube fallback)."""
+        error = abs(float(actual_rows) - float(predicted_rows))
+        with self._lock:
+            self._queries += 1
+            self._hits[structure] = self._hits.get(structure, 0) + 1
+            if fallback:
+                self._fallbacks += 1
+            if error == 0.0:
+                self._exact += 1
+            self._max_abs_error = max(self._max_abs_error, error)
+            self._predicted_total += float(predicted_rows)
+            self._actual_total += float(actual_rows)
+            self._latencies_us.append(float(latency_us))
+            for pos, bound in enumerate(LATENCY_BUCKETS_US):
+                if latency_us <= bound:
+                    self._buckets[pos] += 1
+                    break
+            if self.keep_records:
+                self._records.append(
+                    {
+                        "pattern": pattern,
+                        "structure": structure,
+                        "predicted_rows": float(predicted_rows),
+                        "actual_rows": int(actual_rows),
+                        "fallback": bool(fallback),
+                    }
+                )
+
+    def note_swap(self) -> None:
+        """Count a hot selection swap (shown in the snapshot header)."""
+        with self._lock:
+            self._swaps += 1
+
+    # ------------------------------------------------------------ snapshot
+
+    @property
+    def queries(self) -> int:
+        with self._lock:
+            return self._queries
+
+    @property
+    def fallbacks(self) -> int:
+        with self._lock:
+            return self._fallbacks
+
+    def records(self) -> List[dict]:
+        """A copy of the retained per-query records."""
+        with self._lock:
+            return list(self._records)
+
+    def snapshot(self, meta: Optional[dict] = None) -> dict:
+        """The full telemetry document (see :func:`validate_telemetry`)."""
+        with self._lock:
+            samples = list(self._latencies_us)
+            doc = {
+                "schema_version": TELEMETRY_SCHEMA_VERSION,
+                "queries": self._queries,
+                "fallbacks": self._fallbacks,
+                "swaps": self._swaps,
+                "hits": dict(sorted(self._hits.items())),
+                "latency_us": {
+                    "p50": _percentile(samples, 0.50),
+                    "p99": _percentile(samples, 0.99),
+                    "mean": (sum(samples) / len(samples)) if samples else 0.0,
+                    "max": max(samples) if samples else 0.0,
+                    "histogram": [
+                        {"le": bound, "count": count}
+                        for bound, count in zip(LATENCY_BUCKETS_US, self._buckets)
+                    ],
+                },
+                "cost": {
+                    "predicted_rows": self._predicted_total,
+                    "actual_rows": self._actual_total,
+                    "exact_matches": self._exact,
+                    "max_abs_error": self._max_abs_error,
+                },
+            }
+            if self.keep_records:
+                doc["records"] = list(self._records)
+        if meta is not None:
+            doc["meta"] = dict(meta)
+        return doc
+
+
+def validate_telemetry(document: dict) -> dict:
+    """Validate a telemetry snapshot; returns it unchanged.
+
+    Checks the schema version, required fields and types, histogram
+    integrity (bucket counts sum to the query count), and the hit/
+    fallback accounting.  Raises ``ValueError`` with a one-line message
+    on the first violation — this is what the CI serving smoke runs
+    against the uploaded artifact.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("telemetry must be a JSON object")
+    if document.get("schema_version") != TELEMETRY_SCHEMA_VERSION:
+        raise ValueError(
+            f"telemetry schema_version must be {TELEMETRY_SCHEMA_VERSION}, "
+            f"got {document.get('schema_version')!r}"
+        )
+    for field, kind in (
+        ("queries", int),
+        ("fallbacks", int),
+        ("swaps", int),
+        ("hits", dict),
+        ("latency_us", dict),
+        ("cost", dict),
+    ):
+        if not isinstance(document.get(field), kind):
+            raise ValueError(f"telemetry field {field!r} must be {kind.__name__}")
+    queries = document["queries"]
+    if queries < 0 or document["fallbacks"] < 0:
+        raise ValueError("telemetry counts must be nonnegative")
+    if document["fallbacks"] > queries:
+        raise ValueError("telemetry fallbacks exceed the query count")
+    if sum(document["hits"].values()) != queries:
+        raise ValueError("telemetry hit counts do not sum to the query count")
+    if document["hits"].get(RAW_LABEL, 0) != document["fallbacks"]:
+        raise ValueError("telemetry raw hits disagree with the fallback count")
+    latency = document["latency_us"]
+    for field in ("p50", "p99", "mean", "max"):
+        value = latency.get(field)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(f"latency_us.{field} must be a nonnegative number")
+    histogram = latency.get("histogram")
+    if not isinstance(histogram, list) or len(histogram) != len(LATENCY_BUCKETS_US):
+        raise ValueError(
+            f"latency_us.histogram must have {len(LATENCY_BUCKETS_US)} buckets"
+        )
+    if sum(bucket.get("count", 0) for bucket in histogram) != queries:
+        raise ValueError("latency histogram counts do not sum to the query count")
+    cost = document["cost"]
+    for field in ("predicted_rows", "actual_rows", "exact_matches", "max_abs_error"):
+        value = cost.get(field)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(f"cost.{field} must be a nonnegative number")
+    if cost["exact_matches"] > queries:
+        raise ValueError("cost.exact_matches exceeds the query count")
+    records = document.get("records")
+    if records is not None:
+        if not isinstance(records, list) or len(records) != queries:
+            raise ValueError("records must list one entry per served query")
+        for pos, record in enumerate(records):
+            if not isinstance(record, dict) or "actual_rows" not in record:
+                raise ValueError(f"records[{pos}] is not a per-query record")
+    return document

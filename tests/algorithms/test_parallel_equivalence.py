@@ -2,18 +2,16 @@
 
 A run with ``workers=2`` (forced, even below the auto threshold) must
 select **bit-identical** structures to the serial run — same picks in
-the same order, with equal per-stage benefits, spaces, and τ.  Stage
-benefits are compared with ``==`` (no tolerance) whenever the serial
-scan reads the CSR/maintained-cache kernels the workers also run
-(sparse backend, or ``lazy=True``); on the dense backend with eager
-scans the serial side uses the dense matmul kernel, which agrees with
-the CSR kernel only up to summation order (the same last-ulp caveat
-:meth:`BenefitEngine.best_single` documents for lazy-vs-eager), so
-there benefits are compared at ``rel=1e-12`` — selections stay exact.
-Enforced on the paper fixtures, on d=4/d=5 cube instances across both
-engine backends and both lazy modes, and on tie-heavy seeded random
-graphs (the regime where an offer-order slip in the reduction would
-surface as a different selection).
+the same order, with equal per-stage benefits, spaces, and τ, compared
+with ``==`` (no tolerance) on every backend and lazy mode: requesting
+any worker count (``workers=1`` included) routes the serial scans
+through the same CSR kernels the pool workers run
+(:meth:`BenefitEngine.route_through_csr` via ``make_evaluator``), so
+even the dense backend's eager scans are bitwise-aligned with the
+pooled ones.  Enforced on the paper fixtures, on d=4/d=5 cube
+instances across both engine backends and both lazy modes, and on
+tie-heavy seeded random graphs (the regime where an offer-order slip
+in the reduction would surface as a different selection).
 
 Every run also asserts the pool left no shared-memory segments behind.
 """
@@ -69,9 +67,7 @@ def run_pair(make, graph, space, backend, lazy, seed=()):
     parallel = make(lazy, 2).run(
         BenefitEngine(graph, backend=backend), space, seed=seed
     )
-    # dense + eager: the serial scan's dense matmul kernel matches the
-    # workers' CSR kernel only up to summation order (see module docstring)
-    assert_bit_identical(serial, parallel, exact=backend == "sparse" or lazy)
+    assert_bit_identical(serial, parallel)
     assert leaked_segments() == []
 
 

@@ -1,0 +1,38 @@
+"""Shared serving fixtures: dense TPC-D-style cubes with exact models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costmodel import LinearCostModel
+from repro.datasets.tpcd import tpcd_serving_fact, tpcd_serving_schema
+
+
+@pytest.fixture(scope="session")
+def serve_schema4():
+    return tpcd_serving_schema(4)
+
+
+@pytest.fixture(scope="session")
+def serve_fact4():
+    return tpcd_serving_fact(4, rng=0)
+
+
+@pytest.fixture(scope="session")
+def serve_model4(serve_fact4):
+    return LinearCostModel.from_fact(serve_fact4)
+
+
+@pytest.fixture(scope="session")
+def serve_schema5():
+    return tpcd_serving_schema(5)
+
+
+@pytest.fixture(scope="session")
+def serve_fact5():
+    return tpcd_serving_fact(5, rng=0)
+
+
+@pytest.fixture(scope="session")
+def serve_model5(serve_fact5):
+    return LinearCostModel.from_fact(serve_fact5)

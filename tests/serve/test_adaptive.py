@@ -1,0 +1,251 @@
+"""Drift detection and adaptive re-selection with atomic hot swap."""
+
+import threading
+
+import pytest
+
+from repro.algorithms import RGreedy
+from repro.core.benefit import BenefitEngine
+from repro.core.qvgraph import QueryViewGraph
+from repro.core.query import enumerate_slice_queries
+from repro.cube.query_log import generate_query_log
+from repro.serve import (
+    AdaptiveReselector,
+    DriftMonitor,
+    QueryServer,
+    observed_cost,
+)
+
+
+def pattern(schema, groupby, selection):
+    return next(
+        q
+        for q in enumerate_slice_queries(schema.names)
+        if q.groupby == frozenset(groupby) and q.selection == frozenset(selection)
+    )
+
+
+def advise(lattice, frequencies, space):
+    patterns = list(enumerate_slice_queries(lattice.schema.names))
+    filled = {q: frequencies.get(q, 0.0) for q in patterns}
+    graph = QueryViewGraph.from_cube(lattice, frequencies=filled)
+    top_label = lattice.label(lattice.top)
+    return RGreedy(1).run(BenefitEngine(graph), space, seed=(top_label,)).selected
+
+
+class TestDriftMonitor:
+    def test_no_drift_before_min_queries(self, serve_schema4):
+        q1 = pattern(serve_schema4, ["p"], ["s"])
+        q2 = pattern(serve_schema4, ["c"], ["d"])
+        monitor = DriftMonitor({q1: 1.0}, threshold=0.2, min_queries=10)
+        for _ in range(9):
+            monitor.observe(q2)
+        assert monitor.distance() == 1.0
+        assert not monitor.drifted
+
+    def test_drift_after_min_queries(self, serve_schema4):
+        q1 = pattern(serve_schema4, ["p"], ["s"])
+        q2 = pattern(serve_schema4, ["c"], ["d"])
+        monitor = DriftMonitor({q1: 1.0}, threshold=0.2, min_queries=10)
+        for _ in range(10):
+            monitor.observe(q2)
+        assert monitor.drifted
+
+    def test_matching_workload_never_drifts(self, serve_schema4):
+        q1 = pattern(serve_schema4, ["p"], ["s"])
+        monitor = DriftMonitor({q1: 1.0}, threshold=0.2, min_queries=5)
+        for _ in range(100):
+            monitor.observe(q1)
+        assert monitor.distance() == 0.0
+        assert not monitor.drifted
+
+    def test_rebase_resets(self, serve_schema4):
+        q1 = pattern(serve_schema4, ["p"], ["s"])
+        q2 = pattern(serve_schema4, ["c"], ["d"])
+        monitor = DriftMonitor({q1: 1.0}, threshold=0.2, min_queries=5)
+        for _ in range(10):
+            monitor.observe(q2)
+        assert monitor.drifted
+        monitor.rebase({q2: 1.0})
+        assert monitor.observed_total == 0
+        assert not monitor.drifted
+
+    def test_status_fields(self, serve_schema4):
+        q1 = pattern(serve_schema4, ["p"], ["s"])
+        monitor = DriftMonitor({q1: 1.0})
+        status = monitor.status()
+        assert set(status) == {
+            "observed", "distance", "threshold", "min_queries", "drifted",
+        }
+
+    def test_bad_params_rejected(self, serve_schema4):
+        q1 = pattern(serve_schema4, ["p"], ["s"])
+        with pytest.raises(ValueError, match="threshold"):
+            DriftMonitor({q1: 1.0}, threshold=0.0)
+        with pytest.raises(ValueError, match="min_queries"):
+            DriftMonitor({q1: 1.0}, min_queries=0)
+
+
+class TestReselector:
+    def test_accepts_better_selection(self, serve_model4):
+        lattice = serve_model4.lattice
+        schema = lattice.schema
+        space = 2 * lattice.size(lattice.top)
+        adv_q = pattern(schema, ["p"], ["s"])
+        drift_q = pattern(schema, ["c"], ["d"])
+        current = advise(lattice, {adv_q: 1.0}, space)
+        reselector = AdaptiveReselector(
+            lattice, RGreedy(1), space, margin=0.05,
+            seed=(lattice.label(lattice.top),),
+        )
+        outcome = reselector.readvise({drift_q: 90, adv_q: 10}, current)
+        assert outcome.accepted
+        assert outcome.tau_new < outcome.tau_current
+        assert outcome.improvement > 0.05
+
+    def test_rejects_identical_selection(self, serve_model4):
+        lattice = serve_model4.lattice
+        schema = lattice.schema
+        space = 2 * lattice.size(lattice.top)
+        adv_q = pattern(schema, ["p"], ["s"])
+        current = advise(lattice, {adv_q: 1.0}, space)
+        reselector = AdaptiveReselector(
+            lattice, RGreedy(1), space, seed=(lattice.label(lattice.top),)
+        )
+        outcome = reselector.readvise({adv_q: 100}, current)
+        assert not outcome.accepted
+        assert "identical" in outcome.detail
+
+    def test_margin_validated(self, serve_model4):
+        with pytest.raises(ValueError, match="margin"):
+            AdaptiveReselector(serve_model4.lattice, RGreedy(1), 100, margin=1.0)
+
+    def test_observed_cost_weighs_unseen_as_zero(self, serve_model4):
+        """The 3^n patterns absent from the observed log contribute no
+        cost (guarding against the graph's default frequency of 1)."""
+        lattice = serve_model4.lattice
+        schema = lattice.schema
+        q = pattern(schema, ["p"], ["s"])
+        top_label = lattice.label(lattice.top)
+        cost = observed_cost(lattice, (top_label,), {q: 2.0})
+        assert cost == 2.0 * serve_model4.cost(q, lattice.top)
+
+
+class TestAdaptiveServing:
+    """The drift-injected replay acceptance scenario."""
+
+    def _setup(self, fact, model, background, min_queries=50):
+        lattice = model.lattice
+        schema = lattice.schema
+        space = 2 * lattice.size(lattice.top)
+        adv_q = pattern(schema, ["p"], ["s"])
+        drift_q = pattern(schema, ["c"], ["d"])
+        advised = {adv_q: 1.0}
+        selection = advise(lattice, advised, space)
+        reselector = AdaptiveReselector(
+            lattice, RGreedy(1), space, margin=0.05,
+            seed=(lattice.label(lattice.top),),
+        )
+        server = QueryServer(
+            fact,
+            selection,
+            cost_model=model,
+            advised=advised,
+            reselector=reselector,
+            drift_min_queries=min_queries,
+            background=background,
+        )
+        # frequencies skewed >= 2x toward a slice the selection has no
+        # index for: the drifted workload the acceptance criterion names
+        log = generate_query_log(
+            schema, 3 * min_queries, rng=7,
+            pattern_frequencies={drift_q: 0.9, adv_q: 0.1},
+        )
+        return server, selection, log, {drift_q: 0.9, adv_q: 0.1}
+
+    def test_exactly_one_readvise_and_cheaper_swap(
+        self, serve_fact4, serve_model4
+    ):
+        server, old, log, observed = self._setup(
+            serve_fact4, serve_model4, background=False
+        )
+        report = server.replay(log)
+        assert report.queries == len(log)
+        assert server.readvise_count == 1
+        assert server.swap_count == 1
+        assert server.telemetry_snapshot()["swaps"] == 1
+        new = server.selection
+        assert new != tuple(old)
+        lattice = serve_model4.lattice
+        assert observed_cost(lattice, new, observed) < observed_cost(
+            lattice, old, observed
+        )
+
+    def test_swap_rebases_drift_monitor(self, serve_fact4, serve_model4):
+        server, _old, log, _observed = self._setup(
+            serve_fact4, serve_model4, background=False
+        )
+        server.replay(log)
+        assert server.swap_count == 1
+        assert server.state.generation == 1
+        # monitoring restarted against the new advised distribution
+        assert server.drift.observed_total < len(log)
+
+    def test_no_readvise_without_drift(self, serve_fact4, serve_model4):
+        lattice = serve_model4.lattice
+        schema = lattice.schema
+        space = 2 * lattice.size(lattice.top)
+        adv_q = pattern(schema, ["p"], ["s"])
+        advised = {adv_q: 1.0}
+        selection = advise(lattice, advised, space)
+        reselector = AdaptiveReselector(
+            lattice, RGreedy(1), space, seed=(lattice.label(lattice.top),)
+        )
+        server = QueryServer(
+            serve_fact4, selection, cost_model=serve_model4, advised=advised,
+            reselector=reselector, drift_min_queries=20, background=False,
+        )
+        log = generate_query_log(
+            schema, 100, rng=1, pattern_frequencies=advised
+        )
+        server.replay(log)
+        assert server.readvise_count == 0
+        assert server.swap_count == 0
+
+    def test_old_selection_serves_during_background_readvise(
+        self, serve_fact4, serve_model4
+    ):
+        """Queries issued while the re-advise is in flight are answered by
+        the old catalog; the swap lands only after it completes."""
+        server, old, log, _observed = self._setup(
+            serve_fact4, serve_model4, background=True, min_queries=20
+        )
+        release = threading.Event()
+        started = threading.Event()
+        inner = server.reselector.readvise
+
+        def gated(observed, current):
+            started.set()
+            release.wait(timeout=30)
+            return inner(observed, current)
+
+        server.reselector.readvise = gated
+        old_labels = set(old)
+        for entry in log:
+            server.serve(entry)
+            if started.is_set():
+                break
+        assert started.wait(timeout=30), "re-advise never triggered"
+        # the re-advise is blocked in flight: serving continues on the
+        # old selection, and no swap can have happened yet
+        for entry in log[:10]:
+            outcome = server.serve(entry)
+            assert outcome.structure in old_labels
+        assert server.swap_count == 0
+        assert server.state.generation == 0
+        release.set()
+        server.drain(timeout=30)
+        assert server.readvise_count == 1
+        assert server.swap_count == 1
+        assert server.state.generation == 1
+        assert server.selection != tuple(old)

@@ -1,0 +1,131 @@
+"""Recorder round-trip: recorded logs replay to identical workloads."""
+
+import json
+
+import pytest
+
+from repro.cube.query_log import (
+    LogEntry,
+    estimate_frequencies,
+    generate_query_log,
+    pattern_counts,
+)
+from repro.io import load_query_log, save_query_log
+from repro.serve import WorkloadRecorder
+
+
+class TestRecorderRoundTrip:
+    def test_write_replay_identical_frequencies(self, serve_schema4, tmp_path):
+        """Satellite: write -> replay -> identical Workload frequencies."""
+        log = generate_query_log(serve_schema4, 300, rng=3)
+        path = tmp_path / "observed.jsonl"
+        with WorkloadRecorder(path) as recorder:
+            for entry in log:
+                recorder.record(entry)
+        replayed = load_query_log(path, serve_schema4)
+        assert replayed == log  # entries, order, and bound values
+        assert estimate_frequencies(replayed) == estimate_frequencies(log)
+        assert pattern_counts(replayed) == pattern_counts(log)
+
+    def test_empty_log(self, serve_schema4, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        with WorkloadRecorder(path):
+            pass
+        assert path.exists()
+        assert load_query_log(path, serve_schema4) == []
+        assert pattern_counts([]) == {}
+
+    def test_single_query(self, serve_schema4, tmp_path):
+        entry = generate_query_log(serve_schema4, 1, rng=0)[0]
+        path = tmp_path / "one.jsonl"
+        with WorkloadRecorder(path) as recorder:
+            recorder.record(entry)
+        replayed = load_query_log(path, serve_schema4)
+        assert replayed == [entry]
+        assert estimate_frequencies(replayed) == {entry.query: 1.0}
+
+    def test_in_memory_only(self, serve_schema4):
+        log = generate_query_log(serve_schema4, 5, rng=0)
+        recorder = WorkloadRecorder()
+        for entry in log:
+            recorder.record(entry)
+        assert recorder.entries == log
+        assert len(recorder) == 5
+        recorder.close()
+
+    def test_record_after_close_rejected(self, serve_schema4):
+        entry = generate_query_log(serve_schema4, 1, rng=0)[0]
+        recorder = WorkloadRecorder()
+        recorder.close()
+        with pytest.raises(ValueError, match="closed"):
+            recorder.record(entry)
+
+    def test_matches_save_query_log_format(self, serve_schema4, tmp_path):
+        """The recorder's file is byte-identical to save_query_log."""
+        log = generate_query_log(serve_schema4, 20, rng=5)
+        recorded = tmp_path / "recorded.jsonl"
+        saved = tmp_path / "saved.jsonl"
+        with WorkloadRecorder(recorded) as recorder:
+            for entry in log:
+                recorder.record(entry)
+        save_query_log(log, saved)
+        assert recorded.read_bytes() == saved.read_bytes()
+
+
+class TestQueryLogValidation:
+    """repro.io rejects malformed query-log records with one-line errors."""
+
+    def test_unknown_selection_attribute_rejected(self, serve_schema4, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps(
+                {"groupby": ["p"], "selection": ["zz"], "values": {"zz": 0}}
+            )
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="zz"):
+            load_query_log(path, serve_schema4)
+
+    def test_unknown_groupby_attribute_rejected(self, serve_schema4, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"groupby": ["qq"], "selection": [], "values": {}}) + "\n"
+        )
+        with pytest.raises(ValueError, match="qq"):
+            load_query_log(path, serve_schema4)
+
+    def test_error_names_the_line(self, serve_schema4, tmp_path):
+        good = json.dumps({"groupby": ["p"], "selection": [], "values": {}})
+        bad = json.dumps(
+            {"groupby": [], "selection": ["zz"], "values": {"zz": 1}}
+        )
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(good + "\n" + bad + "\n")
+        with pytest.raises(ValueError, match=r"mixed\.jsonl:2"):
+            load_query_log(path, serve_schema4)
+
+    def test_value_out_of_domain_rejected(self, serve_schema4, tmp_path):
+        card = serve_schema4.cardinality("p")
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps(
+                {"groupby": [], "selection": ["p"], "values": {"p": card}}
+            )
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="p"):
+            load_query_log(path, serve_schema4)
+
+    def test_values_must_cover_selection(self, serve_schema4, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"groupby": [], "selection": ["p"], "values": {}}) + "\n"
+        )
+        with pytest.raises(ValueError):
+            load_query_log(path, serve_schema4)
+
+    def test_invalid_json_line_rejected(self, serve_schema4, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match=r"bad\.jsonl:1"):
+            load_query_log(path, serve_schema4)

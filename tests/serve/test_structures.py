@@ -1,0 +1,58 @@
+"""Parsing selection labels back into views and indexes."""
+
+import pytest
+
+from repro.core.index import Index
+from repro.core.view import View
+from repro.serve import parse_structure, resolve_selection
+
+
+class TestParseStructure:
+    def test_char_view(self):
+        assert parse_structure("psc") == View.of("p", "s", "c")
+
+    def test_comma_view(self):
+        assert parse_structure("part,customer") == View.of("part", "customer")
+
+    def test_none_view(self):
+        assert parse_structure("none") == View.none()
+
+    def test_char_index(self):
+        index = parse_structure("I_sp(ps)")
+        assert isinstance(index, Index)
+        assert index.view == View.of("p", "s")
+        assert index.key == ("s", "p")
+
+    def test_comma_index(self):
+        index = parse_structure("I_part,customer(part,customer)")
+        assert index.key == ("part", "customer")
+        assert index.view == View.of("part", "customer")
+
+    def test_round_trips_lattice_labels(self, serve_model4):
+        """Every label the lattice emits parses back to its object."""
+        from repro.core.index import enumerate_fat_indexes
+
+        lattice = serve_model4.lattice
+        for view in lattice.views():
+            assert parse_structure(lattice.label(view)) == view
+            for index in enumerate_fat_indexes(view):
+                assert parse_structure(lattice.index_label(index)) == index
+
+    def test_malformed_index_rejected(self):
+        with pytest.raises(ValueError, match="malformed index label"):
+            parse_structure("I_sp")
+
+    def test_index_on_empty_view_rejected(self):
+        with pytest.raises(ValueError, match="I_"):
+            parse_structure("I_()")
+
+
+class TestResolveSelection:
+    def test_splits_and_preserves_order(self):
+        views, indexes = resolve_selection(["psc", "ps", "I_sp(ps)", "p"])
+        assert views == [View.of("p", "s", "c"), View.of("p", "s"), View.of("p")]
+        assert indexes == [Index(View.of("p", "s"), ("s", "p"))]
+
+    def test_index_without_view_rejected(self):
+        with pytest.raises(ValueError, match="without its view"):
+            resolve_selection(["psc", "I_sp(ps)"])

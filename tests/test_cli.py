@@ -410,3 +410,130 @@ class TestWorkersFlag:
         assert resumed["selected"] == full["selected"]
         assert resumed["benefit"] == full["benefit"]
         assert resumed["interrupted"] is False
+
+
+class TestServeAndReplay:
+    def test_serve_writes_telemetry_and_log(self, tmp_path, capsys):
+        telemetry = tmp_path / "telemetry.json"
+        log = tmp_path / "observed.jsonl"
+        rc = main(
+            ["serve", "--dims", "3", "--queries", "40",
+             "--record", str(log), "--telemetry", str(telemetry)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 raw-cube fallbacks" in out
+        from repro.serve import validate_telemetry
+
+        doc = json.loads(telemetry.read_text())
+        validate_telemetry(doc)
+        assert doc["queries"] == 40
+        assert doc["fallbacks"] == 0
+        assert doc["cost"]["exact_matches"] == 40
+        assert len(log.read_text().splitlines()) == 40
+
+    def test_replay_recorded_log_with_workers(self, tmp_path, capsys):
+        log = tmp_path / "observed.jsonl"
+        assert (
+            main(["serve", "--dims", "3", "--queries", "30",
+                  "--record", str(log)])
+            == 0
+        )
+        capsys.readouterr()
+        telemetry = tmp_path / "replayed.json"
+        rc = main(
+            ["replay", "--dims", "3", "--log", str(log), "--workers", "2",
+             "--telemetry", str(telemetry), "--fail-on-fallback"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "workers 2" in out
+        doc = json.loads(telemetry.read_text())
+        assert doc["queries"] == 30
+        assert doc["fallbacks"] == 0
+
+    def test_replay_missing_log_is_input_error(self, tmp_path, capsys):
+        rc = main(
+            ["replay", "--dims", "3", "--log", str(tmp_path / "missing.jsonl")]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_replay_invalid_record_is_input_error(self, tmp_path, capsys):
+        log = tmp_path / "bad.jsonl"
+        log.write_text(
+            '{"groupby": ["p"], "selection": ["zz"], "values": {"zz": 1}}\n'
+        )
+        rc = main(["replay", "--dims", "3", "--log", str(log)])
+        assert rc == 2
+        assert "zz" in capsys.readouterr().err
+
+    def test_replay_empty_log_is_ok(self, tmp_path, capsys):
+        log = tmp_path / "empty.jsonl"
+        log.write_text("")
+        rc = main(["replay", "--dims", "3", "--log", str(log)])
+        assert rc == 0
+        assert "nothing to replay" in capsys.readouterr().out
+
+    def test_serve_with_saved_selection(self, tmp_path, capsys):
+        """A selection advised on the matching lattice document serves
+        without fallbacks."""
+        from repro.core.costmodel import LinearCostModel
+        from repro.datasets.tpcd import tpcd_serving_fact
+        from repro.io import save_lattice
+
+        lattice = LinearCostModel.from_fact(tpcd_serving_fact(3)).lattice
+        cube = tmp_path / "cube3.json"
+        save_lattice(lattice, cube)
+        selection = tmp_path / "selection.json"
+        assert (
+            main(["advise", "--lattice", str(cube), "--space",
+                  str(3 * lattice.size(lattice.top)), "--algorithm",
+                  "1greedy", "--output", str(selection)])
+            == 0
+        )
+        capsys.readouterr()
+        rc = main(
+            ["serve", "--dims", "3", "--queries", "25",
+             "--selection", str(selection), "--fail-on-fallback"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 raw-cube fallbacks" in out
+
+    def test_adaptive_replay_swaps_selection(self, tmp_path, capsys):
+        """A drift-injected log triggers a re-advise and a hot swap."""
+        from repro.core.query import enumerate_slice_queries
+        from repro.cube.query_log import generate_query_log
+        from repro.datasets.tpcd import tpcd_serving_schema
+        from repro.io import save_query_log
+
+        schema = tpcd_serving_schema(3)
+        patterns = list(enumerate_slice_queries(schema.names))
+        hot = next(
+            q for q in patterns
+            if q.groupby == frozenset({"c"}) and q.selection == frozenset({"s"})
+        )
+        log = tmp_path / "drifted.jsonl"
+        save_query_log(
+            generate_query_log(
+                schema, 120, rng=3, pattern_frequencies={hot: 1.0}
+            ),
+            log,
+        )
+        # start from the poorest always-answering selection (top view
+        # only) so the drifted workload has room to win a swap
+        selection = tmp_path / "top_only.json"
+        selection.write_text(json.dumps({"selected": ["psc"]}))
+        telemetry = tmp_path / "telemetry.json"
+        rc = main(
+            ["replay", "--dims", "3", "--log", str(log), "--adaptive",
+             "--selection", str(selection), "--space", "360",
+             "--drift-min-queries", "30", "--telemetry", str(telemetry)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(telemetry.read_text())
+        assert doc["swaps"] >= 1
+        assert doc["meta"]["readvises"] >= 1
+        assert doc["meta"]["generation"] >= 1

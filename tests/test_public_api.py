@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.engine",
     "repro.datasets",
     "repro.experiments",
+    "repro.serve",
 ]
 
 MODULES_WITHOUT_ALL = [
@@ -38,6 +39,12 @@ MODULES_WITHOUT_ALL = [
     "repro.algorithms.local_search",
     "repro.algorithms.maintenance_aware",
     "repro.algorithms.pbs",
+    "repro.serve.adaptive",
+    "repro.serve.drift",
+    "repro.serve.recorder",
+    "repro.serve.server",
+    "repro.serve.structures",
+    "repro.serve.telemetry",
 ]
 
 
