@@ -242,13 +242,28 @@ def measure_checkpoint_overhead(n_dims: int = 5, repeats: int = 3) -> dict:
     }
 
 
+#: Worker counts measured for the serving throughput sweep.
+SERVING_WORKERS_SWEEP = (1, 2, 4)
+
+#: The last committed d5_serial qps from before the batched execution
+#: path landed (per-query serving).  The acceptance bar for the
+#: high-throughput serving work is ``d5_w4_cached`` >= 3x this.
+PRIOR_SERIAL_QPS_D5 = 5102.54
+
+
 def measure_serving(n_dims: int = 5, n_queries: int = 500, repeats: int = 2) -> dict:
     """Queries/sec and latency percentiles serving the d=5 TPC-D workload.
 
     Replays the same synthetic log through a materialized selection
-    serially and with 2 replay workers (best of ``repeats`` runs each).
-    The serial leg is gated like the pipeline timings; the worker leg is
-    informational (wall-clock depends on the runner's core count).
+    across the serving matrix: per-query execution (``batch1``, the
+    pre-batching reference shape), the vectorized batched path at
+    1/2/4 front-end workers, and the batched path with the result cache
+    on (best of ``repeats`` cold runs each — cache legs only benefit
+    from repetition *within* the log).  The serial legs are gated like
+    the pipeline timings; worker legs are informational (wall-clock
+    depends on the runner's core count).  ``d5_cached_w4_speedup`` is
+    the acceptance headline: batched+cached 4-worker qps over the
+    per-query serial qps of the same run.
     """
     from repro.algorithms.rgreedy import RGreedy
     from repro.core.benefit import BenefitEngine
@@ -256,7 +271,7 @@ def measure_serving(n_dims: int = 5, n_queries: int = 500, repeats: int = 2) -> 
     from repro.core.qvgraph import QueryViewGraph
     from repro.cube.query_log import generate_query_log
     from repro.datasets.tpcd import tpcd_serving_fact, tpcd_serving_schema
-    from repro.serve import QueryServer
+    from repro.serve import QueryServer, ResultCache
 
     schema = tpcd_serving_schema(n_dims)
     fact = tpcd_serving_fact(n_dims)
@@ -274,15 +289,24 @@ def measure_serving(n_dims: int = 5, n_queries: int = 500, repeats: int = 2) -> 
     )
     log = generate_query_log(schema, n_queries, rng=0)
 
-    def leg(workers: int) -> dict:
+    def leg(workers: int, cached: bool = False, batch_size: int = None) -> dict:
         best = None
         for _ in range(max(1, repeats)):
-            server = QueryServer(fact, selection, cost_model=model)
-            report = server.replay(log, workers=workers)
+            server = QueryServer(
+                fact,
+                selection,
+                cost_model=model,
+                cache=ResultCache() if cached else None,
+                keep_records=False,
+            )
+            report = server.replay(log, workers=workers, batch_size=batch_size)
             assert report.fallbacks == 0, "bench workload must not fall back"
             timings = {
                 "queries": report.queries,
                 "workers": workers,
+                "batch_size": report.batch_size,
+                "cache": cached,
+                "cache_hits": report.cache_hits,
                 "seconds": report.seconds,
                 "qps": report.qps,
                 "p50_us": report.p50_us,
@@ -292,10 +316,22 @@ def measure_serving(n_dims: int = 5, n_queries: int = 500, repeats: int = 2) -> 
                 best = timings
         return best
 
-    out = {
-        f"d{n_dims}_serial": leg(1),
-        f"d{n_dims}_w2": leg(2),
-    }
+    out = {f"d{n_dims}_batch1": leg(1, batch_size=1)}
+    for workers in SERVING_WORKERS_SWEEP:
+        suffix = "serial" if workers == 1 else f"w{workers}"
+        out[f"d{n_dims}_{suffix}"] = leg(workers)
+        out[f"d{n_dims}_{suffix}_cached"] = leg(workers, cached=True)
+    # within-run ablation: batched + cached + concurrent vs this run's
+    # per-query reference leg
+    out[f"d{n_dims}_cached_w4_speedup"] = (
+        out[f"d{n_dims}_w4_cached"]["qps"] / out[f"d{n_dims}_batch1"]["qps"]
+    )
+    if n_dims == 5:
+        # acceptance headline: vs the committed pre-batching serial qps
+        out["d5_cached_w4_vs_prior_committed"] = (
+            out["d5_w4_cached"]["qps"] / PRIOR_SERIAL_QPS_D5
+        )
+        out["d5_prior_committed_serial_qps"] = PRIOR_SERIAL_QPS_D5
     out[f"d{n_dims}_structures"] = len(selection)
     return out
 
@@ -356,6 +392,12 @@ def main(argv=None) -> int:
         "--skip-d7", action="store_true",
         help="skip the (slow) d=7 scale measurement",
     )
+    parser.add_argument(
+        "--serving-only", action="store_true",
+        help="re-measure only the serving section and merge it into the "
+        "committed baseline (pipeline and pytest-benchmark numbers are "
+        "carried over unchanged)",
+    )
     args = parser.parse_args(argv)
 
     if args.check and not RESULT_PATH.exists():
@@ -369,18 +411,31 @@ def main(argv=None) -> int:
 
     sys.path.insert(0, str(HERE))
 
-    result = {
-        "pytest_benchmarks": run_pytest_benchmarks(),
-        "pipelines": measure_pipelines(args.skip_d7),
-        "checkpoint_overhead": measure_checkpoint_overhead(),
-        "serving": measure_serving(),
-        "meta": {
-            "regression_factor": REGRESSION_FACTOR,
-            "python": sys.version.split()[0],
-            "cpu_count": os.cpu_count(),
-            "workers_sweep": list(WORKERS_SWEEP),
-        },
-    }
+    if args.serving_only:
+        if not RESULT_PATH.exists():
+            print(
+                f"error: --serving-only needs a committed baseline at "
+                f"{RESULT_PATH} to merge into",
+                file=sys.stderr,
+            )
+            return EXIT_NO_BASELINE
+        with open(RESULT_PATH) as fh:
+            result = json.load(fh)
+        result["serving"] = measure_serving()
+        result.setdefault("meta", {})["serving_cpu_count"] = os.cpu_count()
+    else:
+        result = {
+            "pytest_benchmarks": run_pytest_benchmarks(),
+            "pipelines": measure_pipelines(args.skip_d7),
+            "checkpoint_overhead": measure_checkpoint_overhead(),
+            "serving": measure_serving(),
+            "meta": {
+                "regression_factor": REGRESSION_FACTOR,
+                "python": sys.version.split()[0],
+                "cpu_count": os.cpu_count(),
+                "workers_sweep": list(WORKERS_SWEEP),
+            },
+        }
 
     failures = []
     if not args.no_gate and RESULT_PATH.exists():
@@ -431,10 +486,27 @@ def main(argv=None) -> int:
     for config, timings in sorted(result["serving"].items()):
         if not isinstance(timings, dict):
             continue
+        extra = ""
+        if timings.get("cache"):
+            extra = f", cache {timings.get('cache_hits', 0)} hits"
         print(
             f"serve {config}: {timings['qps']:.0f} q/s "
             f"(p50 {timings['p50_us']:.0f} us, p99 {timings['p99_us']:.0f} us, "
-            f"workers {timings['workers']})"
+            f"workers {timings['workers']}, "
+            f"batch {timings.get('batch_size', 1)}{extra})"
+        )
+    headline = result["serving"].get("d5_cached_w4_speedup")
+    if headline is not None:
+        print(
+            f"serving headline: batched+cached w4 is {headline:.2f}x the "
+            f"per-query serial path"
+        )
+    prior = result["serving"].get("d5_cached_w4_vs_prior_committed")
+    if prior is not None:
+        print(
+            f"serving acceptance: batched+cached w4 is {prior:.2f}x the "
+            f"pre-batching committed serial baseline "
+            f"({PRIOR_SERIAL_QPS_D5:g} q/s)"
         )
 
     if failures:

@@ -10,6 +10,8 @@ Usage::
     python -m repro experiments [names...]   # regenerate paper tables
     python -m repro serve --dims 4 --queries 200 --record obs.jsonl \\
         --telemetry telemetry.json           # serve a synthetic workload
+    python -m repro serve --dims 4 --queries 500 --workers 2 \\
+        --cache-mb 16 --batch-size 64        # concurrent front-end + cache
     python -m repro replay --dims 4 --log obs.jsonl --workers 2 \\
         --adaptive                           # replay a recorded log
 
@@ -219,8 +221,23 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers",
             type=int,
             default=None,
-            help="for serve: worker count handed to the (re-)advise "
-            "algorithm; for replay: additionally the replay thread count",
+            help="serving front-end worker threads (>= 2 runs the "
+            "concurrent front-end; default: serial batched serving); "
+            "also handed to the (re-)advise algorithm",
+        )
+        command.add_argument(
+            "--batch-size",
+            type=int,
+            default=None,
+            help="queries answered per vectorized serve_batch pass "
+            "(default: 64)",
+        )
+        command.add_argument(
+            "--cache-mb",
+            type=float,
+            default=None,
+            help="result-cache capacity in MiB (0 disables the cache; "
+            "default: 0)",
         )
         command.add_argument(
             "--record", help="append every served query to this JSONL log"
@@ -479,7 +496,12 @@ def _build_server(args: argparse.Namespace):
     from repro.core.costmodel import LinearCostModel
     from repro.core.query import enumerate_slice_queries
     from repro.datasets.tpcd import tpcd_serving_fact, tpcd_serving_schema
-    from repro.serve import AdaptiveReselector, QueryServer, WorkloadRecorder
+    from repro.serve import (
+        AdaptiveReselector,
+        QueryServer,
+        ResultCache,
+        WorkloadRecorder,
+    )
 
     schema = tpcd_serving_schema(args.dims)
     fact = tpcd_serving_fact(args.dims)
@@ -514,6 +536,9 @@ def _build_server(args: argparse.Namespace):
             checkpoint_path=args.checkpoint,
         )
     recorder = WorkloadRecorder(args.record) if args.record else None
+    cache = None
+    if args.cache_mb is not None and args.cache_mb > 0:
+        cache = ResultCache(capacity_bytes=int(args.cache_mb * 2**20))
     server = QueryServer(
         fact,
         selected,
@@ -521,6 +546,7 @@ def _build_server(args: argparse.Namespace):
         advised=advised,
         recorder=recorder,
         reselector=reselector,
+        cache=cache,
         drift_threshold=args.drift_threshold,
         drift_min_queries=args.drift_min_queries,
     )
@@ -533,15 +559,13 @@ def _report_serving(args: argparse.Namespace, server, report, recorder) -> int:
 
     from repro.serve import validate_telemetry
 
-    server.drain(timeout=60)
-    if recorder is not None:
-        recorder.close()
+    server.close(timeout=60)
     snapshot = validate_telemetry(server.telemetry_snapshot())
     cost = snapshot["cost"]
     print(
         f"served {report.queries} queries at {report.qps:.0f} q/s "
         f"(p50 {report.p50_us:.0f} us, p99 {report.p99_us:.0f} us, "
-        f"workers {report.workers})"
+        f"workers {report.workers}, batch {report.batch_size})"
     )
     print(
         f"rows scanned {cost['actual_rows']:g} "
@@ -550,6 +574,16 @@ def _report_serving(args: argparse.Namespace, server, report, recorder) -> int:
         f"{report.fallbacks} raw-cube fallbacks; "
         f"{snapshot['swaps']} selection swaps"
     )
+    cache = snapshot["cache"]
+    if cache["enabled"]:
+        lookups = cache["hits"] + cache["misses"]
+        rate = cache["hits"] / lookups if lookups else 0.0
+        print(
+            f"result cache: {cache['hits']} hits / {lookups} lookups "
+            f"({rate:.0%}), {cache['entries']} entries "
+            f"({cache['bytes']} bytes), {cache['evictions']} evictions, "
+            f"{cache['invalidations']} invalidations"
+        )
     if args.telemetry:
         with open(args.telemetry, "w") as f:
             json.dump(snapshot, f, indent=2, sort_keys=True)
@@ -577,7 +611,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"serving {len(log)} queries over {args.dims} dimensions "
         f"({len(server.selection)} structures materialized)"
     )
-    report = server.replay(log)
+    report = server.replay(log, workers=args.workers, batch_size=args.batch_size)
     return _report_serving(args, server, report, recorder)
 
 
@@ -594,7 +628,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
         f"replaying {len(log)} queries from {args.log} "
         f"({len(server.selection)} structures materialized)"
     )
-    report = server.replay(log, workers=args.workers)
+    report = server.replay(log, workers=args.workers, batch_size=args.batch_size)
     return _report_serving(args, server, report, recorder)
 
 

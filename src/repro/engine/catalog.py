@@ -24,6 +24,11 @@ class Catalog:
         self.fact = fact
         self._views: Dict[View, ViewTable] = {}
         self._indexes: Dict[Index, BPlusTree] = {}
+        #: Bumped by every maintenance delta (see
+        #: :func:`repro.engine.maintenance.apply_delta`); the serving
+        #: result cache tags entries with it so refreshed data is never
+        #: served from a stale cached answer.
+        self.version = 0
 
     # ----------------------------------------------------------------- add
 

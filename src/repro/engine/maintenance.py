@@ -165,6 +165,11 @@ def apply_delta(
         report.index_entries_rebuilt += len(tree)
         rebuilt.append(str(index))
     report.indexes_rebuilt = tuple(rebuilt)
+
+    # 4. publish the refresh: consumers holding cached answers (the
+    # serving result cache tags entries with this counter) must observe
+    # that the catalog's contents changed
+    catalog.version += 1
     return report
 
 

@@ -4,6 +4,13 @@ The serving subsystem closes the loop the paper leaves open: the advisor
 picks views and indexes from *assumed* workload frequencies; this package
 serves concrete slice queries from that selection, measures the workload
 actually arriving, and re-runs the advisor when the two drift apart.
+
+The high-throughput layer on top: :meth:`QueryServer.serve_batch`
+answers query batches in vectorized per-plan passes, a
+:class:`ResultCache` memoizes repeated queries (generation-tagged, so
+hot swaps and maintenance deltas can never serve stale rows), and the
+:class:`ServingFrontend` runs a worker pool with a bounded admission
+queue, per-tenant fairness, and mergeable per-worker telemetry.
 """
 
 from repro.serve.adaptive import (
@@ -12,7 +19,14 @@ from repro.serve.adaptive import (
     ReadviseOutcome,
     observed_cost,
 )
+from repro.serve.batch import DEFAULT_BATCH_SIZE
+from repro.serve.cache import CachedResult, ResultCache, result_key
 from repro.serve.drift import DRIFT_MIN_QUERIES, DRIFT_THRESHOLD, DriftMonitor
+from repro.serve.frontend import (
+    DEFAULT_QUEUE_DEPTH,
+    AdmissionQueueFull,
+    ServingFrontend,
+)
 from repro.serve.recorder import WorkloadRecorder
 from repro.serve.server import (
     QueryServer,
@@ -25,11 +39,16 @@ from repro.serve.telemetry import (
     RAW_LABEL,
     TELEMETRY_SCHEMA_VERSION,
     TelemetryCollector,
+    upgrade_telemetry,
     validate_telemetry,
 )
 
 __all__ = [
     "AdaptiveReselector",
+    "AdmissionQueueFull",
+    "CachedResult",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_QUEUE_DEPTH",
     "DriftMonitor",
     "DRIFT_MIN_QUERIES",
     "DRIFT_THRESHOLD",
@@ -38,7 +57,9 @@ __all__ = [
     "READVISE_MARGIN",
     "ReadviseOutcome",
     "ReplayReport",
+    "ResultCache",
     "ServeOutcome",
+    "ServingFrontend",
     "ServingState",
     "TELEMETRY_SCHEMA_VERSION",
     "TelemetryCollector",
@@ -46,5 +67,7 @@ __all__ = [
     "observed_cost",
     "parse_structure",
     "resolve_selection",
+    "result_key",
+    "upgrade_telemetry",
     "validate_telemetry",
 ]

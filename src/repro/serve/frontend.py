@@ -1,0 +1,285 @@
+"""Concurrent serving front-end: admission queue, workers, fair batching.
+
+:class:`ServingFrontend` is the request loop in front of a
+:class:`~repro.serve.server.QueryServer` — the shape cubes' slicer
+server has, scaled down to an in-process component.  Requests enter
+through a **bounded admission queue** (per-tenant FIFOs behind one
+condition variable; a full queue blocks or rejects, it never grows
+unbounded), worker threads drain the queue into batches, and every batch
+goes through the server's vectorized :meth:`serve_batch` path over the
+immutable serving state — which is lock-free to read and atomically
+swapped, so workers never contend on the data they serve from.
+
+**Fairness** is round-robin per tenant: a batch takes one queued entry
+from each tenant in rotation, so a tenant flooding the queue cannot
+starve the others — its requests just queue behind its own backlog.
+
+**Telemetry** is per-worker: each worker records into its own
+:class:`~repro.serve.telemetry.TelemetryCollector` (no shared-lock
+traffic on the hot path) and :meth:`close` merges them — exact counters,
+bucket-wise histograms, percentiles recomputed over the union of
+samples — into the server's collector, so a drained front-end leaves the
+server's snapshot indistinguishable from serial serving.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.cube.query_log import LogEntry
+from repro.serve.batch import DEFAULT_BATCH_SIZE
+from repro.serve.telemetry import TelemetryCollector
+
+#: Default bound on queued-but-unserved entries across all tenants.
+DEFAULT_QUEUE_DEPTH = 4096
+
+#: Tenant label for requests submitted without one.
+DEFAULT_TENANT = "default"
+
+
+class AdmissionQueueFull(RuntimeError):
+    """The bounded admission queue rejected a request (over capacity)."""
+
+
+class ServingFrontend:
+    """Thread-pool front-end over a :class:`QueryServer`.
+
+    Parameters
+    ----------
+    server:
+        The query server whose :meth:`serve_batch` answers every batch.
+    workers:
+        Worker thread count (>= 1).
+    batch_size:
+        Most entries a worker drains into one ``serve_batch`` call.
+    queue_depth:
+        Bound on queued entries across all tenants; :meth:`submit`
+        blocks (or raises :class:`AdmissionQueueFull` with
+        ``block=False`` / on timeout) once reached.
+    keep_records:
+        Whether per-worker collectors retain per-query records (match
+        the server's collector when the merged telemetry should).
+    """
+
+    def __init__(
+        self,
+        server,
+        workers: int = 2,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        keep_records: bool = True,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.server = server
+        self.workers = int(workers)
+        self.batch_size = int(batch_size)
+        self.queue_depth = int(queue_depth)
+        self._cond = threading.Condition()
+        self._queues: "OrderedDict[str, Deque[Tuple[LogEntry, Future]]]" = (
+            OrderedDict()
+        )
+        self._rotation: Deque[str] = deque()
+        self._pending = 0
+        self._inflight = 0
+        self._closing = False
+        self._absorbed = False
+        self.submitted = 0
+        self.served = 0
+        self.rejected = 0
+        self.batches = 0
+        self.collectors: List[TelemetryCollector] = [
+            TelemetryCollector(keep_records=keep_records)
+            for _ in range(self.workers)
+        ]
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(self.collectors[pos],),
+                name=f"serve-frontend-{pos}",
+                daemon=True,
+            )
+            for pos in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -------------------------------------------------------------- submit
+
+    def submit(
+        self,
+        entry: LogEntry,
+        tenant: str = DEFAULT_TENANT,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> "Future[object]":
+        """Queue one query; returns a future resolving to its
+        :class:`~repro.serve.server.ServeOutcome`.
+
+        A full queue blocks until space frees (``timeout`` bounds the
+        wait) or, with ``block=False``, raises
+        :class:`AdmissionQueueFull` immediately.
+        """
+        future: "Future[object]" = Future()
+        with self._cond:
+            while not self._closing and self._pending >= self.queue_depth:
+                if not block:
+                    self.rejected += 1
+                    raise AdmissionQueueFull(
+                        f"admission queue at capacity ({self.queue_depth})"
+                    )
+                if not self._cond.wait(timeout):
+                    self.rejected += 1
+                    raise AdmissionQueueFull(
+                        f"admission queue still full after {timeout}s"
+                    )
+            if self._closing:
+                raise RuntimeError("frontend is closed")
+            queue = self._queues.get(tenant)
+            if queue is None:
+                queue = deque()
+                self._queues[tenant] = queue
+            if not queue:
+                self._rotation.append(tenant)
+            queue.append((entry, future))
+            self._pending += 1
+            self.submitted += 1
+            self._cond.notify_all()
+        return future
+
+    def submit_many(
+        self, entries: Sequence[LogEntry], tenant: str = DEFAULT_TENANT
+    ) -> List["Future[object]"]:
+        """Queue many entries for one tenant (blocking admission).
+
+        Takes the queue lock once per admitted run instead of once per
+        entry; blocks whenever the queue is at capacity, exactly like a
+        sequence of blocking :meth:`submit` calls."""
+        futures: List["Future[object]"] = []
+        pos = 0
+        with self._cond:
+            while pos < len(entries):
+                while not self._closing and self._pending >= self.queue_depth:
+                    self._cond.wait()
+                if self._closing:
+                    raise RuntimeError("frontend is closed")
+                queue = self._queues.get(tenant)
+                if queue is None:
+                    queue = deque()
+                    self._queues[tenant] = queue
+                while pos < len(entries) and self._pending < self.queue_depth:
+                    future: "Future[object]" = Future()
+                    if not queue:
+                        self._rotation.append(tenant)
+                    queue.append((entries[pos], future))
+                    futures.append(future)
+                    self._pending += 1
+                    self.submitted += 1
+                    pos += 1
+                self._cond.notify_all()
+        return futures
+
+    # -------------------------------------------------------------- worker
+
+    def _take_batch(self) -> Optional[List[Tuple[LogEntry, Future]]]:
+        """Wait for work; drain up to ``batch_size`` entries fairly.
+
+        One entry per tenant per rotation step, so interleaved tenants
+        share each batch evenly.  Returns ``None`` when closing and
+        drained."""
+        with self._cond:
+            while not self._closing and self._pending == 0:
+                self._cond.wait()
+            if self._pending == 0:
+                return None
+            batch: List[Tuple[LogEntry, Future]] = []
+            while len(batch) < self.batch_size and self._rotation:
+                tenant = self._rotation.popleft()
+                queue = self._queues[tenant]
+                batch.append(queue.popleft())
+                self._pending -= 1
+                if queue:
+                    self._rotation.append(tenant)
+            self._inflight += 1
+            self._cond.notify_all()
+            return batch
+
+    def _worker_loop(self, collector: TelemetryCollector) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            entries = [entry for entry, __ in batch]
+            try:
+                outcomes = self.server.serve_batch(entries, telemetry=collector)
+            except BaseException as exc:  # propagate to every waiter
+                for __, future in batch:
+                    if not future.cancelled():
+                        future.set_exception(exc)
+            else:
+                for (__, future), outcome in zip(batch, outcomes):
+                    if not future.cancelled():
+                        future.set_result(outcome)
+            finally:
+                with self._cond:
+                    self._inflight -= 1
+                    self.served += len(batch)
+                    self.batches += 1
+                    self._cond.notify_all()
+
+    # --------------------------------------------------------------- drain
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until the queue is empty and no batch is in flight."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: self._pending == 0 and self._inflight == 0, timeout
+            )
+
+    def merged_telemetry(self) -> TelemetryCollector:
+        """Merge the per-worker collectors (without touching the
+        server's collector)."""
+        return TelemetryCollector.merge(self.collectors)
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain remaining work, stop the workers, and fold the
+        per-worker telemetry into the server's collector (once)."""
+        with self._cond:
+            self._closing = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout)
+        if not self._absorbed:
+            self._absorbed = True
+            for collector in self.collectors:
+                self.server.telemetry.absorb(collector)
+
+    def __enter__(self) -> "ServingFrontend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- stats
+
+    def stats(self) -> dict:
+        """Front-end counters for reports and tests."""
+        with self._cond:
+            return {
+                "workers": self.workers,
+                "batch_size": self.batch_size,
+                "queue_depth": self.queue_depth,
+                "submitted": self.submitted,
+                "served": self.served,
+                "rejected": self.rejected,
+                "batches": self.batches,
+                "pending": self._pending,
+                "tenants": sorted(self._queues),
+            }

@@ -6,6 +6,14 @@ session's observed workload can be replayed later — or fed back into the
 advisor — exactly as :func:`repro.io.load_query_log` reads it.  Writes
 are line-atomic under a lock; the concurrent replay driver shares one
 recorder across its worker threads.
+
+The file is opened **line-buffered**, so every recorded entry reaches
+the OS as soon as :meth:`record` returns — a server killed mid-stream
+(crash, SIGKILL, power loss) leaves a log of complete lines that
+:func:`~repro.io.load_query_log` loads without repair.  The recorder is
+a context manager; :meth:`close` runs on exception exits too (and
+:meth:`QueryServer.close` closes its recorder on server shutdown), so
+the normal paths flush-and-close deterministically.
 """
 
 from __future__ import annotations
@@ -44,12 +52,22 @@ class WorkloadRecorder:
         with self._lock:
             return list(self._entries)
 
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
     def record(self, entry) -> None:
-        """Append one :class:`~repro.cube.query_log.LogEntry`."""
+        """Append one :class:`~repro.cube.query_log.LogEntry`.
+
+        The line is flushed to the OS before this returns (line
+        buffering), so a kill between records never truncates the log
+        mid-line.
+        """
         line = json.dumps(log_entry_to_dict(entry), sort_keys=True)
         with self._lock:
             if self._closed:
@@ -57,7 +75,7 @@ class WorkloadRecorder:
             self._entries.append(entry)
             if self.path is not None:
                 if self._file is None:
-                    self._file = open(self.path, "w")
+                    self._file = open(self.path, "w", buffering=1)
                 self._file.write(line)
                 self._file.write("\n")
 
@@ -68,7 +86,8 @@ class WorkloadRecorder:
 
     def close(self) -> None:
         """Flush and close; an empty recording still leaves a valid
-        (empty) log file behind."""
+        (empty) log file behind.  Idempotent — safe to call from both
+        an exception handler and the server's shutdown path."""
         with self._lock:
             if self._closed:
                 return

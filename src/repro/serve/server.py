@@ -5,23 +5,41 @@ executor, and the selection it materializes — behind an atomic reference.
 Every query reads the reference once, so a background re-selection can
 build a whole new state and swap it in while the old one keeps serving.
 
-Per query, the server
+Queries are served in **batches** (:meth:`QueryServer.serve_batch`):
+entries are grouped by their routed ``(view, index)`` plan and each group
+is answered in one vectorized pass over the target structure
+(:mod:`repro.serve.batch`), with identical concrete queries collapsing
+to one execution.  Single-query :meth:`serve` is a batch of one — there
+is exactly one execution path, so a replayed log and a live serving
+session report the same routing and cost accounting.
 
-1. routes to the cheapest answering ``(view, index)`` plan with the
-   paper's ``|C| / |E|`` cost model (:meth:`Executor.plan_with_cost`),
+With a :class:`~repro.serve.cache.ResultCache` attached, finished
+results are memoized on the canonical concrete-query form.  Cached
+entries are tagged with ``(serving generation, catalog version)``: a hot
+swap bumps the generation and a fact-table delta applied through
+:mod:`repro.engine.maintenance` bumps the catalog version, so neither
+can ever serve stale rows — the first batch after either change drops
+the cache wholesale.
+
+Per batch, the server
+
+1. routes each miss to the cheapest answering ``(view, index)`` plan
+   with the paper's ``|C| / |E|`` cost model (memoized per pattern),
    falling back to a raw fact-table scan when nothing materialized
    answers,
-2. executes the plan, counting rows actually processed,
+2. executes each plan group in one pass, counting rows actually
+   processed,
 3. records telemetry (latency, predicted vs. actual rows, per-structure
-   hits, fallbacks), appends to the workload recorder, and feeds the
-   drift monitor,
+   hits, fallbacks) into its own collector — or a caller-supplied one,
+   which is how the concurrent front-end keeps workers lock-free —
+   appends to the workload recorder, and feeds the drift monitor,
 4. when the observed workload has drifted and a reselector is
    configured, triggers one background re-advise; if its selection beats
    the current one by the margin, the server materializes it and swaps.
 
-The concurrent :meth:`replay` driver pushes a recorded log through
-:meth:`serve` from a thread pool — safe because the state is immutable
-and every shared collector takes its own lock.
+The :meth:`replay` driver pushes a recorded log through the same
+batched path — serially in chunks, or through the concurrent
+:class:`~repro.serve.frontend.ServingFrontend` when ``workers >= 2``.
 """
 
 from __future__ import annotations
@@ -31,8 +49,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.core.costmodel import LinearCostModel
 from repro.core.query import SliceQuery
 from repro.cube.query_log import LogEntry
@@ -41,6 +57,8 @@ from repro.engine.executor import Executor
 from repro.engine.pipeline import materialize_selection
 from repro.engine.table import FactTable
 from repro.serve.adaptive import AdaptiveReselector, ReadviseOutcome
+from repro.serve.batch import DEFAULT_BATCH_SIZE, execute_unique
+from repro.serve.cache import CachedResult, ResultCache, result_key
 from repro.serve.drift import DriftMonitor
 from repro.serve.recorder import WorkloadRecorder
 from repro.serve.structures import resolve_selection
@@ -50,12 +68,21 @@ from repro.serve.telemetry import RAW_LABEL, TelemetryCollector, _percentile
 @dataclass(frozen=True)
 class ServingState:
     """One materialized selection, ready to answer queries (immutable —
-    swapped atomically, never mutated)."""
+    swapped atomically, never mutated).
+
+    ``plan_cache`` memoizes per-pattern routing decisions for this
+    state; it is the only mutable member, written idempotently (the same
+    pattern always routes to the same plan), so concurrent readers need
+    no lock.
+    """
 
     catalog: Catalog
     executor: Executor
     selection: Tuple[str, ...]
     generation: int = 0
+    plan_cache: Dict[SliceQuery, object] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
 
 @dataclass
@@ -69,6 +96,7 @@ class ServeOutcome:
     latency_us: float
     fallback: bool
     groups: Dict[tuple, float] = field(default_factory=dict)
+    cached: bool = False
 
 
 @dataclass
@@ -80,6 +108,8 @@ class ReplayReport:
     workers: int
     seconds: float
     latencies_us: List[float] = field(default_factory=list)
+    batch_size: int = 1
+    cache_hits: int = 0
 
     @property
     def qps(self) -> float:
@@ -102,6 +132,8 @@ class ReplayReport:
             "qps": self.qps,
             "p50_us": self.p50_us,
             "p99_us": self.p99_us,
+            "batch_size": self.batch_size,
+            "cache_hits": self.cache_hits,
         }
 
 
@@ -124,12 +156,17 @@ class QueryServer:
         the drift monitor.
     recorder:
         Optional :class:`WorkloadRecorder` that every served entry is
-        appended to.
+        appended to (closed by :meth:`close`).
     reselector:
         Optional :class:`AdaptiveReselector`; with it (and ``advised``),
         drift past the monitor's threshold triggers one background
         re-advise and — when the new selection wins by the reselector's
         margin — an atomic hot swap.
+    cache:
+        Optional :class:`~repro.serve.cache.ResultCache`; hits skip
+        execution entirely while replaying the stored cost accounting,
+        so telemetry invariants (exact predicted-vs-actual matches on
+        dense fixtures) hold with the cache on.
     drift_threshold / drift_min_queries:
         Forwarded to the :class:`DriftMonitor` (ignored without
         ``advised``).
@@ -147,6 +184,7 @@ class QueryServer:
         advised: Optional[Mapping[SliceQuery, float]] = None,
         recorder: Optional[WorkloadRecorder] = None,
         reselector: Optional[AdaptiveReselector] = None,
+        cache: Optional[ResultCache] = None,
         drift_threshold: Optional[float] = None,
         drift_min_queries: Optional[int] = None,
         keep_records: bool = True,
@@ -159,6 +197,7 @@ class QueryServer:
         self.telemetry = TelemetryCollector(keep_records=keep_records)
         self.recorder = recorder
         self.reselector = reselector
+        self.cache = cache
         self.background = background
         self.drift: Optional[DriftMonitor] = None
         if advised is not None:
@@ -177,13 +216,17 @@ class QueryServer:
         self.readvise_count = 0
         self.swap_count = 0
         self.outcomes: List[ReadviseOutcome] = []
+        self._closed = False
+        #: pattern -> str(pattern) memo: formatting a SliceQuery label is
+        #: pure-Python and was a third of the warm per-query cost
+        self._pattern_labels: Dict[SliceQuery, str] = {}
         self._state = self._materialize(tuple(selection), generation=0)
 
     # -------------------------------------------------------------- state
 
     @property
     def state(self) -> ServingState:
-        """The current serving state (read once per query — immutable)."""
+        """The current serving state (read once per batch — immutable)."""
         return self._state
 
     @property
@@ -205,77 +248,153 @@ class QueryServer:
     # -------------------------------------------------------------- serve
 
     def serve(self, entry: LogEntry) -> ServeOutcome:
-        """Answer one concrete query; record telemetry and workload."""
-        state = self._state  # single atomic read: stable across the call
-        start = time.perf_counter()
-        try:
-            view, index, predicted = state.executor.plan_with_cost(entry.query)
-        except LookupError:
-            outcome = self._serve_raw(entry, start)
+        """Answer one concrete query; record telemetry and workload.
+
+        A batch of one — same routing, execution, and caching as
+        :meth:`serve_batch`.
+        """
+        return self.serve_batch([entry])[0]
+
+    def serve_batch(
+        self,
+        entries: Sequence[LogEntry],
+        telemetry: Optional[TelemetryCollector] = None,
+    ) -> List[ServeOutcome]:
+        """Answer a batch of concrete queries in grouped passes.
+
+        The batch reads the serving state once (stable across the call),
+        consults the result cache, collapses duplicate concrete queries,
+        groups the misses by routed plan, and answers each group in one
+        pass over its target structure.  Outcomes come back in input
+        order.  ``telemetry`` redirects recording to a caller-owned
+        collector (the concurrent front-end's per-worker collectors);
+        the workload recorder and drift monitor are always shared.
+
+        Latency accounting: executed entries report their plan group's
+        elapsed time split evenly across the group's unique queries
+        (duplicates share their execution's latency); cache hits report
+        the lookup time alone.
+        """
+        if not entries:
+            return []
+        collector = telemetry if telemetry is not None else self.telemetry
+        state = self._state  # single atomic read: stable across the batch
+        tag = (state.generation, state.catalog.version)
+        cache = self.cache
+        outcomes: List[Optional[ServeOutcome]] = [None] * len(entries)
+        pending: Dict[tuple, List[int]] = {}
+        if cache is not None:
+            cache.ensure_tag(tag)
+            for pos, entry in enumerate(entries):
+                start = time.perf_counter()
+                key = result_key(entry)
+                hit = cache.get(key, tag)
+                if hit is None:
+                    pending.setdefault(key, []).append(pos)
+                    continue
+                outcomes[pos] = ServeOutcome(
+                    entry=entry,
+                    structure=hit.structure,
+                    predicted_rows=hit.predicted_rows,
+                    actual_rows=hit.actual_rows,
+                    latency_us=(time.perf_counter() - start) * 1e6,
+                    fallback=hit.structure == RAW_LABEL,
+                    groups=hit.groups,
+                    cached=True,
+                )
         else:
-            result = state.executor.execute(
-                entry.query, entry.bound_values, plan=(view, index)
-            )
-            latency_us = (time.perf_counter() - start) * 1e6
-            lattice = self.cost_model.lattice
-            structure = (
-                lattice.index_label(index) if index is not None else lattice.label(view)
-            )
-            outcome = ServeOutcome(
-                entry=entry,
-                structure=structure,
-                predicted_rows=predicted,
-                actual_rows=result.rows_processed,
-                latency_us=latency_us,
-                fallback=False,
-                groups=result.groups,
-            )
-        self._observe(outcome)
-        return outcome
+            for pos, entry in enumerate(entries):
+                pending.setdefault(result_key(entry), []).append(pos)
 
-    def _serve_raw(self, entry: LogEntry, start: float) -> ServeOutcome:
-        """Fallback: answer from the raw fact table (full scan)."""
-        fact = self.fact
-        predicted = self.cost_model.default_cost(entry.query)
-        mask = np.ones(fact.n_rows, dtype=bool)
-        for attr, value in entry.values:
-            mask &= fact.columns[attr] == value
-        groupby = fact.schema.sort_attrs(entry.query.groupby)
-        measures = fact.measures[mask]
-        groups: Dict[tuple, float] = {}
-        if groupby:
-            keys = np.stack([fact.columns[a][mask] for a in groupby], axis=1)
-            for row in range(len(measures)):
-                key = tuple(int(v) for v in keys[row])
-                groups[key] = groups.get(key, 0.0) + float(measures[row])
-        elif len(measures):
-            groups[()] = float(measures.sum())
-        latency_us = (time.perf_counter() - start) * 1e6
-        return ServeOutcome(
-            entry=entry,
-            structure=RAW_LABEL,
-            predicted_rows=predicted,
-            actual_rows=fact.n_rows,
-            latency_us=latency_us,
-            fallback=True,
-            groups=groups,
-        )
+        if pending:
+            items = [
+                (key, entries[positions[0]]) for key, positions in pending.items()
+            ]
+            results = execute_unique(state, self.fact, self.cost_model, items)
+            for key, positions in pending.items():
+                result = results[key]
+                if cache is not None:
+                    cache.put(
+                        key,
+                        CachedResult(
+                            structure=result.structure,
+                            predicted_rows=result.predicted_rows,
+                            actual_rows=result.actual_rows,
+                            groups=result.groups,
+                        ),
+                        tag,
+                    )
+                for pos in positions:
+                    outcomes[pos] = ServeOutcome(
+                        entry=entries[pos],
+                        structure=result.structure,
+                        predicted_rows=result.predicted_rows,
+                        actual_rows=result.actual_rows,
+                        latency_us=result.latency_us,
+                        fallback=result.fallback,
+                        groups=result.groups,
+                    )
+        self._observe_batch(outcomes, collector)
+        return outcomes
 
-    def _observe(self, outcome: ServeOutcome) -> None:
-        self.telemetry.record(
-            pattern=str(outcome.entry.query),
-            structure=outcome.structure,
-            latency_us=outcome.latency_us,
-            predicted_rows=outcome.predicted_rows,
-            actual_rows=outcome.actual_rows,
-            fallback=outcome.fallback,
-        )
+    def _observe_batch(
+        self, outcomes: Sequence[ServeOutcome], collector: TelemetryCollector
+    ) -> None:
+        labels = self._pattern_labels
+        observations = []
+        for outcome in outcomes:
+            query = outcome.entry.query
+            pattern = labels.get(query)
+            if pattern is None:  # idempotent write: safe under concurrency
+                pattern = labels[query] = str(query)
+            observations.append(
+                (
+                    pattern,
+                    outcome.structure,
+                    outcome.latency_us,
+                    outcome.predicted_rows,
+                    outcome.actual_rows,
+                    outcome.fallback,
+                )
+            )
+        collector.record_many(observations)
         if self.recorder is not None:
-            self.recorder.record(outcome.entry)
+            for outcome in outcomes:
+                self.recorder.record(outcome.entry)
         if self.drift is not None:
-            self.drift.observe(outcome.entry.query)
-            if self.reselector is not None:
-                self._maybe_readvise()
+            for outcome in outcomes:
+                self.drift.observe(outcome.entry.query)
+                if self.reselector is not None:
+                    self._maybe_readvise()
+
+    # -------------------------------------------------------- maintenance
+
+    def apply_delta(
+        self,
+        delta_columns,
+        delta_measures,
+        delta_extra_measures=None,
+    ):
+        """Apply a fact-table delta to the serving catalog.
+
+        Delegates to :func:`repro.engine.maintenance.apply_delta` (which
+        refreshes every materialized view and index and bumps the
+        catalog version), repoints the server's raw-fallback fact table
+        at the merged facts, and drops the result cache — a cached
+        answer computed before the delta must never be served after it.
+        Returns the :class:`~repro.engine.maintenance.RefreshReport`.
+        """
+        from repro.engine.maintenance import apply_delta as engine_apply_delta
+
+        with self._swap_lock:
+            state = self._state
+            report = engine_apply_delta(
+                state.catalog, delta_columns, delta_measures, delta_extra_measures
+            )
+            self.fact = state.catalog.fact
+        if self.cache is not None:
+            self.cache.invalidate()
+        return report
 
     # ----------------------------------------------------------- re-advise
 
@@ -321,11 +440,16 @@ class QueryServer:
         """Materialize the winning selection and publish it atomically.
 
         The old state serves every query that started before the swap;
-        queries issued after see the new catalog."""
+        queries issued after see the new catalog.  The result cache is
+        dropped — and any batch still serving the old state carries the
+        old generation tag, so its late inserts are discarded rather
+        than poisoning the new generation."""
         with self._swap_lock:
             state = self._materialize(names, generation=self._state.generation + 1)
             self._state = state
             self.swap_count += 1
+        if self.cache is not None:
+            self.cache.invalidate()
         self.telemetry.note_swap()
         if self.drift is not None:
             self.drift.rebase(observed)
@@ -336,41 +460,81 @@ class QueryServer:
         if thread is not None and thread.is_alive():
             thread.join(timeout)
 
+    def close(self, timeout: Optional[float] = 60.0) -> None:
+        """Shut the server down: drain re-advises, flush and close the
+        workload recorder.  Idempotent; also runs on context-manager
+        exit, so an exception mid-serving still leaves a loadable log."""
+        if self._closed:
+            return
+        self._closed = True
+        self.drain(timeout=timeout)
+        if self.recorder is not None:
+            self.recorder.close()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -------------------------------------------------------------- replay
 
     def replay(
-        self, entries: Sequence[LogEntry], workers: Optional[int] = None
+        self,
+        entries: Sequence[LogEntry],
+        workers: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> ReplayReport:
-        """Serve a recorded log, serially or from a thread pool.
+        """Serve a recorded log through the batched execution path.
 
-        ``workers`` >= 2 drives :meth:`serve` concurrently — the
-        immutable state plus per-collector locks make this safe; entry
-        *completion* order is nondeterministic but every entry is served
-        exactly once.
+        ``workers`` <= 1 serves the log serially in ``batch_size``
+        chunks; ``workers`` >= 2 drives the same batches through the
+        concurrent :class:`~repro.serve.frontend.ServingFrontend` (whose
+        per-worker telemetry is merged back into the server's collector
+        on completion).  Entry *completion* order is nondeterministic
+        under workers but every entry is served exactly once, with
+        telemetry counters identical to a serial run.
         """
+        from repro.serve.frontend import ServingFrontend
+
         count = int(workers) if workers else 1
+        size = DEFAULT_BATCH_SIZE if batch_size is None else int(batch_size)
+        if size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        cache_hits_before = self.cache.hits if self.cache is not None else 0
         start = time.perf_counter()
         if count <= 1:
-            outcomes = [self.serve(entry) for entry in entries]
+            outcomes: List[ServeOutcome] = []
+            for lo in range(0, len(entries), size):
+                outcomes.extend(self.serve_batch(entries[lo : lo + size]))
         else:
-            from concurrent.futures import ThreadPoolExecutor
-
-            with ThreadPoolExecutor(max_workers=count) as pool:
-                outcomes = list(pool.map(self.serve, entries))
+            with ServingFrontend(
+                self,
+                workers=count,
+                batch_size=size,
+                keep_records=self.telemetry.keep_records,
+            ) as frontend:
+                futures = [frontend.submit(entry) for entry in entries]
+                outcomes = [future.result() for future in futures]
         seconds = time.perf_counter() - start
+        cache_hits = (
+            self.cache.hits - cache_hits_before if self.cache is not None else 0
+        )
         return ReplayReport(
             queries=len(outcomes),
             fallbacks=sum(1 for o in outcomes if o.fallback),
             workers=count,
             seconds=seconds,
             latencies_us=[o.latency_us for o in outcomes],
+            batch_size=size,
+            cache_hits=cache_hits,
         )
 
     # ------------------------------------------------------------ snapshot
 
     def telemetry_snapshot(self) -> dict:
         """The telemetry document plus serving meta (catalog stats,
-        selection, drift status)."""
+        selection, drift status) and result-cache counters."""
         meta = {
             "selection": list(self._state.selection),
             "generation": self._state.generation,
@@ -379,4 +543,5 @@ class QueryServer:
         }
         if self.drift is not None:
             meta["drift"] = self.drift.status()
-        return self.telemetry.snapshot(meta=meta)
+        cache_stats = self.cache.stats() if self.cache is not None else None
+        return self.telemetry.snapshot(meta=meta, cache=cache_stats)

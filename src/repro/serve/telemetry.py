@@ -10,14 +10,28 @@ a stable JSON document the CI smoke validates.
 Latency percentiles are exact (computed from the retained samples, not
 interpolated from buckets); the histogram is log-spaced buckets for
 eyeballing the distribution shape.
+
+Collectors are **mergeable**: the concurrent front-end gives every
+worker its own collector (no cross-worker lock traffic on the hot path)
+and combines them with :meth:`TelemetryCollector.merge` when reporting —
+counters add exactly, histograms add bucket-wise, and percentiles are
+recomputed nearest-rank over the union of the retained samples, so a
+merged report is indistinguishable from one collector having seen every
+query.
+
+Schema v2 adds the ``cache`` block (result-cache hit/eviction counters)
+and ``merged_from`` (how many collectors the document combines).  v1
+documents are still accepted by :func:`validate_telemetry` through
+:func:`upgrade_telemetry`, which fills the v2 fields with their empty
+defaults.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
-TELEMETRY_SCHEMA_VERSION = 1
+TELEMETRY_SCHEMA_VERSION = 2
 
 #: Log-spaced latency histogram bucket upper bounds, in microseconds.
 LATENCY_BUCKETS_US = (
@@ -36,6 +50,12 @@ def _percentile(samples: List[float], q: float) -> float:
     ordered = sorted(samples)
     rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
     return ordered[rank]
+
+
+def _empty_cache_block() -> dict:
+    from repro.serve.cache import empty_cache_stats
+
+    return empty_cache_stats()
 
 
 class TelemetryCollector:
@@ -59,6 +79,7 @@ class TelemetryCollector:
             self._buckets = [0] * len(LATENCY_BUCKETS_US)
             self._records: List[dict] = []
             self._swaps = 0
+            self._merged_from = 1
 
     # -------------------------------------------------------------- record
 
@@ -73,37 +94,129 @@ class TelemetryCollector:
     ) -> None:
         """One served query.  ``structure`` is the answering structure's
         label (:data:`RAW_LABEL` for a raw-cube fallback)."""
-        error = abs(float(actual_rows) - float(predicted_rows))
         with self._lock:
-            self._queries += 1
-            self._hits[structure] = self._hits.get(structure, 0) + 1
-            if fallback:
-                self._fallbacks += 1
-            if error == 0.0:
-                self._exact += 1
-            self._max_abs_error = max(self._max_abs_error, error)
-            self._predicted_total += float(predicted_rows)
-            self._actual_total += float(actual_rows)
-            self._latencies_us.append(float(latency_us))
-            for pos, bound in enumerate(LATENCY_BUCKETS_US):
-                if latency_us <= bound:
-                    self._buckets[pos] += 1
-                    break
-            if self.keep_records:
-                self._records.append(
-                    {
-                        "pattern": pattern,
-                        "structure": structure,
-                        "predicted_rows": float(predicted_rows),
-                        "actual_rows": int(actual_rows),
-                        "fallback": bool(fallback),
-                    }
-                )
+            self._record_locked(
+                pattern, structure, latency_us, predicted_rows, actual_rows,
+                fallback,
+            )
+
+    def record_many(self, observations: Iterable[tuple]) -> None:
+        """Record a batch of ``(pattern, structure, latency_us,
+        predicted_rows, actual_rows, fallback)`` tuples under one lock
+        acquisition (the batched server's per-batch fast path)."""
+        with self._lock:
+            for observation in observations:
+                self._record_locked(*observation)
+
+    def _record_locked(
+        self,
+        pattern: str,
+        structure: str,
+        latency_us: float,
+        predicted_rows: float,
+        actual_rows: int,
+        fallback: bool = False,
+    ) -> None:
+        error = abs(float(actual_rows) - float(predicted_rows))
+        self._queries += 1
+        self._hits[structure] = self._hits.get(structure, 0) + 1
+        if fallback:
+            self._fallbacks += 1
+        if error == 0.0:
+            self._exact += 1
+        self._max_abs_error = max(self._max_abs_error, error)
+        self._predicted_total += float(predicted_rows)
+        self._actual_total += float(actual_rows)
+        self._latencies_us.append(float(latency_us))
+        for pos, bound in enumerate(LATENCY_BUCKETS_US):
+            if latency_us <= bound:
+                self._buckets[pos] += 1
+                break
+        if self.keep_records:
+            self._records.append(
+                {
+                    "pattern": pattern,
+                    "structure": structure,
+                    "predicted_rows": float(predicted_rows),
+                    "actual_rows": int(actual_rows),
+                    "fallback": bool(fallback),
+                }
+            )
 
     def note_swap(self) -> None:
         """Count a hot selection swap (shown in the snapshot header)."""
         with self._lock:
             self._swaps += 1
+
+    # --------------------------------------------------------------- merge
+
+    def _state_copy(self) -> dict:
+        """A consistent copy of the mutable aggregates (for merging)."""
+        with self._lock:
+            return {
+                "hits": dict(self._hits),
+                "fallbacks": self._fallbacks,
+                "queries": self._queries,
+                "exact": self._exact,
+                "predicted_total": self._predicted_total,
+                "actual_total": self._actual_total,
+                "max_abs_error": self._max_abs_error,
+                "latencies_us": list(self._latencies_us),
+                "buckets": list(self._buckets),
+                "records": list(self._records),
+                "swaps": self._swaps,
+                "merged_from": self._merged_from,
+                "keep_records": self.keep_records,
+            }
+
+    def absorb(self, other: "TelemetryCollector") -> None:
+        """Fold another collector's observations into this one.
+
+        Counters and row totals add exactly; histograms add bucket-wise;
+        the retained latency samples concatenate, so percentile queries
+        on the merged collector are exact nearest-rank over the union.
+        Per-query records concatenate only when both sides retained them
+        — otherwise the merged collector drops records (a partial record
+        list would violate the one-record-per-query invariant).
+        """
+        state = other._state_copy()
+        with self._lock:
+            for structure, count in state["hits"].items():
+                self._hits[structure] = self._hits.get(structure, 0) + count
+            self._fallbacks += state["fallbacks"]
+            self._queries += state["queries"]
+            self._exact += state["exact"]
+            self._predicted_total += state["predicted_total"]
+            self._actual_total += state["actual_total"]
+            self._max_abs_error = max(self._max_abs_error, state["max_abs_error"])
+            self._latencies_us.extend(state["latencies_us"])
+            for pos, count in enumerate(state["buckets"]):
+                self._buckets[pos] += count
+            self._swaps += state["swaps"]
+            self._merged_from += state["merged_from"]
+            if self.keep_records and state["keep_records"]:
+                self._records.extend(state["records"])
+            else:
+                self.keep_records = False
+                self._records = []
+
+    @classmethod
+    def merge(
+        cls, collectors: Iterable["TelemetryCollector"]
+    ) -> "TelemetryCollector":
+        """Combine per-worker collectors into one validated aggregate.
+
+        The merged collector reports ``merged_from`` = the number of
+        inputs; an empty iterable merges to a fresh (empty) collector.
+        """
+        collectors = list(collectors)
+        merged = cls(keep_records=all(c.keep_records for c in collectors))
+        merged._merged_from = 0
+        for collector in collectors:
+            merged.absorb(collector)
+        if not collectors:
+            merged._merged_from = 1
+        return merged
 
     # ------------------------------------------------------------ snapshot
 
@@ -117,13 +230,30 @@ class TelemetryCollector:
         with self._lock:
             return self._fallbacks
 
+    @property
+    def merged_from(self) -> int:
+        with self._lock:
+            return self._merged_from
+
     def records(self) -> List[dict]:
         """A copy of the retained per-query records."""
         with self._lock:
             return list(self._records)
 
-    def snapshot(self, meta: Optional[dict] = None) -> dict:
-        """The full telemetry document (see :func:`validate_telemetry`)."""
+    def percentile(self, q: float) -> float:
+        """Exact nearest-rank latency percentile over everything recorded
+        (including absorbed collectors)."""
+        with self._lock:
+            return _percentile(self._latencies_us, q)
+
+    def snapshot(
+        self, meta: Optional[dict] = None, cache: Optional[dict] = None
+    ) -> dict:
+        """The full telemetry document (see :func:`validate_telemetry`).
+
+        ``cache`` attaches the server's result-cache counters; omitted,
+        the document reports a disabled cache.
+        """
         with self._lock:
             samples = list(self._latencies_us)
             doc = {
@@ -131,7 +261,9 @@ class TelemetryCollector:
                 "queries": self._queries,
                 "fallbacks": self._fallbacks,
                 "swaps": self._swaps,
+                "merged_from": self._merged_from,
                 "hits": dict(sorted(self._hits.items())),
+                "cache": dict(cache) if cache is not None else _empty_cache_block(),
                 "latency_us": {
                     "p50": _percentile(samples, 0.50),
                     "p99": _percentile(samples, 0.99),
@@ -156,27 +288,49 @@ class TelemetryCollector:
         return doc
 
 
+def upgrade_telemetry(document: dict) -> dict:
+    """Upgrade a schema-v1 telemetry document to v2 (compatibility shim).
+
+    v1 predates the result cache and mergeable collectors; the upgrade
+    fills ``cache`` with the disabled-cache block and ``merged_from``
+    with 1.  v2 documents pass through unchanged (the same object).
+    Anything else is left for :func:`validate_telemetry` to reject.
+    """
+    if not isinstance(document, dict) or document.get("schema_version") != 1:
+        return document
+    upgraded = dict(document)
+    upgraded["schema_version"] = TELEMETRY_SCHEMA_VERSION
+    upgraded.setdefault("cache", _empty_cache_block())
+    upgraded.setdefault("merged_from", 1)
+    return upgraded
+
+
 def validate_telemetry(document: dict) -> dict:
-    """Validate a telemetry snapshot; returns it unchanged.
+    """Validate a telemetry snapshot; returns the validated document.
 
     Checks the schema version, required fields and types, histogram
     integrity (bucket counts sum to the query count), and the hit/
     fallback accounting.  Raises ``ValueError`` with a one-line message
     on the first violation — this is what the CI serving smoke runs
-    against the uploaded artifact.
+    against the uploaded artifact.  Schema-v1 documents are upgraded
+    through :func:`upgrade_telemetry` first and the upgraded copy is
+    returned; v2 documents are returned unchanged.
     """
     if not isinstance(document, dict):
         raise ValueError("telemetry must be a JSON object")
+    document = upgrade_telemetry(document)
     if document.get("schema_version") != TELEMETRY_SCHEMA_VERSION:
         raise ValueError(
-            f"telemetry schema_version must be {TELEMETRY_SCHEMA_VERSION}, "
-            f"got {document.get('schema_version')!r}"
+            f"telemetry schema_version must be {TELEMETRY_SCHEMA_VERSION} "
+            f"(or 1, upgraded), got {document.get('schema_version')!r}"
         )
     for field, kind in (
         ("queries", int),
         ("fallbacks", int),
         ("swaps", int),
+        ("merged_from", int),
         ("hits", dict),
+        ("cache", dict),
         ("latency_us", dict),
         ("cost", dict),
     ):
@@ -187,10 +341,19 @@ def validate_telemetry(document: dict) -> dict:
         raise ValueError("telemetry counts must be nonnegative")
     if document["fallbacks"] > queries:
         raise ValueError("telemetry fallbacks exceed the query count")
+    if document["merged_from"] < 1:
+        raise ValueError("telemetry merged_from must be >= 1")
     if sum(document["hits"].values()) != queries:
         raise ValueError("telemetry hit counts do not sum to the query count")
     if document["hits"].get(RAW_LABEL, 0) != document["fallbacks"]:
         raise ValueError("telemetry raw hits disagree with the fallback count")
+    cache = document["cache"]
+    for field in ("hits", "misses", "evictions", "rejected", "invalidations"):
+        value = cache.get(field)
+        if not isinstance(value, int) or value < 0:
+            raise ValueError(f"cache.{field} must be a nonnegative integer")
+    if not cache.get("enabled", False) and (cache["hits"] or cache["misses"]):
+        raise ValueError("cache counters nonzero on a disabled cache")
     latency = document["latency_us"]
     for field in ("p50", "p99", "mean", "max"):
         value = latency.get(field)

@@ -1,0 +1,211 @@
+"""Concurrent front-end: admission bounds, per-tenant fairness, merged
+per-worker telemetry indistinguishable from serial serving."""
+
+import threading
+
+import pytest
+
+from repro.cube.query_log import generate_query_log
+from repro.serve import (
+    AdmissionQueueFull,
+    QueryServer,
+    ServingFrontend,
+    validate_telemetry,
+)
+
+from tests.serve.test_server import advise_selection
+
+
+@pytest.fixture
+def server4(serve_fact4, serve_model4):
+    return QueryServer(
+        serve_fact4,
+        advise_selection(serve_model4.lattice),
+        cost_model=serve_model4,
+    )
+
+
+class _BlockedFirstBatch:
+    """Wraps serve_batch so the first batch parks on an event — a
+    deterministic way to stage work behind a busy worker."""
+
+    def __init__(self, server):
+        self.real = server.serve_batch
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.batches = []
+
+    def __call__(self, entries, telemetry=None):
+        self.batches.append(list(entries))
+        if len(self.batches) == 1:
+            self.started.set()
+            assert self.release.wait(10)
+        return self.real(entries, telemetry=telemetry)
+
+
+class TestAdmission:
+    def test_bounded_queue_rejects_when_full(self, server4, serve_schema4):
+        log = generate_query_log(serve_schema4, 8, rng=1)
+        blocker = _BlockedFirstBatch(server4)
+        server4.serve_batch = blocker
+        frontend = ServingFrontend(server4, workers=1, queue_depth=2)
+        try:
+            frontend.submit(log[0])
+            assert blocker.started.wait(10)  # worker busy; queue now empty
+            frontend.submit(log[1])
+            frontend.submit(log[2])  # queue at capacity
+            with pytest.raises(AdmissionQueueFull):
+                frontend.submit(log[3], block=False)
+            with pytest.raises(AdmissionQueueFull):
+                frontend.submit(log[4], timeout=0.05)
+            assert frontend.rejected == 2
+        finally:
+            blocker.release.set()
+            frontend.close()
+        assert frontend.stats()["served"] == 3
+
+    def test_blocking_submit_waits_for_space(self, server4, serve_schema4):
+        log = generate_query_log(serve_schema4, 6, rng=2)
+        blocker = _BlockedFirstBatch(server4)
+        server4.serve_batch = blocker
+        frontend = ServingFrontend(server4, workers=1, queue_depth=1)
+        frontend.submit(log[0])
+        assert blocker.started.wait(10)
+        frontend.submit(log[1])  # fills the queue
+        unblocked = threading.Event()
+
+        def late_submit():
+            frontend.submit(log[2])  # must block until the worker drains
+            unblocked.set()
+
+        thread = threading.Thread(target=late_submit, daemon=True)
+        thread.start()
+        assert not unblocked.wait(0.1), "submit did not block on a full queue"
+        blocker.release.set()
+        assert unblocked.wait(10)
+        thread.join(10)
+        frontend.close()
+        assert frontend.stats()["served"] == 3
+
+    def test_submit_after_close_raises(self, server4, serve_schema4):
+        frontend = ServingFrontend(server4, workers=1)
+        frontend.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            frontend.submit(generate_query_log(serve_schema4, 1, rng=3)[0])
+
+    def test_invalid_parameters(self, server4):
+        with pytest.raises(ValueError, match="workers"):
+            ServingFrontend(server4, workers=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            ServingFrontend(server4, batch_size=0)
+        with pytest.raises(ValueError, match="queue_depth"):
+            ServingFrontend(server4, queue_depth=0)
+
+
+class TestFairness:
+    def test_batches_interleave_tenants_round_robin(
+        self, server4, serve_schema4
+    ):
+        """A tenant with a deep backlog gets one slot per rotation — the
+        drained batch alternates tenants instead of serving the flood
+        first."""
+        log = generate_query_log(serve_schema4, 9, rng=4)
+        blocker = _BlockedFirstBatch(server4)
+        server4.serve_batch = blocker
+        frontend = ServingFrontend(server4, workers=1, batch_size=8)
+        frontend.submit(log[0], tenant="warmup")
+        assert blocker.started.wait(10)
+        # tenant A floods; tenant B trickles
+        for entry in log[1:5]:
+            frontend.submit(entry, tenant="A")
+        for entry in log[5:7]:
+            frontend.submit(entry, tenant="B")
+        blocker.release.set()
+        assert frontend.drain(10)
+        frontend.close()
+        second = blocker.batches[1]
+        # round-robin: A B A B A A — B's two entries sit at slots 1 and 3
+        expected = [log[1], log[5], log[2], log[6], log[3], log[4]]
+        assert second == expected
+
+
+class TestMergedTelemetry:
+    def test_pooled_equals_serial(self, serve_fact4, serve_schema4, serve_model4):
+        selection = advise_selection(serve_model4.lattice)
+        log = generate_query_log(serve_schema4, 200, rng=5)
+        serial = QueryServer(serve_fact4, selection, cost_model=serve_model4)
+        serial.replay(log)
+        pooled = QueryServer(serve_fact4, selection, cost_model=serve_model4)
+        with ServingFrontend(pooled, workers=3, batch_size=16) as frontend:
+            futures = frontend.submit_many(log)
+            outcomes = [f.result(30) for f in futures]
+            merged = frontend.merged_telemetry()
+        assert len(outcomes) == 200
+        assert merged.merged_from == 3
+        assert merged.queries == 200
+        doc = validate_telemetry(merged.snapshot())
+        reference = serial.telemetry_snapshot()
+        assert doc["hits"] == reference["hits"]
+        assert doc["fallbacks"] == reference["fallbacks"]
+        assert doc["cost"]["predicted_rows"] == reference["cost"]["predicted_rows"]
+        assert doc["cost"]["actual_rows"] == reference["cost"]["actual_rows"]
+        assert doc["cost"]["exact_matches"] == reference["cost"]["exact_matches"]
+        # percentiles are recomputed over the union of worker samples
+        assert len(merged._latencies_us) == 200
+        assert merged.percentile(0.5) in merged._latencies_us
+
+    def test_close_absorbs_into_server_once(
+        self, server4, serve_schema4
+    ):
+        log = generate_query_log(serve_schema4, 40, rng=6)
+        frontend = ServingFrontend(server4, workers=2)
+        futures = frontend.submit_many(log)
+        for future in futures:
+            future.result(30)
+        assert server4.telemetry.queries == 0  # workers own the records
+        frontend.close()
+        assert server4.telemetry.queries == 40
+        frontend.close()  # idempotent: no double counting
+        assert server4.telemetry.queries == 40
+        snap = validate_telemetry(server4.telemetry_snapshot())
+        assert snap["merged_from"] == 3  # server's own + 2 workers
+        assert len(snap["records"]) == 40
+
+    def test_worker_exception_propagates_to_future(
+        self, server4, serve_schema4
+    ):
+        entry = generate_query_log(serve_schema4, 1, rng=7)[0]
+
+        def boom(entries, telemetry=None):
+            raise RuntimeError("injected execution failure")
+
+        server4.serve_batch = boom
+        with ServingFrontend(server4, workers=1) as frontend:
+            future = frontend.submit(entry)
+            with pytest.raises(RuntimeError, match="injected"):
+                future.result(10)
+
+    def test_replay_through_frontend_keeps_cache_coherent(
+        self, serve_fact4, serve_schema4, serve_model4
+    ):
+        """Concurrent replay with the cache on still answers exactly."""
+        from repro.serve import ResultCache
+
+        selection = advise_selection(serve_model4.lattice)
+        log = generate_query_log(serve_schema4, 150, rng=8)
+        plain = QueryServer(serve_fact4, selection, cost_model=serve_model4)
+        plain.replay(log)
+        cached = QueryServer(
+            serve_fact4,
+            selection,
+            cost_model=serve_model4,
+            cache=ResultCache(),
+        )
+        cached.replay(log, workers=2)
+        report = cached.replay(log, workers=2)  # second pass: mostly hits
+        assert report.cache_hits > 0
+        a, b = plain.telemetry_snapshot(), cached.telemetry_snapshot()
+        assert b["queries"] == 300
+        assert b["cost"]["exact_matches"] == 300
+        assert b["cost"]["actual_rows"] == 2 * a["cost"]["actual_rows"]
+        assert b["fallbacks"] == 0

@@ -1,6 +1,9 @@
 """Recorder round-trip: recorded logs replay to identical workloads."""
 
 import json
+import subprocess
+import sys
+import textwrap
 
 import pytest
 
@@ -70,6 +73,71 @@ class TestRecorderRoundTrip:
                 recorder.record(entry)
         save_query_log(log, saved)
         assert recorded.read_bytes() == saved.read_bytes()
+
+
+class TestCrashSafety:
+    """A recorder that dies mid-stream still leaves a loadable log."""
+
+    def test_sigkill_mid_stream_leaves_loadable_log(
+        self, serve_schema4, tmp_path
+    ):
+        """A server process SIGKILLed between records (no atexit, no
+        __exit__, no flush) leaves every recorded entry on disk — the
+        line-buffered writer reaches the OS per record."""
+        log = generate_query_log(serve_schema4, 25, rng=1)
+        source = tmp_path / "workload.jsonl"
+        save_query_log(log, source)
+        path = tmp_path / "killed.jsonl"
+        script = textwrap.dedent(
+            f"""
+            import os, signal
+            from repro.datasets.tpcd import tpcd_serving_schema
+            from repro.io import load_query_log
+            from repro.serve import WorkloadRecorder
+
+            schema = tpcd_serving_schema(4)
+            recorder = WorkloadRecorder({str(path)!r})
+            for entry in load_query_log({str(source)!r}, schema):
+                recorder.record(entry)
+            os.kill(os.getpid(), signal.SIGKILL)  # no cleanup of any kind
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True
+        )
+        assert proc.returncode == -9, proc.stderr
+        assert load_query_log(path, serve_schema4) == log
+
+    def test_exception_exit_closes_and_flushes(self, serve_schema4, tmp_path):
+        log = generate_query_log(serve_schema4, 10, rng=2)
+        path = tmp_path / "aborted.jsonl"
+        with pytest.raises(RuntimeError, match="mid-serving crash"):
+            with WorkloadRecorder(path) as recorder:
+                for entry in log:
+                    recorder.record(entry)
+                raise RuntimeError("mid-serving crash")
+        assert recorder.closed
+        assert load_query_log(path, serve_schema4) == log
+
+    def test_server_shutdown_closes_recorder(
+        self, serve_fact4, serve_schema4, serve_model4, tmp_path
+    ):
+        """QueryServer.close (and context-manager exit, even on an
+        exception) closes its recorder; the log loads afterwards."""
+        from repro.serve import QueryServer
+
+        log = generate_query_log(serve_schema4, 15, rng=4)
+        path = tmp_path / "shutdown.jsonl"
+        recorder = WorkloadRecorder(path)
+        with pytest.raises(RuntimeError, match="serving aborted"):
+            with QueryServer(
+                serve_fact4, ["pscd"], cost_model=serve_model4, recorder=recorder
+            ) as server:
+                server.replay(log)
+                raise RuntimeError("serving aborted")
+        assert recorder.closed
+        assert load_query_log(path, serve_schema4) == log
+        server.close()  # idempotent
 
 
 class TestQueryLogValidation:

@@ -501,6 +501,58 @@ class TestServeAndReplay:
         assert rc == 0
         assert "0 raw-cube fallbacks" in out
 
+    def test_serve_concurrent_with_cache(self, tmp_path, capsys):
+        """--workers/--cache-mb/--batch-size drive the batched front-end;
+        merged telemetry still validates with exact cost accounting."""
+        telemetry = tmp_path / "telemetry.json"
+        rc = main(
+            ["serve", "--dims", "3", "--queries", "60", "--workers", "2",
+             "--cache-mb", "4", "--batch-size", "16",
+             "--telemetry", str(telemetry), "--fail-on-fallback"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "workers 2, batch 16" in out
+        assert "result cache:" in out
+        from repro.serve import validate_telemetry
+
+        doc = validate_telemetry(json.loads(telemetry.read_text()))
+        assert doc["queries"] == 60
+        assert doc["fallbacks"] == 0
+        assert doc["cost"]["exact_matches"] == 60
+        assert doc["merged_from"] >= 2  # per-worker collectors merged in
+        assert doc["cache"]["enabled"] is True
+        assert doc["cache"]["hits"] + doc["cache"]["misses"] == 60
+
+    def test_replay_with_cache_matches_uncached(self, tmp_path, capsys):
+        """Same log, cache on vs off: identical rows-scanned accounting."""
+        log = tmp_path / "observed.jsonl"
+        assert (
+            main(["serve", "--dims", "3", "--queries", "50",
+                  "--record", str(log)])
+            == 0
+        )
+        plain = tmp_path / "plain.json"
+        cached = tmp_path / "cached.json"
+        assert (
+            main(["replay", "--dims", "3", "--log", str(log),
+                  "--telemetry", str(plain)])
+            == 0
+        )
+        assert (
+            main(["replay", "--dims", "3", "--log", str(log),
+                  "--cache-mb", "4", "--telemetry", str(cached)])
+            == 0
+        )
+        capsys.readouterr()
+        a = json.loads(plain.read_text())
+        b = json.loads(cached.read_text())
+        assert a["cost"]["actual_rows"] == b["cost"]["actual_rows"]
+        assert a["cost"]["predicted_rows"] == b["cost"]["predicted_rows"]
+        assert a["hits"] == b["hits"]
+        assert not a["cache"]["enabled"]
+        assert b["cache"]["enabled"]
+
     def test_adaptive_replay_swaps_selection(self, tmp_path, capsys):
         """A drift-injected log triggers a re-advise and a hot swap."""
         from repro.core.query import enumerate_slice_queries
