@@ -333,7 +333,73 @@ def measure_serving(n_dims: int = 5, n_queries: int = 500, repeats: int = 2) -> 
         )
         out["d5_prior_committed_serial_qps"] = PRIOR_SERIAL_QPS_D5
     out[f"d{n_dims}_structures"] = len(selection)
+    out.update(
+        _fleet_legs(fact, model, selection, log, n_dims=n_dims)
+    )
     return out
+
+
+def _fleet_legs(fact, model, selection, log, n_dims: int) -> dict:
+    """Informational fleet legs: 4 replicas healthy, then 4 replicas
+    with one killed mid-run (the degraded-mode ablation).
+
+    Both carry ``workers >= 2`` so the regression gate skips them —
+    like the worker sweep, their wall-clock depends on core count.  The
+    degraded leg reports the unavailability window (expected 0: three
+    replicas stay healthy) and asserts every query still answered.
+    """
+    from repro.serve import ReplicaFleet, RetryPolicy, ServingError
+
+    def fleet_leg(kill_one: bool) -> dict:
+        fleet = ReplicaFleet(
+            fact,
+            selection,
+            replicas=4,
+            cost_model=model,
+            workers=2,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.005),
+            query_deadline=5.0,
+        )
+        half = len(log) // 2
+        start = time.perf_counter()
+        results = list(fleet.serve_many(log[:half]))
+        if kill_one:
+            fleet.replicas[0].kill()
+        results.extend(fleet.serve_many(log[half:]))
+        seconds = time.perf_counter() - start
+        fleet.close()
+        failed = sum(1 for r in results if isinstance(r, ServingError))
+        served = [r for r in results if not isinstance(r, ServingError)]
+        assert failed == 0, f"fleet bench leg lost {failed} queries"
+        assert not any(r.fallback for r in served), (
+            "fleet bench workload must not fall back"
+        )
+        latencies = sorted(r.latency_us for r in served)
+        stats = fleet.stats()
+
+        def pct(q: float) -> float:
+            return latencies[
+                min(len(latencies) - 1, int(q * len(latencies)))
+            ] if latencies else 0.0
+
+        return {
+            "queries": len(served),
+            "replicas": 4,
+            "killed": 1 if kill_one else 0,
+            "workers": 2,  # per replica; also opts out of the gate
+            "seconds": seconds,
+            "qps": len(served) / seconds if seconds > 0 else 0.0,
+            "p50_us": pct(0.50),
+            "p99_us": pct(0.99),
+            "retries": stats["retries"],
+            "deadline_timeouts": stats["deadline_timeouts"],
+            "unavailable_seconds": stats["unavailable_seconds"],
+        }
+
+    return {
+        f"d{n_dims}_fleet4": fleet_leg(kill_one=False),
+        f"d{n_dims}_fleet_degraded": fleet_leg(kill_one=True),
+    }
 
 
 def gate(current: dict, baseline: dict) -> list:
@@ -489,6 +555,12 @@ def main(argv=None) -> int:
         extra = ""
         if timings.get("cache"):
             extra = f", cache {timings.get('cache_hits', 0)} hits"
+        if "replicas" in timings:
+            extra += (
+                f", {timings['replicas']} replicas ({timings['killed']} "
+                f"killed), {timings['retries']} retries, "
+                f"{timings['unavailable_seconds']:.2f}s unavailable"
+            )
         print(
             f"serve {config}: {timings['qps']:.0f} q/s "
             f"(p50 {timings['p50_us']:.0f} us, p99 {timings['p99_us']:.0f} us, "

@@ -14,6 +14,8 @@ Usage::
         --cache-mb 16 --batch-size 64        # concurrent front-end + cache
     python -m repro replay --dims 4 --log obs.jsonl --workers 2 \\
         --adaptive                           # replay a recorded log
+    python -m repro serve --dims 4 --queries 500 --replicas 4 \\
+        --retry-attempts 3                   # fault-tolerant replica fleet
 
 ``cube.json`` is the lattice document of :mod:`repro.io`: dimensions and
 either exact per-view row counts or a raw row count for analytical
@@ -289,6 +291,35 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="exit 1 if any query fell back to a raw-cube scan",
         )
+        command.add_argument(
+            "--replicas",
+            type=int,
+            default=1,
+            help=">= 2 serves through a supervised replica fleet with "
+            "health-checked routing and retry/failover (default: 1, "
+            "single server)",
+        )
+        command.add_argument(
+            "--query-deadline",
+            type=float,
+            default=None,
+            help="fleet per-attempt answer deadline in seconds before "
+            "the router re-routes (default: 2.0)",
+        )
+        command.add_argument(
+            "--retry-attempts",
+            type=int,
+            default=None,
+            help="fleet attempts per query, with jittered exponential "
+            "backoff between them (default: 3)",
+        )
+        command.add_argument(
+            "--probe-interval",
+            type=float,
+            default=None,
+            help="seconds between background fleet health sweeps "
+            "(default: no background probing)",
+        )
         log_flags(command)
 
     serve = sub.add_parser(
@@ -484,24 +515,15 @@ def cmd_tpcd(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_server(args: argparse.Namespace):
-    """Shared serve/replay setup: cube, selection, server.
+def _serving_selection(args: argparse.Namespace):
+    """Shared serve/replay fixture: cube, cost model, and the selection.
 
-    Returns ``(schema, server, recorder)`` — the recorder is ``None``
-    unless ``--record`` was given.
+    Returns ``(schema, fact, model, selected, space, top_label)``.
     """
     import json
 
-    from repro.core.benefit import BenefitEngine
     from repro.core.costmodel import LinearCostModel
-    from repro.core.query import enumerate_slice_queries
     from repro.datasets.tpcd import tpcd_serving_fact, tpcd_serving_schema
-    from repro.serve import (
-        AdaptiveReselector,
-        QueryServer,
-        ResultCache,
-        WorkloadRecorder,
-    )
 
     schema = tpcd_serving_schema(args.dims)
     fact = tpcd_serving_fact(args.dims)
@@ -523,6 +545,25 @@ def _build_server(args: argparse.Namespace):
         algorithm = ALGORITHMS[args.algorithm](FIT_STRICT, args.workers)
         graph = QueryViewGraph.from_cube(lattice)
         selected = algorithm.run(graph, space, seed=(top_label,)).selected
+    return schema, fact, model, selected, space, top_label
+
+
+def _build_server(args: argparse.Namespace):
+    """Shared serve/replay setup: cube, selection, server.
+
+    Returns ``(schema, server, recorder)`` — the recorder is ``None``
+    unless ``--record`` was given.
+    """
+    from repro.core.query import enumerate_slice_queries
+    from repro.serve import (
+        AdaptiveReselector,
+        QueryServer,
+        ResultCache,
+        WorkloadRecorder,
+    )
+
+    schema, fact, model, selected, space, top_label = _serving_selection(args)
+    lattice = model.lattice
     advised = {q: 1.0 for q in enumerate_slice_queries(schema.names)}
     reselector = None
     if args.adaptive:
@@ -599,10 +640,111 @@ def _report_serving(args: argparse.Namespace, server, report, recorder) -> int:
     return EXIT_OK
 
 
+def _serve_fleet(args: argparse.Namespace, entries) -> int:
+    """Serve a workload through a supervised replica fleet
+    (``--replicas >= 2``): health-checked routing, per-query deadlines,
+    retry/failover, per-structure circuit breakers."""
+    import json
+    import time as _time
+
+    from repro.serve import (
+        DEFAULT_BATCH_SIZE,
+        DEFAULT_QUERY_DEADLINE,
+        ReplicaFleet,
+        RetryPolicy,
+        ServingError,
+        validate_telemetry,
+    )
+    from repro.serve.telemetry import _percentile
+
+    if args.adaptive or args.record:
+        raise ValueError(
+            "--adaptive/--record are single-server features; drop them or "
+            "use --replicas 1"
+        )
+    __schema, fact, model, selected, __space, __top = _serving_selection(args)
+    retry = RetryPolicy(
+        max_attempts=(
+            args.retry_attempts if args.retry_attempts is not None else 3
+        )
+    )
+    fleet = ReplicaFleet(
+        fact,
+        selected,
+        replicas=args.replicas,
+        cost_model=model,
+        workers=max(1, args.workers or 1),
+        batch_size=(
+            args.batch_size if args.batch_size is not None else DEFAULT_BATCH_SIZE
+        ),
+        cache_bytes=(
+            int(args.cache_mb * 2**20) if args.cache_mb else 0
+        ),
+        retry=retry,
+        query_deadline=(
+            args.query_deadline
+            if args.query_deadline is not None
+            else DEFAULT_QUERY_DEADLINE
+        ),
+        probe_interval=args.probe_interval,
+    )
+    print(
+        f"serving {len(entries)} queries through {args.replicas} replicas "
+        f"({len(selected)} structures materialized per replica)"
+    )
+    start = _time.perf_counter()
+    results = fleet.serve_many(entries)
+    seconds = _time.perf_counter() - start
+    fleet.close()
+    failed = sum(1 for r in results if isinstance(r, ServingError))
+    served = [r for r in results if not isinstance(r, ServingError)]
+    fallbacks = sum(1 for r in served if r.fallback)
+    latencies = [r.latency_us for r in served]
+    stats = fleet.stats()
+    qps = len(served) / seconds if seconds > 0 else 0.0
+    print(
+        f"served {len(served)}/{len(entries)} queries at {qps:.0f} q/s "
+        f"(p50 {_percentile(latencies, 0.5):.0f} us, "
+        f"p99 {_percentile(latencies, 0.99):.0f} us, {failed} failed typed)"
+    )
+    print(
+        f"fleet: {stats['healthy']}/{args.replicas} replicas healthy, "
+        f"{stats['retries']} retries, {stats['deadline_timeouts']} deadline "
+        f"timeouts, {stats['unavailable_seconds']:.2f}s unavailable, "
+        f"{fallbacks} raw-cube fallbacks"
+    )
+    if args.telemetry:
+        snapshot = validate_telemetry(fleet.merged_telemetry().snapshot())
+        snapshot["fleet"] = {
+            "replicas": args.replicas,
+            "healthy": stats["healthy"],
+            "routed": stats["routed"],
+            "exhausted": stats["exhausted"],
+            "unavailable_seconds": stats["unavailable_seconds"],
+        }
+        with open(args.telemetry, "w") as f:
+            json.dump(snapshot, f, indent=2, sort_keys=True)
+        print(f"telemetry written to {args.telemetry}")
+    if args.fail_on_fallback and fallbacks:
+        print(
+            f"error: {fallbacks} queries fell back to the raw cube",
+            file=sys.stderr,
+        )
+        return 1
+    return 1 if failed else EXIT_OK
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Materialize a selection and serve a synthetic workload."""
     from repro.cube.query_log import generate_query_log
+    from repro.datasets.tpcd import tpcd_serving_schema
 
+    if args.replicas >= 2:
+        schema = tpcd_serving_schema(args.dims)
+        log = generate_query_log(
+            schema, args.queries, rng=args.rng, zipf_exponent=args.zipf
+        )
+        return _serve_fleet(args, log)
     schema, server, recorder = _build_server(args)
     log = generate_query_log(
         schema, args.queries, rng=args.rng, zipf_exponent=args.zipf
@@ -619,6 +761,15 @@ def cmd_replay(args: argparse.Namespace) -> int:
     """Replay a recorded query log, optionally with worker threads."""
     from repro.io import load_query_log
 
+    if args.replicas >= 2:
+        from repro.datasets.tpcd import tpcd_serving_schema
+
+        schema = tpcd_serving_schema(args.dims)
+        log = load_query_log(args.log, schema)
+        if not log:
+            print(f"{args.log}: empty query log, nothing to replay")
+            return EXIT_OK
+        return _serve_fleet(args, log)
     schema, server, recorder = _build_server(args)
     log = load_query_log(args.log, schema)
     if not log:

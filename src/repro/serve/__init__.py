@@ -11,6 +11,15 @@ answers query batches in vectorized per-plan passes, a
 hot swaps and maintenance deltas can never serve stale rows), and the
 :class:`ServingFrontend` runs a worker pool with a bounded admission
 queue, per-tenant fairness, and mergeable per-worker telemetry.
+
+The fault-tolerance layer on top of *that*: a :class:`ReplicaFleet`
+routes queries over N supervised replicas with health checks, deadlines,
+and jittered retry/failover; per-structure :class:`CircuitBreaker`\\ s
+short-circuit repeatedly-failing structures onto the (slower but always
+correct) raw-cube path; crashed front-end workers restart and fail their
+in-flight queries with typed errors instead of hanging; and
+``python -m repro.serve.chaos`` injects all four fault classes into live
+runs, asserting zero wrong answers and exact telemetry accounting.
 """
 
 from repro.serve.adaptive import (
@@ -22,12 +31,32 @@ from repro.serve.adaptive import (
 from repro.serve.batch import DEFAULT_BATCH_SIZE
 from repro.serve.cache import CachedResult, ResultCache, result_key
 from repro.serve.drift import DRIFT_MIN_QUERIES, DRIFT_THRESHOLD, DriftMonitor
+from repro.serve.fleet import (
+    DEFAULT_QUERY_DEADLINE,
+    DEFAULT_STRIKE_LIMIT,
+    HealthChecker,
+    Replica,
+    ReplicaFleet,
+)
 from repro.serve.frontend import (
+    DEFAULT_MAX_WORKER_RESTARTS,
     DEFAULT_QUEUE_DEPTH,
     AdmissionQueueFull,
     ServingFrontend,
 )
 from repro.serve.recorder import WorkloadRecorder
+from repro.serve.resilience import (
+    BREAKER_COOLDOWN_SECONDS,
+    BREAKER_FAILURE_THRESHOLD,
+    CircuitBreaker,
+    FrontendClosed,
+    NoHealthyReplica,
+    QueryTimeout,
+    RetriesExhausted,
+    RetryPolicy,
+    ServingError,
+    WorkerCrashed,
+)
 from repro.serve.server import (
     QueryServer,
     ReplayReport,
@@ -37,8 +66,10 @@ from repro.serve.server import (
 from repro.serve.structures import parse_structure, resolve_selection
 from repro.serve.telemetry import (
     RAW_LABEL,
+    RESILIENCE_COUNTER_FIELDS,
     TELEMETRY_SCHEMA_VERSION,
     TelemetryCollector,
+    empty_resilience_stats,
     upgrade_telemetry,
     validate_telemetry,
 )
@@ -46,9 +77,26 @@ from repro.serve.telemetry import (
 __all__ = [
     "AdaptiveReselector",
     "AdmissionQueueFull",
+    "BREAKER_COOLDOWN_SECONDS",
+    "BREAKER_FAILURE_THRESHOLD",
     "CachedResult",
+    "CircuitBreaker",
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_MAX_WORKER_RESTARTS",
+    "DEFAULT_QUERY_DEADLINE",
     "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_STRIKE_LIMIT",
+    "FrontendClosed",
+    "HealthChecker",
+    "NoHealthyReplica",
+    "QueryTimeout",
+    "Replica",
+    "ReplicaFleet",
+    "RESILIENCE_COUNTER_FIELDS",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "ServingError",
+    "WorkerCrashed",
     "DriftMonitor",
     "DRIFT_MIN_QUERIES",
     "DRIFT_THRESHOLD",
@@ -64,6 +112,7 @@ __all__ = [
     "TELEMETRY_SCHEMA_VERSION",
     "TelemetryCollector",
     "WorkloadRecorder",
+    "empty_resilience_stats",
     "observed_cost",
     "parse_structure",
     "resolve_selection",

@@ -55,7 +55,14 @@ class PlanInfo:
 
 @dataclass
 class ExecResult:
-    """One unique concrete query's batched execution."""
+    """One unique concrete query's batched execution.
+
+    ``rescued`` marks a structure execution that raised and was
+    re-answered from the raw cube (``error_structure`` names the
+    structure that failed); ``short_circuited`` marks an execution the
+    circuit breaker skipped straight to raw without touching the
+    tripped structure.
+    """
 
     structure: str
     predicted_rows: float
@@ -63,6 +70,9 @@ class ExecResult:
     groups: Dict[tuple, float]
     latency_us: float
     fallback: bool
+    rescued: bool = False
+    error_structure: str = ""
+    short_circuited: bool = False
 
 
 def plan_for(state, cost_model, query: SliceQuery) -> PlanInfo:
@@ -103,6 +113,23 @@ def plan_for(state, cost_model, query: SliceQuery) -> PlanInfo:
         )
     state.plan_cache[query] = info
     return info
+
+
+def raw_plan(cost_model, query: SliceQuery) -> PlanInfo:
+    """A raw-cube plan for one query (the fallback/rescue target).
+
+    Predicted rows come from :meth:`LinearCostModel.default_cost` — the
+    same number the router's memoized raw plans carry, so rescued
+    answers keep the predicted-vs-actual accounting exact on dense
+    fixtures."""
+    return PlanInfo(
+        kind="raw",
+        view=None,
+        index=None,
+        prefix=(),
+        structure=RAW_LABEL,
+        predicted=cost_model.default_cost(query),
+    )
 
 
 #: Arithmetic-coded grouping is used while the key space stays below
@@ -246,11 +273,59 @@ def execute_raw(fact, entry: LogEntry, info: PlanInfo) -> ExecResult:
     )
 
 
+def _execute_member(
+    kind: str,
+    catalog,
+    table,
+    fact,
+    cost_model,
+    entry: LogEntry,
+    info: PlanInfo,
+    breaker,
+    fault_hook,
+) -> ExecResult:
+    """One unique query's execution with the resilience layer applied.
+
+    A tripped circuit short-circuits the structure straight to raw; an
+    executor error against a structure records a breaker failure and is
+    rescued from the raw cube (degraded-but-correct — the raw path
+    answers every slice query).  Raw-path errors propagate: there is no
+    cheaper-but-still-correct plan left to fall back to.
+    """
+    if kind != "raw" and breaker is not None and not breaker.allow(info.structure):
+        result = execute_raw(fact, entry, raw_plan(cost_model, entry.query))
+        result.short_circuited = True
+        return result
+    try:
+        if fault_hook is not None:
+            fault_hook(info.structure, entry)
+        if kind == "prefix":
+            result = execute_prefix(catalog, table, entry, info)
+        elif kind == "scan":
+            result = execute_scan(table, entry, info)
+        else:
+            result = execute_raw(fact, entry, info)
+    except Exception:
+        if kind == "raw":
+            raise
+        if breaker is not None:
+            breaker.record_failure(info.structure)
+        rescue = execute_raw(fact, entry, raw_plan(cost_model, entry.query))
+        rescue.rescued = True
+        rescue.error_structure = info.structure
+        return rescue
+    if kind != "raw" and breaker is not None:
+        breaker.record_success(info.structure)
+    return result
+
+
 def execute_unique(
     state,
     fact,
     cost_model,
     items: Sequence[Tuple[tuple, LogEntry]],
+    breaker=None,
+    fault_hook=None,
 ) -> Dict[tuple, ExecResult]:
     """Execute each unique concrete query once, grouped by routed plan.
 
@@ -258,6 +333,13 @@ def execute_unique(
     sharing a plan target are answered together (one timed pass per
     group); each result's ``latency_us`` is the group's elapsed time
     split evenly across its members.
+
+    ``breaker`` (a :class:`~repro.serve.resilience.CircuitBreaker`) and
+    ``fault_hook`` (``hook(structure, entry)``, called before each
+    structure execution — the chaos harness's injection point) are
+    consulted *per execution*, not per plan: the plan cache stays pure
+    routing, so a circuit opening or closing takes effect on the very
+    next batch without invalidating memoized plans.
     """
     plan_groups: Dict[tuple, List[Tuple[tuple, LogEntry, PlanInfo]]] = {}
     for key, entry in items:
@@ -271,12 +353,10 @@ def execute_unique(
         table = catalog.view_table(view) if view is not None else None
         start = time.perf_counter()
         for key, entry, info in members:
-            if kind == "prefix":
-                results[key] = execute_prefix(catalog, table, entry, info)
-            elif kind == "scan":
-                results[key] = execute_scan(table, entry, info)
-            else:
-                results[key] = execute_raw(fact, entry, info)
+            results[key] = _execute_member(
+                kind, catalog, table, fact, cost_model, entry, info,
+                breaker, fault_hook,
+            )
         shared_us = (time.perf_counter() - start) * 1e6 / len(members)
         for key, __entry, __info in members:
             results[key].latency_us = shared_us

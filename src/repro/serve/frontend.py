@@ -20,6 +20,15 @@ traffic on the hot path) and :meth:`close` merges them — exact counters,
 bucket-wise histograms, percentiles recomputed over the union of
 samples — into the server's collector, so a drained front-end leaves the
 server's snapshot indistinguishable from serial serving.
+
+**Supervision**: a worker thread that dies outside the serve path (the
+previous code let queued requests wait forever on one) now fails its
+in-flight batch with a typed
+:class:`~repro.serve.resilience.WorkerCrashed`, is restarted in place
+(up to ``max_worker_restarts`` across the front-end's lifetime), and —
+should the *last* worker die with no restart budget left — every queued
+future is failed instead of hanging.  :meth:`close` likewise drains any
+still-queued futures with :class:`~repro.serve.resilience.FrontendClosed`.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ from typing import Deque, List, Optional, Sequence, Tuple
 
 from repro.cube.query_log import LogEntry
 from repro.serve.batch import DEFAULT_BATCH_SIZE
+from repro.serve.resilience import FrontendClosed, ServingError, WorkerCrashed
 from repro.serve.telemetry import TelemetryCollector
 
 #: Default bound on queued-but-unserved entries across all tenants.
@@ -39,8 +49,11 @@ DEFAULT_QUEUE_DEPTH = 4096
 #: Tenant label for requests submitted without one.
 DEFAULT_TENANT = "default"
 
+#: Default lifetime budget of worker restarts per front-end.
+DEFAULT_MAX_WORKER_RESTARTS = 16
 
-class AdmissionQueueFull(RuntimeError):
+
+class AdmissionQueueFull(ServingError):
     """The bounded admission queue rejected a request (over capacity)."""
 
 
@@ -62,6 +75,14 @@ class ServingFrontend:
     keep_records:
         Whether per-worker collectors retain per-query records (match
         the server's collector when the merged telemetry should).
+    max_worker_restarts:
+        Lifetime budget of worker restarts after crashes; past it a
+        crashed worker stays down, and once the last one is down every
+        queued future fails with :class:`WorkerCrashed`.
+    crash_hook:
+        Optional ``hook(slot)`` called after a worker takes a batch and
+        before it serves — the chaos harness's worker-kill injection
+        point (anything it raises crashes the worker).
     """
 
     def __init__(
@@ -71,6 +92,8 @@ class ServingFrontend:
         batch_size: int = DEFAULT_BATCH_SIZE,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         keep_records: bool = True,
+        max_worker_restarts: int = DEFAULT_MAX_WORKER_RESTARTS,
+        crash_hook=None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -78,10 +101,16 @@ class ServingFrontend:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if max_worker_restarts < 0:
+            raise ValueError(
+                f"max_worker_restarts must be >= 0, got {max_worker_restarts}"
+            )
         self.server = server
         self.workers = int(workers)
         self.batch_size = int(batch_size)
         self.queue_depth = int(queue_depth)
+        self.max_worker_restarts = int(max_worker_restarts)
+        self.crash_hook = crash_hook
         self._cond = threading.Condition()
         self._queues: "OrderedDict[str, Deque[Tuple[LogEntry, Future]]]" = (
             OrderedDict()
@@ -90,11 +119,16 @@ class ServingFrontend:
         self._pending = 0
         self._inflight = 0
         self._closing = False
+        self._abandon = False
         self._absorbed = False
         self.submitted = 0
         self.served = 0
         self.rejected = 0
         self.batches = 0
+        self.worker_crashes = 0
+        self.worker_restarts = 0
+        self._restarts_used = 0
+        self._live_workers = self.workers
         self.collectors: List[TelemetryCollector] = [
             TelemetryCollector(keep_records=keep_records)
             for _ in range(self.workers)
@@ -102,7 +136,7 @@ class ServingFrontend:
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
-                args=(self.collectors[pos],),
+                args=(pos,),
                 name=f"serve-frontend-{pos}",
                 daemon=True,
             )
@@ -130,6 +164,7 @@ class ServingFrontend:
         future: "Future[object]" = Future()
         with self._cond:
             while not self._closing and self._pending >= self.queue_depth:
+                self._check_live_locked()
                 if not block:
                     self.rejected += 1
                     raise AdmissionQueueFull(
@@ -141,7 +176,8 @@ class ServingFrontend:
                         f"admission queue still full after {timeout}s"
                     )
             if self._closing:
-                raise RuntimeError("frontend is closed")
+                raise FrontendClosed("frontend is closed")
+            self._check_live_locked()
             queue = self._queues.get(tenant)
             if queue is None:
                 queue = deque()
@@ -167,9 +203,11 @@ class ServingFrontend:
         with self._cond:
             while pos < len(entries):
                 while not self._closing and self._pending >= self.queue_depth:
+                    self._check_live_locked()
                     self._cond.wait()
                 if self._closing:
-                    raise RuntimeError("frontend is closed")
+                    raise FrontendClosed("frontend is closed")
+                self._check_live_locked()
                 queue = self._queues.get(tenant)
                 if queue is None:
                     queue = deque()
@@ -188,16 +226,28 @@ class ServingFrontend:
 
     # -------------------------------------------------------------- worker
 
+    def _check_live_locked(self) -> None:
+        """Fail fast (under the condition lock) once every worker has
+        crashed for good — blocking submitters must not hang on a pool
+        that can never drain."""
+        if self._live_workers <= 0 and self.worker_crashes > 0:
+            raise WorkerCrashed(
+                f"all {self.workers} workers crashed "
+                f"({self.worker_crashes} crashes, restart budget "
+                f"{self.max_worker_restarts} spent)"
+            )
+
     def _take_batch(self) -> Optional[List[Tuple[LogEntry, Future]]]:
         """Wait for work; drain up to ``batch_size`` entries fairly.
 
         One entry per tenant per rotation step, so interleaved tenants
         share each batch evenly.  Returns ``None`` when closing and
-        drained."""
+        drained (or closing with ``drain=False`` — the abandoned queue
+        is failed by :meth:`close`, not served)."""
         with self._cond:
             while not self._closing and self._pending == 0:
                 self._cond.wait()
-            if self._pending == 0:
+            if self._pending == 0 or self._abandon:
                 return None
             batch: List[Tuple[LogEntry, Future]] = []
             while len(batch) < self.batch_size and self._rotation:
@@ -211,28 +261,104 @@ class ServingFrontend:
             self._cond.notify_all()
             return batch
 
-    def _worker_loop(self, collector: TelemetryCollector) -> None:
+    def _worker_loop(self, slot: int) -> None:
+        collector = self.collectors[slot]
         while True:
             batch = self._take_batch()
             if batch is None:
                 return
-            entries = [entry for entry, __ in batch]
             try:
-                outcomes = self.server.serve_batch(entries, telemetry=collector)
-            except BaseException as exc:  # propagate to every waiter
-                for __, future in batch:
-                    if not future.cancelled():
-                        future.set_exception(exc)
-            else:
-                for (__, future), outcome in zip(batch, outcomes):
-                    if not future.cancelled():
-                        future.set_result(outcome)
-            finally:
-                with self._cond:
-                    self._inflight -= 1
-                    self.served += len(batch)
-                    self.batches += 1
-                    self._cond.notify_all()
+                try:
+                    if self.crash_hook is not None:
+                        self.crash_hook(slot)
+                    entries = [entry for entry, __ in batch]
+                    try:
+                        outcomes = self.server.serve_batch(
+                            entries, telemetry=collector
+                        )
+                    except Exception as exc:
+                        # a serving error fails the batch, not the worker
+                        for __, future in batch:
+                            if not future.cancelled():
+                                future.set_exception(exc)
+                    else:
+                        for (__, future), outcome in zip(batch, outcomes):
+                            if not future.cancelled():
+                                future.set_result(outcome)
+                finally:
+                    with self._cond:
+                        self._inflight -= 1
+                        self.served += len(batch)
+                        self.batches += 1
+                        self._cond.notify_all()
+            except BaseException as exc:
+                # the worker itself died (crash hook, future bookkeeping,
+                # interpreter-level errors): supervise instead of hanging
+                self._on_worker_crash(slot, batch, exc)
+                return
+
+    def _on_worker_crash(
+        self, slot: int, batch: List[Tuple[LogEntry, Future]], exc: BaseException
+    ) -> None:
+        """Supervision: fail the crashed batch with a typed error,
+        restart the worker while budget lasts, and fail the whole queue
+        when the last worker is gone."""
+        error = WorkerCrashed(f"worker {slot} crashed: {exc!r}")
+        error.__cause__ = exc
+        for __, future in batch:
+            if not future.done():
+                future.set_exception(error)
+        # noted on the *server's* collector: per-worker collectors are
+        # absorbed into it on close, so this never double-counts
+        self.server.telemetry.note_worker_crash()
+        restart = False
+        dead = False
+        with self._cond:
+            self.worker_crashes += 1
+            self._live_workers -= 1
+            if not self._closing and self._restarts_used < self.max_worker_restarts:
+                self._restarts_used += 1
+                self.worker_restarts += 1
+                self._live_workers += 1
+                restart = True
+            elif self._live_workers <= 0:
+                dead = True
+            self._cond.notify_all()
+        if restart:
+            self.server.telemetry.note_worker_restart()
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(slot,),
+                name=f"serve-frontend-{slot}r{self._restarts_used}",
+                daemon=True,
+            )
+            with self._cond:
+                self._threads.append(thread)
+            thread.start()
+        elif dead:
+            self._fail_pending(
+                WorkerCrashed(
+                    f"all workers crashed (restart budget "
+                    f"{self.max_worker_restarts} spent); queued request failed"
+                )
+            )
+
+    def _fail_pending(self, error: ServingError) -> None:
+        """Fail every still-queued future with a typed error (never let
+        a request hang on a queue nobody will drain)."""
+        with self._cond:
+            victims: List[Future] = []
+            for queue in self._queues.values():
+                while queue:
+                    __, future = queue.popleft()
+                    victims.append(future)
+            self._queues.clear()
+            self._rotation.clear()
+            self._pending = 0
+            self._cond.notify_all()
+        for future in victims:
+            if not future.done():
+                future.set_exception(error)
 
     # --------------------------------------------------------------- drain
 
@@ -248,14 +374,29 @@ class ServingFrontend:
         server's collector)."""
         return TelemetryCollector.merge(self.collectors)
 
-    def close(self, timeout: Optional[float] = None) -> None:
-        """Drain remaining work, stop the workers, and fold the
-        per-worker telemetry into the server's collector (once)."""
+    def close(self, timeout: Optional[float] = None, drain: bool = True) -> None:
+        """Stop the workers and fold the per-worker telemetry into the
+        server's collector (once).
+
+        ``drain=True`` (default) serves the remaining queue first;
+        ``drain=False`` abandons it — workers finish only their current
+        batch and every still-queued future fails with
+        :class:`FrontendClosed`.  Either way no future is ever left
+        pending: anything the workers did not serve is failed typed.
+        """
         with self._cond:
             self._closing = True
+            if not drain:
+                self._abandon = True
             self._cond.notify_all()
-        for thread in self._threads:
-            thread.join(timeout)
+        # two passes: a restart approved just before _closing was set can
+        # add one more thread while we snapshot the list
+        for __ in range(2):
+            with self._cond:
+                threads = [t for t in self._threads if t.is_alive()]
+            for thread in threads:
+                thread.join(timeout)
+        self._fail_pending(FrontendClosed("frontend closed with queued requests"))
         if not self._absorbed:
             self._absorbed = True
             for collector in self.collectors:
@@ -282,4 +423,7 @@ class ServingFrontend:
                 "batches": self.batches,
                 "pending": self._pending,
                 "tenants": sorted(self._queues),
+                "live_workers": self._live_workers,
+                "worker_crashes": self.worker_crashes,
+                "worker_restarts": self.worker_restarts,
             }

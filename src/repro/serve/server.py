@@ -61,6 +61,7 @@ from repro.serve.batch import DEFAULT_BATCH_SIZE, execute_unique
 from repro.serve.cache import CachedResult, ResultCache, result_key
 from repro.serve.drift import DriftMonitor
 from repro.serve.recorder import WorkloadRecorder
+from repro.serve.resilience import CircuitBreaker
 from repro.serve.structures import resolve_selection
 from repro.serve.telemetry import RAW_LABEL, TelemetryCollector, _percentile
 
@@ -97,6 +98,7 @@ class ServeOutcome:
     fallback: bool
     groups: Dict[tuple, float] = field(default_factory=dict)
     cached: bool = False
+    rescued: bool = False
 
 
 @dataclass
@@ -170,6 +172,16 @@ class QueryServer:
     drift_threshold / drift_min_queries:
         Forwarded to the :class:`DriftMonitor` (ignored without
         ``advised``).
+    breaker:
+        Optional :class:`~repro.serve.resilience.CircuitBreaker`.
+        Executor errors against a materialized structure are counted
+        per structure; past the breaker's threshold the structure is
+        short-circuited onto the raw-cube fallback until its cooldown
+        half-opens the circuit.  Trips and resets land in telemetry.
+    fault_hook:
+        Optional ``hook(structure, entry)`` called before every
+        structure execution — the chaos harness's injection point for
+        executor errors and latency.
     background:
         ``False`` runs re-advises synchronously inside :meth:`serve`
         (deterministic for tests); ``True`` (default) runs them on a
@@ -189,6 +201,8 @@ class QueryServer:
         drift_min_queries: Optional[int] = None,
         keep_records: bool = True,
         background: bool = True,
+        breaker: Optional[CircuitBreaker] = None,
+        fault_hook=None,
     ):
         self.fact = fact
         self.cost_model = (
@@ -199,6 +213,17 @@ class QueryServer:
         self.reselector = reselector
         self.cache = cache
         self.background = background
+        self.breaker = breaker
+        self.fault_hook = fault_hook
+        if breaker is not None:
+            # trips/resets are noted on the server's collector (not the
+            # per-worker ones) so absorbing workers never double-counts
+            if breaker.on_trip is None:
+                breaker.on_trip = lambda structure: self.telemetry.note_breaker_trip()
+            if breaker.on_reset is None:
+                breaker.on_reset = (
+                    lambda structure: self.telemetry.note_breaker_reset()
+                )
         self.drift: Optional[DriftMonitor] = None
         if advised is not None:
             kwargs = {}
@@ -214,6 +239,7 @@ class QueryServer:
         self._readvise_inflight = False
         self._cooldown_until = 0
         self.readvise_count = 0
+        self.readvise_failures = 0
         self.swap_count = 0
         self.outcomes: List[ReadviseOutcome] = []
         self._closed = False
@@ -310,10 +336,29 @@ class QueryServer:
             items = [
                 (key, entries[positions[0]]) for key, positions in pending.items()
             ]
-            results = execute_unique(state, self.fact, self.cost_model, items)
+            results = execute_unique(
+                state,
+                self.fact,
+                self.cost_model,
+                items,
+                breaker=self.breaker,
+                fault_hook=self.fault_hook,
+            )
             for key, positions in pending.items():
                 result = results[key]
-                if cache is not None:
+                if result.error_structure:
+                    # one executor error + one raw rescue per *unique*
+                    # execution — reconciles 1:1 with injected faults
+                    collector.note_executor_error(result.error_structure)
+                    collector.note_raw_rescue()
+                elif result.short_circuited:
+                    collector.note_breaker_short_circuit()
+                if cache is not None and not (
+                    result.rescued or result.short_circuited
+                ):
+                    # degraded answers are correct but not worth pinning:
+                    # once the circuit closes, the structure path should
+                    # serve (and re-cache) these queries again
                     cache.put(
                         key,
                         CachedResult(
@@ -333,6 +378,7 @@ class QueryServer:
                         latency_us=result.latency_us,
                         fallback=result.fallback,
                         groups=result.groups,
+                        rescued=result.rescued,
                     )
         self._observe_batch(outcomes, collector)
         return outcomes
@@ -418,11 +464,25 @@ class QueryServer:
     def _run_readvise(self, observed: Mapping[SliceQuery, float]) -> None:
         try:
             current = self._state.selection
-            outcome = self.reselector.readvise(observed, current)
+            try:
+                outcome = self.reselector.readvise(observed, current)
+            except Exception as exc:
+                # a crashed re-advise must never take serving down: the
+                # old generation keeps serving, the failure is counted
+                self._note_readvise_failure(f"re-advise crashed: {exc!r}")
+                return
             self.outcomes.append(outcome)
             self.readvise_count += 1
             if outcome.accepted:
-                self._swap(tuple(outcome.result.selected), observed)
+                try:
+                    self._swap(tuple(outcome.result.selected), observed)
+                except Exception as exc:
+                    # materialization died mid-swap; the state reference
+                    # was never repointed, so generation N keeps serving
+                    self._note_readvise_failure(
+                        f"hot swap crashed: {exc!r} (still serving "
+                        f"generation {self._state.generation})"
+                    )
             else:
                 # rejected: wait for the workload to move on before
                 # re-running the advisor against near-identical counts
@@ -433,6 +493,27 @@ class QueryServer:
         finally:
             with self._readvise_lock:
                 self._readvise_inflight = False
+
+    def _note_readvise_failure(self, detail: str) -> None:
+        """Record a crashed re-advise/swap: telemetry counter, a failed
+        outcome in the log, and a cooldown so the very next query does
+        not immediately re-trigger the same crash."""
+        self.readvise_failures += 1
+        self.telemetry.note_readvise_failure()
+        self.outcomes.append(
+            ReadviseOutcome(
+                result=None,
+                tau_current=0.0,
+                tau_new=float("inf"),
+                accepted=False,
+                detail=detail,
+            )
+        )
+        with self._readvise_lock:
+            if self.drift is not None:
+                self._cooldown_until = (
+                    self.drift.observed_total + self.drift.min_queries
+                )
 
     def _swap(
         self, names: Tuple[str, ...], observed: Mapping[SliceQuery, float]
@@ -540,7 +621,10 @@ class QueryServer:
             "generation": self._state.generation,
             "catalog": self._state.catalog.stats(),
             "readvises": self.readvise_count,
+            "readvise_failures": self.readvise_failures,
         }
+        if self.breaker is not None:
+            meta["breaker"] = self.breaker.stats()
         if self.drift is not None:
             meta["drift"] = self.drift.status()
         cache_stats = self.cache.stats() if self.cache is not None else None

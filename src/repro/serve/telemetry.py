@@ -19,11 +19,15 @@ recomputed nearest-rank over the union of the retained samples, so a
 merged report is indistinguishable from one collector having seen every
 query.
 
-Schema v2 adds the ``cache`` block (result-cache hit/eviction counters)
-and ``merged_from`` (how many collectors the document combines).  v1
-documents are still accepted by :func:`validate_telemetry` through
-:func:`upgrade_telemetry`, which fills the v2 fields with their empty
-defaults.
+Schema v2 added the ``cache`` block (result-cache hit/eviction counters)
+and ``merged_from`` (how many collectors the document combines).
+Schema v3 adds the ``resilience`` block: per-structure executor errors,
+raw-cube rescues, circuit-breaker trips/resets/short-circuits, worker
+crashes and restarts, re-advise failures, fleet retries and deadline
+timeouts — the counters the chaos harness reconciles exactly against
+the faults it injected.  v1 and v2 documents are still accepted by
+:func:`validate_telemetry` through :func:`upgrade_telemetry`, which
+fills newer fields with their empty defaults.
 """
 
 from __future__ import annotations
@@ -31,7 +35,29 @@ from __future__ import annotations
 import threading
 from typing import Dict, Iterable, List, Optional
 
-TELEMETRY_SCHEMA_VERSION = 2
+TELEMETRY_SCHEMA_VERSION = 3
+
+#: Scalar counters of the v3 ``resilience`` block (``executor_errors``
+#: is the one non-scalar member: a per-structure error dict).
+RESILIENCE_COUNTER_FIELDS = (
+    "raw_rescues",
+    "breaker_trips",
+    "breaker_resets",
+    "breaker_short_circuits",
+    "worker_crashes",
+    "worker_restarts",
+    "readvise_failures",
+    "retries",
+    "deadline_timeouts",
+)
+
+
+def empty_resilience_stats() -> dict:
+    """The all-zero ``resilience`` block (healthy run, no faults)."""
+    block = {"executor_errors": {}}
+    for field in RESILIENCE_COUNTER_FIELDS:
+        block[field] = 0
+    return block
 
 #: Log-spaced latency histogram bucket upper bounds, in microseconds.
 LATENCY_BUCKETS_US = (
@@ -80,6 +106,10 @@ class TelemetryCollector:
             self._records: List[dict] = []
             self._swaps = 0
             self._merged_from = 1
+            self._executor_errors: Dict[str, int] = {}
+            self._resilience: Dict[str, int] = {
+                field: 0 for field in RESILIENCE_COUNTER_FIELDS
+            }
 
     # -------------------------------------------------------------- record
 
@@ -148,6 +178,63 @@ class TelemetryCollector:
         with self._lock:
             self._swaps += 1
 
+    # --------------------------------------------------------- resilience
+
+    def _bump(self, field: str, amount: int = 1) -> None:
+        with self._lock:
+            self._resilience[field] += amount
+
+    def note_executor_error(self, structure: str) -> None:
+        """One executor error against a materialized structure (before
+        the raw-cube rescue)."""
+        with self._lock:
+            self._executor_errors[structure] = (
+                self._executor_errors.get(structure, 0) + 1
+            )
+
+    def note_raw_rescue(self) -> None:
+        """A failed structure execution re-answered from the raw cube."""
+        self._bump("raw_rescues")
+
+    def note_breaker_trip(self) -> None:
+        self._bump("breaker_trips")
+
+    def note_breaker_reset(self) -> None:
+        self._bump("breaker_resets")
+
+    def note_breaker_short_circuit(self) -> None:
+        """An execution skipped a tripped structure straight to raw."""
+        self._bump("breaker_short_circuits")
+
+    def note_worker_crash(self) -> None:
+        self._bump("worker_crashes")
+
+    def note_worker_restart(self) -> None:
+        self._bump("worker_restarts")
+
+    def note_readvise_failure(self) -> None:
+        """A background re-advise (or its hot swap) crashed; the old
+        generation kept serving."""
+        self._bump("readvise_failures")
+
+    def note_retry(self) -> None:
+        self._bump("retries")
+
+    def note_deadline_timeout(self) -> None:
+        self._bump("deadline_timeouts")
+
+    def resilience_stats(self) -> dict:
+        """A copy of the resilience block (executor errors + counters)."""
+        with self._lock:
+            block = {"executor_errors": dict(sorted(self._executor_errors.items()))}
+            block.update(self._resilience)
+            return block
+
+    def latencies(self) -> List[float]:
+        """A copy of the retained latency samples (microseconds)."""
+        with self._lock:
+            return list(self._latencies_us)
+
     # --------------------------------------------------------------- merge
 
     def _state_copy(self) -> dict:
@@ -167,6 +254,8 @@ class TelemetryCollector:
                 "swaps": self._swaps,
                 "merged_from": self._merged_from,
                 "keep_records": self.keep_records,
+                "executor_errors": dict(self._executor_errors),
+                "resilience": dict(self._resilience),
             }
 
     def absorb(self, other: "TelemetryCollector") -> None:
@@ -194,6 +283,12 @@ class TelemetryCollector:
                 self._buckets[pos] += count
             self._swaps += state["swaps"]
             self._merged_from += state["merged_from"]
+            for structure, count in state["executor_errors"].items():
+                self._executor_errors[structure] = (
+                    self._executor_errors.get(structure, 0) + count
+                )
+            for field, count in state["resilience"].items():
+                self._resilience[field] += count
             if self.keep_records and state["keep_records"]:
                 self._records.extend(state["records"])
             else:
@@ -264,6 +359,12 @@ class TelemetryCollector:
                 "merged_from": self._merged_from,
                 "hits": dict(sorted(self._hits.items())),
                 "cache": dict(cache) if cache is not None else _empty_cache_block(),
+                "resilience": {
+                    "executor_errors": dict(
+                        sorted(self._executor_errors.items())
+                    ),
+                    **self._resilience,
+                },
                 "latency_us": {
                     "p50": _percentile(samples, 0.50),
                     "p99": _percentile(samples, 0.99),
@@ -289,19 +390,23 @@ class TelemetryCollector:
 
 
 def upgrade_telemetry(document: dict) -> dict:
-    """Upgrade a schema-v1 telemetry document to v2 (compatibility shim).
+    """Upgrade a schema-v1/v2 telemetry document to v3 (compat shim).
 
-    v1 predates the result cache and mergeable collectors; the upgrade
-    fills ``cache`` with the disabled-cache block and ``merged_from``
-    with 1.  v2 documents pass through unchanged (the same object).
-    Anything else is left for :func:`validate_telemetry` to reject.
+    v1 predates the result cache and mergeable collectors; v2 predates
+    the resilience counters.  The upgrade fills each missing block with
+    its empty default (disabled cache, ``merged_from`` = 1, all-zero
+    resilience — older documents were recorded before fault accounting
+    existed, which is indistinguishable from a fault-free run).  v3
+    documents pass through unchanged (the same object).  Anything else
+    is left for :func:`validate_telemetry` to reject.
     """
-    if not isinstance(document, dict) or document.get("schema_version") != 1:
+    if not isinstance(document, dict) or document.get("schema_version") not in (1, 2):
         return document
     upgraded = dict(document)
     upgraded["schema_version"] = TELEMETRY_SCHEMA_VERSION
     upgraded.setdefault("cache", _empty_cache_block())
     upgraded.setdefault("merged_from", 1)
+    upgraded.setdefault("resilience", empty_resilience_stats())
     return upgraded
 
 
@@ -312,9 +417,9 @@ def validate_telemetry(document: dict) -> dict:
     integrity (bucket counts sum to the query count), and the hit/
     fallback accounting.  Raises ``ValueError`` with a one-line message
     on the first violation — this is what the CI serving smoke runs
-    against the uploaded artifact.  Schema-v1 documents are upgraded
+    against the uploaded artifact.  Schema-v1/v2 documents are upgraded
     through :func:`upgrade_telemetry` first and the upgraded copy is
-    returned; v2 documents are returned unchanged.
+    returned; v3 documents are returned unchanged.
     """
     if not isinstance(document, dict):
         raise ValueError("telemetry must be a JSON object")
@@ -322,7 +427,7 @@ def validate_telemetry(document: dict) -> dict:
     if document.get("schema_version") != TELEMETRY_SCHEMA_VERSION:
         raise ValueError(
             f"telemetry schema_version must be {TELEMETRY_SCHEMA_VERSION} "
-            f"(or 1, upgraded), got {document.get('schema_version')!r}"
+            f"(or 1/2, upgraded), got {document.get('schema_version')!r}"
         )
     for field, kind in (
         ("queries", int),
@@ -331,6 +436,7 @@ def validate_telemetry(document: dict) -> dict:
         ("merged_from", int),
         ("hits", dict),
         ("cache", dict),
+        ("resilience", dict),
         ("latency_us", dict),
         ("cost", dict),
     ):
@@ -354,6 +460,26 @@ def validate_telemetry(document: dict) -> dict:
             raise ValueError(f"cache.{field} must be a nonnegative integer")
     if not cache.get("enabled", False) and (cache["hits"] or cache["misses"]):
         raise ValueError("cache counters nonzero on a disabled cache")
+    resilience = document["resilience"]
+    errors = resilience.get("executor_errors")
+    if not isinstance(errors, dict):
+        raise ValueError("resilience.executor_errors must be a dict")
+    for structure, count in errors.items():
+        if not isinstance(count, int) or count < 0:
+            raise ValueError(
+                f"resilience.executor_errors[{structure!r}] must be a "
+                "nonnegative integer"
+            )
+    for field in RESILIENCE_COUNTER_FIELDS:
+        value = resilience.get(field)
+        if not isinstance(value, int) or value < 0:
+            raise ValueError(
+                f"resilience.{field} must be a nonnegative integer"
+            )
+    if resilience["raw_rescues"] > sum(errors.values()):
+        raise ValueError(
+            "resilience.raw_rescues exceed the recorded executor errors"
+        )
     latency = document["latency_us"]
     for field in ("p50", "p99", "mean", "max"):
         value = latency.get(field)

@@ -249,3 +249,105 @@ class TestAdaptiveServing:
         assert server.swap_count == 1
         assert server.state.generation == 1
         assert server.selection != tuple(old)
+
+
+class TestCrashSafeSwap:
+    """A crashed re-advise or mid-swap crash must never take serving
+    down: the old generation keeps answering, the failure is counted."""
+
+    def _drifting_server(self, fact, model, min_queries=30):
+        lattice = model.lattice
+        schema = lattice.schema
+        space = 2 * lattice.size(lattice.top)
+        adv_q = pattern(schema, ["p"], ["s"])
+        drift_q = pattern(schema, ["c"], ["d"])
+        advised = {adv_q: 1.0}
+        selection = advise(lattice, advised, space)
+        reselector = AdaptiveReselector(
+            lattice, RGreedy(1), space, margin=0.05,
+            seed=(lattice.label(lattice.top),),
+        )
+        server = QueryServer(
+            fact,
+            selection,
+            cost_model=model,
+            advised=advised,
+            reselector=reselector,
+            drift_min_queries=min_queries,
+            background=False,
+        )
+        log = generate_query_log(
+            schema, 3 * min_queries, rng=7,
+            pattern_frequencies={drift_q: 0.9, adv_q: 0.1},
+        )
+        return server, selection, log
+
+    def test_readvise_crash_keeps_serving(self, serve_fact4, serve_model4):
+        server, old, log = self._drifting_server(serve_fact4, serve_model4)
+        golden = QueryServer(
+            serve_fact4, old, cost_model=serve_model4
+        ).serve_batch(log)
+
+        def crash(observed, current):
+            raise RuntimeError("advisor died")
+
+        server.reselector.readvise = crash
+        outcomes = server.serve_batch(log)
+        for outcome, reference in zip(outcomes, golden):
+            assert outcome.groups == reference.groups
+        assert server.readvise_failures >= 1
+        assert server.swap_count == 0
+        assert server.state.generation == 0
+        assert server.selection == tuple(old)
+        document = server.telemetry_snapshot()
+        assert (
+            document["resilience"]["readvise_failures"]
+            == server.readvise_failures
+        )
+        failed = [o for o in server.outcomes if not o.accepted]
+        assert failed and "re-advise crashed" in failed[-1].detail
+
+    def test_mid_swap_crash_keeps_old_generation(
+        self, serve_fact4, serve_model4
+    ):
+        server, old, log = self._drifting_server(serve_fact4, serve_model4)
+        golden = QueryServer(
+            serve_fact4, old, cost_model=serve_model4
+        ).serve_batch(log)
+        real_materialize = server._materialize
+        crashes = [0]
+
+        def crashing(names, generation):
+            if generation >= 1:
+                crashes[0] += 1
+                raise RuntimeError("materialize died mid-swap")
+            return real_materialize(names, generation)
+
+        server._materialize = crashing
+        outcomes = server.serve_batch(log)
+        for outcome, reference in zip(outcomes, golden):
+            assert outcome.groups == reference.groups
+        assert crashes[0] >= 1
+        assert server.readvise_failures == crashes[0]
+        assert server.swap_count == 0
+        assert server.state.generation == 0
+        assert server.telemetry_snapshot()["swaps"] == 0
+        failed = [o for o in server.outcomes if not o.accepted]
+        assert failed and "hot swap crashed" in failed[-1].detail
+
+    def test_crash_sets_cooldown_not_livelock(self, serve_fact4, serve_model4):
+        """After a crash the very next query must not re-trigger the
+        same crashing re-advise (cooldown), but a later drift window
+        may."""
+        server, _old, log = self._drifting_server(serve_fact4, serve_model4)
+        calls = [0]
+
+        def crash(observed, current):
+            calls[0] += 1
+            raise RuntimeError("advisor died")
+
+        server.reselector.readvise = crash
+        server.serve_batch(log)
+        # one crash per cooldown window, not one per query
+        assert 1 <= calls[0] <= 3
+        assert server.readvise_failures == calls[0]

@@ -257,3 +257,108 @@ class TestServerCacheCorrectness:
             result_key(entry), entry_result(), old_tag
         )
         assert server.cache.get(result_key(entry), new_tag) is None
+
+
+class TestConcurrentInvalidation:
+    """Four threads hammering get/put across a generation bump: no
+    stale hit, no deadlock (the fault-tolerance satellite)."""
+
+    def test_no_stale_hit_across_generation_bump(self):
+        import threading
+
+        cache = ResultCache()
+        old_tag, new_tag = (0, 0), (1, 0)
+        cache.ensure_tag(old_tag)
+        keys = [(f"k{i}",) for i in range(16)]
+        old_result = entry_result(1)
+        new_result = CachedResult(
+            structure="sc", predicted_rows=8.0, actual_rows=8,
+            groups={(0,): 1.0},
+        )
+        for key in keys:
+            cache.put(key, old_result, old_tag)
+        bumped = threading.Event()
+        stop = threading.Event()
+        stale = []
+        errors = []
+
+        def hammer(seed):
+            rng = __import__("random").Random(seed)
+            while not stop.is_set():
+                key = keys[rng.randrange(len(keys))]
+                if bumped.is_set():
+                    # after the swap every hit must be a new-tag result
+                    hit = cache.get(key, new_tag)
+                    if hit is not None and hit.structure != "sc":
+                        stale.append((key, hit.structure))
+                    cache.put(key, new_result, new_tag)
+                else:
+                    cache.get(key, old_tag)
+                    cache.put(key, old_result, old_tag)
+
+        def swapper():
+            bumped.wait(10)
+            # what serve_batch does on its first post-swap batch
+            cache.ensure_tag(new_tag)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,), daemon=True)
+            for seed in range(4)
+        ]
+        swap_thread = threading.Thread(target=swapper, daemon=True)
+        for thread in threads:
+            thread.start()
+        swap_thread.start()
+        try:
+            import time
+
+            time.sleep(0.05)
+            cache.invalidate()  # the swap itself
+            bumped.set()
+            time.sleep(0.15)
+        finally:
+            stop.set()
+        for thread in threads + [swap_thread]:
+            thread.join(10)
+            assert not thread.is_alive(), "cache hammer deadlocked"
+        assert not errors
+        assert stale == [], f"stale generation served: {stale[:5]}"
+        assert cache.invalidations >= 1
+        stats = cache.stats()
+        assert stats["entries"] <= len(keys)
+
+    def test_served_answers_stay_exact_across_live_swap(
+        self, serve_fact4, serve_schema4, serve_model4
+    ):
+        """End-to-end: concurrent replay while the cache is invalidated
+        mid-run still answers every query exactly."""
+        import threading
+
+        selection = advise_selection(serve_model4.lattice)
+        log = generate_query_log(serve_schema4, 200, rng=9)
+        golden = QueryServer(
+            serve_fact4, selection, cost_model=serve_model4
+        ).serve_batch(log)
+        cache = ResultCache()
+        server = QueryServer(
+            serve_fact4, selection, cost_model=serve_model4, cache=cache
+        )
+        stop = threading.Event()
+
+        def invalidate_loop():
+            while not stop.wait(0.002):
+                cache.invalidate()
+
+        invalidator = threading.Thread(target=invalidate_loop, daemon=True)
+        invalidator.start()
+        try:
+            from repro.serve import ServingFrontend
+
+            with ServingFrontend(server, workers=4, batch_size=16) as fe:
+                futures = [fe.submit(entry) for entry in log]
+                outcomes = [future.result(30) for future in futures]
+        finally:
+            stop.set()
+            invalidator.join(5)
+        for outcome, reference in zip(outcomes, golden):
+            assert outcome.groups == reference.groups

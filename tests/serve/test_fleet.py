@@ -1,0 +1,334 @@
+"""ReplicaFleet: routing, failover, health checks, typed failure modes.
+
+The contract under test: a query either returns a correct answer or a
+typed :class:`ServingError` — never a hang, never a wrong answer — and
+replica/fleet availability is accounted exactly.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cube.query_log import generate_query_log
+from repro.serve import (
+    NoHealthyReplica,
+    QueryServer,
+    ReplicaFleet,
+    RetriesExhausted,
+    RetryPolicy,
+    ServingError,
+    validate_telemetry,
+)
+from repro.serve.fleet import HealthChecker
+
+from tests.serve.test_server import advise_selection
+
+
+class Boom(RuntimeError):
+    pass
+
+
+@pytest.fixture(scope="module")
+def selection4(serve_model4):
+    return advise_selection(serve_model4.lattice)
+
+
+@pytest.fixture(scope="module")
+def log4(serve_schema4):
+    return generate_query_log(serve_schema4, 120, rng=0)
+
+
+def make_fleet(fact, model, selection, **kwargs):
+    kwargs.setdefault("replicas", 2)
+    kwargs.setdefault("cost_model", model)
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=3, base_delay=0.001))
+    return ReplicaFleet(fact, selection, **kwargs)
+
+
+class TestRouting:
+    def test_answers_match_single_server(
+        self, serve_fact4, serve_model4, selection4, log4
+    ):
+        golden = QueryServer(
+            serve_fact4, selection4, cost_model=serve_model4
+        ).serve_batch(log4)
+        fleet = make_fleet(serve_fact4, serve_model4, selection4)
+        try:
+            results = fleet.serve_many(log4)
+        finally:
+            fleet.close()
+        assert len(results) == len(log4)
+        for result, reference in zip(results, golden):
+            assert not isinstance(result, ServingError)
+            assert result.groups == reference.groups
+            assert result.structure == reference.structure
+
+    def test_round_robin_spreads_load(
+        self, serve_fact4, serve_model4, selection4, log4
+    ):
+        fleet = make_fleet(serve_fact4, serve_model4, selection4, replicas=3)
+        try:
+            fleet.serve_many(log4)
+        finally:
+            fleet.close()
+        served = [
+            replica.server.telemetry.snapshot()["queries"]
+            for replica in fleet.replicas
+        ]
+        assert sum(served) == len(log4)
+        assert all(count > 0 for count in served), served
+
+    def test_merged_telemetry_covers_fleet(
+        self, serve_fact4, serve_model4, selection4, log4
+    ):
+        fleet = make_fleet(serve_fact4, serve_model4, selection4)
+        fleet.serve_many(log4)
+        fleet.close()
+        document = validate_telemetry(fleet.merged_telemetry().snapshot())
+        assert document["queries"] == len(log4)
+        assert document["fallbacks"] == 0
+
+    def test_per_replica_selections(self, serve_fact4, serve_model4, selection4):
+        fleet = ReplicaFleet(
+            serve_fact4,
+            [selection4, list(selection4)[:3]],
+            cost_model=serve_model4,
+        )
+        try:
+            assert len(fleet.replicas) == 2
+            assert list(fleet.replicas[1].server.selection) == list(
+                selection4
+            )[:3]
+        finally:
+            fleet.close()
+
+    def test_selection_count_mismatch_rejected(
+        self, serve_fact4, serve_model4, selection4
+    ):
+        with pytest.raises(ValueError, match="disagrees"):
+            ReplicaFleet(
+                serve_fact4,
+                [selection4, selection4],
+                replicas=3,
+                cost_model=serve_model4,
+            )
+
+
+class TestFailover:
+    def test_killed_replica_routes_around(
+        self, serve_fact4, serve_model4, selection4, log4
+    ):
+        fleet = make_fleet(serve_fact4, serve_model4, selection4)
+        try:
+            assert fleet.replicas[0].kill()
+            assert not fleet.replicas[0].kill()  # idempotent
+            results = fleet.serve_many(log4)
+            assert not any(isinstance(r, ServingError) for r in results)
+        finally:
+            fleet.close()
+        # worker collectors fold into the server's on front-end close
+        survivor = fleet.replicas[1].server.telemetry.snapshot()
+        assert survivor["queries"] == len(log4)
+        assert fleet.replicas[0].downtime_seconds > 0.0
+
+    def test_all_dead_raises_no_healthy_replica(
+        self, serve_fact4, serve_model4, selection4, log4
+    ):
+        fleet = make_fleet(serve_fact4, serve_model4, selection4)
+        try:
+            for replica in fleet.replicas:
+                replica.kill()
+            with pytest.raises(NoHealthyReplica):
+                fleet.serve(log4[0])
+            assert fleet.unavailable_seconds > 0.0
+        finally:
+            fleet.close()
+
+    def test_crashing_replica_strikes_out_and_queries_survive(
+        self, serve_fact4, serve_model4, selection4, log4
+    ):
+        fleet = make_fleet(
+            serve_fact4,
+            serve_model4,
+            selection4,
+            workers=1,
+            max_worker_restarts=0,
+            strike_limit=1,
+        )
+
+        def crash(slot):
+            raise Boom("worker down")
+
+        fleet.replicas[0].frontend.crash_hook = crash
+        try:
+            results = fleet.serve_many(log4)
+        finally:
+            fleet.close()
+        assert not any(isinstance(r, ServingError) for r in results)
+        resilience = fleet.merged_telemetry().resilience_stats()
+        assert resilience["worker_crashes"] >= 1
+        assert resilience["retries"] >= 1
+
+    def test_exhausted_retries_raise_typed(
+        self, serve_fact4, serve_model4, selection4, log4
+    ):
+        fleet = make_fleet(
+            serve_fact4,
+            serve_model4,
+            selection4,
+            workers=1,
+            max_worker_restarts=0,
+            strike_limit=1000,  # passive strikes never mark it unhealthy
+            retry=RetryPolicy(max_attempts=2, base_delay=0.001),
+        )
+
+        def crash(slot):
+            raise Boom("always down")
+
+        for replica in fleet.replicas:
+            replica.frontend.crash_hook = crash
+        try:
+            with pytest.raises((RetriesExhausted, NoHealthyReplica)) as info:
+                fleet.serve(log4[0])
+            if isinstance(info.value, RetriesExhausted):
+                assert info.value.attempts == 2
+        finally:
+            fleet.close()
+
+
+class TestHealthChecker:
+    def test_probe_recovers_struck_replica(
+        self, serve_fact4, serve_model4, selection4
+    ):
+        fleet = make_fleet(serve_fact4, serve_model4, selection4, strike_limit=1)
+        try:
+            replica = fleet.replicas[0]
+            assert replica.record_strike("synthetic", fleet.strike_limit)
+            assert not replica.available
+            sweep = fleet.checker.check_now()
+            assert sweep[replica.replica_id] is True
+            assert replica.available
+            assert replica.downtime_seconds > 0.0
+        finally:
+            fleet.close()
+
+    def test_dead_replica_fails_probe(
+        self, serve_fact4, serve_model4, selection4
+    ):
+        fleet = make_fleet(serve_fact4, serve_model4, selection4)
+        try:
+            fleet.replicas[0].kill()
+            sweep = fleet.checker.check_now()
+            assert sweep[0] is False
+            assert sweep[1] is True
+            history = fleet.checker.probe_history(0)
+            assert history[-1]["reason"] == "dead"
+        finally:
+            fleet.close()
+
+    def test_slow_probe_strikes(self, serve_fact4, serve_model4, selection4):
+        fleet = make_fleet(
+            serve_fact4,
+            serve_model4,
+            selection4,
+            strike_limit=1,
+            probe_latency_threshold_us=0.0,  # everything is "slow"
+        )
+        try:
+            sweep = fleet.checker.check_now()
+            assert all(ok is False for ok in sweep.values())
+            assert fleet.healthy_replicas() == []
+            assert fleet.unavailable_seconds >= 0.0
+            history = fleet.checker.probe_history(0)
+            assert history[-1]["reason"] == "slow probe"
+        finally:
+            fleet.close()
+
+    def test_probe_raise_strikes(self, serve_fact4, serve_model4, selection4):
+        fleet = make_fleet(
+            serve_fact4, serve_model4, selection4, strike_limit=1
+        )
+
+        def boom_batch(entries, telemetry=None):
+            # a structure error would be rescued raw; only the serving
+            # call itself raising reaches the checker's except path
+            raise Boom("probe poisoned")
+
+        fleet.replicas[0].server.serve_batch = boom_batch
+        try:
+            sweep = fleet.checker.check_now()
+        finally:
+            fleet.close()
+        assert sweep[0] is False
+        assert "probe raised" in fleet.checker.probe_history(0)[-1]["reason"]
+
+    def test_background_checker_runs(
+        self, serve_fact4, serve_model4, selection4
+    ):
+        fleet = make_fleet(
+            serve_fact4, serve_model4, selection4, probe_interval=0.02
+        )
+        try:
+            deadline = time.monotonic() + 5.0
+            while fleet.checker.checks < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert fleet.checker.checks >= 2
+        finally:
+            fleet.close()
+        checks_at_close = fleet.checker.checks
+        time.sleep(0.08)
+        assert fleet.checker.checks == checks_at_close  # stopped with fleet
+
+    def test_probes_stay_out_of_serving_telemetry(
+        self, serve_fact4, serve_model4, selection4, log4
+    ):
+        fleet = make_fleet(serve_fact4, serve_model4, selection4)
+        try:
+            for _ in range(5):
+                fleet.checker.check_now()
+            fleet.serve_many(log4)
+        finally:
+            fleet.close()
+        document = fleet.merged_telemetry().snapshot()
+        assert document["queries"] == len(log4)
+
+
+class TestUnavailabilityAccounting:
+    def test_exact_zero_healthy_span(self, serve_fact4, serve_model4, selection4):
+        clock = [100.0]
+        fleet = make_fleet(
+            serve_fact4,
+            serve_model4,
+            selection4,
+            strike_limit=1,
+            clock=lambda: clock[0],
+        )
+        try:
+            fleet.replicas[0].record_strike("down", 1)
+            fleet._health_event()
+            assert fleet.unavailable_seconds == 0.0  # one replica left
+            fleet.replicas[1].record_strike("down", 1)
+            fleet._health_event()
+            clock[0] = 107.5
+            assert fleet.unavailable_seconds == 7.5
+            assert fleet.replicas[0].record_probe_ok()
+            fleet._health_event()
+            clock[0] = 120.0
+            assert fleet.unavailable_seconds == 7.5  # span closed exactly
+        finally:
+            fleet.close()
+
+    def test_fleet_stats_shape(self, serve_fact4, serve_model4, selection4, log4):
+        fleet = make_fleet(serve_fact4, serve_model4, selection4)
+        try:
+            fleet.serve_many(log4[:20])
+            stats = fleet.stats()
+        finally:
+            fleet.close()
+        assert stats["healthy"] == 2
+        assert stats["routed"] == 20
+        assert stats["exhausted"] == 0
+        assert len(stats["replicas"]) == 2
+        assert stats["replicas"][0]["frontend"]["live_workers"] >= 1
+        assert stats["unavailable_seconds"] == 0.0

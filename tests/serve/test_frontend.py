@@ -209,3 +209,107 @@ class TestMergedTelemetry:
         assert b["cost"]["exact_matches"] == 300
         assert b["cost"]["actual_rows"] == 2 * a["cost"]["actual_rows"]
         assert b["fallbacks"] == 0
+
+
+class TestWorkerSupervision:
+    """Crashed workers restart; their queries fail typed, never hang."""
+
+    def test_crash_fails_inflight_future_typed(self, server4, serve_schema4):
+        from repro.serve import WorkerCrashed
+
+        calls = [0]
+
+        def crash_once(slot):
+            calls[0] += 1
+            if calls[0] == 1:
+                raise KeyboardInterrupt("injected worker death")
+
+        entry = generate_query_log(serve_schema4, 1, rng=0)[0]
+        with ServingFrontend(server4, workers=1, crash_hook=crash_once) as fe:
+            future = fe.submit(entry)
+            with pytest.raises(WorkerCrashed) as info:
+                future.result(10)
+            assert isinstance(info.value.__cause__, KeyboardInterrupt)
+            # supervision restarted the worker: serving continues
+            assert fe.submit(entry).result(10).groups is not None
+            stats = fe.stats()
+        assert stats["worker_crashes"] == 1
+        assert stats["worker_restarts"] == 1
+        assert stats["live_workers"] == 1
+
+    def test_crash_lands_in_telemetry(self, server4, serve_schema4):
+        calls = [0]
+
+        def crash_once(slot):
+            calls[0] += 1
+            if calls[0] == 1:
+                raise SystemExit(3)
+
+        log = generate_query_log(serve_schema4, 40, rng=1)
+        frontend = ServingFrontend(server4, workers=2, crash_hook=crash_once)
+        for entry in log:
+            try:
+                frontend.submit(entry).result(10)
+            except RuntimeError:
+                pass
+        frontend.close()
+        resilience = server4.telemetry.resilience_stats()
+        assert resilience["worker_crashes"] == 1
+        assert resilience["worker_restarts"] == 1
+
+    def test_restart_budget_exhausted_fails_pending_typed(
+        self, server4, serve_schema4
+    ):
+        from repro.serve import WorkerCrashed
+
+        def always_crash(slot):
+            raise KeyboardInterrupt("dead on arrival")
+
+        log = generate_query_log(serve_schema4, 8, rng=2)
+        frontend = ServingFrontend(
+            server4, workers=1, max_worker_restarts=0, crash_hook=always_crash
+        )
+        future = frontend.submit(log[0])
+        with pytest.raises(WorkerCrashed):
+            future.result(10)
+        # the pool is dead: submits fail fast instead of queueing forever
+        with pytest.raises(WorkerCrashed):
+            deadline = 50
+            for entry in log[1:]:
+                frontend.submit(entry).result(10)
+                deadline -= 1
+                assert deadline > 0
+        stats = frontend.stats()
+        assert stats["live_workers"] == 0
+        frontend.close()
+
+    def test_close_without_drain_fails_queued_typed(
+        self, server4, serve_schema4
+    ):
+        from repro.serve import FrontendClosed
+
+        wrapper = _BlockedFirstBatch(server4)
+        server4.serve_batch = wrapper
+        log = generate_query_log(serve_schema4, 6, rng=3)
+        frontend = ServingFrontend(server4, workers=1, batch_size=1)
+        first = frontend.submit(log[0])
+        assert wrapper.started.wait(10)
+        queued = [frontend.submit(entry) for entry in log[1:]]
+        wrapper.release.set()
+        frontend.close(drain=False)
+        assert first.result(10).groups is not None  # in-flight completes
+        for future in queued:
+            with pytest.raises(FrontendClosed):
+                future.result(10)
+
+    def test_drain_close_still_serves_queue(self, server4, serve_schema4):
+        wrapper = _BlockedFirstBatch(server4)
+        server4.serve_batch = wrapper
+        log = generate_query_log(serve_schema4, 6, rng=4)
+        frontend = ServingFrontend(server4, workers=1, batch_size=1)
+        futures = [frontend.submit(entry) for entry in log]
+        assert wrapper.started.wait(10)
+        wrapper.release.set()
+        frontend.close(drain=True)
+        for future in futures:
+            assert future.result(10).groups is not None

@@ -136,3 +136,83 @@ class TestValidate:
 
         doc = json.loads(json.dumps(self._valid()))
         validate_telemetry(doc)
+
+
+class TestResilienceCounters:
+    """Schema v3: the resilience block records, merges, and validates."""
+
+    def test_counters_in_snapshot(self):
+        from repro.serve import RESILIENCE_COUNTER_FIELDS
+
+        t = TelemetryCollector()
+        t.record("q", "v", 1.0, 1.0, 1)
+        t.note_executor_error("ps")
+        t.note_executor_error("ps")
+        t.note_raw_rescue()
+        t.note_raw_rescue()
+        t.note_breaker_trip()
+        t.note_worker_crash()
+        t.note_worker_restart()
+        t.note_retry()
+        t.note_deadline_timeout()
+        t.note_readvise_failure()
+        doc = validate_telemetry(t.snapshot())
+        resilience = doc["resilience"]
+        assert doc["schema_version"] == TELEMETRY_SCHEMA_VERSION
+        assert resilience["executor_errors"] == {"ps": 2}
+        assert resilience["raw_rescues"] == 2
+        assert resilience["breaker_trips"] == 1
+        assert resilience["worker_crashes"] == 1
+        assert resilience["worker_restarts"] == 1
+        assert resilience["retries"] == 1
+        assert resilience["deadline_timeouts"] == 1
+        assert resilience["readvise_failures"] == 1
+        assert set(RESILIENCE_COUNTER_FIELDS) <= set(resilience)
+
+    def test_counters_merge_additively(self):
+        a, b = TelemetryCollector(), TelemetryCollector()
+        for t in (a, b):
+            t.record("q", "v", 1.0, 1.0, 1)
+            t.note_executor_error("ps")
+            t.note_raw_rescue()
+            t.note_retry()
+        merged = TelemetryCollector.merge([a, b])
+        resilience = merged.resilience_stats()
+        assert resilience["executor_errors"] == {"ps": 2}
+        assert resilience["raw_rescues"] == 2
+        assert resilience["retries"] == 2
+
+    def test_rejects_rescues_exceeding_errors(self):
+        t = TelemetryCollector()
+        t.record("q", "v", 1.0, 1.0, 1)
+        doc = t.snapshot()
+        doc["resilience"]["raw_rescues"] = 5
+        with pytest.raises(ValueError, match="raw_rescues"):
+            validate_telemetry(doc)
+
+    def test_rejects_negative_counter(self):
+        t = TelemetryCollector()
+        t.record("q", "v", 1.0, 1.0, 1)
+        doc = t.snapshot()
+        doc["resilience"]["retries"] = -1
+        with pytest.raises(ValueError):
+            validate_telemetry(doc)
+
+    def test_upgrades_v1_and_v2(self):
+        from repro.serve import upgrade_telemetry
+
+        t = TelemetryCollector()
+        t.record("q", "v", 1.0, 1.0, 1)
+        doc = t.snapshot()
+        for old_version in (1, 2):
+            legacy = {
+                k: v
+                for k, v in doc.items()
+                if k not in ("resilience", "cache", "merged_from")
+            }
+            legacy["schema_version"] = old_version
+            upgraded = upgrade_telemetry(legacy)
+            validated = validate_telemetry(upgraded)
+            assert validated["schema_version"] == TELEMETRY_SCHEMA_VERSION
+            assert validated["resilience"]["raw_rescues"] == 0
+            assert validated["resilience"]["executor_errors"] == {}

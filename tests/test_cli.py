@@ -589,3 +589,47 @@ class TestServeAndReplay:
         assert doc["swaps"] >= 1
         assert doc["meta"]["readvises"] >= 1
         assert doc["meta"]["generation"] >= 1
+
+
+class TestServeFleet:
+    def test_serve_through_replica_fleet(self, tmp_path, capsys):
+        telemetry = tmp_path / "fleet.json"
+        rc = main(
+            ["serve", "--dims", "3", "--queries", "60", "--replicas", "2",
+             "--retry-attempts", "3", "--telemetry", str(telemetry),
+             "--fail-on-fallback"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "through 2 replicas" in out
+        assert "0 failed typed" in out
+        assert "2/2 replicas healthy" in out
+        doc = json.loads(telemetry.read_text())
+        assert doc["queries"] == 60
+        assert doc["fallbacks"] == 0
+        assert doc["fleet"]["replicas"] == 2
+        assert doc["fleet"]["routed"] == 60
+        assert doc["resilience"]["raw_rescues"] == 0
+
+    def test_fleet_replay(self, tmp_path, capsys):
+        log = tmp_path / "observed.jsonl"
+        assert (
+            main(["serve", "--dims", "3", "--queries", "30",
+                  "--record", str(log)])
+            == 0
+        )
+        capsys.readouterr()
+        rc = main(
+            ["replay", "--dims", "3", "--log", str(log), "--replicas", "2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "served 30/30" in out
+
+    def test_fleet_rejects_single_server_features(self, tmp_path, capsys):
+        rc = main(
+            ["serve", "--dims", "3", "--queries", "10", "--replicas", "2",
+             "--adaptive"]
+        )
+        assert rc == 2
+        assert "single-server" in capsys.readouterr().err
