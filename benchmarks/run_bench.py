@@ -402,6 +402,183 @@ def _fleet_legs(fact, model, selection, log, n_dims: int) -> dict:
     }
 
 
+def _git_sha() -> str:
+    """The commit this run measured, for baseline provenance."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=HERE.parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return proc.stdout.strip() if proc.returncode == 0 else "unknown"
+
+
+def _mining_quality_leg(n_dims: int, n_entries: int = 2000, rng: int = 11) -> dict:
+    """Pruned-vs-full ablation at small d: quality ratio, bound, speedup.
+
+    Both advises run under the *same* space budget (sized off the full
+    engine) and the same observed frequencies, so ``tau_full / tau_pruned``
+    is a pure candidate-pruning quality number and ``within_bound``
+    checks the certified forgone-benefit bound against the measured gap.
+    """
+    from repro.algorithms.rgreedy import RGreedy
+    from repro.core.benefit import BenefitEngine
+    from repro.core.qvgraph import QueryViewGraph
+    from repro.core.query import enumerate_slice_queries
+    from repro.cube.query_log import generate_query_log, pattern_counts
+    from repro.mining import compute_benefit_bound, mine_candidates
+
+    from bench_algorithms_scaling import cube_lattice
+
+    lattice = cube_lattice(n_dims)
+    schema = lattice.schema
+    top_label = lattice.label(lattice.top)
+    counts = pattern_counts(generate_query_log(schema, n_entries, rng=rng))
+    space = 3.0 * lattice.size(lattice.top)  # the serving-style budget
+
+    # full-universe reference: every pattern, observed weight or 0
+    t0 = time.perf_counter()
+    frequencies = {
+        q: float(counts.get(q, 0.0)) for q in enumerate_slice_queries(schema.names)
+    }
+    full_engine = BenefitEngine(
+        QueryViewGraph.from_cube(lattice, frequencies=frequencies)
+    )
+    full = RGreedy(1).run(full_engine, space, seed=(top_label,))
+    full_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    mined = mine_candidates(counts, schema.names)
+    mined.ensure_structures([top_label])
+    bound = compute_benefit_bound(mined, lattice)
+    pruned_engine = BenefitEngine(QueryViewGraph.from_mined(lattice, mined))
+    pruned = RGreedy(1).run(pruned_engine, space, seed=(top_label,))
+    pruned_seconds = time.perf_counter() - t0
+
+    forgone = bound.forgone_bound(pruned.tau)
+    return {
+        "n_entries": n_entries,
+        "pruned_structures": len(pruned_engine.structure_names),
+        "full_structures": len(full_engine.structure_names),
+        "pruned_seconds": pruned_seconds,
+        "full_seconds": full_seconds,
+        "speedup": full_seconds / pruned_seconds if pruned_seconds > 0 else 0.0,
+        "tau_pruned": pruned.tau,
+        "tau_full": full.tau,
+        "quality": full.tau / pruned.tau if pruned.tau > 0 else 1.0,
+        "forgone_bound": forgone,
+        "within_bound": bool(pruned.tau - full.tau <= forgone + 1e-6),
+    }
+
+
+#: Child measurement for the d=9 scale leg: mine + compile + 1-greedy
+#: under a RunContext deadline, reporting wall-clocks and its own peak
+#: RSS.  Run in a subprocess so the RSS number is the leg's, not the
+#: whole bench driver's.
+_D9_CHILD = """
+import json, resource, sys, time
+from repro.algorithms.rgreedy import RGreedy
+from repro.core.benefit import BenefitEngine
+from repro.core.qvgraph import QueryViewGraph
+from repro.cube.query_log import generate_query_log, pattern_counts
+from repro.cube.schema import CubeSchema, Dimension
+from repro.estimation.sizes import analytical_lattice
+from repro.mining import compute_benefit_bound, mine_candidates
+from repro.runtime import RunContext
+
+n_dims, n_entries, deadline = int(sys.argv[1]), int(sys.argv[2]), float(sys.argv[3])
+cards = [4 + 2 * i for i in range(n_dims)]
+schema = CubeSchema(
+    [Dimension(chr(ord("a") + i), c) for i, c in enumerate(cards)]
+)
+lattice = analytical_lattice(schema, 0.1 * schema.dense_cells)
+top_label = lattice.label(lattice.top)
+counts = pattern_counts(generate_query_log(schema, n_entries, rng=11))
+t0 = time.perf_counter()
+mined = mine_candidates(counts, schema.names)
+mined.ensure_structures([top_label])
+bound = compute_benefit_bound(mined, lattice)
+mine_seconds = time.perf_counter() - t0
+t0 = time.perf_counter()
+engine = BenefitEngine(QueryViewGraph.from_mined(lattice, mined))
+compile_seconds = time.perf_counter() - t0
+space = 3.0 * lattice.size(lattice.top)  # the serving-style budget
+t0 = time.perf_counter()
+result = RGreedy(1).run(
+    engine, space, seed=(top_label,), context=RunContext(deadline=deadline)
+)
+greedy_seconds = time.perf_counter() - t0
+print(json.dumps({
+    "mine_seconds": mine_seconds,
+    "compile_seconds": compile_seconds,
+    "greedy_seconds": greedy_seconds,
+    "total_seconds": mine_seconds + compile_seconds + greedy_seconds,
+    "n_views": mined.n_views,
+    "n_indexes": mined.n_indexes,
+    "n_structures": len(engine.structure_names),
+    "n_selected": len(result.selected),
+    "interrupted": bool(result.interrupted),
+    "tau": result.tau,
+    "forgone_bound": bound.forgone_bound(result.tau),
+    "max_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+}))
+"""
+
+
+def _mining_scale_leg(
+    n_dims: int = 9, n_entries: int = 5000, deadline: float = 120.0
+) -> dict:
+    """The scale target: pruned 1-greedy at d=9 under a 120s deadline.
+
+    The full 3^n universe is unbuildable here (~986k fat indexes), so
+    there is no full reference — the leg commits wall-clock, structure
+    counts, and peak RSS, and asserts the run finished under deadline.
+    """
+    env = dict(os.environ)
+    src = str(HERE.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-c", _D9_CHILD, str(n_dims), str(n_entries), str(deadline)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    wall = time.perf_counter() - t0
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"d={n_dims} pruned advise leg failed ({proc.returncode}):\n"
+            + proc.stderr
+        )
+    leg = json.loads(proc.stdout)
+    leg["n_dims"] = n_dims
+    leg["n_entries"] = n_entries
+    leg["deadline_seconds"] = deadline
+    leg["wall_seconds"] = wall
+    if leg["interrupted"]:
+        raise SystemExit(
+            f"d={n_dims} pruned advise hit the {deadline:g}s deadline — "
+            "the scale target regressed"
+        )
+    return leg
+
+
+def measure_mining(skip_d9: bool) -> dict:
+    """The workload-mining section: informational (never gated — the
+    quality ratios and bounds are asserted directly instead)."""
+    out = {
+        "d5_pruned_vs_full": _mining_quality_leg(5),
+        "d6_pruned_vs_full": _mining_quality_leg(6),
+    }
+    if not skip_d9:
+        out["d9_pruned"] = _mining_scale_leg()
+    return out
+
+
 def gate(current: dict, baseline: dict) -> list:
     """Return a list of human-readable regression descriptions."""
     failures = []
@@ -464,6 +641,15 @@ def main(argv=None) -> int:
         "committed baseline (pipeline and pytest-benchmark numbers are "
         "carried over unchanged)",
     )
+    parser.add_argument(
+        "--skip-d9", action="store_true",
+        help="skip the (slow) d=9 pruned-advise scale measurement",
+    )
+    parser.add_argument(
+        "--mining-only", action="store_true",
+        help="re-measure only the workload-mining section and merge it "
+        "into the committed baseline",
+    )
     args = parser.parse_args(argv)
 
     if args.check and not RESULT_PATH.exists():
@@ -477,24 +663,44 @@ def main(argv=None) -> int:
 
     sys.path.insert(0, str(HERE))
 
-    if args.serving_only:
+    leg_seconds = {}
+
+    def timed(name: str, thunk):
+        t0 = time.perf_counter()
+        section = thunk()
+        leg_seconds[name] = round(time.perf_counter() - t0, 3)
+        return section
+
+    if args.serving_only or args.mining_only:
         if not RESULT_PATH.exists():
             print(
-                f"error: --serving-only needs a committed baseline at "
-                f"{RESULT_PATH} to merge into",
+                f"error: --serving-only/--mining-only need a committed "
+                f"baseline at {RESULT_PATH} to merge into",
                 file=sys.stderr,
             )
             return EXIT_NO_BASELINE
         with open(RESULT_PATH) as fh:
             result = json.load(fh)
-        result["serving"] = measure_serving()
-        result.setdefault("meta", {})["serving_cpu_count"] = os.cpu_count()
+        if args.serving_only:
+            result["serving"] = timed("serving", measure_serving)
+            result.setdefault("meta", {})["serving_cpu_count"] = os.cpu_count()
+        if args.mining_only:
+            result["mining"] = timed(
+                "mining", lambda: measure_mining(args.skip_d9)
+            )
     else:
         result = {
-            "pytest_benchmarks": run_pytest_benchmarks(),
-            "pipelines": measure_pipelines(args.skip_d7),
-            "checkpoint_overhead": measure_checkpoint_overhead(),
-            "serving": measure_serving(),
+            "pytest_benchmarks": timed(
+                "pytest_benchmarks", run_pytest_benchmarks
+            ),
+            "pipelines": timed(
+                "pipelines", lambda: measure_pipelines(args.skip_d7)
+            ),
+            "checkpoint_overhead": timed(
+                "checkpoint_overhead", measure_checkpoint_overhead
+            ),
+            "serving": timed("serving", measure_serving),
+            "mining": timed("mining", lambda: measure_mining(args.skip_d9)),
             "meta": {
                 "regression_factor": REGRESSION_FACTOR,
                 "python": sys.version.split()[0],
@@ -502,6 +708,9 @@ def main(argv=None) -> int:
                 "workers_sweep": list(WORKERS_SWEEP),
             },
         }
+    meta = result.setdefault("meta", {})
+    meta["git_sha"] = _git_sha()
+    meta.setdefault("leg_seconds", {}).update(leg_seconds)
 
     failures = []
     if not args.no_gate and RESULT_PATH.exists():
@@ -510,14 +719,18 @@ def main(argv=None) -> int:
         failures = gate(result, baseline)
 
     if not args.check:
-        # preserve the slow d=7 baseline numbers on --skip-d7 runs
-        if args.skip_d7 and RESULT_PATH.exists():
+        # preserve the slow d=7/d=9 baseline numbers on --skip runs
+        if (args.skip_d7 or args.skip_d9) and RESULT_PATH.exists():
             with open(RESULT_PATH) as fh:
                 previous = json.load(fh)
-            if "d7_current" in previous.get("pipelines", {}):
+            if args.skip_d7 and "d7_current" in previous.get("pipelines", {}):
                 result["pipelines"]["d7_current"] = previous["pipelines"][
                     "d7_current"
                 ]
+            if args.skip_d9 and "d9_pruned" in previous.get("mining", {}):
+                result.setdefault("mining", {})["d9_pruned"] = previous[
+                    "mining"
+                ]["d9_pruned"]
         with open(RESULT_PATH, "w") as fh:
             json.dump(result, fh, indent=2, sort_keys=True)
             fh.write("\n")
@@ -580,6 +793,28 @@ def main(argv=None) -> int:
             f"pre-batching committed serial baseline "
             f"({PRIOR_SERIAL_QPS_D5:g} q/s)"
         )
+
+    for config, leg in sorted(result.get("mining", {}).items()):
+        if not isinstance(leg, dict):
+            continue
+        if "quality" in leg:
+            print(
+                f"mining {config}: pruned {leg['pruned_seconds']:.3f}s vs "
+                f"full {leg['full_seconds']:.3f}s ({leg['speedup']:.2f}x, "
+                f"{leg['pruned_structures']}/{leg['full_structures']} "
+                f"structures), quality {leg['quality']:.4f}, "
+                f"within_bound={leg['within_bound']}"
+            )
+        else:
+            print(
+                f"mining {config}: mine {leg['mine_seconds']:.2f}s + compile "
+                f"{leg['compile_seconds']:.2f}s + 1-greedy "
+                f"{leg['greedy_seconds']:.2f}s = {leg['total_seconds']:.2f}s "
+                f"({leg['n_structures']} structures, "
+                f"{leg['n_selected']} selected, peak RSS "
+                f"{leg['max_rss_mb']:.0f} MiB, deadline "
+                f"{leg['deadline_seconds']:g}s)"
+            )
 
     if failures:
         print("\nREGRESSIONS (> {:g}x baseline):".format(REGRESSION_FACTOR))

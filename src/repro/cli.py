@@ -16,6 +16,10 @@ Usage::
         --adaptive                           # replay a recorded log
     python -m repro serve --dims 4 --queries 500 --replicas 4 \\
         --retry-attempts 3                   # fault-tolerant replica fleet
+    python -m repro mine --lattice cube.json --log obs.jsonl \\
+        --output mined.json                  # mine a log into candidates
+    python -m repro advise --lattice cube.json --space 25e6 \\
+        --prune-log obs.jsonl --benefit-bound 0.2   # pruned advise (d>=9)
 
 ``cube.json`` is the lattice document of :mod:`repro.io`: dimensions and
 either exact per-view row counts or a raw row count for analytical
@@ -143,6 +147,79 @@ def build_parser() -> argparse.ArgumentParser:
         "follows REPRO_WORKERS (unset = serial).  The selection is "
         "bit-identical at any worker count",
     )
+    advise.add_argument(
+        "--prune-log",
+        default=None,
+        help="mine this recorded query log (JSONL, e.g. from 'repro serve "
+        "--record') into a pruned candidate space and advise on it "
+        "instead of the full 3^n universe — the d>=9 scale path",
+    )
+    advise.add_argument(
+        "--support",
+        type=float,
+        default=None,
+        help="with --prune-log: minimum workload support for a mined "
+        "query cluster to sponsor candidates (default 0.01)",
+    )
+    advise.add_argument(
+        "--similarity",
+        type=float,
+        default=None,
+        help="with --prune-log: Jaccard attribute-set similarity for "
+        "merging clusters (default 0.5)",
+    )
+    advise.add_argument(
+        "--max-indexes-per-view",
+        type=int,
+        default=None,
+        help="with --prune-log: cap on mined fat-index keys per kept "
+        "view (default 8)",
+    )
+    advise.add_argument(
+        "--benefit-bound",
+        type=float,
+        default=None,
+        help="with --prune-log: fail (exit 2) when the certified "
+        "forgone-benefit bound exceeds this fraction of the "
+        "no-precomputation cost",
+    )
+
+    mine = sub.add_parser(
+        "mine",
+        help="mine a recorded query log into a pruned candidate space "
+        "and report what pruning keeps, drops, and certifiably forgoes",
+    )
+    mine.add_argument(
+        "--lattice", required=True, help="lattice JSON document (see repro.io)"
+    )
+    mine.add_argument(
+        "--log",
+        required=True,
+        help="query log JSONL (e.g. from 'repro serve --record')",
+    )
+    mine.add_argument(
+        "--support",
+        type=float,
+        default=None,
+        help="minimum workload support for a cluster to sponsor "
+        "candidates (default 0.01)",
+    )
+    mine.add_argument(
+        "--similarity",
+        type=float,
+        default=None,
+        help="Jaccard attribute-set similarity for merging clusters "
+        "(default 0.5)",
+    )
+    mine.add_argument(
+        "--max-indexes-per-view",
+        type=int,
+        default=None,
+        help="cap on mined fat-index keys per kept view (default 8)",
+    )
+    mine.add_argument(
+        "--output", help="write the mined-candidate report JSON here"
+    )
 
     resume = sub.add_parser(
         "resume",
@@ -252,6 +329,12 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="monitor workload drift and re-advise in the background, "
             "hot-swapping the selection when the new one wins by --margin",
+        )
+        command.add_argument(
+            "--full-readvise",
+            action="store_true",
+            help="re-advise on the full 3^n candidate universe instead of "
+            "workload-mined candidates (only feasible at small d)",
         )
         command.add_argument(
             "--drift-threshold",
@@ -403,15 +486,24 @@ def _report_result(result, output: Optional[str]) -> int:
     return EXIT_INTERRUPTED if result.interrupted else EXIT_OK
 
 
-def _run_with_context(algorithm, graph, space, seed, args) -> int:
+def _run_with_context(
+    algorithm, graph, space, seed, args, graph_factory=None, finish=None
+) -> int:
     """Run an algorithm under the runtime context the flags describe.
 
     Without runtime flags this is a plain call.  With them, the run gets
     budgets, stage checkpointing, and signal handlers; an early stop
     still reports (and saves) the best-so-far selection, exiting 3.
+
+    ``graph_factory(context)`` (context is ``None`` on the plain path)
+    lets the pruned-advise path declare its mining stage a kill/resume
+    boundary before the graph exists; ``finish(result)`` overrides the
+    default reporting so callers can append bound checks.
     """
     from repro.runtime import RunContext, RuntimeStop
 
+    if finish is None:
+        finish = lambda result: _report_result(result, args.output)  # noqa: E731
     resume_from = getattr(args, "resume_from", None)
     wants_context = (
         args.deadline is not None
@@ -420,7 +512,9 @@ def _run_with_context(algorithm, graph, space, seed, args) -> int:
         or resume_from is not None
     )
     if not wants_context:
-        return _report_result(algorithm.run(graph, space, seed=seed), args.output)
+        if graph_factory is not None:
+            graph = graph_factory(None)
+        return finish(algorithm.run(graph, space, seed=seed))
     context = RunContext(
         deadline=args.deadline,
         memory_limit_mb=args.memory_limit_mb,
@@ -429,6 +523,8 @@ def _run_with_context(algorithm, graph, space, seed, args) -> int:
     )
     try:
         with context.handle_signals():
+            if graph_factory is not None:
+                graph = graph_factory(context)
             result = algorithm.run(graph, space, seed=seed, context=context)
     except RuntimeStop as stop:
         print(f"run stopped early: {stop}", file=sys.stderr)
@@ -440,12 +536,184 @@ def _run_with_context(algorithm, graph, space, seed, args) -> int:
             )
         if stop.result is None:
             return EXIT_INTERRUPTED  # stopped before the first stage
-        return _report_result(stop.result, args.output)
-    return _report_result(result, args.output)
+        return finish(stop.result)
+    return finish(result)
+
+
+def _load_flat_lattice(path: str):
+    """Load a lattice document that must be a flat cube (mining needs
+    exact per-attribute cardinalities to enumerate candidate keys)."""
+    import json
+
+    with open(path) as f:
+        document = json.load(f)
+    if is_graph_document(document) or is_hierarchical_document(document):
+        raise ValueError(
+            f"{path}: workload mining needs a flat cube lattice document "
+            "(dimensions + sizes), not a raw graph or hierarchical cube"
+        )
+    return lattice_from_dict(document)
+
+
+def _mine_log(lattice, log_path: str, args: argparse.Namespace):
+    """Stream a JSONL query log and mine it into candidates."""
+    from repro.cube.query_log import pattern_counts
+    from repro.io import iter_query_log
+    from repro.mining import mine_candidates
+
+    counts = pattern_counts(iter_query_log(log_path, lattice.schema))
+    if not counts:
+        raise ValueError(f"{log_path}: query log is empty, nothing to mine")
+    kwargs = {}
+    if args.support is not None:
+        kwargs["support"] = args.support
+    if args.similarity is not None:
+        kwargs["similarity"] = args.similarity
+    if args.max_indexes_per_view is not None:
+        kwargs["max_indexes_per_view"] = args.max_indexes_per_view
+    return mine_candidates(counts, lattice.schema.names, **kwargs)
+
+
+def _mining_record(mined, log_path: str) -> dict:
+    """The checkpoint payload that proves a resume re-mined identically."""
+    return {
+        "log": str(log_path),
+        "support": mined.support,
+        "similarity": mined.similarity,
+        "max_indexes_per_view": mined.max_indexes_per_view,
+        "fingerprint": mined.fingerprint(),
+    }
+
+
+def _advise_pruned(args: argparse.Namespace) -> int:
+    """The --prune-log path: mine, bound, advise on the pruned graph."""
+    from repro.core.index import count_fat_indexes
+    from repro.mining import compute_benefit_bound
+
+    lattice = _load_flat_lattice(args.lattice)
+    if args.index_universe != "fat":
+        raise ValueError(
+            "--prune-log mines fat index keys; --index-universe must be 'fat'"
+        )
+    mined = _mine_log(lattice, args.prune_log, args)
+    bound = compute_benefit_bound(mined, lattice)
+    record = _mining_record(mined, args.prune_log)
+    n = lattice.schema.n_dims
+    print(
+        f"mined {mined.n_views} views + {mined.n_indexes} indexes from "
+        f"{mined.n_queries} observed patterns "
+        f"(full universe: {2 ** n} views + {count_fat_indexes(n)} indexes, "
+        f"{3 ** n} patterns)"
+    )
+
+    top_label = lattice.label(lattice.top)
+    top_rows = lattice.size(lattice.top)
+    seed = () if args.no_seed_top else (top_label,)
+    if seed and top_rows > args.space:
+        print(
+            f"error: the top view needs {top_rows:g} rows, "
+            f"more than the {args.space:g}-row budget "
+            "(pass --no-seed-top to skip it)",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+
+    def graph_factory(context):
+        if context is not None:
+            context.mining_boundary(record)
+        return QueryViewGraph.from_mined(lattice, mined)
+
+    def finish(result) -> int:
+        code = _report_result(result, args.output)
+        forgone = bound.forgone_bound(result.tau)
+        relative = (
+            forgone / result.initial_tau if result.initial_tau > 0 else 0.0
+        )
+        print(
+            f"pruning bound: forgone benefit <= {forgone:g} rows "
+            f"({relative:.2%} of the no-precomputation cost); "
+            f"ideal tau {bound.ideal_tau:g}, kept tau {bound.kept_tau:g}"
+        )
+        if args.benefit_bound is not None and relative > args.benefit_bound:
+            print(
+                f"error: certified forgone-benefit bound {relative:.3g} "
+                f"exceeds --benefit-bound {args.benefit_bound:g}",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+        return code
+
+    algorithm = ALGORITHMS[args.algorithm](args.fit, args.workers)
+    return _run_with_context(
+        algorithm,
+        None,
+        args.space,
+        seed,
+        args,
+        graph_factory=graph_factory,
+        finish=finish,
+    )
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    """Mine a recorded query log and report the pruned candidate space."""
+    from repro.core.index import count_fat_indexes
+    from repro.mining import (
+        compute_benefit_bound,
+        mining_report,
+        save_mining_report,
+    )
+
+    lattice = _load_flat_lattice(args.lattice)
+    mined = _mine_log(lattice, args.log, args)
+    bound = compute_benefit_bound(mined, lattice)
+    n = lattice.schema.n_dims
+    print(
+        f"workload: {mined.total_weight:g} queries over {mined.n_queries} "
+        f"distinct patterns; {len(mined.clusters)} clusters "
+        f"({mined.kept_clusters} above support {mined.support:g}, "
+        f"{mined.dropped_weight:g} weight dropped)"
+    )
+    print(
+        f"candidates kept: {mined.n_views} / {2 ** n} views, "
+        f"{mined.n_indexes} / {count_fat_indexes(n)} fat indexes"
+    )
+    from repro.core.view import View
+
+    for cluster in mined.clusters[:10]:
+        attrs = lattice.label(View(cluster.attrs))
+        kept = "kept" if cluster.support >= mined.support else "dropped"
+        print(
+            f"  cluster {attrs}: {cluster.size} patterns, "
+            f"weight {cluster.weight:g} (support {cluster.support:.3f}, {kept})"
+        )
+    if len(mined.clusters) > 10:
+        print(f"  ... and {len(mined.clusters) - 10} more clusters")
+    print(
+        f"unlimited-budget pruning gap: {bound.pruning_gap:g} rows "
+        f"(kept tau {bound.kept_tau:g} vs ideal tau {bound.ideal_tau:g})"
+    )
+    if args.output:
+        save_mining_report(mining_report(mined, bound, lattice), args.output)
+        print(f"mined-candidate report written to {args.output}")
+    return EXIT_OK
 
 
 def cmd_advise(args: argparse.Namespace) -> int:
     """Run a selection algorithm on the cube document and report it."""
+    mining_flags = (
+        args.support,
+        args.similarity,
+        args.max_indexes_per_view,
+        args.benefit_bound,
+    )
+    if args.prune_log is None and any(f is not None for f in mining_flags):
+        raise ValueError(
+            "--support/--similarity/--max-indexes-per-view/--benefit-bound "
+            "require --prune-log"
+        )
+    if args.prune_log is not None:
+        return _advise_pruned(args)
     graph, top_name, top_rows = _load_graph(args.lattice, args.index_universe)
     seed = () if (args.no_seed_top or top_name is None) else (top_name,)
     if seed and top_rows > args.space:
@@ -464,9 +732,30 @@ def cmd_resume(args: argparse.Namespace) -> int:
     """Continue an interrupted advise run from its checkpoint."""
     from repro.runtime import load_checkpoint
     from repro.runtime.checkpoint import algorithm_from_config
+    from repro.runtime.context import MINING_EXTRA_KEY
 
     checkpoint = load_checkpoint(args.checkpoint)
-    graph, __top, __rows = _load_graph(args.lattice, args.index_universe)
+    mining = (checkpoint.extra or {}).get(MINING_EXTRA_KEY)
+    graph = None
+    graph_factory = None
+    if mining:
+        # a pruned-advise checkpoint: re-mine the recorded log with the
+        # recorded parameters; mining_boundary verifies the fingerprint
+        lattice = _load_flat_lattice(args.lattice)
+        mine_args = argparse.Namespace(
+            support=mining["support"],
+            similarity=mining["similarity"],
+            max_indexes_per_view=mining["max_indexes_per_view"],
+        )
+
+        def graph_factory(context):
+            mined = _mine_log(lattice, mining["log"], mine_args)
+            if context is not None:
+                context.mining_boundary(_mining_record(mined, mining["log"]))
+            return QueryViewGraph.from_mined(lattice, mined)
+
+    else:
+        graph, __top, __rows = _load_graph(args.lattice, args.index_universe)
     algorithm = algorithm_from_config(checkpoint.algorithm)
     if args.workers is not None and hasattr(algorithm, "workers"):
         algorithm.workers = args.workers
@@ -478,7 +767,12 @@ def cmd_resume(args: argparse.Namespace) -> int:
         f"{checkpoint.remaining_space:g} rows of budget left)"
     )
     return _run_with_context(
-        algorithm, graph, checkpoint.space_budget, checkpoint.seed, args
+        algorithm,
+        graph,
+        checkpoint.space_budget,
+        checkpoint.seed,
+        args,
+        graph_factory=graph_factory,
     )
 
 
@@ -575,6 +869,7 @@ def _build_server(args: argparse.Namespace):
             seed=(top_label,),
             deadline=args.deadline,
             checkpoint_path=args.checkpoint,
+            prune=not args.full_readvise,
         )
     recorder = WorkloadRecorder(args.record) if args.record else None
     cache = None
@@ -801,6 +1096,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "advise":
             return cmd_advise(args)
+        if args.command == "mine":
+            return cmd_mine(args)
         if args.command == "explain":
             return cmd_explain(args)
         if args.command == "resume":

@@ -116,6 +116,38 @@ class Index:
         return f"Index({str(self)})"
 
 
+def parse_index_label(text: str) -> Index:
+    """Parse an index written in the paper's label form, e.g. ``I_sp(ps)``.
+
+    The inverse of ``str(Index)`` /
+    :meth:`~repro.core.lattice.CubeLattice.index_label`: the key sits
+    between ``I_`` and ``(``, the view inside the parentheses.  Key
+    attributes follow the same convention as views — single characters
+    concatenate (``sp``), multi-character names join with commas
+    (``I_month,day(month,day)``).
+
+    >>> idx = parse_index_label("I_sp(ps)")
+    >>> (str(idx.view), idx.key)
+    ('ps', ('s', 'p'))
+    """
+    from repro.core.view import parse_view
+
+    stripped = text.strip()
+    if not (stripped.startswith("I_") and stripped.endswith(")") and "(" in stripped):
+        raise ValueError(f"not an index label: {text!r}")
+    key_text, view_text = stripped[2:-1].split("(", 1)
+    view = parse_view(view_text)
+    if "," in key_text:
+        key = tuple(part.strip() for part in key_text.split(","))
+    elif key_text in view.attrs:
+        # a single multi-character attribute (only expressible when the
+        # view itself was written with commas)
+        key = (key_text,)
+    else:
+        key = tuple(key_text)
+    return Index(view, key)
+
+
 def enumerate_fat_indexes(view: View) -> Iterator[Index]:
     """Yield the ``m!`` fat indexes of an ``m``-attribute view.
 

@@ -34,9 +34,10 @@ from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.costmodel import LinearCostModel
-from repro.core.index import enumerate_all_indexes, enumerate_fat_indexes
+from repro.core.index import Index, enumerate_all_indexes, enumerate_fat_indexes
 from repro.core.lattice import CubeLattice
 from repro.core.query import SliceQuery, enumerate_slice_queries
+from repro.core.view import View
 
 VIEW_KIND = "view"
 INDEX_KIND = "index"
@@ -462,6 +463,80 @@ class QueryViewGraph:
                 index_name = lattice.index_label(index)
                 graph.add_index(view_name, index_name, payload=index)
                 view_rows = lattice.size(view)
+                for query in answerable:
+                    cost = cost_model.cost(query, view, index)
+                    if skip_useless_index_edges and cost >= view_rows:
+                        continue
+                    graph.add_edge(str(query), index_name, cost)
+        return graph
+
+    @classmethod
+    def from_mined(
+        cls,
+        lattice: CubeLattice,
+        mined,
+        cost_model: Optional[LinearCostModel] = None,
+        skip_useless_index_edges: bool = True,
+    ) -> "QueryViewGraph":
+        """Build the graph of a *mined* candidate space (see
+        :mod:`repro.mining`).
+
+        Unlike :meth:`from_cube`, this never enumerates the lattice's
+        ``3^n`` query universe or the ``~2·n!`` fat-index universe —
+        query nodes, view nodes, and index nodes all come from the mined
+        attribute sets alone, so a d=9–10 cube whose full graph cannot
+        even be built compiles in seconds.
+
+        ``mined`` is duck-typed (a
+        :class:`repro.mining.candidates.MinedCandidates`, kept out of
+        the core package's imports): it must expose ``queries`` (a
+        ``{SliceQuery: weight}`` mapping), ``view_attrs`` (kept views as
+        attribute frozensets) and ``index_keys`` (``{view_attrs: [key
+        tuple, ...]}``).  Node order follows the mined view order —
+        lattice order — so greedy argmax tie-breaks match a
+        :meth:`from_cube` graph restricted to the same structures.
+        """
+        if cost_model is None:
+            cost_model = LinearCostModel(lattice)
+        graph = cls()
+
+        def query_key(query):
+            return (
+                len(query.attrs),
+                tuple(sorted(query.attrs)),
+                len(query.selection),
+                tuple(sorted(query.selection)),
+            )
+
+        queries = sorted(mined.queries, key=query_key)
+        by_attrs: Dict[frozenset, list] = {}
+        for query in queries:
+            graph.add_query(
+                str(query),
+                default_cost=cost_model.default_cost(query),
+                frequency=float(mined.queries[query]),
+                payload=query,
+            )
+            by_attrs.setdefault(query.attrs, []).append(query)
+
+        for attrs in mined.view_attrs:
+            view = View(attrs)
+            if view not in lattice:
+                raise ValueError(f"mined view {view} is not a view of this lattice")
+            view_name = lattice.label(view)
+            view_rows = lattice.size(view)
+            graph.add_view(view_name, space=view_rows, payload=view)
+            answerable = []
+            for q_attrs, members in by_attrs.items():
+                if q_attrs <= attrs:
+                    answerable.extend(members)
+            answerable.sort(key=query_key)
+            for query in answerable:
+                graph.add_edge(str(query), view_name, cost_model.cost(query, view))
+            for key in mined.index_keys.get(attrs, ()):
+                index = Index(view, key)
+                index_name = lattice.index_label(index)
+                graph.add_index(view_name, index_name, payload=index)
                 for query in answerable:
                     cost = cost_model.cost(query, view, index)
                     if skip_useless_index_edges and cost >= view_rows:

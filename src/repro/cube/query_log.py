@@ -11,7 +11,7 @@ queries and the advisor's abstract workload.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -78,12 +78,15 @@ def generate_query_log(
     return entries
 
 
-def pattern_counts(log: Sequence[LogEntry]) -> Dict[SliceQuery, int]:
+def pattern_counts(log: Iterable[LogEntry]) -> Dict[SliceQuery, int]:
     """Raw occurrence count of each generic pattern in the log.
 
     The un-normalized companion of :func:`estimate_frequencies` — an
     empty log is an empty mapping, not an error, so streaming consumers
     (the serving drift monitor) can poll it before any query arrives.
+    Accepts any iterable and makes exactly one pass, so a streaming
+    :func:`repro.io.iter_query_log` generator feeds it without the log
+    ever being resident in memory.
     """
     counts: Dict[SliceQuery, int] = {}
     for entry in log:
@@ -92,7 +95,7 @@ def pattern_counts(log: Sequence[LogEntry]) -> Dict[SliceQuery, int]:
 
 
 def estimate_frequencies(
-    log: Sequence[LogEntry],
+    log: Iterable[LogEntry],
     smoothing: float = 0.0,
     universe: Optional[Sequence[SliceQuery]] = None,
 ) -> Dict[SliceQuery, float]:
@@ -100,13 +103,14 @@ def estimate_frequencies(
 
     ``smoothing`` adds a Laplace pseudo-count to every pattern of the
     ``universe`` (required when smoothing > 0), so unseen-but-possible
-    queries keep a nonzero weight.  Frequencies sum to 1.
+    queries keep a nonzero weight.  Frequencies sum to 1.  Single-pass:
+    a streaming iterator works.
     """
-    if not log:
-        raise ValueError("log must be non-empty")
     counts: Dict[SliceQuery, float] = {}
     for entry in log:
         counts[entry.query] = counts.get(entry.query, 0.0) + 1.0
+    if not counts:
+        raise ValueError("log must be non-empty")
     if smoothing > 0:
         if universe is None:
             raise ValueError("smoothing requires an explicit query universe")
@@ -117,7 +121,7 @@ def estimate_frequencies(
 
 
 def hot_selection_values(
-    log: Sequence[LogEntry], attr: str, top_k: int = 5
+    log: Iterable[LogEntry], attr: str, top_k: int = 5
 ) -> List[Tuple[int, int]]:
     """Most frequently selected values of an attribute, ``(value, count)``.
 

@@ -353,13 +353,15 @@ def save_query_log(log, path: PathLike) -> None:
             f.write("\n")
 
 
-def load_query_log(path: PathLike, schema) -> list:
-    """Read a JSONL query log, validating every record against ``schema``.
+def iter_query_log(path: PathLike, schema):
+    """Stream a JSONL query log, validating each record against ``schema``.
 
-    An empty file is an empty log.  Malformed JSON or invalid records
-    raise ``ValueError`` naming the offending line.
+    Yields one :class:`~repro.cube.query_log.LogEntry` per line without
+    ever holding the file in memory, so a multi-million-query log from a
+    long serve run mines in O(1) RSS.  An empty file is an empty log.
+    Malformed JSON or invalid records raise ``ValueError`` naming the
+    offending ``file:line``, exactly like :func:`load_query_log`.
     """
-    entries = []
     with open(path) as f:
         for line_no, line in enumerate(f, start=1):
             line = line.strip()
@@ -371,7 +373,9 @@ def load_query_log(path: PathLike, schema) -> list:
                 raise ValueError(
                     f"{path}:{line_no}: invalid JSON in query log: {exc}"
                 ) from exc
-            entries.append(
-                log_entry_from_dict(document, schema, where=f"{path}:{line_no}")
-            )
-    return entries
+            yield log_entry_from_dict(document, schema, where=f"{path}:{line_no}")
+
+
+def load_query_log(path: PathLike, schema) -> list:
+    """Read a whole JSONL query log into a list (see :func:`iter_query_log`)."""
+    return list(iter_query_log(path, schema))

@@ -1,0 +1,122 @@
+"""Workload clustering for candidate mining.
+
+Following Aouiche & Darmont ("Data Mining-based Materialized View and
+Index Selection in Data Warehouses"), the first mining step groups the
+logged query patterns by the similarity of their attribute sets — two
+queries that touch the same dimensions are served well by the same view
+and, when their selection attributes overlap, by the same index key.
+
+The clustering here is a deterministic greedy agglomeration: patterns
+with *identical* attribute sets always share a cluster; distinct sets
+merge into the heaviest compatible cluster whose attribute union stays
+Jaccard-similar above a threshold.  Determinism matters more than
+cluster optimality — mined candidates feed checkpointed selection runs
+that must resume bit-identically — so every ordering below is fixed by
+(weight, canonical attribute tuple), never by hash order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.query import SliceQuery
+
+
+def jaccard(a: frozenset, b: frozenset) -> float:
+    """Jaccard similarity of two attribute sets; two empty sets are 1.0."""
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+def query_sort_key(query: SliceQuery) -> tuple:
+    """Canonical, hash-free ordering key for slice-query patterns."""
+    return (
+        len(query.attrs),
+        tuple(sorted(query.attrs)),
+        len(query.selection),
+        tuple(sorted(query.selection)),
+    )
+
+
+@dataclass(frozen=True)
+class QueryCluster:
+    """A group of workload patterns with similar attribute sets.
+
+    ``attrs`` is the union of the members' attribute sets — the smallest
+    view able to answer every member — which is exactly the candidate
+    view the cluster sponsors.
+    """
+
+    attrs: frozenset
+    queries: Tuple[SliceQuery, ...]  # members, heaviest first
+    weight: float  # total observed weight of members
+    support: float  # weight / total workload weight
+
+    @property
+    def size(self) -> int:
+        return len(self.queries)
+
+
+def cluster_queries(
+    counts: Mapping[SliceQuery, float],
+    similarity: float = 0.5,
+) -> List[QueryCluster]:
+    """Cluster workload patterns by attribute-set similarity.
+
+    ``counts`` maps each observed pattern to its weight (occurrence
+    count or frequency); non-positive weights are ignored.  Patterns
+    with the same attribute set always land in the same cluster; a new
+    attribute set joins the existing cluster maximizing Jaccard
+    similarity with its attribute union when that similarity reaches
+    ``similarity``, else starts its own cluster.  Heavier attribute sets
+    seed first, so clusters form around the workload's hot spots.
+
+    Returns clusters sorted heaviest-first; each carries its workload
+    ``support`` in [0, 1].
+    """
+    if not 0.0 <= similarity <= 1.0:
+        raise ValueError(f"similarity must be in [0, 1], got {similarity}")
+    groups: Dict[frozenset, List[Tuple[SliceQuery, float]]] = {}
+    total = 0.0
+    for query, weight in counts.items():
+        weight = float(weight)
+        if weight <= 0:
+            continue
+        groups.setdefault(query.attrs, []).append((query, weight))
+        total += weight
+    ordered = sorted(
+        groups.items(),
+        key=lambda item: (-sum(w for _q, w in item[1]), tuple(sorted(item[0]))),
+    )
+
+    # mutable accumulators: [attrs_union, members]
+    built: List[list] = []
+    for attrs, members in ordered:
+        best = None
+        best_sim = -1.0  # so a 0-similarity match still attaches at threshold 0
+        for cluster in built:
+            sim = jaccard(cluster[0], attrs)
+            if sim >= similarity and sim > best_sim:
+                best, best_sim = cluster, sim
+        if best is None:
+            built.append([attrs, list(members)])
+        else:
+            best[0] = best[0] | attrs
+            best[1].extend(members)
+
+    clusters = []
+    for attrs_union, members in built:
+        members.sort(key=lambda pair: (-pair[1], query_sort_key(pair[0])))
+        weight = sum(w for _q, w in members)
+        clusters.append(
+            QueryCluster(
+                attrs=attrs_union,
+                queries=tuple(q for q, _w in members),
+                weight=weight,
+                support=weight / total if total > 0 else 0.0,
+            )
+        )
+    clusters.sort(key=lambda c: (-c.weight, tuple(sorted(c.attrs))))
+    return clusters

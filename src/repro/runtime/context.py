@@ -50,6 +50,9 @@ except ImportError:  # pragma: no cover - POSIX containers always have it
 #: Scope label of the seed stage in checkpoint records.
 SEED_SCOPE = "seed"
 
+#: Key under which the mining stage's record lives in checkpoint extras.
+MINING_EXTRA_KEY = "mining"
+
 
 def _strip_workers(config: Dict) -> Dict:
     """An algorithm config with the ``workers`` param removed (it does
@@ -206,6 +209,7 @@ class RunContext:
         self._last_write: Optional[float] = None
         self._evaluators: List = []
         self._workers: Optional[int] = None
+        self._mining_record: Optional[Dict] = None
 
     # -------------------------------------------------------------- binding
 
@@ -276,6 +280,55 @@ class RunContext:
             except Exception:  # pragma: no cover - stop path must not mask
                 pass
 
+    # --------------------------------------------------------------- mining
+
+    def mining_boundary(self, record: Dict) -> None:
+        """Mark the workload-mining stage of a pruned advise run.
+
+        Called once, after mining and *before* :meth:`bind` (the engine
+        does not exist until the mined graph is built).  ``record`` —
+        the mined set's fingerprint plus its parameters and log source —
+        is carried in every subsequent checkpoint's ``extra`` block, so
+        a resumed run can re-mine and *prove* (fingerprint equality,
+        verified here) that it rebuilt the identical candidate space
+        before any stage replays against the graph fingerprint.
+
+        The mining stage is a first-class kill/resume boundary: it
+        counts toward ``fault_stage`` and runs the budget checks, same
+        as every stage boundary.  A fault or stop raised here carries no
+        checkpoint (nothing has committed yet — the resume protocol for
+        this boundary is simply "start over"); such stops are tagged
+        ``pre_engine=True`` for the fault harness.
+        """
+        record = dict(record)
+        if self._resume is not None:
+            previous = self._resume.extra.get(MINING_EXTRA_KEY)
+            if previous != record:
+                raise CheckpointError(
+                    "checkpoint mining record does not match this run's "
+                    f"re-mined candidates ({previous!r} vs {record!r}); "
+                    "did the query log or mining parameters change?"
+                )
+        self._mining_record = record
+        self.stage_counter += 1
+        if self.fault_stage is not None and self.stage_counter == self.fault_stage:
+            fault = InjectedFault(
+                f"injected fault at mining boundary {self.stage_counter}",
+                self.last_checkpoint,
+            )
+            fault.pre_engine = self.last_checkpoint is None
+            raise fault
+        try:
+            self.check()
+        except RuntimeStop as stop:
+            stop.pre_engine = self.last_checkpoint is None
+            raise
+
+    @property
+    def mining_record(self) -> Optional[Dict]:
+        """The mining-stage record, when this run mined its candidates."""
+        return self._mining_record
+
     # --------------------------------------------------------------- replay
 
     def replay_next(self, scope: str) -> Optional[StageRecord]:
@@ -323,6 +376,8 @@ class RunContext:
         extra_dict = dict(extra) if extra else {}
         if self._workers is not None:
             extra_dict.setdefault("workers", self._workers)
+        if self._mining_record is not None:
+            extra_dict.setdefault(MINING_EXTRA_KEY, self._mining_record)
         self._boundary = (
             self.stage_counter,
             len(self._records),

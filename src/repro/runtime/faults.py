@@ -137,11 +137,18 @@ def fault_scan(
         except InjectedFault as fault:
             checkpoint = fault.checkpoint
             detail = ""
-            if fault.result is None or not fault.result.interrupted:
+            if getattr(fault, "pre_engine", False):
+                # killed at the mining boundary, before anything committed:
+                # a real crash there leaves no checkpoint, and recovery is
+                # simply starting over — which must land on the golden
+                # selection (mining is deterministic)
+                resumed = run(RunContext())
+                detail = compare_results(golden, resumed)
+            elif fault.result is None or not fault.result.interrupted:
                 detail = "fault did not carry an interrupted partial result"
             elif checkpoint is None:
                 detail = "fault carried no checkpoint"
-            if not detail:
+            if not detail and not getattr(fault, "pre_engine", False):
                 checkpoint = _roundtrip(checkpoint)
                 if rebuild:
                     algorithm_from_config(checkpoint.algorithm)
@@ -250,6 +257,100 @@ def fault_matrix(
     return cases
 
 
+# ------------------------------------------------------------ pruned matrix
+
+
+def mined_cube_instance(
+    n_dims: int = 4,
+    n_entries: int = 400,
+    rng: int = 7,
+) -> tuple:
+    """A deterministic pruned-advise instance: ``(lattice, log, params)``.
+
+    Cardinalities match :func:`_cube_graph`; the log is a fixed-seed
+    Zipf workload, so mining it is reproducible run over run — the
+    property the mining kill/resume boundary exists to verify.
+    """
+    from repro.cube.query_log import generate_query_log
+    from repro.cube.schema import CubeSchema, Dimension
+    from repro.estimation.sizes import analytical_lattice
+
+    cards = [4 + 2 * i for i in range(n_dims)]
+    schema = CubeSchema(
+        [Dimension(chr(ord("a") + i), c) for i, c in enumerate(cards)]
+    )
+    lattice = analytical_lattice(schema, 0.1 * schema.dense_cells)
+    log = generate_query_log(schema, n_entries, rng=rng)
+    params = {"support": 0.02, "similarity": 0.5, "max_indexes_per_view": 4}
+    return lattice, log, params
+
+
+def pruned_fault_matrix(
+    n_dims: int = 4,
+    *,
+    backends: Sequence[str] = ("dense", "sparse"),
+    lazy_modes: Sequence[bool] = (False, True),
+    workers_modes: Sequence[int] = (1,),
+    budget_fraction: float = 0.05,
+) -> List[FaultCase]:
+    """Kill/resume matrix for *pruned* (workload-mined) advise runs.
+
+    Every run re-mines the log from scratch under its context — the
+    mining stage is boundary 1, so ``fault_stage=1`` kills before any
+    engine exists (recovery: start over, land on the golden selection)
+    and every later kill resumes from a checkpoint whose ``extra`` block
+    carries the mining record, which
+    :meth:`~repro.runtime.context.RunContext.mining_boundary` verifies
+    fingerprint-exactly before a single stage replays.
+    """
+    from repro.algorithms import InnerLevelGreedy, RGreedy
+    from repro.mining import mine_candidates
+
+    lattice, log, params = mined_cube_instance(n_dims)
+    probe_mined = mine_candidates(log, lattice.schema.names, **params)
+    probe = BenefitEngine(QueryViewGraph.from_mined(lattice, probe_mined))
+    space = smoke_budget(probe, budget_fraction)
+    run_seed = [top_view_of(probe)]
+
+    cases: List[FaultCase] = []
+    for backend in backends:
+        for workers in workers_modes:
+            for lazy in lazy_modes:
+                algorithms = [
+                    ("RGreedy(r=1)", RGreedy(1, lazy=lazy, workers=workers)),
+                    ("RGreedy(r=2)", RGreedy(2, lazy=lazy, workers=workers)),
+                    (
+                        "InnerLevelGreedy",
+                        InnerLevelGreedy(lazy=lazy, workers=workers),
+                    ),
+                ]
+                for label, algorithm in algorithms:
+
+                    def run(context=None, _a=algorithm, _b=backend):
+                        mined = mine_candidates(
+                            log, lattice.schema.names, **params
+                        )
+                        if context is not None:
+                            context.mining_boundary(
+                                {"fingerprint": mined.fingerprint(), **params}
+                            )
+                        engine = BenefitEngine(
+                            QueryViewGraph.from_mined(lattice, mined),
+                            backend=_b,
+                        )
+                        return _a.run(engine, space, seed=run_seed, context=context)
+
+                    __, scan = fault_scan(
+                        run,
+                        algorithm=f"pruned:{label}",
+                        backend=backend,
+                        lazy=lazy,
+                        workers=workers,
+                    )
+                    cases.extend(scan)
+    return cases
+
+
 # ----------------------------------------------------------------- CLI smoke
 
 
@@ -303,6 +404,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--json", action="store_true", help="emit the case list as JSON"
     )
+    parser.add_argument(
+        "--pruned",
+        action="store_true",
+        help="also run the pruned (workload-mined) advise matrix, with "
+        "the mining stage as kill/resume boundary 1",
+    )
     args = parser.parse_args(argv)
 
     graph = _cube_graph(args.dims)
@@ -315,16 +422,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     cases = fault_matrix(
         graph, space, backends=backends, workers_modes=workers_modes
     )
+    n_full = len(cases)
+    if args.pruned:
+        cases += pruned_fault_matrix(
+            args.dims,
+            backends=backends,
+            workers_modes=workers_modes,
+            budget_fraction=args.budget_fraction,
+        )
     failures = [case for case in cases if not case.ok]
     if args.json:
         print(json.dumps([case.__dict__ for case in cases], indent=2))
     else:
         for case in failures:
             print(case, file=sys.stderr)
+        pruned_note = (
+            f" (+{len(cases) - n_full} pruned-advise cases)" if args.pruned else ""
+        )
         print(
             f"fault matrix: {len(cases)} kill/resume cases over "
             f"{len(backends)} backend(s) x workers {workers_modes}, "
-            f"d={args.dims}; {len(failures)} failure(s)"
+            f"d={args.dims}{pruned_note}; {len(failures)} failure(s)"
         )
     return 1 if failures else 0
 

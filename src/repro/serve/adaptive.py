@@ -1,16 +1,26 @@
 """Background re-selection: re-run the advisor on the observed workload.
 
 When the drift monitor fires, the serving layer hands the observed query
-frequencies to an :class:`AdaptiveReselector`, which rebuilds the
-query-view graph with those frequencies (unseen patterns get weight 0 —
-``from_cube`` would otherwise default them to 1), re-runs the configured
-greedy algorithm — honoring its ``workers=`` setting and the runtime
+frequencies to an :class:`AdaptiveReselector`.  By default it *mines*
+the observed workload down to a pruned candidate space
+(:mod:`repro.mining`) — clusters of observed patterns above a support
+threshold sponsor candidate views and index keys, the currently deployed
+structures are force-kept so the incumbent configuration stays priceable
+— and re-runs the configured greedy algorithm on the pruned graph.
+This is what lets a d≥9 catalog re-advise online: the full 3^n universe
+the original path rebuilt on every drift event cannot even be
+enumerated there.  ``prune=False`` restores the full-universe rebuild
+(unseen patterns get weight 0 — ``from_cube`` would otherwise default
+them to 1).
+
+The run honors the algorithm's ``workers=`` setting and the runtime
 deadline/checkpoint machinery via a fresh
-:class:`~repro.runtime.context.RunContext` — and compares the new
+:class:`~repro.runtime.context.RunContext`, then compares the new
 selection's total cost τ against the *current* selection's τ under the
 same observed frequencies.  The new selection wins only when it is
 cheaper by the configured relative margin; the caller then materializes
-and hot-swaps it.
+and hot-swaps it.  Pruned outcomes also carry the certified
+forgone-benefit bound (τ gap vs a full-universe re-advise).
 """
 
 from __future__ import annotations
@@ -23,6 +33,14 @@ from repro.core.lattice import CubeLattice
 from repro.core.qvgraph import QueryViewGraph
 from repro.core.query import SliceQuery, enumerate_slice_queries
 from repro.core.selection import SelectionResult
+from repro.mining import (
+    DEFAULT_MAX_INDEXES_PER_VIEW,
+    DEFAULT_SIMILARITY,
+    DEFAULT_SUPPORT,
+    MinedCandidates,
+    compute_benefit_bound,
+    mine_candidates,
+)
 from repro.runtime.context import RunContext, RuntimeStop
 
 #: Default relative τ improvement a new selection must deliver to swap.
@@ -38,6 +56,9 @@ class ReadviseOutcome:
     tau_new: float
     accepted: bool
     detail: str = ""
+    #: Certified upper bound on τ_new − τ of a full-universe re-advise
+    #: (None when the re-advise ran on the full universe already).
+    forgone_bound: Optional[float] = None
 
     @property
     def improvement(self) -> float:
@@ -72,6 +93,12 @@ class AdaptiveReselector:
         Forwarded into the :class:`RunContext` of every re-selection
         run, so a background re-advise obeys the same wall-clock budget
         and crash-recovery rules as a foreground ``repro advise``.
+    prune / support / similarity / max_indexes_per_view:
+        ``prune=True`` (default) mines the observed log into a pruned
+        candidate space before re-advising; the remaining knobs forward
+        to :func:`repro.mining.mine_candidates`.  ``prune=False``
+        rebuilds the full 3^n universe on every drift event (only
+        feasible at small d).
     """
 
     def __init__(
@@ -83,6 +110,10 @@ class AdaptiveReselector:
         seed: Sequence[str] = (),
         deadline: Optional[float] = None,
         checkpoint_path=None,
+        prune: bool = True,
+        support: float = DEFAULT_SUPPORT,
+        similarity: float = DEFAULT_SIMILARITY,
+        max_indexes_per_view: int = DEFAULT_MAX_INDEXES_PER_VIEW,
     ):
         if not 0.0 <= margin < 1.0:
             raise ValueError(f"margin must be in [0, 1), got {margin}")
@@ -93,15 +124,45 @@ class AdaptiveReselector:
         self.seed = tuple(seed)
         self.deadline = deadline
         self.checkpoint_path = checkpoint_path
-        self._patterns = list(enumerate_slice_queries(lattice.schema.names))
+        self.prune = bool(prune)
+        self.support = float(support)
+        self.similarity = float(similarity)
+        self.max_indexes_per_view = int(max_indexes_per_view)
+        # the 3^n pattern universe is only enumerable (and only needed)
+        # on the full-universe path; materialize it lazily
+        self._patterns: Optional[list] = None
 
     def _observed_graph(
-        self, observed: Mapping[SliceQuery, float]
-    ) -> QueryViewGraph:
+        self,
+        observed: Mapping[SliceQuery, float],
+        current_selection: Sequence[str] = (),
+    ):
+        """Build the re-advise graph; returns ``(graph, bound-or-None)``."""
+        if self.prune:
+            counts = {
+                query: float(weight)
+                for query, weight in observed.items()
+                if float(weight) > 0
+            }
+            mined = mine_candidates(
+                counts,
+                self.lattice.schema.names,
+                support=self.support,
+                similarity=self.similarity,
+                max_indexes_per_view=self.max_indexes_per_view,
+            )
+            # force-keep the incumbent structures (and the seed): τ_current
+            # must be computable on the pruned graph, or the comparison
+            # would silently favor the challenger
+            mined.ensure_structures([*self.seed, *current_selection])
+            bound = compute_benefit_bound(mined, self.lattice)
+            return QueryViewGraph.from_mined(self.lattice, mined), bound
+        if self._patterns is None:
+            self._patterns = list(enumerate_slice_queries(self.lattice.schema.names))
         frequencies: Dict[SliceQuery, float] = {
             query: float(observed.get(query, 0.0)) for query in self._patterns
         }
-        return QueryViewGraph.from_cube(self.lattice, frequencies=frequencies)
+        return QueryViewGraph.from_cube(self.lattice, frequencies=frequencies), None
 
     def _tau_of(self, engine: BenefitEngine, names: Sequence[str]) -> float:
         engine.reset()
@@ -120,7 +181,15 @@ class AdaptiveReselector:
         selection beats the current one by the margin under the
         observed frequencies.
         """
-        graph = self._observed_graph(observed)
+        if self.prune and not any(float(w) > 0 for w in observed.values()):
+            return ReadviseOutcome(
+                result=None,
+                tau_current=0.0,
+                tau_new=float("inf"),
+                accepted=False,
+                detail="no observed workload to mine",
+            )
+        graph, bound = self._observed_graph(observed, current_selection)
         engine = BenefitEngine(graph)
         tau_current = self._tau_of(engine, current_selection)
         engine.reset()
@@ -155,6 +224,9 @@ class AdaptiveReselector:
             tau_new=tau_new,
             accepted=accepted,
             detail=detail,
+            forgone_bound=(
+                bound.forgone_bound(tau_new) if bound is not None else None
+            ),
         )
 
 
@@ -164,10 +236,30 @@ def observed_cost(
     observed: Mapping[SliceQuery, float],
 ) -> float:
     """τ of a selection under observed frequencies — the ledger both the
-    acceptance test and the swap decision read (unseen patterns weigh 0)."""
-    patterns = list(enumerate_slice_queries(lattice.schema.names))
-    frequencies = {q: float(observed.get(q, 0.0)) for q in patterns}
-    graph = QueryViewGraph.from_cube(lattice, frequencies=frequencies)
+    acceptance test and the swap decision read (unseen patterns weigh 0).
+
+    Builds only the graph it needs: the observed patterns against the
+    selection's own structures plus the raw-cube fallback.  Unseen
+    patterns would contribute 0 to τ and unselected structures cannot
+    change a committed selection's τ, so this equals the old
+    full-universe computation at any d — without enumerating 3^n
+    patterns or n! indexes.
+    """
+    counts = {
+        query: float(weight)
+        for query, weight in observed.items()
+        if float(weight) > 0
+    }
+    mined = MinedCandidates(
+        schema_names=tuple(lattice.schema.names),
+        queries=counts,
+        view_attrs=[],
+        index_keys={},
+        total_weight=sum(counts.values()),
+    )
+    mined.ensure_view(frozenset(lattice.schema.names))  # raw-cube fallback
+    mined.ensure_structures(selection)
+    graph = QueryViewGraph.from_mined(lattice, mined)
     engine = BenefitEngine(graph)
     engine.replay_commit([n for n in selection if n in engine.structure_names])
     return engine.tau()

@@ -1,0 +1,121 @@
+"""Tests for the forgone-benefit bound (repro.mining.bound)."""
+
+import pytest
+
+from repro.algorithms import RGreedy
+from repro.core.benefit import BenefitEngine
+from repro.core.qvgraph import QueryViewGraph
+from repro.core.query import SliceQuery, enumerate_slice_queries
+from repro.cube.query_log import generate_query_log, pattern_counts
+from repro.cube.schema import CubeSchema, Dimension
+from repro.estimation.sizes import analytical_lattice
+from repro.mining import compute_benefit_bound, mine_candidates
+
+
+def cube(n_dims):
+    cards = [4 + 2 * i for i in range(n_dims)]
+    schema = CubeSchema(
+        [Dimension(chr(ord("a") + i), c) for i, c in enumerate(cards)]
+    )
+    return analytical_lattice(schema, 0.1 * schema.dense_cells)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    lattice = cube(4)
+    schema = lattice.schema
+    counts = pattern_counts(generate_query_log(schema, 400, rng=7))
+    mined = mine_candidates(counts, schema.names, support=0.02)
+    mined.ensure_structures([lattice.label(lattice.top)])
+    return lattice, counts, mined
+
+
+class TestBoundStructure:
+    def test_floor_ordering(self, instance):
+        lattice, __, mined = instance
+        bound = compute_benefit_bound(mined, lattice)
+        assert bound.ideal_tau <= bound.kept_tau <= bound.default_tau
+
+    def test_forgone_bound_formula(self, instance):
+        lattice, __, mined = instance
+        bound = compute_benefit_bound(mined, lattice)
+        assert bound.forgone_bound(bound.ideal_tau + 5.0) == pytest.approx(5.0)
+        assert bound.forgone_bound(bound.ideal_tau - 1.0) == 0.0
+
+    def test_relative_forgone_uses_default_tau(self, instance):
+        lattice, __, mined = instance
+        bound = compute_benefit_bound(mined, lattice)
+        tau = bound.ideal_tau + 10.0
+        assert bound.relative_forgone(tau) == pytest.approx(
+            10.0 / bound.default_tau
+        )
+        assert bound.relative_forgone(tau, baseline=20.0) == pytest.approx(0.5)
+
+    def test_to_dict_round_numbers(self, instance):
+        lattice, __, mined = instance
+        doc = compute_benefit_bound(mined, lattice).to_dict()
+        assert set(doc) == {
+            "ideal_tau",
+            "kept_tau",
+            "default_tau",
+            "pruning_gap",
+            "total_weight",
+        }
+        assert doc["pruning_gap"] >= 0.0
+
+
+class TestBoundAgainstFullAdvise:
+    """The certificate checked against a real full-universe run (d=4)."""
+
+    def _advise(self, graph, lattice):
+        return RGreedy(1).run(
+            BenefitEngine(graph),
+            3.0 * lattice.size(lattice.top),
+            seed=(lattice.label(lattice.top),),
+        )
+
+    def test_ideal_tau_floors_full_advise(self, instance):
+        lattice, counts, mined = instance
+        bound = compute_benefit_bound(mined, lattice)
+        frequencies = {
+            q: float(counts.get(q, 0))
+            for q in enumerate_slice_queries(lattice.schema.names)
+        }
+        full = self._advise(
+            QueryViewGraph.from_cube(lattice, frequencies=frequencies), lattice
+        )
+        assert full.tau >= bound.ideal_tau - 1e-6
+
+    def test_measured_gap_within_certified_bound(self, instance):
+        lattice, counts, mined = instance
+        bound = compute_benefit_bound(mined, lattice)
+        pruned = self._advise(
+            QueryViewGraph.from_mined(lattice, mined), lattice
+        )
+        frequencies = {
+            q: float(counts.get(q, 0))
+            for q in enumerate_slice_queries(lattice.schema.names)
+        }
+        full = self._advise(
+            QueryViewGraph.from_cube(lattice, frequencies=frequencies), lattice
+        )
+        gap = pruned.tau - full.tau
+        assert gap <= bound.forgone_bound(pruned.tau) + 1e-6
+
+
+class TestEdgeCases:
+    def test_empty_workload_bound_is_zero(self):
+        lattice = cube(3)
+        mined = mine_candidates({}, lattice.schema.names)
+        bound = compute_benefit_bound(mined, lattice)
+        assert bound.ideal_tau == bound.kept_tau == bound.default_tau == 0.0
+        assert bound.forgone_bound(0.0) == 0.0
+        assert bound.relative_forgone(123.0) == 0.0
+
+    def test_empty_pattern_query(self):
+        # the none-view query (no groupby, no selection) must price cleanly
+        lattice = cube(3)
+        counts = {SliceQuery(groupby=[], selection=[]): 3.0}
+        mined = mine_candidates(counts, lattice.schema.names)
+        bound = compute_benefit_bound(mined, lattice)
+        assert bound.ideal_tau <= bound.kept_tau <= bound.default_tau

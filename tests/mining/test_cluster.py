@@ -1,0 +1,77 @@
+"""Tests for workload clustering (repro.mining.cluster)."""
+
+import pytest
+
+from repro.core.query import SliceQuery
+from repro.mining import cluster_queries, jaccard
+
+
+def q(groupby, selection=()):
+    return SliceQuery(groupby=list(groupby), selection=list(selection))
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard(frozenset("ab"), frozenset("ab")) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard(frozenset("ab"), frozenset("cd")) == 0.0
+
+    def test_two_empty_sets_are_similar(self):
+        assert jaccard(frozenset(), frozenset()) == 1.0
+
+    def test_partial_overlap(self):
+        assert jaccard(frozenset("ab"), frozenset("bc")) == pytest.approx(1 / 3)
+
+
+class TestClusterQueries:
+    def test_identical_attr_sets_share_a_cluster(self):
+        clusters = cluster_queries({q("ab"): 5.0, q("a", "b"): 3.0})
+        assert len(clusters) == 1
+        assert clusters[0].attrs == frozenset("ab")
+        assert clusters[0].size == 2
+
+    def test_dissimilar_sets_stay_apart(self):
+        clusters = cluster_queries({q("ab"): 5.0, q("cd"): 3.0}, similarity=0.5)
+        assert len(clusters) == 2
+
+    def test_similar_sets_merge_and_union_attrs(self):
+        # {a,b,c} vs {a,b}: Jaccard 2/3 >= 0.5 — one cluster, union attrs
+        clusters = cluster_queries({q("abc"): 5.0, q("ab"): 3.0}, similarity=0.5)
+        assert len(clusters) == 1
+        assert clusters[0].attrs == frozenset("abc")
+        assert clusters[0].weight == pytest.approx(8.0)
+
+    def test_similarity_zero_merges_everything(self):
+        clusters = cluster_queries({q("ab"): 1.0, q("cd"): 1.0}, similarity=0.0)
+        assert len(clusters) == 1
+        assert clusters[0].attrs == frozenset("abcd")
+
+    def test_clusters_sorted_heaviest_first(self):
+        clusters = cluster_queries({q("ab"): 1.0, q("cd"): 9.0}, similarity=0.5)
+        assert [c.weight for c in clusters] == [9.0, 1.0]
+
+    def test_supports_sum_to_one(self):
+        clusters = cluster_queries({q("ab"): 1.0, q("cd"): 3.0}, similarity=0.5)
+        assert sum(c.support for c in clusters) == pytest.approx(1.0)
+
+    def test_members_ordered_heaviest_first(self):
+        clusters = cluster_queries({q("ab"): 1.0, q("a", "b"): 7.0})
+        assert clusters[0].queries[0] == q("a", "b")
+
+    def test_nonpositive_weights_ignored(self):
+        clusters = cluster_queries({q("ab"): 0.0, q("cd"): 2.0})
+        assert len(clusters) == 1
+        assert clusters[0].attrs == frozenset("cd")
+
+    def test_deterministic_across_insertion_orders(self):
+        counts = {q("ab"): 2.0, q("bc"): 2.0, q("cd"): 2.0, q("a"): 1.0}
+        reordered = dict(reversed(list(counts.items())))
+        assert cluster_queries(counts) == cluster_queries(reordered)
+
+    def test_similarity_validated(self):
+        with pytest.raises(ValueError, match="similarity"):
+            cluster_queries({q("ab"): 1.0}, similarity=1.5)
+
+    def test_empty_counts(self):
+        assert cluster_queries({}) == []

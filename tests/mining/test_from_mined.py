@@ -1,0 +1,125 @@
+"""QueryViewGraph.from_mined must agree with from_cube edge for edge.
+
+A pruned graph is a *subgraph* of the full-universe graph over the
+observed queries: same costs, same spaces, same tie-break order.  These
+tests pin that down by committing identical selections on both and
+comparing τ, and by running greedy end-to-end on a workload whose mined
+space happens to cover everything greedy would pick.
+"""
+
+import pytest
+
+from repro.algorithms import InnerLevelGreedy, RGreedy
+from repro.core.benefit import BenefitEngine
+from repro.core.qvgraph import QueryViewGraph
+from repro.core.query import enumerate_slice_queries
+from repro.cube.query_log import generate_query_log, pattern_counts
+from repro.cube.schema import CubeSchema, Dimension
+from repro.estimation.sizes import analytical_lattice
+from repro.mining import mine_candidates
+
+
+@pytest.fixture(scope="module")
+def instance():
+    schema = CubeSchema(
+        [Dimension("a", 4), Dimension("b", 6), Dimension("c", 8)]
+    )
+    lattice = analytical_lattice(schema, 0.1 * schema.dense_cells)
+    counts = pattern_counts(generate_query_log(schema, 500, rng=3))
+    return lattice, counts
+
+
+def full_graph(lattice, counts):
+    frequencies = {
+        q: float(counts.get(q, 0))
+        for q in enumerate_slice_queries(lattice.schema.names)
+    }
+    return QueryViewGraph.from_cube(lattice, frequencies=frequencies)
+
+
+def mined_all(lattice, counts):
+    """Mine with support 0 — keeps every observed cluster's view."""
+    mined = mine_candidates(
+        counts, lattice.schema.names, support=0.0, max_indexes_per_view=100
+    )
+    mined.ensure_structures([lattice.label(lattice.top)])
+    return mined
+
+
+class TestAgreement:
+    def test_same_tau_for_identical_committed_selection(self, instance):
+        lattice, counts = instance
+        pruned_engine = BenefitEngine(
+            QueryViewGraph.from_mined(lattice, mined_all(lattice, counts))
+        )
+        full_engine = BenefitEngine(full_graph(lattice, counts))
+        # commit every structure the pruned universe has, on both engines
+        names = list(pruned_engine.structure_names)
+        assert set(names) <= set(full_engine.structure_names)
+        pruned_engine.replay_commit(names)
+        full_engine.replay_commit(names)
+        assert pruned_engine.tau() == pytest.approx(full_engine.tau())
+
+    def test_initial_tau_matches(self, instance):
+        lattice, counts = instance
+        pruned = BenefitEngine(
+            QueryViewGraph.from_mined(lattice, mined_all(lattice, counts))
+        )
+        full = BenefitEngine(full_graph(lattice, counts))
+        top = lattice.label(lattice.top)
+        pruned.replay_commit([top])
+        full.replay_commit([top])
+        assert pruned.tau() == pytest.approx(full.tau())
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [RGreedy(1), RGreedy(2), InnerLevelGreedy()],
+        ids=["1greedy", "2greedy", "inner"],
+    )
+    def test_greedy_selection_identical_when_nothing_pruned(
+        self, instance, algorithm
+    ):
+        # force the mined set to contain the entire full universe, in the
+        # full graph's own structure order: the two graphs then differ
+        # only in their zero-weight queries, which contribute no benefit
+        # — every greedy must select identically.
+        from repro.mining import MinedCandidates
+
+        lattice, counts = instance
+        full_engine = BenefitEngine(full_graph(lattice, counts))
+        mined = MinedCandidates(
+            schema_names=tuple(lattice.schema.names),
+            queries={q: float(w) for q, w in counts.items()},
+            view_attrs=[],
+            index_keys={},
+            total_weight=float(sum(counts.values())),
+        )
+        mined.ensure_structures(full_engine.structure_names)
+        pruned_engine = BenefitEngine(
+            QueryViewGraph.from_mined(lattice, mined)
+        )
+        assert list(pruned_engine.structure_names) == list(
+            full_engine.structure_names
+        )
+        space = 1.5 * lattice.size(lattice.top)
+        seed = (lattice.label(lattice.top),)
+        pruned = algorithm.run(pruned_engine, space, seed=seed)
+        full = algorithm.run(full_engine, space, seed=seed)
+        assert list(pruned.selected) == list(full.selected)
+        assert pruned.tau == pytest.approx(full.tau, rel=1e-12)
+
+    def test_weights_are_observed_counts(self, instance):
+        lattice, counts = instance
+        graph = QueryViewGraph.from_mined(lattice, mined_all(lattice, counts))
+        engine = BenefitEngine(graph)
+        assert engine.frequencies.sum() == pytest.approx(
+            sum(counts.values())
+        )
+
+
+class TestValidation:
+    def test_rejects_view_outside_lattice(self, instance):
+        lattice, counts = instance
+        mined = mine_candidates(counts, ("a", "b", "c", "z"))
+        with pytest.raises(ValueError):
+            QueryViewGraph.from_mined(lattice, mined)

@@ -1,0 +1,101 @@
+"""Recorder → miner round trip.
+
+A workload recorded to JSONL by the serving layer must mine to the
+byte-identical candidate space (same fingerprint) as the in-memory log
+it came from — otherwise an offline ``repro mine`` and an online
+adaptive re-advise would disagree about the same workload, and pruned
+checkpoint resumes (which re-mine from the recorded file) would refuse
+to continue.
+"""
+
+import pytest
+
+from repro.cube.query_log import generate_query_log, pattern_counts
+from repro.cube.schema import CubeSchema, Dimension
+from repro.io import iter_query_log, load_query_log
+from repro.mining import mine_candidates
+from repro.serve import WorkloadRecorder
+
+
+@pytest.fixture
+def schema():
+    return CubeSchema(
+        [Dimension("a", 4), Dimension("b", 6), Dimension("c", 8)]
+    )
+
+
+def record(entries, path):
+    with WorkloadRecorder(path) as recorder:
+        for entry in entries:
+            recorder.record(entry)
+    return path
+
+
+class TestRoundTrip:
+    def test_jsonl_log_mines_identically(self, schema, tmp_path):
+        entries = generate_query_log(schema, 300, rng=5)
+        path = record(entries, tmp_path / "obs.jsonl")
+        from_memory = mine_candidates(entries, schema.names)
+        from_disk = mine_candidates(
+            iter_query_log(path, schema), schema.names
+        )
+        assert from_disk.fingerprint() == from_memory.fingerprint()
+        assert from_disk.queries == from_memory.queries
+        assert from_disk.view_attrs == from_memory.view_attrs
+        assert from_disk.index_keys == from_memory.index_keys
+
+    def test_streamed_and_loaded_counts_agree(self, schema, tmp_path):
+        entries = generate_query_log(schema, 200, rng=9)
+        path = record(entries, tmp_path / "obs.jsonl")
+        assert pattern_counts(iter_query_log(path, schema)) == pattern_counts(
+            load_query_log(path, schema)
+        )
+
+    def test_single_query_log(self, schema, tmp_path):
+        entries = generate_query_log(schema, 1, rng=0)
+        path = record(entries, tmp_path / "one.jsonl")
+        from_memory = mine_candidates(entries, schema.names)
+        from_disk = mine_candidates(
+            iter_query_log(path, schema), schema.names
+        )
+        assert from_disk.fingerprint() == from_memory.fingerprint()
+        assert from_disk.n_queries == 1
+        # the lone query's pattern is covered by a non-top view or is top
+        assert from_disk.covers(entries[0].query)
+
+    def test_empty_log(self, schema, tmp_path):
+        path = record([], tmp_path / "empty.jsonl")
+        assert path.exists()  # recorder leaves a valid empty file
+        from_memory = mine_candidates([], schema.names)
+        from_disk = mine_candidates(
+            iter_query_log(path, schema), schema.names
+        )
+        assert from_disk.fingerprint() == from_memory.fingerprint()
+        assert from_disk.n_queries == 0
+        assert from_disk.view_attrs == [frozenset(schema.names)]
+
+    def test_counts_mapping_equals_entry_stream(self, schema, tmp_path):
+        entries = generate_query_log(schema, 250, rng=2)
+        path = record(entries, tmp_path / "obs.jsonl")
+        by_stream = mine_candidates(iter_query_log(path, schema), schema.names)
+        by_counts = mine_candidates(
+            pattern_counts(load_query_log(path, schema)), schema.names
+        )
+        assert by_stream.fingerprint() == by_counts.fingerprint()
+
+    def test_mining_parameters_change_fingerprint_not_roundtrip(
+        self, schema, tmp_path
+    ):
+        entries = generate_query_log(schema, 100, rng=4)
+        path = record(entries, tmp_path / "obs.jsonl")
+        loose = mine_candidates(
+            iter_query_log(path, schema), schema.names, support=0.0
+        )
+        tight = mine_candidates(
+            iter_query_log(path, schema), schema.names, support=0.5
+        )
+        assert loose.fingerprint() != tight.fingerprint()
+        again = mine_candidates(
+            iter_query_log(path, schema), schema.names, support=0.5
+        )
+        assert tight.fingerprint() == again.fingerprint()

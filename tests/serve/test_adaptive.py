@@ -351,3 +351,86 @@ class TestCrashSafeSwap:
         # one crash per cooldown window, not one per query
         assert 1 <= calls[0] <= 3
         assert server.readvise_failures == calls[0]
+
+
+class TestPrunedReadvise:
+    """prune=True (the default) mines the observed workload instead of
+    rebuilding the 3^n universe, and certifies what pruning may forgo."""
+
+    def test_pruned_outcome_carries_forgone_bound(self, serve_model4):
+        lattice = serve_model4.lattice
+        schema = lattice.schema
+        space = 2 * lattice.size(lattice.top)
+        adv_q = pattern(schema, ["p"], ["s"])
+        drift_q = pattern(schema, ["c"], ["d"])
+        current = advise(lattice, {adv_q: 1.0}, space)
+        reselector = AdaptiveReselector(
+            lattice, RGreedy(1), space,
+            seed=(lattice.label(lattice.top),),
+        )
+        outcome = reselector.readvise({drift_q: 90, adv_q: 10}, current)
+        assert outcome.forgone_bound is not None
+        assert outcome.forgone_bound >= 0.0
+
+    def test_full_universe_outcome_has_no_bound(self, serve_model4):
+        lattice = serve_model4.lattice
+        schema = lattice.schema
+        space = 2 * lattice.size(lattice.top)
+        adv_q = pattern(schema, ["p"], ["s"])
+        current = advise(lattice, {adv_q: 1.0}, space)
+        reselector = AdaptiveReselector(
+            lattice, RGreedy(1), space, prune=False,
+            seed=(lattice.label(lattice.top),),
+        )
+        outcome = reselector.readvise({adv_q: 100}, current)
+        assert outcome.forgone_bound is None
+
+    def test_pruned_and_full_agree_on_concentrated_drift(self, serve_model4):
+        """On a workload concentrated enough for mining to keep every
+        hot candidate, both paths reach selections of equal cost."""
+        lattice = serve_model4.lattice
+        schema = lattice.schema
+        space = 2 * lattice.size(lattice.top)
+        adv_q = pattern(schema, ["p"], ["s"])
+        drift_q = pattern(schema, ["c"], ["d"])
+        current = advise(lattice, {adv_q: 1.0}, space)
+        observed = {drift_q: 90.0, adv_q: 10.0}
+        pruned = AdaptiveReselector(
+            lattice, RGreedy(1), space,
+            seed=(lattice.label(lattice.top),),
+        ).readvise(observed, current)
+        full = AdaptiveReselector(
+            lattice, RGreedy(1), space, prune=False,
+            seed=(lattice.label(lattice.top),),
+        ).readvise(observed, current)
+        assert pruned.accepted == full.accepted
+        assert pruned.tau_new == pytest.approx(full.tau_new)
+        assert pruned.tau_current == pytest.approx(full.tau_current)
+        assert pruned.tau_new - full.tau_new <= pruned.forgone_bound + 1e-9
+
+    def test_empty_observation_skips_mining(self, serve_model4):
+        lattice = serve_model4.lattice
+        reselector = AdaptiveReselector(
+            lattice, RGreedy(1), 2 * lattice.size(lattice.top),
+            seed=(lattice.label(lattice.top),),
+        )
+        outcome = reselector.readvise({}, ())
+        assert not outcome.accepted
+        assert "no observed workload" in outcome.detail
+
+    def test_incumbent_stays_priceable_on_pruned_graph(self, serve_model4):
+        """τ_current must be computable even when the incumbent holds
+        structures the observed workload would never have mined."""
+        lattice = serve_model4.lattice
+        schema = lattice.schema
+        space = 2 * lattice.size(lattice.top)
+        adv_q = pattern(schema, ["p"], ["s"])
+        drift_q = pattern(schema, ["c"], ["d"])
+        current = advise(lattice, {adv_q: 1.0}, space)
+        assert len(current) > 1  # something beyond the top view
+        outcome = AdaptiveReselector(
+            lattice, RGreedy(1), space,
+            seed=(lattice.label(lattice.top),),
+        ).readvise({drift_q: 100.0}, current)
+        expected = observed_cost(lattice, current, {drift_q: 100.0})
+        assert outcome.tau_current == pytest.approx(expected)

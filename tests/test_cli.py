@@ -633,3 +633,198 @@ class TestServeFleet:
         )
         assert rc == 2
         assert "single-server" in capsys.readouterr().err
+
+
+@pytest.fixture
+def mining_cube_file(tmp_path):
+    path = tmp_path / "mcube.json"
+    path.write_text(
+        json.dumps(
+            {"dimensions": {"a": 6, "b": 5, "c": 4}, "raw_rows": 500}
+        )
+    )
+    return str(path)
+
+
+@pytest.fixture
+def mining_log_file(tmp_path):
+    from repro.cube.query_log import generate_query_log
+    from repro.cube.schema import CubeSchema, Dimension
+    from repro.serve import WorkloadRecorder
+
+    schema = CubeSchema(
+        [Dimension("a", 6), Dimension("b", 5), Dimension("c", 4)]
+    )
+    path = tmp_path / "observed.jsonl"
+    with WorkloadRecorder(path) as recorder:
+        for entry in generate_query_log(schema, 150, rng=6):
+            recorder.record(entry)
+    return str(path)
+
+
+class TestMine:
+    def test_mine_reports_candidates_and_bound(
+        self, mining_cube_file, mining_log_file, tmp_path, capsys
+    ):
+        report = tmp_path / "mined.json"
+        rc = main(
+            ["mine", "--lattice", mining_cube_file, "--log",
+             mining_log_file, "--output", str(report)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "candidates kept" in out
+        assert "pruning gap" in out
+        doc = json.loads(report.read_text())
+        assert doc["kind"] == "repro-mining-report"
+        assert doc["candidates"]["n_views"] >= 1
+        assert doc["bound"]["ideal_tau"] <= doc["bound"]["kept_tau"]
+
+    def test_mine_empty_log_exits_2(
+        self, mining_cube_file, tmp_path, capsys
+    ):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        rc = main(
+            ["mine", "--lattice", mining_cube_file, "--log", str(empty)]
+        )
+        assert rc == 2
+        assert "nothing to mine" in capsys.readouterr().err
+
+    def test_mine_malformed_log_names_file_and_line(
+        self, mining_cube_file, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"groupby": ["a"], "selection": []}\nnot json\n')
+        rc = main(
+            ["mine", "--lattice", mining_cube_file, "--log", str(bad)]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "bad.jsonl:2" in err
+
+
+class TestPrunedAdvise:
+    def test_prune_log_advises_and_reports_bound(
+        self, mining_cube_file, mining_log_file, capsys
+    ):
+        rc = main(
+            ["advise", "--lattice", mining_cube_file, "--space", "2000",
+             "--prune-log", mining_log_file]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mined" in out
+        assert "full universe" in out
+        assert "pruning bound: forgone benefit" in out
+
+    def test_benefit_bound_gate_fails_when_exceeded(
+        self, mining_cube_file, mining_log_file, capsys
+    ):
+        rc = main(
+            ["advise", "--lattice", mining_cube_file, "--space", "2000",
+             "--prune-log", mining_log_file, "--benefit-bound", "1e-12",
+             "--support", "0.9", "--max-indexes-per-view", "0"]
+        )
+        assert rc == 2
+        assert "exceeds --benefit-bound" in capsys.readouterr().err
+
+    def test_benefit_bound_gate_passes_when_loose(
+        self, mining_cube_file, mining_log_file, capsys
+    ):
+        rc = main(
+            ["advise", "--lattice", mining_cube_file, "--space", "2000",
+             "--prune-log", mining_log_file, "--benefit-bound", "1.0"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+
+    def test_mining_flags_require_prune_log(self, mining_cube_file, capsys):
+        rc = main(
+            ["advise", "--lattice", mining_cube_file, "--space", "2000",
+             "--support", "0.1"]
+        )
+        assert rc == 2
+        assert "require --prune-log" in capsys.readouterr().err
+
+    def test_prune_log_rejects_index_universe_none(
+        self, mining_cube_file, mining_log_file, capsys
+    ):
+        rc = main(
+            ["advise", "--lattice", mining_cube_file, "--space", "2000",
+             "--prune-log", mining_log_file, "--index-universe", "none"]
+        )
+        assert rc == 2
+        assert "fat" in capsys.readouterr().err
+
+    def test_pruned_checkpoint_resume_round_trip(
+        self, mining_cube_file, mining_log_file, tmp_path, capsys
+    ):
+        full_file = tmp_path / "full.json"
+        assert (
+            main(
+                ["advise", "--lattice", mining_cube_file, "--space", "2000",
+                 "--prune-log", mining_log_file, "--output", str(full_file)]
+            )
+            == 0
+        )
+        ckpt = tmp_path / "run.ckpt"
+        assert (
+            main(
+                ["advise", "--lattice", mining_cube_file, "--space", "2000",
+                 "--prune-log", mining_log_file, "--checkpoint", str(ckpt)]
+            )
+            == 0
+        )
+        from repro.runtime import load_checkpoint
+        from repro.runtime.context import MINING_EXTRA_KEY
+
+        record = load_checkpoint(ckpt).extra[MINING_EXTRA_KEY]
+        assert record["log"] == mining_log_file
+        assert len(record["fingerprint"]) == 64
+        capsys.readouterr()
+        resumed_file = tmp_path / "resumed.json"
+        rc = main(
+            ["resume", "--lattice", mining_cube_file, "--checkpoint",
+             str(ckpt), "--output", str(resumed_file)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resuming" in out
+        full = json.loads(full_file.read_text())
+        resumed = json.loads(resumed_file.read_text())
+        assert resumed["selected"] == full["selected"]
+        assert resumed["benefit"] == full["benefit"]
+
+    def test_pruned_resume_rejects_changed_log(
+        self, mining_cube_file, mining_log_file, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "run.ckpt"
+        assert (
+            main(
+                ["advise", "--lattice", mining_cube_file, "--space", "2000",
+                 "--prune-log", mining_log_file, "--checkpoint", str(ckpt)]
+            )
+            == 0
+        )
+        # truncate the recorded log: the resume's re-mine must not match
+        log_path = tmp_path / "observed.jsonl"
+        lines = log_path.read_text().splitlines()
+        log_path.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+        capsys.readouterr()
+        rc = main(
+            ["resume", "--lattice", mining_cube_file, "--checkpoint",
+             str(ckpt)]
+        )
+        assert rc == 2
+        assert "mining record" in capsys.readouterr().err
+
+    def test_prune_log_deadline_zero_exits_3(
+        self, mining_cube_file, mining_log_file, capsys
+    ):
+        rc = main(
+            ["advise", "--lattice", mining_cube_file, "--space", "2000",
+             "--prune-log", mining_log_file, "--deadline", "0"]
+        )
+        assert rc == 3
+        assert "stopped early" in capsys.readouterr().err

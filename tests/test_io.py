@@ -233,3 +233,71 @@ class TestFiniteValidation:
         target[patch[-1]] = float("nan")
         with pytest.raises(ValueError, match=field):
             graph_from_dict(doc)
+
+
+class TestIterQueryLog:
+    """Streaming JSONL loading (the miner's O(1)-RSS input path)."""
+
+    @pytest.fixture
+    def schema(self):
+        from repro.cube.schema import CubeSchema, Dimension
+
+        return CubeSchema([Dimension("a", 4), Dimension("b", 3)])
+
+    @pytest.fixture
+    def log_file(self, schema, tmp_path):
+        from repro.cube.query_log import generate_query_log
+        from repro.io import save_query_log
+
+        path = tmp_path / "log.jsonl"
+        save_query_log(generate_query_log(schema, 25, rng=1), path)
+        return path
+
+    def test_streams_same_entries_as_load(self, schema, log_file):
+        from repro.io import iter_query_log, load_query_log
+
+        assert list(iter_query_log(log_file, schema)) == load_query_log(
+            log_file, schema
+        )
+
+    def test_is_lazy(self, schema, log_file):
+        from repro.io import iter_query_log
+
+        iterator = iter_query_log(log_file, schema)
+        first = next(iterator)
+        assert first.query is not None
+
+    def test_empty_file_is_empty_iterator(self, schema, tmp_path):
+        from repro.io import iter_query_log
+
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert list(iter_query_log(path, schema)) == []
+
+    def test_blank_lines_skipped(self, schema, log_file):
+        from repro.io import iter_query_log, load_query_log
+
+        padded = log_file.parent / "padded.jsonl"
+        padded.write_text("\n" + log_file.read_text().replace("\n", "\n\n"))
+        assert list(iter_query_log(padded, schema)) == load_query_log(
+            log_file, schema
+        )
+
+    def test_invalid_json_names_file_and_line(self, schema, tmp_path):
+        from repro.io import iter_query_log
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"groupby": ["a"], "selection": []}\n{oops\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2.*invalid JSON"):
+            list(iter_query_log(path, schema))
+
+    def test_invalid_record_names_file_and_line(self, schema, tmp_path):
+        from repro.io import iter_query_log
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"groupby": ["a"], "selection": []}\n'
+            '{"groupby": ["zz"], "selection": []}\n'
+        )
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            list(iter_query_log(path, schema))
