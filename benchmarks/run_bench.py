@@ -336,7 +336,99 @@ def measure_serving(n_dims: int = 5, n_queries: int = 500, repeats: int = 2) -> 
     out.update(
         _fleet_legs(fact, model, selection, log, n_dims=n_dims)
     )
+    out.update(
+        _divergent_legs(fact, model, log, n_dims=n_dims)
+    )
     return out
+
+
+def _divergent_legs(fact, model, log, n_dims: int) -> dict:
+    """Informational divergent-fleet leg: 4 replicas, each advised on
+    its own workload partition, with cost-routed dispatch.
+
+    Reports the serving throughput plus the acceptance number: the
+    predicted workload cost of the divergent fleet over 4 identical
+    copies of the workload-weighted single advise (must be <= 1.0; the
+    d=5 fixture lands well below).  ``workers=2`` opts out of the
+    regression gate like the other fleet legs.
+    """
+    from repro.algorithms.rgreedy import RGreedy
+    from repro.core.qvgraph import QueryViewGraph
+    from repro.cube.query_log import pattern_counts
+    from repro.distributed import divergence_report, plan_divergent
+    from repro.serve import ReplicaFleet, RetryPolicy, ServingError
+
+    lattice = model.lattice
+    top_label = lattice.label(lattice.top)
+    space = 3.0 * lattice.size(lattice.top)
+    counts = pattern_counts(log)
+    partitioned, advice, router = plan_divergent(
+        lattice, counts, RGreedy(1), space, 4,
+        seed=(top_label,), cost_model=model,
+    )
+    identical = (
+        RGreedy(1)
+        .run(
+            QueryViewGraph.from_cube(lattice, frequencies=counts),
+            space,
+            seed=(top_label,),
+        )
+        .selected
+    )
+    report = divergence_report(
+        model, counts, advice, identical,
+        partitioned=partitioned, router=router,
+    )
+
+    fleet = ReplicaFleet(
+        fact,
+        advice.selections,
+        cost_model=model,
+        workers=2,
+        retry=RetryPolicy(max_attempts=3, base_delay=0.005),
+        query_deadline=5.0,
+        router=router,
+    )
+    start = time.perf_counter()
+    results = list(fleet.serve_many(log))
+    seconds = time.perf_counter() - start
+    stats = fleet.stats()
+    fleet.close()
+    failed = sum(1 for r in results if isinstance(r, ServingError))
+    served = [r for r in results if not isinstance(r, ServingError)]
+    assert failed == 0, f"divergent bench leg lost {failed} queries"
+    latencies = sorted(r.latency_us for r in served)
+
+    def pct(q: float) -> float:
+        return latencies[
+            min(len(latencies) - 1, int(q * len(latencies)))
+        ] if latencies else 0.0
+
+    ratio = report["predicted_cost_ratio"]
+    assert ratio <= 1.0, (
+        f"divergent fleet must not price the workload above identical "
+        f"copies, got ratio {ratio}"
+    )
+    fleet_counters = stats["fleet"]
+    return {
+        f"d{n_dims}_divergent4": {
+            "queries": len(served),
+            "replicas": 4,
+            "workers": 2,  # per replica; also opts out of the gate
+            "seconds": seconds,
+            "qps": len(served) / seconds if seconds > 0 else 0.0,
+            "p50_us": pct(0.50),
+            "p99_us": pct(0.99),
+            "predicted_cost_ratio": ratio,
+            "divergent_predicted_cost": report["divergent_predicted_cost"],
+            "identical_predicted_cost": report["identical_predicted_cost"],
+            "structures_per_replica": [
+                len(selection) for selection in advice.selections
+            ],
+            "routed_hits": sum(fleet_counters["routed_hits"].values()),
+            "misroutes": sum(fleet_counters["misroutes"].values()),
+        }
+    }
 
 
 def _fleet_legs(fact, model, selection, log, n_dims: int) -> dict:
@@ -770,9 +862,14 @@ def main(argv=None) -> int:
             extra = f", cache {timings.get('cache_hits', 0)} hits"
         if "replicas" in timings:
             extra += (
-                f", {timings['replicas']} replicas ({timings['killed']} "
-                f"killed), {timings['retries']} retries, "
-                f"{timings['unavailable_seconds']:.2f}s unavailable"
+                f", {timings['replicas']} replicas ({timings.get('killed', 0)} "
+                f"killed), {timings.get('retries', 0)} retries, "
+                f"{timings.get('unavailable_seconds', 0.0):.2f}s unavailable"
+            )
+        if "predicted_cost_ratio" in timings:
+            extra += (
+                f", predicted-cost ratio "
+                f"{timings['predicted_cost_ratio']:.4f}"
             )
         print(
             f"serve {config}: {timings['qps']:.0f} q/s "

@@ -260,6 +260,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--index-universe", choices=("fat", "all", "none"), default="fat"
     )
 
+    partition = sub.add_parser(
+        "partition",
+        help="split a recorded workload into balanced partitions and "
+        "advise one divergent selection per replica",
+    )
+    partition.add_argument(
+        "--dims",
+        type=int,
+        default=4,
+        choices=(3, 4, 5),
+        help="dimensions of the dense serving cube (default: 4)",
+    )
+    partition.add_argument(
+        "--log", required=True, help="query log JSONL from repro serve --record"
+    )
+    partition.add_argument(
+        "--partitions",
+        type=int,
+        default=3,
+        help="replica count / workload partitions (default: 3)",
+    )
+    partition.add_argument(
+        "--space",
+        type=float,
+        default=None,
+        help="per-replica space budget in rows (default: 3x the top view)",
+    )
+    partition.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="1greedy",
+        help="selection algorithm run per partition (default: 1greedy)",
+    )
+    partition.add_argument(
+        "--similarity",
+        type=float,
+        default=None,
+        help="Jaccard attribute-set similarity for clustering "
+        "(default: 0.5)",
+    )
+    partition.add_argument(
+        "--support",
+        type=float,
+        default=0.0,
+        help="candidate-mining support threshold per partition "
+        "(default: 0)",
+    )
+    partition.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker threads handed to the per-partition advisor",
+    )
+    partition.add_argument(
+        "--checkpoint",
+        default=None,
+        help="advisor checkpoint path (each partition a resumable stage)",
+    )
+    partition.add_argument(
+        "--output",
+        default=None,
+        help="write the divergence report JSON here",
+    )
+
     tpcd = sub.add_parser("tpcd", help="run the paper's Example 2.1 demo")
     tpcd.add_argument(
         "--space", type=float, default=None, help="override the 25M-row budget"
@@ -379,8 +443,17 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=1,
             help=">= 2 serves through a supervised replica fleet with "
-            "health-checked routing and retry/failover (default: 1, "
-            "single server)",
+            "health-checked routing and retry/failover; the single-server "
+            "features --adaptive and --record are rejected on the fleet "
+            "path (default: 1, single server)",
+        )
+        command.add_argument(
+            "--divergent",
+            action="store_true",
+            help="partition the workload by attribute-set similarity, "
+            "advise one divergent selection per replica under the same "
+            "per-replica budget, and dispatch each query to its "
+            "predicted-cheapest replica (requires --replicas >= 2)",
         )
         command.add_argument(
             "--query-deadline",
@@ -954,10 +1027,34 @@ def _serve_fleet(args: argparse.Namespace, entries) -> int:
 
     if args.adaptive or args.record:
         raise ValueError(
-            "--adaptive/--record are single-server features; drop them or "
-            "use --replicas 1"
+            "the single-server features --adaptive and --record are "
+            "rejected on the fleet path; drop them or use --replicas 1"
         )
-    __schema, fact, model, selected, __space, __top = _serving_selection(args)
+    __schema, fact, model, selected, space, top_label = _serving_selection(args)
+    selections = selected
+    router = None
+    ratio = None
+    if getattr(args, "divergent", False):
+        from repro.cube.query_log import pattern_counts
+        from repro.distributed import divergence_report, plan_divergent
+
+        counts = pattern_counts(entries)
+        lattice = model.lattice
+        partitioned, advice, router = plan_divergent(
+            lattice,
+            counts,
+            ALGORITHMS[args.algorithm](FIT_STRICT, args.workers),
+            space,
+            args.replicas,
+            seed=(top_label,),
+            cost_model=model,
+        )
+        selections = advice.selections
+        divergence = divergence_report(
+            model, counts, advice, selected,
+            partitioned=partitioned, router=router,
+        )
+        ratio = divergence["predicted_cost_ratio"]
     retry = RetryPolicy(
         max_attempts=(
             args.retry_attempts if args.retry_attempts is not None else 3
@@ -965,9 +1062,10 @@ def _serve_fleet(args: argparse.Namespace, entries) -> int:
     )
     fleet = ReplicaFleet(
         fact,
-        selected,
+        selections,
         replicas=args.replicas,
         cost_model=model,
+        router=router,
         workers=max(1, args.workers or 1),
         batch_size=(
             args.batch_size if args.batch_size is not None else DEFAULT_BATCH_SIZE
@@ -983,10 +1081,18 @@ def _serve_fleet(args: argparse.Namespace, entries) -> int:
         ),
         probe_interval=args.probe_interval,
     )
-    print(
-        f"serving {len(entries)} queries through {args.replicas} replicas "
-        f"({len(selected)} structures materialized per replica)"
-    )
+    if router is not None:
+        sizes = "/".join(str(len(s)) for s in selections)
+        print(
+            f"serving {len(entries)} queries through {args.replicas} "
+            f"divergent replicas ({sizes} structures materialized; "
+            f"predicted-cost ratio {ratio:.4f} vs identical copies)"
+        )
+    else:
+        print(
+            f"serving {len(entries)} queries through {args.replicas} "
+            f"replicas ({len(selected)} structures materialized per replica)"
+        )
     start = _time.perf_counter()
     results = fleet.serve_many(entries)
     seconds = _time.perf_counter() - start
@@ -1008,15 +1114,27 @@ def _serve_fleet(args: argparse.Namespace, entries) -> int:
         f"timeouts, {stats['unavailable_seconds']:.2f}s unavailable, "
         f"{fallbacks} raw-cube fallbacks"
     )
+    if router is not None:
+        fleet_counters = stats["fleet"]
+        print(
+            f"routing: {sum(fleet_counters['routed_hits'].values())} queries "
+            f"on their predicted-cheapest replica, "
+            f"{sum(fleet_counters['misroutes'].values())} misroutes"
+        )
     if args.telemetry:
         snapshot = validate_telemetry(fleet.merged_telemetry().snapshot())
-        snapshot["fleet"] = {
-            "replicas": args.replicas,
-            "healthy": stats["healthy"],
-            "routed": stats["routed"],
-            "exhausted": stats["exhausted"],
-            "unavailable_seconds": stats["unavailable_seconds"],
-        }
+        snapshot["fleet"].update(
+            {
+                "replicas": args.replicas,
+                "healthy": stats["healthy"],
+                "routed": stats["routed"],
+                "exhausted": stats["exhausted"],
+                "unavailable_seconds": stats["unavailable_seconds"],
+                "routed_dispatch": stats["routed_dispatch"],
+            }
+        )
+        if ratio is not None:
+            snapshot["fleet"]["predicted_cost_ratio"] = ratio
         with open(args.telemetry, "w") as f:
             json.dump(snapshot, f, indent=2, sort_keys=True)
         print(f"telemetry written to {args.telemetry}")
@@ -1029,11 +1147,82 @@ def _serve_fleet(args: argparse.Namespace, entries) -> int:
     return 1 if failed else EXIT_OK
 
 
+def cmd_partition(args: argparse.Namespace) -> int:
+    """Partition a recorded workload and advise per-replica selections."""
+    from repro.core.costmodel import LinearCostModel
+    from repro.cube.query_log import pattern_counts
+    from repro.datasets.tpcd import tpcd_serving_fact
+    from repro.distributed import (
+        divergence_report,
+        plan_divergent,
+        save_divergence_report,
+    )
+    from repro.io import iter_query_log
+
+    model = LinearCostModel.from_fact(tpcd_serving_fact(args.dims))
+    lattice = model.lattice
+    schema = lattice.schema
+    top_label = lattice.label(lattice.top)
+    space = (
+        args.space if args.space is not None else 3.0 * lattice.size(lattice.top)
+    )
+    counts = pattern_counts(iter_query_log(args.log, schema))
+    if not counts:
+        raise ValueError(f"{args.log}: query log is empty, nothing to partition")
+    partitioned, advice, router = plan_divergent(
+        lattice,
+        counts,
+        ALGORITHMS[args.algorithm](FIT_STRICT, args.workers),
+        space,
+        args.partitions,
+        seed=(top_label,),
+        similarity=args.similarity,
+        support=args.support,
+        cost_model=model,
+        checkpoint_path=args.checkpoint,
+    )
+    identical = (
+        ALGORITHMS[args.algorithm](FIT_STRICT, args.workers)
+        .run(
+            QueryViewGraph.from_cube(lattice, frequencies=counts),
+            space,
+            seed=(top_label,),
+        )
+        .selected
+    )
+    report = divergence_report(
+        model, counts, advice, identical, partitioned=partitioned, router=router
+    )
+    print(
+        f"partitioned {sum(p.n_patterns for p in partitioned.partitions)} "
+        f"patterns (weight {partitioned.total_weight:g}) into "
+        f"{args.partitions} slices"
+    )
+    for plan, part in zip(advice.plans, partitioned.partitions):
+        print(
+            f"  replica {plan.replica_id}: {part.n_patterns} patterns "
+            f"(weight {part.weight:g}), {len(plan.selection)} structures, "
+            f"tau {plan.tau:g}, space {plan.space_used:g}"
+            + (" [resumed]" if plan.resumed else "")
+        )
+    print(
+        f"predicted-cost ratio {report['predicted_cost_ratio']:.4f} "
+        f"(divergent {report['divergent_predicted_cost']:g} vs identical "
+        f"{report['identical_predicted_cost']:g})"
+    )
+    if args.output:
+        save_divergence_report(report, args.output)
+        print(f"divergence report written to {args.output}")
+    return EXIT_OK
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Materialize a selection and serve a synthetic workload."""
     from repro.cube.query_log import generate_query_log
     from repro.datasets.tpcd import tpcd_serving_schema
 
+    if args.divergent and args.replicas < 2:
+        raise ValueError("--divergent requires --replicas >= 2")
     if args.replicas >= 2:
         schema = tpcd_serving_schema(args.dims)
         log = generate_query_log(
@@ -1056,6 +1245,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
     """Replay a recorded query log, optionally with worker threads."""
     from repro.io import load_query_log
 
+    if args.divergent and args.replicas < 2:
+        raise ValueError("--divergent requires --replicas >= 2")
     if args.replicas >= 2:
         from repro.datasets.tpcd import tpcd_serving_schema
 
@@ -1104,6 +1295,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_resume(args)
         if args.command == "tpcd":
             return cmd_tpcd(args)
+        if args.command == "partition":
+            return cmd_partition(args)
         if args.command == "serve":
             return cmd_serve(args)
         if args.command == "replay":

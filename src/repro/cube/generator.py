@@ -131,7 +131,9 @@ def generate_fact_table(
     return FactTable(schema, columns, measures, extra_measures=extras)
 
 
-def dense_fact_table(schema: CubeSchema, rng: RngLike = 0) -> "FactTable":
+def dense_fact_table(
+    schema: CubeSchema, rng: RngLike = 0, integral_measures: bool = False
+) -> "FactTable":
     """A *dense* fact table: every dimension combination exactly once.
 
     On a dense cube every view's row count is the product of its
@@ -139,6 +141,13 @@ def dense_fact_table(schema: CubeSchema, rng: RngLike = 0) -> "FactTable":
     equals the number of rows behind every bound index prefix *exactly*
     — the fixture that makes predicted-vs-actual serving telemetry an
     equality, not an approximation.  Measures are seeded-random.
+
+    ``integral_measures`` draws whole-number measures instead of uniform
+    floats.  Integer-valued float64 sums are exact at these magnitudes,
+    so every aggregation order produces bit-identical group values —
+    required by the divergent-serving fixtures, where replicas answer
+    the same query from *different* structures and the contract is
+    byte-identical answers, not answers within a ulp.
     """
     from repro.engine.table import FactTable
 
@@ -148,7 +157,11 @@ def dense_fact_table(schema: CubeSchema, rng: RngLike = 0) -> "FactTable":
         d.name: grid.reshape(-1) for d, grid in zip(schema.dimensions, grids)
     }
     n_rows = int(np.prod(cards))
-    measures = _as_rng(rng).uniform(1.0, 100.0, size=n_rows)
+    rand = _as_rng(rng)
+    if integral_measures:
+        measures = rand.integers(1, 100, size=n_rows).astype(np.float64)
+    else:
+        measures = rand.uniform(1.0, 100.0, size=n_rows)
     return FactTable(schema, columns, measures)
 
 

@@ -98,7 +98,9 @@ def tpcd_serving_schema(n_dims: int = 4) -> CubeSchema:
     )
 
 
-def tpcd_serving_fact(n_dims: int = 4, rng=0) -> FactTable:
+def tpcd_serving_fact(
+    n_dims: int = 4, rng=0, integral_measures: bool = False
+) -> FactTable:
     """A **dense** TPC-D-shaped fact table for the serving fixtures.
 
     Density is the point: with every dimension combination present, the
@@ -106,8 +108,15 @@ def tpcd_serving_fact(n_dims: int = 4, rng=0) -> FactTable:
     replaying a workload through :mod:`repro.serve` must report actual
     rows scanned equal to the cost model's prediction on every query the
     selection answers (the acceptance criterion, not a tolerance check).
+
+    ``integral_measures`` makes group sums order-invariant (exact
+    integer-valued float64 arithmetic) — the divergent-serving fixtures
+    need it because replicas answer from *different* structures and
+    must still return byte-identical groups.
     """
-    return dense_fact_table(tpcd_serving_schema(n_dims), rng=rng)
+    return dense_fact_table(
+        tpcd_serving_schema(n_dims), rng=rng, integral_measures=integral_measures
+    )
 
 
 def tpcd_fact_table(scale: float = 0.001, rng=0) -> FactTable:

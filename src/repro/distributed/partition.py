@@ -1,0 +1,195 @@
+"""Balanced k-way workload partitioning for divergent replicas.
+
+A fleet of N replicas under the same per-replica space budget beats N
+identical copies only if each replica specializes: give replica *i* the
+slice of the workload its structures should serve best.  The split here
+reuses the deterministic Jaccard agglomeration of
+:func:`repro.mining.cluster.cluster_queries` — queries over similar
+attribute sets want the same views and indexes, so they belong on the
+same replica — and layers a balanced k-way assignment on top so no
+replica starves (an empty partition would waste a whole replica's
+budget).
+
+Assignment is longest-processing-time (LPT) greedy over cluster units:
+heaviest unit first, onto the currently lightest partition.  When the
+clustering yields fewer units than partitions, the heaviest multi-pattern
+units split into per-pattern singletons until every partition can receive
+work (or no unit can split further).  Every ordering is fixed by
+(weight, canonical attribute tuple, pattern sort key) — partitions feed
+checkpointed advisor runs that must resume bit-identically, so nothing
+here may depend on hash order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.query import SliceQuery
+from repro.mining.cluster import cluster_queries, query_sort_key
+from repro.mining.candidates import DEFAULT_SIMILARITY
+
+
+@dataclass(frozen=True)
+class WorkloadPartition:
+    """One replica's slice of the workload.
+
+    ``counts`` maps each assigned query pattern to its observed weight;
+    ``attrs`` is the union of the members' attribute sets (the smallest
+    view able to answer every member — what the partition's advisor will
+    gravitate toward).
+    """
+
+    partition_id: int
+    counts: Dict[SliceQuery, float]
+    weight: float
+    attrs: frozenset
+
+    @property
+    def n_patterns(self) -> int:
+        return len(self.counts)
+
+    @property
+    def empty(self) -> bool:
+        return not self.counts
+
+
+@dataclass(frozen=True)
+class PartitionedWorkload:
+    """A full k-way split of an observed workload.
+
+    Partitions are indexed ``0 .. n_partitions - 1``; together they
+    carry every positive-weight pattern of the input exactly once.
+    """
+
+    partitions: Tuple[WorkloadPartition, ...]
+    total_weight: float
+    similarity: float
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    def fingerprint(self) -> str:
+        """Deterministic digest of the split (content + parameters).
+
+        Stored in advisor checkpoints so a resumed run can prove it
+        re-partitioned the identical workload.
+        """
+        doc = {
+            "similarity": self.similarity,
+            "total_weight": self.total_weight,
+            "partitions": [
+                sorted(
+                    [sorted(q.groupby), sorted(q.selection), float(w)]
+                    for q, w in partition.counts.items()
+                )
+                for partition in self.partitions
+            ],
+        }
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _unit_sort_key(unit: List[Tuple[SliceQuery, float]]) -> tuple:
+    """Deterministic heaviest-first ordering key for assignment units."""
+    weight = sum(w for __q, w in unit)
+    attrs = frozenset().union(*(q.attrs for q, __w in unit))
+    return (-weight, tuple(sorted(attrs)), query_sort_key(unit[0][0]))
+
+
+def partition_workload(
+    counts: Mapping[SliceQuery, float],
+    n_partitions: int,
+    similarity: float = DEFAULT_SIMILARITY,
+) -> PartitionedWorkload:
+    """Split an observed workload into ``n_partitions`` balanced slices.
+
+    ``counts`` maps each observed pattern to its weight (non-positive
+    weights are ignored).  Patterns cluster by attribute-set similarity
+    first — replicas specialize by what the queries touch, not by load
+    alone — then cluster units distribute LPT-greedy onto the lightest
+    partition, the classic makespan heuristic.  Clusters heavier than
+    the fair share (total weight / ``n_partitions``) split into
+    per-pattern units first — one mega-cluster pinning most of the
+    workload to one replica would defeat both balance and
+    specialization — as do further clusters while units remain scarcer
+    than partitions.  With fewer distinct patterns than partitions, the
+    surplus partitions stay empty (their advisors fall back to the
+    seed-only selection).
+
+    Deterministic: same counts, same parameters, same split.
+    """
+    if n_partitions < 1:
+        raise ValueError(f"n_partitions must be >= 1, got {n_partitions}")
+    clusters = cluster_queries(counts, similarity=similarity)
+    total = sum(c.weight for c in clusters)
+
+    # assignment units: one per cluster, each a non-empty list of
+    # (pattern, weight) members in the cluster's deterministic order
+    weight_of: Dict[SliceQuery, float] = {}
+    for query, weight in counts.items():
+        weight = float(weight)
+        if weight > 0:
+            weight_of[query] = weight_of.get(query, 0.0) + weight
+    units: List[List[Tuple[SliceQuery, float]]] = [
+        [(q, weight_of[q]) for q in c.queries] for c in clusters
+    ]
+
+    # split any unit heavier than the fair share (and, failing that, any
+    # unit at all while units are scarcer than partitions) into
+    # per-pattern singletons: a single mega-cluster must not pin the
+    # whole workload to one replica, and every partition must be
+    # feedable.  Splitting trades cluster coherence for balance exactly
+    # where coherence already lost — one unit covering most of the
+    # workload specializes nothing.
+    fair_share = total / n_partitions if n_partitions else total
+
+    def oversized(unit) -> bool:
+        return len(unit) > 1 and sum(w for __q, w in unit) > fair_share
+
+    while True:
+        units.sort(key=_unit_sort_key)
+        splittable = next((u for u in units if oversized(u)), None)
+        if splittable is None and len(units) < n_partitions:
+            splittable = next((u for u in units if len(u) > 1), None)
+        if splittable is None:
+            break
+        units.remove(splittable)
+        units.extend([member] for member in splittable)
+
+    # LPT: heaviest unit onto the lightest partition (ties: lowest id)
+    units.sort(key=_unit_sort_key)
+    assigned: List[List[Tuple[SliceQuery, float]]] = [
+        [] for __ in range(n_partitions)
+    ]
+    loads = [0.0] * n_partitions
+    for unit in units:
+        target = min(range(n_partitions), key=lambda i: (loads[i], i))
+        assigned[target].extend(unit)
+        loads[target] += sum(w for __q, w in unit)
+
+    partitions = []
+    for partition_id, members in enumerate(assigned):
+        members.sort(key=lambda pair: (-pair[1], query_sort_key(pair[0])))
+        part_counts = {q: w for q, w in members}
+        attrs = (
+            frozenset().union(*(q.attrs for q in part_counts))
+            if part_counts
+            else frozenset()
+        )
+        partitions.append(
+            WorkloadPartition(
+                partition_id=partition_id,
+                counts=part_counts,
+                weight=sum(part_counts.values()),
+                attrs=attrs,
+            )
+        )
+    return PartitionedWorkload(
+        partitions=tuple(partitions),
+        total_weight=total,
+        similarity=similarity,
+    )

@@ -1,0 +1,166 @@
+"""Cost-routed query dispatch over divergent replica selections.
+
+With every replica holding the same selection, round-robin is optimal.
+With *divergent* selections, where a query lands matters: the routing
+table prices each query pattern against every replica's structures under
+the paper's ``|C| / |E|`` linear cost model — exactly the arithmetic of
+:meth:`repro.engine.executor.Executor.plan_with_cost`, minimum over the
+replica's answering (view, index) pairs — and routes to the cheapest
+replica.  Every replica keeps the raw-cube fallback, so any replica can
+answer any query (just not equally fast), which is what makes failover
+safe: when the cheapest replica is struck, :meth:`ranking` hands the
+router the rest in next-cheapest order.
+
+Decisions are memoized per pattern (the same memo discipline as
+:func:`repro.serve.batch.plan_for`), so routing costs one dict lookup on
+the serving hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.costmodel import LinearCostModel
+from repro.core.query import SliceQuery
+from repro.serve.structures import resolve_selection
+from repro.serve.telemetry import RAW_LABEL
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """The cheapest way one replica can answer one query pattern."""
+
+    replica_id: int
+    structure: str
+    predicted: float
+    fallback: bool
+
+
+class RoutingTable:
+    """Pattern -> replica dispatch for a set of divergent selections.
+
+    Parameters
+    ----------
+    cost_model:
+        The fleet's shared :class:`LinearCostModel` (predictions must
+        match what each replica's server will report, so use the same
+        model the fleet is built with).
+    selections:
+        One selection (structure labels) per replica, in replica-id
+        order — :attr:`DivergentAdvice.selections` verbatim.
+    """
+
+    def __init__(
+        self,
+        cost_model: LinearCostModel,
+        selections: Sequence[Sequence[str]],
+    ):
+        if not selections:
+            raise ValueError("selections must not be empty")
+        self.cost_model = cost_model
+        self.selections = tuple(tuple(s) for s in selections)
+        self._replicas = []
+        for selection in self.selections:
+            views, indexes = resolve_selection(selection)
+            by_view = {view: [] for view in views}
+            for index in indexes:
+                by_view[index.view].append(index)
+            self._replicas.append([(view, tuple(by_view[view])) for view in views])
+        self._memo: Dict[SliceQuery, Tuple[RouteDecision, ...]] = {}
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.selections)
+
+    # ------------------------------------------------------------- pricing
+
+    def best_plan(self, query: SliceQuery, replica_id: int) -> RouteDecision:
+        """Cheapest answer for ``query`` on one replica's structures.
+
+        Scans the replica's views in selection order and each view's
+        ``[no index] + indexes`` candidates for the strict cost minimum —
+        the same scan order as the executor's router, so the predicted
+        cost equals what the replica's server will record.  Falls back
+        to the raw cube (at :meth:`LinearCostModel.default_cost`) when
+        no materialized view answers.
+        """
+        model = self.cost_model
+        lattice = model.lattice
+        best_cost = None
+        best_structure = RAW_LABEL
+        for view, indexes in self._replicas[replica_id]:
+            if not query.answerable_by(view):
+                continue
+            candidates = [(model.cost(query, view), lattice.label(view))]
+            for index in indexes:
+                candidates.append(
+                    (model.cost(query, view, index), lattice.index_label(index))
+                )
+            for cost, structure in candidates:
+                if best_cost is None or cost < best_cost:
+                    best_cost, best_structure = cost, structure
+        if best_cost is None:
+            return RouteDecision(
+                replica_id=replica_id,
+                structure=RAW_LABEL,
+                predicted=model.default_cost(query),
+                fallback=True,
+            )
+        return RouteDecision(
+            replica_id=replica_id,
+            structure=best_structure,
+            predicted=best_cost,
+            fallback=False,
+        )
+
+    # ------------------------------------------------------------- routing
+
+    def ranking(self, query: SliceQuery) -> Tuple[RouteDecision, ...]:
+        """Every replica's decision, cheapest first (ties: lowest id).
+
+        Memoized per pattern; the full ranking is what health-aware
+        failover walks — strike the head, serve from the next-cheapest.
+        """
+        cached = self._memo.get(query)
+        if cached is not None:
+            return cached
+        decisions = sorted(
+            (self.best_plan(query, replica_id) for replica_id in range(self.n_replicas)),
+            key=lambda d: (d.predicted, d.replica_id),
+        )
+        ranking = tuple(decisions)
+        self._memo[query] = ranking
+        return ranking
+
+    def route(self, query: SliceQuery) -> RouteDecision:
+        """The designated (cheapest) replica for a query pattern."""
+        return self.ranking(query)[0]
+
+    def workload_cost(self, counts) -> float:
+        """Total predicted workload cost under cheapest-replica routing:
+        sum of weight times the routed plan's predicted rows."""
+        return sum(
+            float(weight) * self.route(query).predicted
+            for query, weight in counts.items()
+            if weight > 0
+        )
+
+    # ----------------------------------------------------------- reporting
+
+    def to_dict(self, patterns: Sequence[SliceQuery]) -> dict:
+        """A JSON-serializable table for the given patterns."""
+        routes = {}
+        for query in sorted(set(patterns), key=str):
+            decision = self.route(query)
+            routes[str(query)] = {
+                "replica": decision.replica_id,
+                "structure": decision.structure,
+                "predicted_rows": decision.predicted,
+                "fallback": decision.fallback,
+            }
+        return {
+            "replicas": self.n_replicas,
+            "selections": [list(s) for s in self.selections],
+            "routes": routes,
+        }

@@ -20,6 +20,11 @@ correct) raw-cube path; crashed front-end workers restart and fail their
 in-flight queries with typed errors instead of hanging; and
 ``python -m repro.serve.chaos`` injects all four fault classes into live
 runs, asserting zero wrong answers and exact telemetry accounting.
+
+The fleet also accepts *divergent* per-replica selections plus a
+:class:`repro.distributed.RoutingTable`, switching dispatch from
+round-robin to cost-routed (each query to its predicted-cheapest
+replica, failover down the ranking) — see :mod:`repro.distributed`.
 """
 
 from repro.serve.adaptive import (
@@ -65,10 +70,12 @@ from repro.serve.server import (
 )
 from repro.serve.structures import parse_structure, resolve_selection
 from repro.serve.telemetry import (
+    FLEET_COUNTER_FIELDS,
     RAW_LABEL,
     RESILIENCE_COUNTER_FIELDS,
     TELEMETRY_SCHEMA_VERSION,
     TelemetryCollector,
+    empty_fleet_stats,
     empty_resilience_stats,
     upgrade_telemetry,
     validate_telemetry,
@@ -86,6 +93,7 @@ __all__ = [
     "DEFAULT_QUERY_DEADLINE",
     "DEFAULT_QUEUE_DEPTH",
     "DEFAULT_STRIKE_LIMIT",
+    "FLEET_COUNTER_FIELDS",
     "FrontendClosed",
     "HealthChecker",
     "NoHealthyReplica",
@@ -112,6 +120,7 @@ __all__ = [
     "TELEMETRY_SCHEMA_VERSION",
     "TelemetryCollector",
     "WorkloadRecorder",
+    "empty_fleet_stats",
     "empty_resilience_stats",
     "observed_cost",
     "parse_structure",

@@ -2,19 +2,26 @@
 
 A :class:`ReplicaFleet` runs N independent ``QueryServer`` +
 ``ServingFrontend`` pairs — each with its own catalog, result cache, and
-per-structure circuit breaker — behind a router.  The router round-robins
-queries over the *healthy* replicas, bounds every attempt with a
-per-query deadline, and on a timeout or typed serving failure retries
-with jittered exponential backoff on a replica it has not tried yet.
-A query fails only with a typed :class:`~repro.serve.resilience.ServingError`
-(retries exhausted, no healthy replica) — never by hanging, and never
-with a wrong answer.
+per-structure circuit breaker — behind a router.  The router bounds
+every attempt with a per-query deadline, and on a timeout or typed
+serving failure retries with jittered exponential backoff on a replica
+it has not tried yet.  A query fails only with a typed
+:class:`~repro.serve.resilience.ServingError` (retries exhausted, no
+healthy replica) — never by hanging, and never with a wrong answer.
 
-Replicas currently share one selection (each materializes its own copy),
-but the constructor accepts a *per-replica* selection list, so the
-divergent-selection tuning of ROADMAP item 1 slots in without an API
-change: hand each replica its own advisor output and the router keeps
-working unchanged.
+Dispatch has two modes.  Without a ``router`` the fleet round-robins
+over the healthy replicas — the right default when every replica holds
+the same selection.  With a :class:`repro.distributed.RoutingTable`
+(divergent per-replica selections from
+:func:`repro.distributed.plan_divergent`) each query goes to the
+replica predicted cheapest for it under the paper's ``|C| / |E|``
+model; when that replica is struck out or already tried, the next
+cheapest takes over, so failover preserves the cost ordering instead
+of reverting to blind rotation.  Routed mode also keeps score:
+telemetry counts a *routed hit* when the serving replica was the
+predicted-cheapest one and a *misroute* when failover or health caused
+a detour (the answer is still correct — any replica's raw cube answers
+anything; only the predicted latency is forfeited).
 
 Health has two inputs: **passive strikes** (submit failures, deadline
 timeouts observed by the router) and **active probes** (a
@@ -167,6 +174,16 @@ class Replica:
             if self._down_since is not None:
                 total += self.clock() - self._down_since
             return total
+
+    def health_snapshot(self) -> dict:
+        """Light diagnostic state (what :class:`NoHealthyReplica` carries)."""
+        with self._lock:
+            return {
+                "strikes": self.strikes,
+                "dead": self.dead,
+                "healthy": self.healthy,
+                "last_reason": self.last_reason,
+            }
 
     def stats(self) -> dict:
         with self._lock:
@@ -330,6 +347,12 @@ class ReplicaFleet:
     probe_interval:
         Seconds between background health sweeps (``None`` = active
         probing only via ``checker.check_now()``).
+    router:
+        Optional :class:`repro.distributed.RoutingTable` built over the
+        same per-replica selections.  When set, dispatch is cost-routed:
+        each query goes to its predicted-cheapest available replica
+        (failover walks the ranking), and telemetry gains per-replica
+        routed-hit / misroute counters.  ``None`` keeps round-robin.
     """
 
     def __init__(
@@ -355,8 +378,15 @@ class ReplicaFleet:
         rng_seed: int = 0,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        router=None,
     ):
         selection_list = self._normalize_selections(selections, replicas)
+        if router is not None and router.n_replicas != len(selection_list):
+            raise ValueError(
+                f"router covers {router.n_replicas} replicas but the fleet "
+                f"has {len(selection_list)}"
+            )
+        self.router = router
         if query_deadline <= 0:
             raise ValueError(f"query_deadline must be > 0, got {query_deadline}")
         if strike_limit < 1:
@@ -442,12 +472,31 @@ class ReplicaFleet:
     def healthy_replicas(self) -> List[Replica]:
         return [replica for replica in self.replicas if replica.available]
 
-    def _route(self, exclude: set) -> Optional[Replica]:
-        """Next healthy replica, round-robin, preferring untried ones."""
+    def _route(
+        self, exclude: set, query: Optional[SliceQuery] = None
+    ) -> Optional[Replica]:
+        """Next healthy replica for this query, preferring untried ones.
+
+        With a router: the cheapest available replica by predicted cost
+        (failover walks the ranking, so a struck replica hands over to
+        the *next*-cheapest, not to a random rotation slot).  Without:
+        round-robin.
+        """
         with self._lock:
             healthy = [r for r in self.replicas if r.available]
             if not healthy:
                 return None
+            if self.router is not None and query is not None:
+                by_id = {r.replica_id: r for r in healthy}
+                ranked = [
+                    by_id[decision.replica_id]
+                    for decision in self.router.ranking(query)
+                    if decision.replica_id in by_id
+                ]
+                pool = [r for r in ranked if r.replica_id not in exclude] or ranked
+                if pool:
+                    return pool[0]
+                # router covers none of the healthy replicas: fall back
             fresh = [r for r in healthy if r.replica_id not in exclude]
             pool = fresh or healthy
             self._rr += 1
@@ -488,13 +537,17 @@ class ReplicaFleet:
             if attempt:
                 self.telemetry.note_retry()
                 self._sleep(self.retry.delay(attempt - 1, self._rng))
-            replica = self._route(tried)
+            replica = self._route(tried, entry.query)
             if replica is None:
                 with self._lock:
                     self._no_healthy += 1
                 raise NoHealthyReplica(
                     f"no healthy replica (fleet of {len(self.replicas)}, "
-                    f"attempt {attempt + 1})"
+                    f"attempt {attempt + 1})",
+                    strikes={
+                        r.replica_id: r.health_snapshot()
+                        for r in self.replicas
+                    },
                 ) from last_error
             attempts += 1
             try:
@@ -526,6 +579,12 @@ class ReplicaFleet:
             # an accounted fault
             with self._lock:
                 self._routed += 1
+            if self.router is not None:
+                cheapest = self.router.route(entry.query).replica_id
+                if replica.replica_id == cheapest:
+                    self.telemetry.note_routed_hit(replica.replica_id)
+                else:
+                    self.telemetry.note_misroute(replica.replica_id)
             return outcome
         with self._lock:
             self._exhausted += 1
@@ -606,6 +665,8 @@ class ReplicaFleet:
         return {
             "replicas": [replica.stats() for replica in self.replicas],
             "healthy": len(self.healthy_replicas()),
+            "routed_dispatch": self.router is not None,
+            "fleet": self.telemetry.fleet_stats(),
             "query_deadline": self.query_deadline,
             "retry": {
                 "max_attempts": self.retry.max_attempts,

@@ -71,7 +71,17 @@ class QueryTimeout(ServingError):
 
 
 class NoHealthyReplica(ServingError):
-    """The fleet router found no healthy replica to try."""
+    """The fleet router found no healthy replica to try.
+
+    Carries ``strikes`` — per-replica diagnostic state at raise time
+    (``{replica_id: {"strikes": n, "dead": bool, "healthy": bool,
+    "last_reason": str}}``) — so a caller can see *why* every replica
+    was out of rotation instead of just that it was.
+    """
+
+    def __init__(self, message: str, strikes: Optional[dict] = None):
+        super().__init__(message)
+        self.strikes = dict(strikes) if strikes is not None else {}
 
 
 class RetriesExhausted(ServingError):

@@ -21,11 +21,15 @@ query.
 
 Schema v2 added the ``cache`` block (result-cache hit/eviction counters)
 and ``merged_from`` (how many collectors the document combines).
-Schema v3 adds the ``resilience`` block: per-structure executor errors,
+Schema v3 added the ``resilience`` block: per-structure executor errors,
 raw-cube rescues, circuit-breaker trips/resets/short-circuits, worker
 crashes and restarts, re-advise failures, fleet retries and deadline
 timeouts — the counters the chaos harness reconciles exactly against
-the faults it injected.  v1 and v2 documents are still accepted by
+the faults it injected.  Schema v4 adds the ``fleet`` block: per-replica
+routed-hit and misroute counters for the cost-routed dispatch mode (a
+routed hit lands on the replica the routing table designated; a
+misroute was served correctly but elsewhere, after failover or a
+strike).  v1–v3 documents are still accepted by
 :func:`validate_telemetry` through :func:`upgrade_telemetry`, which
 fills newer fields with their empty defaults.
 """
@@ -35,7 +39,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, Iterable, List, Optional
 
-TELEMETRY_SCHEMA_VERSION = 3
+TELEMETRY_SCHEMA_VERSION = 4
 
 #: Scalar counters of the v3 ``resilience`` block (``executor_errors``
 #: is the one non-scalar member: a per-structure error dict).
@@ -58,6 +62,17 @@ def empty_resilience_stats() -> dict:
     for field in RESILIENCE_COUNTER_FIELDS:
         block[field] = 0
     return block
+
+
+#: Per-replica counter dicts of the v4 ``fleet`` block.  Keys inside
+#: each dict are replica ids as strings (JSON object keys), values are
+#: counts.
+FLEET_COUNTER_FIELDS = ("routed_hits", "misroutes")
+
+
+def empty_fleet_stats() -> dict:
+    """The empty ``fleet`` block (no routed dispatch, or none yet)."""
+    return {field: {} for field in FLEET_COUNTER_FIELDS}
 
 #: Log-spaced latency histogram bucket upper bounds, in microseconds.
 LATENCY_BUCKETS_US = (
@@ -110,6 +125,7 @@ class TelemetryCollector:
             self._resilience: Dict[str, int] = {
                 field: 0 for field in RESILIENCE_COUNTER_FIELDS
             }
+            self._fleet: Dict[str, Dict[str, int]] = empty_fleet_stats()
 
     # -------------------------------------------------------------- record
 
@@ -223,6 +239,32 @@ class TelemetryCollector:
     def note_deadline_timeout(self) -> None:
         self._bump("deadline_timeouts")
 
+    # -------------------------------------------------------------- fleet
+
+    def _bump_fleet(self, field: str, replica_id) -> None:
+        key = str(replica_id)
+        with self._lock:
+            counters = self._fleet[field]
+            counters[key] = counters.get(key, 0) + 1
+
+    def note_routed_hit(self, replica_id) -> None:
+        """A query answered by the replica the routing table designated."""
+        self._bump_fleet("routed_hits", replica_id)
+
+    def note_misroute(self, replica_id) -> None:
+        """A query answered correctly but *not* by its designated replica
+        (failover, strike, or a busy head of the ranking)."""
+        self._bump_fleet("misroutes", replica_id)
+
+    def fleet_stats(self) -> dict:
+        """A copy of the fleet block (per-replica routed-hit/misroute
+        counters, replica ids as string keys)."""
+        with self._lock:
+            return {
+                field: dict(sorted(self._fleet[field].items()))
+                for field in FLEET_COUNTER_FIELDS
+            }
+
     def resilience_stats(self) -> dict:
         """A copy of the resilience block (executor errors + counters)."""
         with self._lock:
@@ -256,6 +298,10 @@ class TelemetryCollector:
                 "keep_records": self.keep_records,
                 "executor_errors": dict(self._executor_errors),
                 "resilience": dict(self._resilience),
+                "fleet": {
+                    field: dict(self._fleet[field])
+                    for field in FLEET_COUNTER_FIELDS
+                },
             }
 
     def absorb(self, other: "TelemetryCollector") -> None:
@@ -289,6 +335,10 @@ class TelemetryCollector:
                 )
             for field, count in state["resilience"].items():
                 self._resilience[field] += count
+            for field in FLEET_COUNTER_FIELDS:
+                counters = self._fleet[field]
+                for replica_id, count in state["fleet"][field].items():
+                    counters[replica_id] = counters.get(replica_id, 0) + count
             if self.keep_records and state["keep_records"]:
                 self._records.extend(state["records"])
             else:
@@ -365,6 +415,10 @@ class TelemetryCollector:
                     ),
                     **self._resilience,
                 },
+                "fleet": {
+                    field: dict(sorted(self._fleet[field].items()))
+                    for field in FLEET_COUNTER_FIELDS
+                },
                 "latency_us": {
                     "p50": _percentile(samples, 0.50),
                     "p99": _percentile(samples, 0.99),
@@ -390,23 +444,29 @@ class TelemetryCollector:
 
 
 def upgrade_telemetry(document: dict) -> dict:
-    """Upgrade a schema-v1/v2 telemetry document to v3 (compat shim).
+    """Upgrade a schema-v1/v2/v3 telemetry document to v4 (compat shim).
 
     v1 predates the result cache and mergeable collectors; v2 predates
-    the resilience counters.  The upgrade fills each missing block with
-    its empty default (disabled cache, ``merged_from`` = 1, all-zero
-    resilience — older documents were recorded before fault accounting
-    existed, which is indistinguishable from a fault-free run).  v3
-    documents pass through unchanged (the same object).  Anything else
-    is left for :func:`validate_telemetry` to reject.
+    the resilience counters; v3 predates the fleet routing counters.
+    The upgrade fills each missing block with its empty default
+    (disabled cache, ``merged_from`` = 1, all-zero resilience, empty
+    fleet — older documents were recorded before the accounting
+    existed, which is indistinguishable from a run without those
+    events).  v4 documents pass through unchanged (the same object).
+    Anything else is left for :func:`validate_telemetry` to reject.
     """
-    if not isinstance(document, dict) or document.get("schema_version") not in (1, 2):
+    if not isinstance(document, dict) or document.get("schema_version") not in (
+        1,
+        2,
+        3,
+    ):
         return document
     upgraded = dict(document)
     upgraded["schema_version"] = TELEMETRY_SCHEMA_VERSION
     upgraded.setdefault("cache", _empty_cache_block())
     upgraded.setdefault("merged_from", 1)
     upgraded.setdefault("resilience", empty_resilience_stats())
+    upgraded.setdefault("fleet", empty_fleet_stats())
     return upgraded
 
 
@@ -417,9 +477,9 @@ def validate_telemetry(document: dict) -> dict:
     integrity (bucket counts sum to the query count), and the hit/
     fallback accounting.  Raises ``ValueError`` with a one-line message
     on the first violation — this is what the CI serving smoke runs
-    against the uploaded artifact.  Schema-v1/v2 documents are upgraded
-    through :func:`upgrade_telemetry` first and the upgraded copy is
-    returned; v3 documents are returned unchanged.
+    against the uploaded artifact.  Schema-v1/v2/v3 documents are
+    upgraded through :func:`upgrade_telemetry` first and the upgraded
+    copy is returned; v4 documents are returned unchanged.
     """
     if not isinstance(document, dict):
         raise ValueError("telemetry must be a JSON object")
@@ -427,7 +487,7 @@ def validate_telemetry(document: dict) -> dict:
     if document.get("schema_version") != TELEMETRY_SCHEMA_VERSION:
         raise ValueError(
             f"telemetry schema_version must be {TELEMETRY_SCHEMA_VERSION} "
-            f"(or 1/2, upgraded), got {document.get('schema_version')!r}"
+            f"(or 1/2/3, upgraded), got {document.get('schema_version')!r}"
         )
     for field, kind in (
         ("queries", int),
@@ -437,6 +497,7 @@ def validate_telemetry(document: dict) -> dict:
         ("hits", dict),
         ("cache", dict),
         ("resilience", dict),
+        ("fleet", dict),
         ("latency_us", dict),
         ("cost", dict),
     ):
@@ -479,6 +540,24 @@ def validate_telemetry(document: dict) -> dict:
     if resilience["raw_rescues"] > sum(errors.values()):
         raise ValueError(
             "resilience.raw_rescues exceed the recorded executor errors"
+        )
+    fleet = document["fleet"]
+    for field in FLEET_COUNTER_FIELDS:
+        counters = fleet.get(field)
+        if not isinstance(counters, dict):
+            raise ValueError(f"fleet.{field} must be a dict")
+        for replica_id, count in counters.items():
+            if not isinstance(count, int) or count < 0:
+                raise ValueError(
+                    f"fleet.{field}[{replica_id!r}] must be a nonnegative "
+                    "integer"
+                )
+    routed_total = sum(
+        sum(fleet[field].values()) for field in FLEET_COUNTER_FIELDS
+    )
+    if routed_total > queries:
+        raise ValueError(
+            "fleet routed-hit/misroute counters exceed the query count"
         )
     latency = document["latency_us"]
     for field in ("p50", "p99", "mean", "max"):

@@ -1,0 +1,71 @@
+"""Shared divergent-serving fixtures.
+
+The facts use *integral* measures: divergent replicas answer the same
+query from different structures, so group sums must be bit-identical
+under every aggregation order — exact integer-valued float64 arithmetic
+is what makes "zero wrong answers" an equality, not a tolerance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import FIT_STRICT, RGreedy
+from repro.core.costmodel import LinearCostModel
+from repro.cube.query_log import generate_query_log, pattern_counts
+from repro.datasets.tpcd import tpcd_serving_fact, tpcd_serving_schema
+
+
+def make_algorithm():
+    """A fresh 1-greedy (algorithm objects are single-use per run)."""
+    return RGreedy(1, fit=FIT_STRICT)
+
+
+@pytest.fixture(scope="session")
+def dist_schema4():
+    return tpcd_serving_schema(4)
+
+
+@pytest.fixture(scope="session")
+def dist_fact4():
+    return tpcd_serving_fact(4, rng=0, integral_measures=True)
+
+
+@pytest.fixture(scope="session")
+def dist_model4(dist_fact4):
+    return LinearCostModel.from_fact(dist_fact4)
+
+
+@pytest.fixture(scope="session")
+def dist_log4(dist_schema4):
+    return generate_query_log(dist_schema4, 300, rng=0)
+
+
+@pytest.fixture(scope="session")
+def dist_counts4(dist_log4):
+    return pattern_counts(dist_log4)
+
+
+@pytest.fixture(scope="session")
+def dist_schema5():
+    return tpcd_serving_schema(5)
+
+
+@pytest.fixture(scope="session")
+def dist_fact5():
+    return tpcd_serving_fact(5, rng=0, integral_measures=True)
+
+
+@pytest.fixture(scope="session")
+def dist_model5(dist_fact5):
+    return LinearCostModel.from_fact(dist_fact5)
+
+
+@pytest.fixture(scope="session")
+def dist_log5(dist_schema5):
+    return generate_query_log(dist_schema5, 500, rng=0)
+
+
+@pytest.fixture(scope="session")
+def dist_counts5(dist_log5):
+    return pattern_counts(dist_log5)

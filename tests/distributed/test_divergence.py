@@ -1,0 +1,195 @@
+"""The acceptance criteria: divergence wins, answers stay byte-identical.
+
+* d=5, 4 divergent replicas: predicted-cost ratio strictly below 1.0
+  against N identical copies of the workload-weighted single advise.
+* Routed fleet answers are byte-identical to a golden serial server.
+* Killing any one replica mid-run re-routes with zero wrong answers.
+* The ``repro.distributed.smoke`` module passes end to end.
+"""
+
+import pytest
+
+from repro.core.qvgraph import QueryViewGraph
+from repro.distributed import divergence_report, plan_divergent
+from repro.io import save_query_log
+from repro.serve import QueryServer, ReplicaFleet, validate_telemetry
+from tests.distributed.conftest import make_algorithm
+
+
+def plan(model, counts, n_replicas):
+    lattice = model.lattice
+    top_label = lattice.label(lattice.top)
+    return plan_divergent(
+        lattice,
+        counts,
+        make_algorithm(),
+        3.0 * lattice.size(lattice.top),
+        n_replicas,
+        seed=(top_label,),
+        cost_model=model,
+    )
+
+
+def identical_selection(model, counts):
+    lattice = model.lattice
+    top_label = lattice.label(lattice.top)
+    return make_algorithm().run(
+        QueryViewGraph.from_cube(lattice, frequencies=counts),
+        3.0 * lattice.size(lattice.top),
+        seed=(top_label,),
+    ).selected
+
+
+@pytest.fixture(scope="module")
+def planned5(dist_model5, dist_counts5):
+    return plan(dist_model5, dist_counts5, 4)
+
+
+class TestDivergenceWins:
+    def test_d5_four_replicas_beat_identical_copies(
+        self, dist_model5, dist_counts5, planned5
+    ):
+        """The headline number: 4 divergent replicas price the d=5
+        workload strictly below 4 identical copies."""
+        partitioned, advice, router = planned5
+        report = divergence_report(
+            dist_model5,
+            dist_counts5,
+            advice,
+            identical_selection(dist_model5, dist_counts5),
+            partitioned=partitioned,
+            router=router,
+        )
+        assert report["replicas"] == 4
+        assert report["predicted_cost_ratio"] < 1.0
+        assert report["divergent_predicted_cost"] < report[
+            "identical_predicted_cost"
+        ]
+
+    def test_report_routed_load_accounts_every_pattern(
+        self, dist_model5, dist_counts5, planned5
+    ):
+        partitioned, advice, router = planned5
+        report = divergence_report(
+            dist_model5,
+            dist_counts5,
+            advice,
+            identical_selection(dist_model5, dist_counts5),
+            partitioned=partitioned,
+            router=router,
+        )
+        load = report["routed_load"]
+        assert sum(entry["patterns"] for entry in load.values()) == len(
+            dist_counts5
+        )
+        assert sum(entry["weight"] for entry in load.values()) == (
+            pytest.approx(sum(dist_counts5.values()))
+        )
+
+
+class TestRoutedServing:
+    def test_answers_byte_identical_to_serial_golden(
+        self, dist_fact4, dist_model4, dist_counts4, dist_log4
+    ):
+        __partitioned, advice, router = plan(dist_model4, dist_counts4, 3)
+        identical = identical_selection(dist_model4, dist_counts4)
+        with QueryServer(
+            dist_fact4, identical, cost_model=dist_model4
+        ) as golden_server:
+            golden = [golden_server.serve(e).groups for e in dist_log4]
+        fleet = ReplicaFleet(
+            dist_fact4,
+            advice.selections,
+            cost_model=dist_model4,
+            router=router,
+        )
+        try:
+            outcomes = [fleet.serve(entry) for entry in dist_log4]
+        finally:
+            fleet.close()
+        assert [o.groups for o in outcomes] == golden
+        snapshot = validate_telemetry(fleet.merged_telemetry().snapshot())
+        hits = sum(snapshot["fleet"]["routed_hits"].values())
+        misroutes = sum(snapshot["fleet"]["misroutes"].values())
+        assert hits + misroutes == len(dist_log4)
+        assert misroutes == 0  # nothing failed, nothing re-routed
+
+    @pytest.mark.parametrize("victim", [0, 1, 2])
+    def test_killing_any_replica_reroutes_without_wrong_answers(
+        self, dist_fact4, dist_model4, dist_counts4, dist_log4, victim
+    ):
+        __partitioned, advice, router = plan(dist_model4, dist_counts4, 3)
+        identical = identical_selection(dist_model4, dist_counts4)
+        with QueryServer(
+            dist_fact4, identical, cost_model=dist_model4
+        ) as golden_server:
+            golden = [golden_server.serve(e).groups for e in dist_log4]
+        fleet = ReplicaFleet(
+            dist_fact4,
+            advice.selections,
+            cost_model=dist_model4,
+            router=router,
+        )
+        half = len(dist_log4) // 2
+        try:
+            answers = [fleet.serve(e).groups for e in dist_log4[:half]]
+            fleet.replicas[victim].kill()
+            answers += [fleet.serve(e).groups for e in dist_log4[half:]]
+        finally:
+            fleet.close()
+        assert answers == golden
+        snapshot = validate_telemetry(fleet.merged_telemetry().snapshot())
+        counters = snapshot["fleet"]
+        assert sum(counters["routed_hits"].values()) + sum(
+            counters["misroutes"].values()
+        ) == len(dist_log4)
+        # misroutes credit the replica that served; the dead one never does
+        assert not counters["misroutes"].get(str(victim))
+
+    def test_failover_prefers_next_cheapest(
+        self, dist_fact4, dist_model4, dist_counts4, dist_log4
+    ):
+        """With the cheapest replica dead, queries land on the runner-up
+        from the routing table, not an arbitrary rotation slot."""
+        __partitioned, advice, router = plan(dist_model4, dist_counts4, 3)
+        fleet = ReplicaFleet(
+            dist_fact4,
+            advice.selections,
+            cost_model=dist_model4,
+            router=router,
+        )
+        try:
+            entry = dist_log4[0]
+            ranking = router.ranking(entry.query)
+            fleet.replicas[ranking[0].replica_id].kill()
+            fleet.serve(entry)
+            misroutes = fleet.telemetry.fleet_stats()["misroutes"]
+            assert misroutes.get(str(ranking[1].replica_id)) == 1
+        finally:
+            fleet.close()
+
+    def test_router_replica_count_must_match_fleet(
+        self, dist_fact4, dist_model4, dist_counts4
+    ):
+        __partitioned, advice, router = plan(dist_model4, dist_counts4, 3)
+        with pytest.raises(ValueError, match="router"):
+            ReplicaFleet(
+                dist_fact4,
+                advice.selections[:2],
+                cost_model=dist_model4,
+                router=router,
+            )
+
+
+class TestSmoke:
+    def test_smoke_passes_end_to_end(self, dist_log4, tmp_path):
+        from repro.distributed.smoke import run_smoke
+
+        log_path = str(tmp_path / "observed.jsonl")
+        save_query_log(dist_log4[:150], log_path)
+        report = run_smoke(4, log_path, n_partitions=3)
+        smoke = report["smoke"]
+        assert smoke["ok"], smoke
+        assert smoke["wrong_answers"] == 0
+        assert smoke["killed_replica"] == 0
+        assert report["predicted_cost_ratio"] <= 1.0

@@ -1,0 +1,112 @@
+"""Balanced k-way workload partitioning: determinism, coverage, balance."""
+
+import pytest
+
+from repro.core.query import SliceQuery
+from repro.distributed import partition_workload
+
+
+def total_weight(partitioned):
+    return sum(p.weight for p in partitioned.partitions)
+
+
+class TestDeterminism:
+    def test_same_input_same_fingerprint(self, dist_counts4):
+        a = partition_workload(dist_counts4, 3)
+        b = partition_workload(dist_counts4, 3)
+        assert a.fingerprint() == b.fingerprint()
+        for pa, pb in zip(a.partitions, b.partitions):
+            assert pa.counts == pb.counts
+            assert list(pa.counts) == list(pb.counts)  # member order too
+
+    def test_fingerprint_tracks_parameters(self, dist_counts4):
+        assert (
+            partition_workload(dist_counts4, 3).fingerprint()
+            != partition_workload(dist_counts4, 4).fingerprint()
+        )
+        assert (
+            partition_workload(dist_counts4, 3, similarity=0.5).fingerprint()
+            != partition_workload(dist_counts4, 3, similarity=0.9).fingerprint()
+        )
+
+
+class TestCoverage:
+    def test_every_pattern_assigned_exactly_once(self, dist_counts4):
+        partitioned = partition_workload(dist_counts4, 3)
+        seen = {}
+        for partition in partitioned.partitions:
+            for query, weight in partition.counts.items():
+                assert query not in seen
+                seen[query] = weight
+        expected = {q: float(w) for q, w in dist_counts4.items() if w > 0}
+        assert seen == expected
+        assert total_weight(partitioned) == pytest.approx(
+            sum(expected.values())
+        )
+
+    def test_nonpositive_weights_dropped(self):
+        counts = {
+            SliceQuery(["p"]): 5.0,
+            SliceQuery(["s"]): 0.0,
+            SliceQuery(["c"]): -3.0,
+        }
+        partitioned = partition_workload(counts, 2)
+        assigned = [
+            q for p in partitioned.partitions for q in p.counts
+        ]
+        assert assigned == [SliceQuery(["p"])]
+
+    def test_partition_attrs_cover_members(self, dist_counts4):
+        for partition in partition_workload(dist_counts4, 3).partitions:
+            for query in partition.counts:
+                assert query.attrs <= partition.attrs
+
+
+class TestBalance:
+    def test_no_replica_starves(self, dist_counts4):
+        """More patterns than partitions: every partition gets work."""
+        for k in (2, 3, 4):
+            partitioned = partition_workload(dist_counts4, k)
+            assert partitioned.n_partitions == k
+            assert all(not p.empty for p in partitioned.partitions)
+
+    def test_lpt_bound_holds(self, dist_counts4):
+        """Max load never exceeds fair share + the heaviest unit."""
+        partitioned = partition_workload(dist_counts4, 3)
+        total = total_weight(partitioned)
+        heaviest_pattern = max(
+            float(w) for w in dist_counts4.values() if w > 0
+        )
+        assert max(p.weight for p in partitioned.partitions) <= (
+            total / 3 + heaviest_pattern
+        )
+
+    def test_mega_cluster_splits_across_partitions(self):
+        """One cluster holding ~all the weight must not pin one replica."""
+        heavy = {
+            SliceQuery(["p"], ["s"]): 400.0,
+            SliceQuery(["s"], ["p"]): 350.0,
+            SliceQuery(["p", "s"]): 250.0,
+        }
+        light = {SliceQuery(["c"]): 10.0, SliceQuery(["d"]): 10.0}
+        partitioned = partition_workload({**heavy, **light}, 3)
+        total = total_weight(partitioned)
+        assert all(not p.empty for p in partitioned.partitions)
+        assert max(p.weight for p in partitioned.partitions) < 0.6 * total
+
+    def test_fewer_patterns_than_partitions_leaves_empties(self):
+        counts = {SliceQuery(["p"]): 2.0, SliceQuery(["s"]): 1.0}
+        partitioned = partition_workload(counts, 4)
+        assert sum(1 for p in partitioned.partitions if p.empty) == 2
+        assert sum(p.n_patterns for p in partitioned.partitions) == 2
+
+    def test_single_partition_takes_everything(self, dist_counts4):
+        partitioned = partition_workload(dist_counts4, 1)
+        assert partitioned.n_partitions == 1
+        assert partitioned.partitions[0].n_patterns == len(
+            [q for q, w in dist_counts4.items() if w > 0]
+        )
+
+    def test_invalid_partition_count_rejected(self, dist_counts4):
+        with pytest.raises(ValueError, match="n_partitions"):
+            partition_workload(dist_counts4, 0)

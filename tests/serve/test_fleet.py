@@ -145,6 +145,30 @@ class TestFailover:
         finally:
             fleet.close()
 
+    def test_no_healthy_replica_carries_per_replica_strikes(
+        self, serve_fact4, serve_model4, selection4, log4
+    ):
+        """Regression: the raise must say *why* every replica was out of
+        rotation, not just that it was."""
+        fleet = make_fleet(serve_fact4, serve_model4, selection4)
+        try:
+            for replica in fleet.replicas:
+                replica.kill()
+            with pytest.raises(NoHealthyReplica) as excinfo:
+                fleet.serve(log4[0])
+            strikes = excinfo.value.strikes
+            assert set(strikes) == {r.replica_id for r in fleet.replicas}
+            for state in strikes.values():
+                assert state["dead"] is True
+                assert state["healthy"] is False
+                assert state["last_reason"] == "killed"
+                assert state["strikes"] >= 0
+        finally:
+            fleet.close()
+
+    def test_no_healthy_replica_default_strikes_empty(self):
+        assert NoHealthyReplica("nothing routable").strikes == {}
+
     def test_crashing_replica_strikes_out_and_queries_survive(
         self, serve_fact4, serve_model4, selection4, log4
     ):

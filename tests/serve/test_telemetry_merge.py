@@ -88,6 +88,70 @@ class TestMerge:
         validate_telemetry(snap)
 
 
+class TestFleetBlockMerge:
+    """The v4 fleet block: per-replica routed-hit/misroute counters
+    merge by exact addition, and legacy v2/v3 documents upgrade to an
+    empty block."""
+
+    def test_counters_add_exactly_across_three_replicas(self):
+        collectors = [TelemetryCollector() for _ in range(3)]
+        for collector in collectors:
+            fill(collector, [1.0, 2.0])  # 2 queries each: 6 total
+        collectors[0].note_routed_hit(0)
+        collectors[0].note_routed_hit(0)
+        collectors[0].note_routed_hit(1)
+        collectors[1].note_misroute(1)
+        collectors[1].note_routed_hit(2)
+        collectors[2].note_misroute(1)
+        merged = TelemetryCollector.merge(collectors)
+        snap = validate_telemetry(merged.snapshot())
+        assert snap["fleet"]["routed_hits"] == {"0": 2, "1": 1, "2": 1}
+        assert snap["fleet"]["misroutes"] == {"1": 2}
+
+    def test_mixed_v2_v3_inputs_upgrade_to_empty_fleet_block(self):
+        """A merged fleet report can fold in snapshots written by older
+        code; each upgrades to an empty (but present) fleet block."""
+        legacy = []
+        for old_version in (2, 3):
+            collector = TelemetryCollector()
+            fill(collector, [5.0])
+            document = collector.snapshot()
+            document["schema_version"] = old_version
+            del document["fleet"]
+            if old_version == 2:
+                del document["resilience"]
+            legacy.append(document)
+        current = TelemetryCollector()
+        fill(current, [1.0])
+        current.note_routed_hit(0)
+        documents = [upgrade_telemetry(doc) for doc in legacy] + [
+            current.snapshot()
+        ]
+        for document in documents:
+            validated = validate_telemetry(document)
+            assert validated["schema_version"] == TELEMETRY_SCHEMA_VERSION
+            assert "routed_hits" in validated["fleet"]
+            assert "misroutes" in validated["fleet"]
+        assert documents[0]["fleet"] == {"routed_hits": {}, "misroutes": {}}
+        assert documents[2]["fleet"]["routed_hits"] == {"0": 1}
+
+    def test_counters_exceeding_queries_rejected(self):
+        collector = TelemetryCollector()
+        fill(collector, [1.0])
+        collector.note_routed_hit(0)
+        collector.note_misroute(1)  # 2 counters, 1 query
+        with pytest.raises(ValueError, match="exceed"):
+            validate_telemetry(collector.snapshot())
+
+    def test_negative_counter_rejected(self):
+        collector = TelemetryCollector()
+        fill(collector, [1.0])
+        document = collector.snapshot()
+        document["fleet"]["routed_hits"] = {"0": -1}
+        with pytest.raises(ValueError, match="fleet"):
+            validate_telemetry(document)
+
+
 class TestSchemaCompatibility:
     def _v1_document(self):
         collector = TelemetryCollector()

@@ -634,6 +634,82 @@ class TestServeFleet:
         assert rc == 2
         assert "single-server" in capsys.readouterr().err
 
+    def test_replicas_help_matches_fleet_error(self, capsys):
+        """The --replicas help documents the --adaptive/--record
+        rejection in the same words the fleet path raises with."""
+        phrase = (
+            "the single-server features --adaptive and --record are "
+            "rejected on the fleet path"
+        )
+        # argparse re-wraps help text at arbitrary points (including
+        # inside hyphenated words), so compare whitespace-free
+        squash = lambda text: "".join(text.split())  # noqa: E731
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        assert squash(phrase) in squash(capsys.readouterr().out)
+        rc = main(
+            ["serve", "--dims", "3", "--queries", "10", "--replicas", "2",
+             "--record", "never-written.jsonl"]
+        )
+        assert rc == 2
+        assert squash(phrase) in squash(capsys.readouterr().err)
+
+
+class TestDivergentServing:
+    def test_partition_command_writes_report(self, tmp_path, capsys):
+        log = tmp_path / "observed.jsonl"
+        assert (
+            main(["serve", "--dims", "3", "--queries", "90",
+                  "--record", str(log)])
+            == 0
+        )
+        capsys.readouterr()
+        report_path = tmp_path / "divergence.json"
+        rc = main(
+            ["partition", "--dims", "3", "--log", str(log),
+             "--partitions", "3", "--output", str(report_path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "into 3 slices" in out
+        assert "predicted-cost ratio" in out
+        doc = json.loads(report_path.read_text())
+        assert doc["replicas"] == 3
+        assert len(doc["selections"]) == 3
+        assert doc["predicted_cost_ratio"] <= 1.0
+        assert len(doc["partitions"]) == 3
+
+    def test_partition_empty_log_rejected(self, tmp_path, capsys):
+        log = tmp_path / "empty.jsonl"
+        log.write_text("")
+        rc = main(["partition", "--dims", "3", "--log", str(log)])
+        assert rc == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_divergent_serve_routes_by_cost(self, tmp_path, capsys):
+        telemetry = tmp_path / "divergent.json"
+        rc = main(
+            ["serve", "--dims", "3", "--queries", "80", "--replicas", "3",
+             "--divergent", "--telemetry", str(telemetry)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "3 divergent replicas" in out
+        assert "predicted-cost ratio" in out
+        assert "predicted-cheapest replica" in out
+        doc = json.loads(telemetry.read_text())
+        assert doc["fleet"]["routed_dispatch"] is True
+        assert doc["fleet"]["predicted_cost_ratio"] <= 1.0
+        routed = sum(doc["fleet"]["routed_hits"].values()) + sum(
+            doc["fleet"]["misroutes"].values()
+        )
+        assert routed == 80
+
+    def test_divergent_requires_fleet(self, capsys):
+        rc = main(["serve", "--dims", "3", "--queries", "10", "--divergent"])
+        assert rc == 2
+        assert "--replicas >= 2" in capsys.readouterr().err
+
 
 @pytest.fixture
 def mining_cube_file(tmp_path):
