@@ -671,6 +671,82 @@ def measure_mining(skip_d9: bool) -> dict:
     return out
 
 
+def measure_sql_backend(n_dims: int = 4, n_queries: int = 400) -> dict:
+    """The SQLite-backend section: informational (never gated — the
+    differential identity and correlation signs are asserted directly).
+
+    Two legs: ``validate-cost`` on the dense d=4 serving cube (engine vs
+    SQLite over an advised selection, measured-vs-predicted Spearman per
+    structure class) and the seeded random differential harness at
+    d=3..4 including the post-delta mirror-rebuild replay.  Any answer
+    mismatch anywhere aborts the whole bench run.
+    """
+    from repro.algorithms.rgreedy import RGreedy
+    from repro.backends import validate_cost
+    from repro.backends.diff import run_diff
+    from repro.core.benefit import BenefitEngine
+    from repro.core.costmodel import LinearCostModel
+    from repro.core.qvgraph import QueryViewGraph
+    from repro.datasets.tpcd import tpcd_serving_fact
+
+    fact = tpcd_serving_fact(n_dims, integral_measures=True)
+    model = LinearCostModel.from_fact(fact)
+    lattice = model.lattice
+    selection = (
+        RGreedy(1)
+        .run(
+            BenefitEngine(QueryViewGraph.from_cube(lattice)),
+            3.0 * lattice.size(lattice.top),
+            seed=(lattice.label(lattice.top),),
+        )
+        .selected
+    )
+
+    t0 = time.perf_counter()
+    report = validate_cost(
+        fact, selection, cost_model=model, n_queries=n_queries, rng=0
+    )
+    validate_seconds = time.perf_counter() - t0
+    if report["mismatches"]:
+        raise SystemExit(
+            f"sql backend: {report['mismatches']} engine-vs-SQLite answer "
+            "mismatches in validate-cost"
+        )
+
+    diff = run_diff(dims=(3, 4), queries=120, seed=0)
+    if diff["total"]["mismatches"] or diff["reload_failures"]:
+        raise SystemExit(
+            f"sql backend: differential harness failed "
+            f"({diff['total']['mismatches']} mismatches, "
+            f"{diff['reload_failures']} reload failures)"
+        )
+
+    return {
+        "dims": n_dims,
+        "queries": n_queries,
+        "mismatches": 0,
+        "spearman_rows": {
+            klass: stats["spearman_rows"]
+            for klass, stats in report["classes"].items()
+        },
+        "spearman_wall": {
+            klass: stats["spearman_wall"]
+            for klass, stats in report["classes"].items()
+        },
+        "exact_rows": report["overall"]["exact_rows"],
+        "sqlite_index_plans": report["overall"]["sqlite_index_plans"],
+        "validate_seconds": round(validate_seconds, 3),
+        "diff": {
+            "dims": diff["dims"],
+            "queries": diff["total"]["queries"],
+            "mismatches": 0,
+            "empty_results": diff["total"]["empty_results"],
+            "raw": diff["total"]["raw"],
+            "seconds": round(sum(r["seconds"] for r in diff["runs"]), 3),
+        },
+    }
+
+
 def gate(current: dict, baseline: dict) -> list:
     """Return a list of human-readable regression descriptions."""
     failures = []
@@ -742,6 +818,11 @@ def main(argv=None) -> int:
         help="re-measure only the workload-mining section and merge it "
         "into the committed baseline",
     )
+    parser.add_argument(
+        "--backend-only", action="store_true",
+        help="re-measure only the SQLite-backend section and merge it "
+        "into the committed baseline",
+    )
     args = parser.parse_args(argv)
 
     if args.check and not RESULT_PATH.exists():
@@ -763,10 +844,11 @@ def main(argv=None) -> int:
         leg_seconds[name] = round(time.perf_counter() - t0, 3)
         return section
 
-    if args.serving_only or args.mining_only:
+    if args.serving_only or args.mining_only or args.backend_only:
         if not RESULT_PATH.exists():
             print(
-                f"error: --serving-only/--mining-only need a committed "
+                f"error: --serving-only/--mining-only/--backend-only "
+                f"need a committed "
                 f"baseline at {RESULT_PATH} to merge into",
                 file=sys.stderr,
             )
@@ -780,6 +862,8 @@ def main(argv=None) -> int:
             result["mining"] = timed(
                 "mining", lambda: measure_mining(args.skip_d9)
             )
+        if args.backend_only:
+            result["sql_backend"] = timed("sql_backend", measure_sql_backend)
     else:
         result = {
             "pytest_benchmarks": timed(
@@ -793,6 +877,7 @@ def main(argv=None) -> int:
             ),
             "serving": timed("serving", measure_serving),
             "mining": timed("mining", lambda: measure_mining(args.skip_d9)),
+            "sql_backend": timed("sql_backend", measure_sql_backend),
             "meta": {
                 "regression_factor": REGRESSION_FACTOR,
                 "python": sys.version.split()[0],
@@ -912,6 +997,24 @@ def main(argv=None) -> int:
                 f"{leg['max_rss_mb']:.0f} MiB, deadline "
                 f"{leg['deadline_seconds']:g}s)"
             )
+
+    backend = result.get("sql_backend")
+    if backend:
+        def rho(value):
+            return f"{value:+.3f}" if value is not None else "n/a"
+
+        correlations = ", ".join(
+            f"{klass} ρ={rho(value)}"
+            for klass, value in sorted(backend["spearman_rows"].items())
+        )
+        print(
+            f"sql backend d={backend['dims']}: {backend['queries']} queries, "
+            f"0 mismatches, {backend['exact_rows']} exact, "
+            f"{backend['sqlite_index_plans']} SQLite index plans "
+            f"({correlations}); diff harness "
+            f"{backend['diff']['queries']} executions over "
+            f"d={backend['diff']['dims']}, 0 mismatches"
+        )
 
     if failures:
         print("\nREGRESSIONS (> {:g}x baseline):".format(REGRESSION_FACTOR))

@@ -1,0 +1,31 @@
+"""Execution backends: run the selected structures on a real database.
+
+The in-repo row engine (:mod:`repro.engine`) exists to count rows
+processed under the paper's cost model.  This package mirrors the same
+catalogs onto real engines — today SQLite, via :class:`SqliteBackend` —
+so every answer the row engine produces can be cross-checked against an
+independent implementation, and so the ``|C| / |E|`` model can be
+validated against measured execution (wall-clock, real index usage)
+rather than only against its own accounting.
+
+* :mod:`repro.backends.sqlite` — the backend: catalog mirroring,
+  ``CREATE INDEX`` for every selected B-tree/fat index, SQL execution
+  with engine-identical rows-processed accounting.
+* :mod:`repro.backends.validate` — the measurement pass behind
+  ``repro validate-cost``: measured-vs-predicted Spearman correlation
+  per structure class.
+* :mod:`repro.backends.diff` — the differential harness
+  (``python -m repro.backends.diff``): seeded random schemas and
+  workloads replayed through both engines, asserting identical answers.
+"""
+
+from repro.backends.sqlite import BackendError, SqliteBackend, SqlResult
+from repro.backends.validate import spearman, validate_cost
+
+__all__ = [
+    "BackendError",
+    "SqliteBackend",
+    "SqlResult",
+    "spearman",
+    "validate_cost",
+]

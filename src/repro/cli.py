@@ -476,6 +476,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="seconds between background fleet health sweeps "
             "(default: no background probing)",
         )
+        command.add_argument(
+            "--backend",
+            choices=("engine", "sqlite"),
+            default="engine",
+            help="execution backend: the in-process row engine, or a "
+            "mirrored SQLite database with real CREATE INDEX structures "
+            "(single-server only; default: engine)",
+        )
         log_flags(command)
 
     serve = sub.add_parser(
@@ -516,6 +524,56 @@ def build_parser() -> argparse.ArgumentParser:
         lambda c: c.add_argument(
             "--log", required=True, help="query log JSONL to replay"
         ),
+    )
+
+    validate_cost = sub.add_parser(
+        "validate-cost",
+        help="execute a workload on both the row engine and SQLite, "
+        "assert identical answers, and report measured-vs-predicted "
+        "cost correlation per structure class",
+    )
+    validate_cost.add_argument(
+        "--dims",
+        type=int,
+        default=4,
+        choices=(3, 4, 5),
+        help="dimensions of the dense serving cube (default: 4)",
+    )
+    validate_cost.add_argument(
+        "--selection",
+        help="selection JSON from advise --output; default: advise "
+        "inline with --algorithm under --space",
+    )
+    validate_cost.add_argument(
+        "--space",
+        type=float,
+        default=None,
+        help="space budget in rows for the inline advise "
+        "(default: 3x the top view)",
+    )
+    validate_cost.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="1greedy",
+        help="algorithm for the inline advise (default: 1greedy)",
+    )
+    validate_cost.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the inline advise (default: serial)",
+    )
+    validate_cost.add_argument(
+        "--queries",
+        type=int,
+        default=300,
+        help="synthetic workload size (default: 300)",
+    )
+    validate_cost.add_argument(
+        "--rng", type=int, default=0, help="workload seed (default: 0)"
+    )
+    validate_cost.add_argument(
+        "--output", help="write the correlation report JSON here"
     )
     return parser
 
@@ -882,10 +940,13 @@ def cmd_tpcd(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serving_selection(args: argparse.Namespace):
+def _serving_selection(args: argparse.Namespace, integral_measures: bool = False):
     """Shared serve/replay fixture: cube, cost model, and the selection.
 
     Returns ``(schema, fact, model, selected, space, top_label)``.
+    ``integral_measures`` builds the cube with whole-number measures —
+    the fixture ``validate-cost`` uses so engine-vs-SQLite sums are
+    order-exact and byte-comparable.
     """
     import json
 
@@ -893,7 +954,7 @@ def _serving_selection(args: argparse.Namespace):
     from repro.datasets.tpcd import tpcd_serving_fact, tpcd_serving_schema
 
     schema = tpcd_serving_schema(args.dims)
-    fact = tpcd_serving_fact(args.dims)
+    fact = tpcd_serving_fact(args.dims, integral_measures=integral_measures)
     model = LinearCostModel.from_fact(fact)
     lattice = model.lattice
     top_label = lattice.label(lattice.top)
@@ -948,6 +1009,11 @@ def _build_server(args: argparse.Namespace):
     cache = None
     if args.cache_mb is not None and args.cache_mb > 0:
         cache = ResultCache(capacity_bytes=int(args.cache_mb * 2**20))
+    backend = None
+    if getattr(args, "backend", "engine") == "sqlite":
+        from repro.backends import SqliteBackend
+
+        backend = SqliteBackend()
     server = QueryServer(
         fact,
         selected,
@@ -958,6 +1024,7 @@ def _build_server(args: argparse.Namespace):
         cache=cache,
         drift_threshold=args.drift_threshold,
         drift_min_queries=args.drift_min_queries,
+        backend=backend,
     )
     return schema, server, recorder
 
@@ -983,6 +1050,11 @@ def _report_serving(args: argparse.Namespace, server, report, recorder) -> int:
         f"{report.fallbacks} raw-cube fallbacks; "
         f"{snapshot['swaps']} selection swaps"
     )
+    if server.backend is not None:
+        print(
+            f"backend: sqlite ({server.backend.reloads} mirror "
+            f"{'rebuild' if server.backend.reloads == 1 else 'rebuilds'})"
+        )
     cache = snapshot["cache"]
     if cache["enabled"]:
         lookups = cache["hits"] + cache["misses"]
@@ -1223,6 +1295,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     if args.divergent and args.replicas < 2:
         raise ValueError("--divergent requires --replicas >= 2")
+    if args.backend == "sqlite" and args.replicas >= 2:
+        raise ValueError("--backend sqlite serves single-server only")
     if args.replicas >= 2:
         schema = tpcd_serving_schema(args.dims)
         log = generate_query_log(
@@ -1247,6 +1321,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
     if args.divergent and args.replicas < 2:
         raise ValueError("--divergent requires --replicas >= 2")
+    if args.backend == "sqlite" and args.replicas >= 2:
+        raise ValueError("--backend sqlite serves single-server only")
     if args.replicas >= 2:
         from repro.datasets.tpcd import tpcd_serving_schema
 
@@ -1267,6 +1343,35 @@ def cmd_replay(args: argparse.Namespace) -> int:
     )
     report = server.replay(log, workers=args.workers, batch_size=args.batch_size)
     return _report_serving(args, server, report, recorder)
+
+
+def cmd_validate_cost(args: argparse.Namespace) -> int:
+    """Differentially validate the cost model on the SQLite backend."""
+    import json
+
+    from repro.backends import validate_cost
+    from repro.backends.validate import format_report
+
+    schema, fact, model, selected, space, top_label = _serving_selection(
+        args, integral_measures=True
+    )
+    report = validate_cost(
+        fact, selected, cost_model=model, n_queries=args.queries, rng=args.rng
+    )
+    report["dims"] = args.dims
+    print(format_report(report))
+    if args.output:
+        with open(args.output, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+        print(f"correlation report written to {args.output}")
+    if report["mismatches"]:
+        print(
+            f"error: {report['mismatches']} engine-vs-SQLite answer "
+            "mismatches",
+            file=sys.stderr,
+        )
+        return 1
+    return EXIT_OK
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -1301,6 +1406,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_serve(args)
         if args.command == "replay":
             return cmd_replay(args)
+        if args.command == "validate-cost":
+            return cmd_validate_cost(args)
         if args.command == "experiments":
             return cmd_experiments(args)
     except (OSError, ValueError) as exc:

@@ -273,6 +273,32 @@ def execute_raw(fact, entry: LogEntry, info: PlanInfo) -> ExecResult:
     )
 
 
+def execute_backend(backend, entry: LogEntry, info: PlanInfo) -> ExecResult:
+    """Answer one query through an execution backend (e.g. SQLite).
+
+    The backend mirrors the serving catalog, so the routed plan carries
+    over verbatim: prefix and scan plans execute against the mirrored
+    view table with the plan's ``(view, index)`` pair, raw plans against
+    the mirrored fact table.  The backend's rows-processed accounting
+    matches the engine's, so telemetry invariants (exact
+    predicted-vs-actual on dense fixtures) hold unchanged.
+    """
+    query = entry.query
+    bound = entry.bound_values
+    if info.kind == "raw":
+        answer = backend.execute_raw(query, bound)
+    else:
+        answer = backend.execute(query, bound, plan=(info.view, info.index))
+    return ExecResult(
+        structure=info.structure,
+        predicted_rows=info.predicted,
+        actual_rows=answer.rows_processed,
+        groups=answer.groups,
+        latency_us=0.0,
+        fallback=info.kind == "raw",
+    )
+
+
 def _execute_member(
     kind: str,
     catalog,
@@ -283,6 +309,7 @@ def _execute_member(
     info: PlanInfo,
     breaker,
     fault_hook,
+    backend=None,
 ) -> ExecResult:
     """One unique query's execution with the resilience layer applied.
 
@@ -291,6 +318,11 @@ def _execute_member(
     rescued from the raw cube (degraded-but-correct — the raw path
     answers every slice query).  Raw-path errors propagate: there is no
     cheaper-but-still-correct plan left to fall back to.
+
+    With a ``backend``, every path executes there instead of on the row
+    engine; the rescue path stays on the engine's raw scan, which keeps
+    degraded-but-correct answers available even when the backend itself
+    is the failing component.
     """
     if kind != "raw" and breaker is not None and not breaker.allow(info.structure):
         result = execute_raw(fact, entry, raw_plan(cost_model, entry.query))
@@ -299,7 +331,9 @@ def _execute_member(
     try:
         if fault_hook is not None:
             fault_hook(info.structure, entry)
-        if kind == "prefix":
+        if backend is not None:
+            result = execute_backend(backend, entry, info)
+        elif kind == "prefix":
             result = execute_prefix(catalog, table, entry, info)
         elif kind == "scan":
             result = execute_scan(table, entry, info)
@@ -326,6 +360,7 @@ def execute_unique(
     items: Sequence[Tuple[tuple, LogEntry]],
     breaker=None,
     fault_hook=None,
+    backend=None,
 ) -> Dict[tuple, ExecResult]:
     """Execute each unique concrete query once, grouped by routed plan.
 
@@ -340,6 +375,10 @@ def execute_unique(
     consulted *per execution*, not per plan: the plan cache stays pure
     routing, so a circuit opening or closing takes effect on the very
     next batch without invalidating memoized plans.
+
+    ``backend`` (a :class:`~repro.backends.sqlite.SqliteBackend`)
+    redirects every execution to the mirrored database — the caller is
+    responsible for having synced it to this serving state first.
     """
     plan_groups: Dict[tuple, List[Tuple[tuple, LogEntry, PlanInfo]]] = {}
     for key, entry in items:
@@ -355,7 +394,7 @@ def execute_unique(
         for key, entry, info in members:
             results[key] = _execute_member(
                 kind, catalog, table, fact, cost_model, entry, info,
-                breaker, fault_hook,
+                breaker, fault_hook, backend,
             )
         shared_us = (time.perf_counter() - start) * 1e6 / len(members)
         for key, __entry, __info in members:

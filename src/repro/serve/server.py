@@ -182,6 +182,14 @@ class QueryServer:
         Optional ``hook(structure, entry)`` called before every
         structure execution — the chaos harness's injection point for
         executor errors and latency.
+    backend:
+        Optional :class:`~repro.backends.sqlite.SqliteBackend`; with it,
+        every execution (prefix, scan, and raw) runs on the mirrored
+        SQLite database instead of the row engine, with identical
+        routing, answers, and cost accounting.  The mirror is synced at
+        the top of each batch keyed on ``(generation, catalog
+        version)``, so hot swaps and fact deltas rebuild it before any
+        query can read stale rows.
     background:
         ``False`` runs re-advises synchronously inside :meth:`serve`
         (deterministic for tests); ``True`` (default) runs them on a
@@ -203,8 +211,10 @@ class QueryServer:
         background: bool = True,
         breaker: Optional[CircuitBreaker] = None,
         fault_hook=None,
+        backend=None,
     ):
         self.fact = fact
+        self.backend = backend
         self.cost_model = (
             cost_model if cost_model is not None else LinearCostModel.from_fact(fact)
         )
@@ -306,6 +316,11 @@ class QueryServer:
         collector = telemetry if telemetry is not None else self.telemetry
         state = self._state  # single atomic read: stable across the batch
         tag = (state.generation, state.catalog.version)
+        if self.backend is not None:
+            # same (generation, version) key as the result cache: a hot
+            # swap or applied delta rebuilds the mirror, a steady batch
+            # is a no-op
+            self.backend.sync(state.catalog, state.generation)
         cache = self.cache
         outcomes: List[Optional[ServeOutcome]] = [None] * len(entries)
         pending: Dict[tuple, List[int]] = {}
@@ -343,6 +358,7 @@ class QueryServer:
                 items,
                 breaker=self.breaker,
                 fault_hook=self.fault_hook,
+                backend=self.backend,
             )
             for key, positions in pending.items():
                 result = results[key]

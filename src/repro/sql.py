@@ -19,22 +19,100 @@ Grammar (case-insensitive keywords)::
 Restrictions match the paper's query class: equality predicates only,
 conjunctive WHERE, group-by attributes must equal the non-aggregate
 select columns.
+
+The module also works in the other direction: :func:`to_sql` (and
+:meth:`ParsedQuery.to_sql`) emit the canonical SQL text of a slice
+query, and ``parse_query(to_sql(...))`` round-trips exactly — the SQL
+backend (:mod:`repro.backends.sqlite`) leans on this to drive a real
+database with the statements the model objects describe.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.query import SliceQuery
 from repro.cube.schema import CubeSchema
 
 _AGGREGATES = ("sum", "count", "min", "max")
 
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_]\w*$")
+
 
 class SqlError(ValueError):
     """Raised when a statement cannot be parsed or validated."""
+
+
+def format_select(
+    select: Sequence[str],
+    agg: str,
+    measure: str,
+    table: str,
+    where: Sequence[Tuple[str, int]] = (),
+    groupby: Sequence[str] = (),
+) -> str:
+    """Format one SELECT statement from its clause pieces.
+
+    The building block under :func:`to_sql` — also reused by the SQLite
+    backend, whose view-table statements carry residual WHERE predicates
+    that are not part of the slice-query grammar.  ``where`` is ordered
+    ``(attr, value)`` pairs; clause order is taken verbatim.
+    """
+    items = list(select) + [f"{agg.upper()}({measure})"]
+    text = f"SELECT {', '.join(items)} FROM {table}"
+    if where:
+        conjunction = " AND ".join(f"{attr} = {value}" for attr, value in where)
+        text += f" WHERE {conjunction}"
+    if groupby:
+        text += f" GROUP BY {', '.join(groupby)}"
+    return text
+
+
+def to_sql(
+    query: SliceQuery,
+    values: Optional[Mapping[str, int]] = None,
+    agg: str = "sum",
+    measure: str = "sales",
+    table: str = "cube",
+) -> str:
+    """Emit the canonical SQL text of a slice query.
+
+    Attributes are emitted in sorted order (both the select/GROUP BY
+    list and the WHERE conjunction), so the output is deterministic and
+    ``parse_query(to_sql(q, v)) `` recovers exactly ``q`` and ``v``.
+    ``values`` must bind every selection attribute — the grammar has no
+    way to write an unbound selection.
+
+    >>> to_sql(SliceQuery(groupby=["p"], selection=["s"]), {"s": 17})
+    'SELECT p, SUM(sales) FROM cube WHERE s = 17 GROUP BY p'
+    >>> to_sql(SliceQuery())
+    'SELECT SUM(sales) FROM cube'
+    """
+    values = dict(values or {})
+    missing = query.selection - set(values)
+    if missing:
+        raise SqlError(
+            f"cannot emit SQL: selection attributes {sorted(missing)} "
+            "have no bound value"
+        )
+    extraneous = set(values) - query.selection
+    if extraneous:
+        raise SqlError(
+            f"cannot emit SQL: values bind {sorted(extraneous)}, which are "
+            "not selection attributes"
+        )
+    if agg.lower() not in _AGGREGATES:
+        raise SqlError(
+            f"unsupported aggregate {agg!r}; use one of {_AGGREGATES}"
+        )
+    for name in (*query.groupby, *query.selection):
+        if not _IDENTIFIER_RE.match(name):
+            raise SqlError(f"attribute {name!r} is not a SQL identifier")
+    groupby = sorted(query.groupby)
+    where = [(attr, int(values[attr])) for attr in sorted(query.selection)]
+    return format_select(groupby, agg, measure, table, where, groupby)
 
 
 @dataclass(frozen=True)
@@ -51,6 +129,20 @@ class ParsedQuery:
     def is_executable(self) -> bool:
         """True when every selection attribute has a bound value."""
         return set(self.values) == set(self.query.selection)
+
+    def to_sql(self) -> str:
+        """The canonical SQL text of this query (see :func:`to_sql`).
+
+        ``parse_query(parsed.to_sql())`` equals ``parsed`` field for
+        field — the emit → parse round trip the tests enforce.
+        """
+        return to_sql(
+            self.query,
+            self.values,
+            agg=self.agg,
+            measure=self.measure,
+            table=self.table,
+        )
 
 
 _SELECT_RE = re.compile(
@@ -136,6 +228,8 @@ def parse_query(
             continue
         if not re.match(r"^[A-Za-z_]\w*$", part):
             raise SqlError(f"cannot parse select item {part!r}")
+        if part in select_attrs:
+            raise SqlError(f"duplicate attribute {part!r} in select list")
         select_attrs.append(part)
     if agg is None:
         raise SqlError("the select list needs an aggregate, e.g. SUM(sales)")
@@ -163,6 +257,9 @@ def parse_query(
     )
     if groupby and any(not re.match(r"^[A-Za-z_]\w*$", g) for g in groupby):
         raise SqlError(f"cannot parse GROUP BY list {groupby_text!r}")
+    duplicates = sorted({g for g in groupby if groupby.count(g) > 1})
+    if duplicates:
+        raise SqlError(f"duplicate attributes {duplicates} in GROUP BY")
     if set(groupby) != set(select_attrs):
         raise SqlError(
             f"GROUP BY attributes {sorted(groupby)} must match the "

@@ -1,0 +1,93 @@
+"""Measured-vs-predicted validation: spearman math and the report."""
+
+import pytest
+
+from repro.backends import spearman, validate_cost
+from repro.backends.validate import STRUCTURE_CLASSES, _ranks, format_report
+
+
+class TestRanks:
+    def test_no_ties(self):
+        assert _ranks([30.0, 10.0, 20.0]) == [3.0, 1.0, 2.0]
+
+    def test_ties_share_mean_rank(self):
+        assert _ranks([5.0, 5.0, 1.0]) == [2.5, 2.5, 1.0]
+
+    def test_all_tied(self):
+        assert _ranks([7.0, 7.0, 7.0]) == [2.0, 2.0, 2.0]
+
+
+class TestSpearman:
+    def test_monotone(self):
+        assert spearman([1, 2, 3, 4], [2, 9, 30, 31]) == pytest.approx(1.0)
+
+    def test_reversed(self):
+        assert spearman([1, 2, 3, 4], [4, 3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_ties_between(self):
+        rho = spearman([1, 2, 2, 3], [1, 2, 3, 4])
+        assert rho is not None and 0.8 < rho < 1.0
+
+    def test_undefined_on_constant_series(self):
+        assert spearman([1, 1, 1], [1, 2, 3]) is None
+        assert spearman([1, 2, 3], [5, 5, 5]) is None
+
+    def test_undefined_below_two_points(self):
+        assert spearman([], []) is None
+        assert spearman([1], [1]) is None
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            spearman([1, 2], [1])
+
+    def test_agrees_with_scipy_when_available(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        ys = [2.0, 7.0, 1.0, 8.0, 2.0, 8.0, 1.0, 8.0]
+        assert spearman(xs, ys) == pytest.approx(
+            float(scipy_stats.spearmanr(xs, ys).statistic)
+        )
+
+
+class TestValidateCost:
+    @pytest.fixture(scope="class")
+    def report(self, dense3):
+        return validate_cost(
+            dense3.fact,
+            dense3.selection,
+            cost_model=dense3.model,
+            n_queries=150,
+            rng=0,
+        )
+
+    def test_zero_mismatches(self, report):
+        assert report["mismatches"] == 0
+        assert report["mismatch_details"] == []
+        assert report["queries"] == 150
+
+    def test_class_partition_is_exhaustive(self, report):
+        assert set(report["classes"]) <= set(STRUCTURE_CLASSES)
+        assert sum(c["queries"] for c in report["classes"].values()) == 150
+        assert report["overall"]["queries"] == 150
+
+    def test_dense_cube_predictions_are_exact(self, report):
+        """On a dense cube the linear model is exact: predicted rows ==
+        rows SQLite counted, so the rank correlation is perfect."""
+        assert report["overall"]["exact_rows"] == 150
+        for klass in ("index-prefix", "view-scan"):
+            if klass in report["classes"]:
+                stats = report["classes"][klass]
+                assert stats["exact_rows"] == stats["queries"]
+                assert stats["spearman_rows"] == pytest.approx(1.0)
+
+    def test_index_class_uses_sqlite_indexes(self, report):
+        if "index-prefix" in report["classes"]:
+            assert report["classes"]["index-prefix"]["sqlite_index_plans"] > 0
+
+    def test_format_report_renders_table(self, report):
+        text = format_report(report)
+        assert "validate-cost: 150 queries, 0 answer mismatches" in text
+        assert "overall" in text
+        assert "ρ(rows)" in text and "ρ(wall)" in text
+        for klass in report["classes"]:
+            assert klass in text

@@ -904,3 +904,86 @@ class TestPrunedAdvise:
         )
         assert rc == 3
         assert "stopped early" in capsys.readouterr().err
+
+
+class TestSqlBackend:
+    def test_serve_backend_sqlite_reports_mirror(self, tmp_path, capsys):
+        telemetry = tmp_path / "telemetry.json"
+        rc = main(
+            ["serve", "--dims", "3", "--queries", "40",
+             "--backend", "sqlite", "--telemetry", str(telemetry)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "backend: sqlite (1 mirror rebuild)" in out
+        doc = json.loads(telemetry.read_text())
+        assert doc["queries"] == 40
+        assert doc["cost"]["exact_matches"] == 40
+        assert doc["resilience"]["raw_rescues"] == 0
+
+    def test_replay_backend_sqlite(self, tmp_path, capsys):
+        log = tmp_path / "observed.jsonl"
+        assert (
+            main(["serve", "--dims", "3", "--queries", "30",
+                  "--record", str(log)])
+            == 0
+        )
+        capsys.readouterr()
+        rc = main(
+            ["replay", "--dims", "3", "--log", str(log),
+             "--backend", "sqlite"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "30/30 exact" in out
+        assert "backend: sqlite (1 mirror rebuild)" in out
+
+    def test_backend_sqlite_rejects_fleet(self, capsys):
+        rc = main(
+            ["serve", "--dims", "3", "--queries", "10",
+             "--backend", "sqlite", "--replicas", "2"]
+        )
+        assert rc == 2
+        assert "single-server" in capsys.readouterr().err
+
+    def test_validate_cost_reports_and_writes_json(self, tmp_path, capsys):
+        out_file = tmp_path / "correlation.json"
+        rc = main(
+            ["validate-cost", "--dims", "3", "--queries", "80",
+             "--output", str(out_file)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "validate-cost: 80 queries, 0 answer mismatches" in out
+        assert "overall" in out
+        report = json.loads(out_file.read_text())
+        assert report["dims"] == 3
+        assert report["mismatches"] == 0
+        assert report["overall"]["exact_rows"] == 80
+        for stats in report["classes"].values():
+            assert stats["exact_rows"] == stats["queries"]
+
+    def test_validate_cost_with_saved_selection(self, tmp_path, capsys):
+        """A selection advised on the matching lattice feeds straight in."""
+        from repro.core.costmodel import LinearCostModel
+        from repro.datasets.tpcd import tpcd_serving_fact
+        from repro.io import save_lattice
+
+        lattice = LinearCostModel.from_fact(tpcd_serving_fact(3)).lattice
+        cube = tmp_path / "cube3.json"
+        save_lattice(lattice, cube)
+        selection_file = tmp_path / "selection.json"
+        assert (
+            main(["advise", "--lattice", str(cube), "--space",
+                  str(3 * lattice.size(lattice.top)), "--algorithm",
+                  "1greedy", "--output", str(selection_file)])
+            == 0
+        )
+        capsys.readouterr()
+        rc = main(
+            ["validate-cost", "--dims", "3", "--queries", "40",
+             "--selection", str(selection_file)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 answer mismatches" in out

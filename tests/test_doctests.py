@@ -20,6 +20,7 @@ import repro.engine.btree
 import repro.estimation.correlated
 import repro.estimation.sampling
 import repro.estimation.sizes
+import repro.sql
 
 MODULES = [
     repro.core.view,
@@ -34,6 +35,7 @@ MODULES = [
     repro.estimation.sizes,
     repro.estimation.sampling,
     repro.estimation.correlated,
+    repro.sql,
 ]
 
 

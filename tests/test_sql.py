@@ -1,11 +1,13 @@
 """Tests for the SQL front-end."""
 
+import random
+
 import pytest
 
 from repro.core.query import SliceQuery
 from repro.cube.generator import generate_fact_table
 from repro.cube.schema import CubeSchema, Dimension
-from repro.sql import ParsedQuery, SqlError, parse_query, run_sql
+from repro.sql import ParsedQuery, SqlError, parse_query, run_sql, to_sql
 
 
 @pytest.fixture
@@ -115,6 +117,116 @@ class TestErrors:
     def test_unbalanced_parentheses(self):
         with pytest.raises(SqlError, match="parentheses"):
             parse_query("SELECT SUM(sales)) FROM cube")
+
+    def test_duplicate_select_attr(self):
+        with pytest.raises(SqlError, match="duplicate"):
+            parse_query("SELECT p, p, SUM(sales) FROM cube GROUP BY p")
+
+    def test_duplicate_groupby_attr(self):
+        with pytest.raises(SqlError, match="duplicate"):
+            parse_query("SELECT p, SUM(sales) FROM cube GROUP BY p, p")
+
+    def test_duplicate_groupby_and_select_attr(self):
+        # both lists repeat the attribute, so the set comparison the
+        # validator used to rely on would have let this through silently
+        with pytest.raises(SqlError, match="duplicate"):
+            parse_query("SELECT p, s, p, SUM(sales) FROM cube GROUP BY p, s, p")
+
+
+class TestEmit:
+    def test_paper_example(self):
+        query = SliceQuery(groupby=["p"], selection=["s"])
+        assert to_sql(query, {"s": 17}) == (
+            "SELECT p, SUM(sales) FROM cube WHERE s = 17 GROUP BY p"
+        )
+
+    def test_aggregate_only(self):
+        assert to_sql(SliceQuery()) == "SELECT SUM(sales) FROM cube"
+
+    def test_no_where(self):
+        assert to_sql(SliceQuery(groupby=["s", "p"])) == (
+            "SELECT p, s, SUM(sales) FROM cube GROUP BY p, s"
+        )
+
+    def test_custom_agg_measure_table(self):
+        text = to_sql(
+            SliceQuery(groupby=["c"]), agg="max", measure="units", table="f"
+        )
+        assert text == "SELECT c, MAX(units) FROM f GROUP BY c"
+
+    def test_deterministic_attribute_order(self):
+        query = SliceQuery(groupby=["c", "p"], selection=["s", "d"])
+        values = {"s": 1, "d": 2}
+        assert to_sql(query, values) == (
+            "SELECT c, p, SUM(sales) FROM cube WHERE d = 2 AND s = 1 "
+            "GROUP BY c, p"
+        )
+
+    def test_missing_binding_rejected(self):
+        with pytest.raises(SqlError, match="no bound value"):
+            to_sql(SliceQuery(selection=["p", "s"]), {"p": 1})
+
+    def test_extraneous_binding_rejected(self):
+        with pytest.raises(SqlError, match="not selection attributes"):
+            to_sql(SliceQuery(selection=["p"]), {"p": 1, "s": 2})
+
+    def test_bad_aggregate_rejected(self):
+        with pytest.raises(SqlError, match="unsupported aggregate"):
+            to_sql(SliceQuery(), agg="avg")
+
+    def test_bad_identifier_rejected(self):
+        with pytest.raises(SqlError, match="identifier"):
+            to_sql(SliceQuery(groupby=["two words"]))
+
+    def test_parsed_query_method_round_trips(self):
+        text = "SELECT c, SUM(sales) FROM cube WHERE p = 3 AND s = 4 GROUP BY c"
+        parsed = parse_query(text)
+        assert parse_query(parsed.to_sql()) == parsed
+
+
+class TestRoundTrip:
+    """Property-style emit → parse → equal over seeded random queries."""
+
+    ATTRS = ("p", "s", "c", "d", "e")
+
+    def _random_query(self, rng):
+        names = list(self.ATTRS)
+        rng.shuffle(names)
+        n_group = rng.randint(0, 3)
+        n_select = rng.randint(0, len(names) - n_group)
+        groupby = names[:n_group]
+        selection = names[n_group : n_group + n_select]
+        values = {attr: rng.randint(-5, 99) for attr in selection}
+        return SliceQuery(groupby=groupby, selection=selection), values
+
+    def test_random_queries_round_trip(self):
+        rng = random.Random(20260808)
+        for trial in range(200):
+            query, values = self._random_query(rng)
+            agg = rng.choice(["sum", "count", "min", "max"])
+            text = to_sql(query, values, agg=agg)
+            parsed = parse_query(text)
+            assert parsed.query == query, text
+            assert parsed.values == values, text
+            assert parsed.agg == agg, text
+            assert parsed.to_sql() == text, text
+
+    def test_aggregate_only_round_trips(self):
+        parsed = parse_query(to_sql(SliceQuery()))
+        assert parsed.query == SliceQuery()
+        assert parsed.values == {}
+
+    def test_no_where_round_trips(self):
+        query = SliceQuery(groupby=["p", "c"])
+        parsed = parse_query(to_sql(query))
+        assert parsed.query == query
+        assert parsed.values == {}
+
+    def test_selection_only_round_trips(self):
+        query = SliceQuery(selection=["p", "s"])
+        parsed = parse_query(to_sql(query, {"p": 0, "s": -3}))
+        assert parsed.query == query
+        assert parsed.values == {"p": 0, "s": -3}
 
 
 class TestExecution:
